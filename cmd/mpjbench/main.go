@@ -1,0 +1,114 @@
+// mpjbench regenerates every experiment table from EXPERIMENTS.md:
+//
+//	mpjbench            # run everything
+//	mpjbench -exp F1    # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW)
+//
+// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// recorded results and their interpretation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mpj"
+	"mpj/internal/bench"
+	"mpj/internal/daemon"
+)
+
+// quick trims sweeps for a fast smoke run.
+var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW")
+	flag.Parse()
+
+	if mpj.Main() {
+		return // never happens: mpjbench spawns no process slaves
+	}
+
+	sizes := bench.DefaultSizes
+	nps := []int{2, 4, 8, 16}
+	counts := []int{256, 1024, 4096, 16384, 65536}
+	if *quick {
+		sizes = []int{64, 4096, 65536}
+		nps = []int{2, 4, 8}
+		counts = []int{256, 4096}
+	}
+
+	experiments := []struct {
+		id  string
+		run func() (*bench.Table, error)
+	}{
+		{"F1", func() (*bench.Table, error) { return bench.F1LayerDecomposition(sizes) }},
+		{"E1", func() (*bench.Table, error) { return bench.E1ProtocolCrossover(sizes) }},
+		{"E2", func() (*bench.Table, error) { return bench.E2ModeLatency([]int{64, 4096, 65536}) }},
+		{"E3", func() (*bench.Table, error) { return bench.E3ThreadEconomy(nps) }},
+		{"E4", func() (*bench.Table, error) { return bench.E4CollectiveScaling(nps, 128) }},
+		{"E5", runE5},
+		{"E7", func() (*bench.Table, error) { return bench.E7SerializationOverhead(counts) }},
+		{"A1", func() (*bench.Table, error) { return bench.A1AllreduceAblation(4, counts) }},
+		{"A2", func() (*bench.Table, error) {
+			return bench.A2EagerThresholdSweep(64<<10, []int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10})
+		}},
+		{"F2", runF2},
+		{"BW", func() (*bench.Table, error) { return bench.BandwidthTable(sizes) }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		t, err := e.run()
+		if err != nil {
+			log.Fatalf("experiment %s: %v", e.id, err)
+		}
+		t.Print(os.Stdout)
+		fmt.Printf("  (%s completed in %.1fs)\n", e.id, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+// slaveBody adapts the public runtime for the in-process slaves the F2/E5
+// scenarios spawn.
+func slaveBody(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) error {
+	return mpj.RunSlave(spec, "", stop)
+}
+
+func runF2() (*bench.Table, error) {
+	mpj.Register("f2-work", func(w *mpj.Comm) error {
+		// A token collective so the slaves genuinely communicate.
+		sum := make([]int64, 1)
+		return w.Allreduce([]int64{int64(w.Rank())}, 0, sum, 0, 1, mpj.LONG, mpj.SUM)
+	})
+	return bench.F2DiscoverySpawn(slaveBody, func(locators []string) error {
+		return mpj.Run(mpj.JobConfig{
+			NP: 4, App: "f2-work", Locators: locators, LeaseDur: 5 * time.Second,
+		})
+	})
+}
+
+func runE5() (*bench.Table, error) {
+	mpj.Register("e5-crasher", func(w *mpj.Comm) error {
+		if w.Rank() == 1 {
+			return fmt.Errorf("injected crash")
+		}
+		buf := make([]int32, 1)
+		_, err := w.Recv(buf, 0, 1, mpj.INT, 1, 0)
+		return err
+	})
+	return bench.E5AbortLatency(slaveBody, func(locators []string) error {
+		return mpj.Run(mpj.JobConfig{
+			NP: 4, App: "e5-crasher", Locators: locators, LeaseDur: 5 * time.Second,
+		})
+	})
+}

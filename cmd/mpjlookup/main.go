@@ -1,0 +1,35 @@
+// mpjlookup runs a standalone MPJ lookup service (the Jini lookup-service
+// substitute): daemons register with it, clients discover daemons through
+// it. The paper assumes lookup services are "accessible as part of the
+// standard system environment"; run one per LAN segment.
+//
+//	mpjlookup -discovery-port 4160
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"mpj/internal/lookup"
+)
+
+func main() {
+	port := flag.Int("discovery-port", lookup.DefaultDiscoveryPort,
+		"UDP port answered for group discovery (0 disables)")
+	flag.Parse()
+
+	reg, err := lookup.NewRegistrar(*port)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+	fmt.Printf("mpjlookup: registrar on %s (discovery UDP port %d)\n", reg.Addr(), *port)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("mpjlookup: shutting down")
+}

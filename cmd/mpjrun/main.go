@@ -1,0 +1,55 @@
+// mpjrun launches a parallel MPJ job — the paper's mpjrun program, whose
+// "only required parameters should be the class name for the application
+// and the number of processors":
+//
+//	mpjrun -np 8 -app heat2d -binary ./heat2d
+//
+// The binary must register the named application and call mpj.Main (all
+// programs in examples/ follow this pattern). Daemons are found through
+// the lookup service: by group discovery by default, or restricted to
+// explicit registrars with -registrars.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mpj"
+)
+
+func main() {
+	np := flag.Int("np", 0, "number of processes (required)")
+	app := flag.String("app", "", "registered application name (required)")
+	binary := flag.String("binary", "", "slave executable (default: this binary)")
+	registrars := flag.String("registrars", "", "comma-separated registrar addresses (unicast discovery)")
+	port := flag.Int("discovery-port", 0, "UDP discovery port when -registrars is empty")
+	leaseDur := flag.Duration("lease", 10*time.Second, "job lease duration")
+	flag.Parse()
+
+	if *np <= 0 || *app == "" {
+		fmt.Fprintln(os.Stderr, "usage: mpjrun -np N -app NAME [-binary PATH] [args...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var locators []string
+	if *registrars != "" {
+		locators = strings.Split(*registrars, ",")
+	}
+	err := mpj.Run(mpj.JobConfig{
+		NP:       *np,
+		App:      *app,
+		Args:     flag.Args(),
+		Locators: locators,
+		UDPPort:  *port,
+		Binary:   *binary,
+		LeaseDur: *leaseDur,
+	})
+	if err != nil {
+		log.Fatalf("mpjrun: %v", err)
+	}
+	fmt.Printf("mpjrun: job %q on %d processes completed\n", *app, *np)
+}

@@ -1,0 +1,72 @@
+// Monte-Carlo estimation of pi: every rank samples independently and a
+// Reduce combines the hit counts — the classic first "real" MPI program,
+// exercising Reduce, Bcast and per-rank RNG streams.
+//
+//	go run ./examples/pi -np 4 -samples 4000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"mpj"
+)
+
+// samplesFlag is read on rank 0 and broadcast, demonstrating the
+// bcast-the-config idiom.
+var samplesFlag = flag.Int64("samples", 1_000_000, "total number of samples")
+
+func piApp(w *mpj.Comm) error {
+	rank, size := w.Rank(), w.Size()
+
+	// Rank 0 owns the configuration; everyone else learns it by Bcast.
+	cfg := []int64{0}
+	if rank == 0 {
+		cfg[0] = *samplesFlag
+	}
+	if err := w.Bcast(cfg, 0, 1, mpj.LONG, 0); err != nil {
+		return err
+	}
+	total := cfg[0]
+	mine := total / int64(size)
+	if int64(rank) < total%int64(size) {
+		mine++
+	}
+
+	// Independent stream per rank.
+	rng := rand.New(rand.NewSource(0x9E3779B9*int64(rank) + 1))
+	var hits int64
+	for i := int64(0); i < mine; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x*x+y*y <= 1 {
+			hits++
+		}
+	}
+
+	global := make([]int64, 1)
+	if err := w.Reduce([]int64{hits}, 0, global, 0, 1, mpj.LONG, mpj.SUM, 0); err != nil {
+		return err
+	}
+	if rank == 0 {
+		pi := 4 * float64(global[0]) / float64(total)
+		fmt.Printf("pi ≈ %.6f (error %+.2e) from %d samples on %d ranks\n",
+			pi, pi-math.Pi, total, size)
+	}
+	return nil
+}
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	mpj.Register("pi", piApp)
+	if mpj.Main() {
+		return
+	}
+	if err := mpj.RunLocal(*np, piApp); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: the smallest complete MPJ program. Every rank greets, the
+// ranks exchange messages around a ring, and an allreduce computes a
+// global sum — the "hello world" of message passing.
+//
+// Run locally (all ranks as goroutines in this process):
+//
+//	go run ./examples/quickstart -np 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mpj"
+)
+
+func quickstart(w *mpj.Comm) error {
+	rank, size := w.Rank(), w.Size()
+	fmt.Printf("hello from rank %d of %d on %s\n", rank, size, mpj.ProcessorName())
+
+	// Pass a token around the ring.
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	token := []int32{int32(rank)}
+	got := make([]int32, 1)
+	if _, err := w.Sendrecv(token, 0, 1, mpj.INT, right, 0, got, 0, 1, mpj.INT, left, 0); err != nil {
+		return fmt.Errorf("ring exchange: %w", err)
+	}
+	fmt.Printf("rank %d received token %d from rank %d\n", rank, got[0], left)
+
+	// Global sum of all ranks.
+	sum := make([]int64, 1)
+	if err := w.Allreduce([]int64{int64(rank)}, 0, sum, 0, 1, mpj.LONG, mpj.SUM); err != nil {
+		return fmt.Errorf("allreduce: %w", err)
+	}
+	if rank == 0 {
+		fmt.Printf("sum of ranks 0..%d = %d\n", size-1, sum[0])
+	}
+	return nil
+}
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	mpj.Register("quickstart", quickstart)
+	if mpj.Main() {
+		return // ran as a spawned slave
+	}
+	if err := mpj.RunLocal(*np, quickstart); err != nil {
+		log.Fatal(err)
+	}
+}

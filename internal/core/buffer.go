@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// bsendPool accounts for the user-attached buffered-send buffer. Buffered
+// sends reserve space for their packed payload for the duration of the
+// local copy, mirroring MPI_Buffer_attach semantics: a Bsend whose payload
+// exceeds the free attached space fails with ErrBuffer.
+type bsendPool struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+}
+
+func (p *bsendPool) attach(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity != 0 {
+		return fmt.Errorf("%w: a buffer is already attached", ErrBuffer)
+	}
+	if n <= 0 {
+		return fmt.Errorf("%w: buffer size %d", ErrBuffer, n)
+	}
+	p.capacity = n
+	return nil
+}
+
+func (p *bsendPool) detach() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity == 0 {
+		return 0, fmt.Errorf("%w: no buffer attached", ErrBuffer)
+	}
+	n := p.capacity
+	p.capacity = 0
+	p.used = 0
+	return n, nil
+}
+
+func (p *bsendPool) reserve(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity == 0 {
+		return fmt.Errorf("%w: Bsend requires an attached buffer (BufferAttach)", ErrBuffer)
+	}
+	if p.used+n > p.capacity {
+		return fmt.Errorf("%w: buffered send of %d bytes exceeds attached buffer (%d of %d in use)",
+			ErrBuffer, n, p.used, p.capacity)
+	}
+	p.used += n
+	return nil
+}
+
+func (p *bsendPool) release(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.used -= n
+	if p.used < 0 {
+		p.used = 0
+	}
+}
+
+// BufferAttach provides size bytes of buffering for buffered-mode sends —
+// MPI_Buffer_attach. The buffering is per process, shared by all
+// communicators.
+func (c *Comm) BufferAttach(size int) error { return c.proc.bsend.attach(size) }
+
+// BufferDetach removes the buffered-send buffer and returns its size —
+// MPI_Buffer_detach.
+func (c *Comm) BufferDetach() (int, error) { return c.proc.bsend.detach() }
+
+// Pack serializes count elements of dt from buf at offset off, appending
+// to dst (which may be nil) — MPI_Pack. The result can be transmitted as
+// Byte data and decoded with Unpack.
+func Pack(dst []byte, buf any, off, count int, dt Datatype) ([]byte, error) {
+	return dt.Pack(dst, buf, off, count)
+}
+
+// Unpack decodes up to count elements of dt from data into buf at offset
+// off, returning the number of elements decoded — MPI_Unpack.
+func Unpack(data []byte, buf any, off, count int, dt Datatype) (int, error) {
+	return dt.Unpack(data, buf, off, count)
+}
+
+// PackSize returns the bytes needed to pack count elements of dt, or
+// Undefined for variable-size datatypes — MPI_Pack_size.
+func PackSize(count int, dt Datatype) int {
+	if sz := dt.ByteSize(); sz > 0 {
+		return count * sz
+	}
+	return Undefined
+}

@@ -1,0 +1,246 @@
+package core
+
+import "fmt"
+
+// CartComm is a communicator with an attached Cartesian process topology —
+// the MPJ Cartcomm. It embeds a Comm (all communication operations apply)
+// and adds coordinate arithmetic.
+type CartComm struct {
+	*Comm
+	dims    []int
+	periods []bool
+}
+
+// CreateCart attaches a Cartesian topology to the members of c —
+// MPI_Cart_create. Collective over c. dims gives the extent of each
+// dimension; periods marks wrap-around dimensions. Processes beyond the
+// grid (rank >= prod(dims)) receive nil. reorder is accepted for API
+// fidelity but ranks are never permuted (a legal implementation choice).
+func (c *Comm) CreateCart(dims []int, periods []bool, reorder bool) (*CartComm, error) {
+	if len(dims) == 0 || len(dims) != len(periods) {
+		return nil, fmt.Errorf("%w: %d dims, %d periods", ErrDims, len(dims), len(periods))
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: dimension %d", ErrDims, d)
+		}
+		total *= d
+	}
+	if total > c.Size() {
+		return nil, fmt.Errorf("%w: grid needs %d processes, communicator has %d", ErrDims, total, c.Size())
+	}
+	_ = reorder
+
+	// Carve out the first total ranks as the grid.
+	members := make([]int, total)
+	for i := range members {
+		members[i] = i
+	}
+	sub, err := c.Group().Incl(members)
+	if err != nil {
+		return nil, err
+	}
+	base, err := c.Create(sub)
+	if err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return nil, nil
+	}
+	cc := &CartComm{
+		Comm:    base,
+		dims:    append([]int(nil), dims...),
+		periods: append([]bool(nil), periods...),
+	}
+	base.topo = cc
+	return cc, nil
+}
+
+// DimsCreate factors nnodes into ndims balanced dimensions —
+// MPI_Dims_create. Entries of dims that are non-zero are kept as
+// constraints; zero entries are filled in.
+func DimsCreate(nnodes, ndims int, dims []int) ([]int, error) {
+	if ndims <= 0 {
+		return nil, fmt.Errorf("%w: ndims %d", ErrDims, ndims)
+	}
+	if dims == nil {
+		dims = make([]int, ndims)
+	}
+	if len(dims) != ndims {
+		return nil, fmt.Errorf("%w: dims slice has %d entries, ndims is %d", ErrDims, len(dims), ndims)
+	}
+	out := append([]int(nil), dims...)
+	remaining := nnodes
+	free := 0
+	for _, d := range out {
+		switch {
+		case d < 0:
+			return nil, fmt.Errorf("%w: negative dimension %d", ErrDims, d)
+		case d > 0:
+			if remaining%d != 0 {
+				return nil, fmt.Errorf("%w: %d does not divide %d", ErrDims, d, nnodes)
+			}
+			remaining /= d
+		default:
+			free++
+		}
+	}
+	if free == 0 {
+		if remaining != 1 {
+			return nil, fmt.Errorf("%w: constrained dims do not multiply to %d", ErrDims, nnodes)
+		}
+		return out, nil
+	}
+	// Balanced factorization: repeatedly assign the largest prime factor
+	// to the smallest current dimension.
+	factors := primeFactors(remaining)
+	val := make([]int, free)
+	for i := range val {
+		val[i] = 1
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		smallest := 0
+		for j := 1; j < free; j++ {
+			if val[j] < val[smallest] {
+				smallest = j
+			}
+		}
+		val[smallest] *= factors[i]
+	}
+	// Place the assigned sizes in decreasing order, matching MPI's
+	// convention that earlier dimensions are at least as large.
+	for i := 0; i < free; i++ {
+		for j := i + 1; j < free; j++ {
+			if val[j] > val[i] {
+				val[i], val[j] = val[j], val[i]
+			}
+		}
+	}
+	k := 0
+	for i, d := range out {
+		if d == 0 {
+			out[i] = val[k]
+			k++
+		}
+	}
+	return out, nil
+}
+
+// primeFactors returns n's prime factorization in ascending order.
+func primeFactors(n int) []int {
+	var fs []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			fs = append(fs, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// Dims returns the grid extents.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Periods returns the per-dimension periodicity.
+func (cc *CartComm) Periods() []bool { return append([]bool(nil), cc.periods...) }
+
+// Coords returns the Cartesian coordinates of the given rank —
+// MPI_Cart_coords. Row-major: the last dimension varies fastest.
+func (cc *CartComm) Coords(rank int) ([]int, error) {
+	if rank < 0 || rank >= cc.Size() {
+		return nil, fmt.Errorf("%w: rank %d of %d-process grid", ErrRank, rank, cc.Size())
+	}
+	coords := make([]int, len(cc.dims))
+	for i := len(cc.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % cc.dims[i]
+		rank /= cc.dims[i]
+	}
+	return coords, nil
+}
+
+// CartRank returns the rank at the given coordinates — MPI_Cart_rank.
+// Coordinates in periodic dimensions wrap; out-of-range coordinates in
+// non-periodic dimensions are an error.
+func (cc *CartComm) CartRank(coords []int) (int, error) {
+	if len(coords) != len(cc.dims) {
+		return 0, fmt.Errorf("%w: %d coords for %d-dimensional grid", ErrDims, len(coords), len(cc.dims))
+	}
+	rank := 0
+	for i, x := range coords {
+		d := cc.dims[i]
+		if cc.periods[i] {
+			x = ((x % d) + d) % d
+		} else if x < 0 || x >= d {
+			return 0, fmt.Errorf("%w: coordinate %d out of range [0,%d) in non-periodic dimension %d", ErrRank, x, d, i)
+		}
+		rank = rank*d + x
+	}
+	return rank, nil
+}
+
+// Shift computes the source and destination ranks for a shift of disp
+// steps along the given dimension — MPI_Cart_shift. In non-periodic
+// dimensions, neighbours beyond the boundary are Undefined (the MPI
+// "null process"): pass those to ShiftExchange or skip the transfer.
+func (cc *CartComm) Shift(dimension, disp int) (src, dst int, err error) {
+	if dimension < 0 || dimension >= len(cc.dims) {
+		return 0, 0, fmt.Errorf("%w: dimension %d of %d", ErrDims, dimension, len(cc.dims))
+	}
+	coords, err := cc.Coords(cc.Rank())
+	if err != nil {
+		return 0, 0, err
+	}
+	shifted := func(delta int) int {
+		c2 := append([]int(nil), coords...)
+		c2[dimension] += delta
+		r, err := cc.CartRank(c2)
+		if err != nil {
+			return Undefined
+		}
+		return r
+	}
+	return shifted(-disp), shifted(disp), nil
+}
+
+// Sub builds lower-dimensional sub-grids, keeping the dimensions where
+// remain[i] is true — MPI_Cart_sub. Collective: every grid member must
+// call it; each receives the sub-grid communicator containing it.
+func (cc *CartComm) Sub(remain []bool) (*CartComm, error) {
+	if len(remain) != len(cc.dims) {
+		return nil, fmt.Errorf("%w: %d remain flags for %d dimensions", ErrDims, len(remain), len(cc.dims))
+	}
+	coords, err := cc.Coords(cc.Rank())
+	if err != nil {
+		return nil, err
+	}
+	// Processes sharing the coordinates of the dropped dimensions land
+	// in the same sub-grid: encode those as the split color.
+	color := 0
+	key := 0
+	var subDims []int
+	var subPeriods []bool
+	for i, keep := range remain {
+		if keep {
+			subDims = append(subDims, cc.dims[i])
+			subPeriods = append(subPeriods, cc.periods[i])
+			key = key*cc.dims[i] + coords[i]
+		} else {
+			color = color*cc.dims[i] + coords[i]
+		}
+	}
+	if len(subDims) == 0 {
+		subDims = []int{1}
+		subPeriods = []bool{false}
+	}
+	base, err := cc.Split(color, key)
+	if err != nil {
+		return nil, err
+	}
+	sub := &CartComm{Comm: base, dims: subDims, periods: subPeriods}
+	base.topo = sub
+	return sub, nil
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestDimsCreate(t *testing.T) {
+	cases := []struct {
+		nnodes, ndims int
+		constrained   []int
+		want          []int
+	}{
+		{12, 2, nil, []int{4, 3}},
+		{8, 3, nil, []int{2, 2, 2}},
+		{7, 2, nil, []int{7, 1}},
+		{16, 2, nil, []int{4, 4}},
+		{12, 2, []int{0, 3}, []int{4, 3}},
+		{6, 1, nil, []int{6}},
+		{1, 2, nil, []int{1, 1}},
+	}
+	for _, tc := range cases {
+		got, err := DimsCreate(tc.nnodes, tc.ndims, tc.constrained)
+		if err != nil {
+			t.Errorf("DimsCreate(%d,%d,%v): %v", tc.nnodes, tc.ndims, tc.constrained, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("DimsCreate(%d,%d,%v) = %v, want %v", tc.nnodes, tc.ndims, tc.constrained, got, tc.want)
+		}
+	}
+	if _, err := DimsCreate(12, 2, []int{5, 0}); err == nil {
+		t.Error("non-dividing constraint accepted")
+	}
+	if _, err := DimsCreate(12, 0, nil); err == nil {
+		t.Error("zero ndims accepted")
+	}
+}
+
+func TestCartCoordsRankRoundTrip(t *testing.T) {
+	runRanks(t, 6, func(w *Comm) error {
+		cc, err := w.CreateCart([]int{2, 3}, []bool{false, true}, false)
+		if err != nil {
+			return err
+		}
+		coords, err := cc.Coords(cc.Rank())
+		if err != nil {
+			return err
+		}
+		// Row-major: rank = x*3 + y.
+		if err := expect(coords[0] == cc.Rank()/3 && coords[1] == cc.Rank()%3,
+			"rank %d coords %v", cc.Rank(), coords); err != nil {
+			return err
+		}
+		back, err := cc.CartRank(coords)
+		if err != nil {
+			return err
+		}
+		return expect(back == cc.Rank(), "round trip %d -> %v -> %d", cc.Rank(), coords, back)
+	})
+}
+
+func TestCartPeriodicWrap(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		cc, err := w.CreateCart([]int{4}, []bool{true}, false)
+		if err != nil {
+			return err
+		}
+		src, dst, err := cc.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		wantSrc := (cc.Rank() + 3) % 4
+		wantDst := (cc.Rank() + 1) % 4
+		return expect(src == wantSrc && dst == wantDst,
+			"shift src=%d dst=%d, want %d/%d", src, dst, wantSrc, wantDst)
+	})
+}
+
+func TestCartNonPeriodicBoundary(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		cc, err := w.CreateCart([]int{4}, []bool{false}, false)
+		if err != nil {
+			return err
+		}
+		src, dst, err := cc.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if cc.Rank() == 0 {
+			if err := expect(src == Undefined, "rank 0 src %d", src); err != nil {
+				return err
+			}
+		}
+		if cc.Rank() == 3 {
+			if err := expect(dst == Undefined, "rank 3 dst %d", dst); err != nil {
+				return err
+			}
+		}
+		if cc.Rank() == 1 {
+			if err := expect(src == 0 && dst == 2, "rank 1 src=%d dst=%d", src, dst); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestCartHaloExchange(t *testing.T) {
+	// A 1-D periodic ring halo exchange via Shift + Sendrecv.
+	runRanks(t, 5, func(w *Comm) error {
+		cc, err := w.CreateCart([]int{5}, []bool{true}, false)
+		if err != nil {
+			return err
+		}
+		src, dst, err := cc.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		out := []int32{int32(cc.Rank())}
+		in := make([]int32, 1)
+		if _, err := cc.Sendrecv(out, 0, 1, Int, dst, 0, in, 0, 1, Int, src, 0); err != nil {
+			return err
+		}
+		return expect(in[0] == int32(src), "halo got %d from %d", in[0], src)
+	})
+}
+
+func TestCartExcludesExtraProcesses(t *testing.T) {
+	runRanks(t, 5, func(w *Comm) error {
+		cc, err := w.CreateCart([]int{2, 2}, []bool{false, false}, false)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 4 {
+			return expect(cc == nil, "rank 4 got a grid comm")
+		}
+		if err := expect(cc != nil && cc.Size() == 4, "grid %v", cc); err != nil {
+			return err
+		}
+		return cc.Barrier()
+	})
+}
+
+func TestCartSub(t *testing.T) {
+	runRanks(t, 6, func(w *Comm) error {
+		cc, err := w.CreateCart([]int{2, 3}, []bool{false, true}, false)
+		if err != nil {
+			return err
+		}
+		// Keep dimension 1: rows of 3.
+		rows, err := cc.Sub([]bool{false, true})
+		if err != nil {
+			return err
+		}
+		if err := expect(rows.Size() == 3, "row size %d", rows.Size()); err != nil {
+			return err
+		}
+		coords, err := cc.Coords(cc.Rank())
+		if err != nil {
+			return err
+		}
+		if err := expect(rows.Rank() == coords[1], "row rank %d coords %v", rows.Rank(), coords); err != nil {
+			return err
+		}
+		if err := expect(reflect.DeepEqual(rows.Dims(), []int{3}), "row dims %v", rows.Dims()); err != nil {
+			return err
+		}
+		// Row-wise reduction: every member of a row has the same coords[0].
+		sum := make([]int32, 1)
+		if err := rows.Allreduce([]int32{int32(coords[0])}, 0, sum, 0, 1, Int, SumOp); err != nil {
+			return err
+		}
+		return expect(sum[0] == int32(3*coords[0]), "row sum %d", sum[0])
+	})
+}
+
+func TestCartValidation(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		if _, err := w.CreateCart([]int{2, 2}, []bool{false}, false); err == nil {
+			return fmt.Errorf("mismatched periods accepted")
+		}
+		if _, err := w.CreateCart([]int{4}, []bool{false}, false); err == nil {
+			return fmt.Errorf("oversized grid accepted")
+		}
+		if _, err := w.CreateCart([]int{0}, []bool{false}, false); err == nil {
+			return fmt.Errorf("zero dimension accepted")
+		}
+		return nil
+	})
+}
+
+func TestGraphTopology(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		// Star: node 0 connected to 1,2,3.
+		index := []int{3, 4, 5, 6}
+		edges := []int{1, 2, 3, 0, 0, 0}
+		gc, err := w.CreateGraph(index, edges, false)
+		if err != nil {
+			return err
+		}
+		nnodes, nedges := gc.GraphDims()
+		if err := expect(nnodes == 4 && nedges == 6, "dims %d/%d", nnodes, nedges); err != nil {
+			return err
+		}
+		n0, err := gc.Neighbours(0)
+		if err != nil {
+			return err
+		}
+		if err := expect(reflect.DeepEqual(n0, []int{1, 2, 3}), "neighbours(0) %v", n0); err != nil {
+			return err
+		}
+		cnt, err := gc.NeighboursCount(2)
+		if err != nil {
+			return err
+		}
+		if err := expect(cnt == 1, "count(2) %d", cnt); err != nil {
+			return err
+		}
+		// Communicate along edges: leaves send to hub.
+		if gc.Rank() == 0 {
+			total := int32(0)
+			for i := 0; i < 3; i++ {
+				buf := make([]int32, 1)
+				if _, err := gc.Recv(buf, 0, 1, Int, AnySource, 0); err != nil {
+					return err
+				}
+				total += buf[0]
+			}
+			return expect(total == 1+2+3, "hub total %d", total)
+		}
+		return gc.Send([]int32{int32(gc.Rank())}, 0, 1, Int, 0, 0)
+	})
+}
+
+func TestGraphValidation(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		if _, err := w.CreateGraph([]int{1}, []int{5}, false); err == nil {
+			return fmt.Errorf("edge out of range accepted")
+		}
+		if _, err := w.CreateGraph([]int{2, 1}, []int{0, 1}, false); err == nil {
+			return fmt.Errorf("decreasing index accepted")
+		}
+		if _, err := w.CreateGraph([]int{1, 2}, []int{1}, false); err == nil {
+			return fmt.Errorf("index/edges mismatch accepted")
+		}
+		if _, err := w.CreateGraph(nil, nil, false); err == nil {
+			return fmt.Errorf("empty graph accepted")
+		}
+		return nil
+	})
+}
+
+func TestEnvFunctions(t *testing.T) {
+	t0 := Wtime()
+	if t0 < 0 {
+		t.Error("Wtime negative")
+	}
+	if Wtick() <= 0 {
+		t.Error("Wtick not positive")
+	}
+	if ProcessorName() == "" {
+		t.Error("empty processor name")
+	}
+}

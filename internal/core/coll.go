@@ -1,0 +1,780 @@
+package core
+
+import (
+	"fmt"
+
+	"mpj/internal/device"
+)
+
+// Internal tags for collective traffic. They live on the communicator's
+// dedicated collective context, so they can never collide with user tags
+// (which use the point-to-point context).
+const (
+	tagBarrier = iota + 1
+	tagBcast
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagReduce
+	tagAllreduce
+	tagScan
+	tagReduceScatter
+)
+
+// AllreduceAlgorithm selects the Allreduce implementation; the A1 ablation
+// benchmark compares them.
+type AllreduceAlgorithm int
+
+const (
+	// AllreduceAuto picks recursive doubling for power-of-two sizes and
+	// reduce+broadcast otherwise.
+	AllreduceAuto AllreduceAlgorithm = iota
+	// AllreduceTreeBcast always reduces to rank 0 then broadcasts.
+	AllreduceTreeBcast
+	// AllreduceRecursiveDoubling always uses recursive doubling
+	// (power-of-two communicator sizes only).
+	AllreduceRecursiveDoubling
+)
+
+// collIsend starts a raw byte send on the collective context. dst is a
+// group rank.
+func (c *Comm) collIsend(data []byte, dst, tag int) (*device.Request, error) {
+	w, err := c.worldRank(dst)
+	if err != nil {
+		return nil, err
+	}
+	return c.dev.Isend(data, w, tag, c.coll, device.ModeStandard)
+}
+
+// collIrecv posts a raw dynamic-buffer receive on the collective context.
+// src is a group rank.
+func (c *Comm) collIrecv(src, tag int) (*device.Request, error) {
+	w, err := c.worldRank(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.dev.Irecv(nil, w, tag, c.coll)
+}
+
+// collSend is the blocking collIsend.
+func (c *Comm) collSend(data []byte, dst, tag int) error {
+	r, err := c.collIsend(data, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// collRecv is the blocking collIrecv; it returns the received bytes.
+func (c *Comm) collRecv(src, tag int) ([]byte, error) {
+	r, err := c.collIrecv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.Wait(); err != nil {
+		return nil, err
+	}
+	return r.Data(), nil
+}
+
+// collExchange posts the receive, then the send, then waits for both —
+// the deadlock-safe pairwise exchange used by the butterfly algorithms.
+func (c *Comm) collExchange(data []byte, dst, src, tag int) ([]byte, error) {
+	rr, err := c.collIrecv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := c.collIsend(data, dst, tag)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return nil, err
+	}
+	if _, err := rr.Wait(); err != nil {
+		return nil, err
+	}
+	return rr.Data(), nil
+}
+
+// checkRoot validates a root rank argument.
+func (c *Comm) checkRoot(root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("%w: root %d of %d-process communicator", ErrRank, root, c.Size())
+	}
+	return nil
+}
+
+// Barrier blocks until every member of the communicator has entered it —
+// MPI_Barrier. The implementation is the dissemination algorithm:
+// ceil(log2 p) rounds of pairwise signalling.
+func (c *Comm) Barrier() error {
+	size := c.Size()
+	for k := 1; k < size; k <<= 1 {
+		dst := (c.rank + k) % size
+		src := (c.rank - k + size) % size
+		if _, err := c.collExchange(nil, dst, src, tagBarrier); err != nil {
+			return fmt.Errorf("barrier: %w", err)
+		}
+	}
+	return nil
+}
+
+// lowbit returns the lowest set bit of v (v > 0).
+func lowbit(v int) int { return v & (-v) }
+
+// pow2ceil returns the smallest power of two >= n.
+func pow2ceil(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Bcast broadcasts count elements of dt from buf at off on the root to the
+// same position on every member — MPI_Bcast. Binomial tree: latency grows
+// as ceil(log2 p).
+func (c *Comm) Bcast(buf any, off, count int, dt Datatype, root int) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	vrank := (c.rank - root + size) % size
+
+	var data []byte
+	var err error
+	lb := pow2ceil(size)
+	if vrank == 0 {
+		data, err = dt.Pack(nil, buf, off, count)
+		if err != nil {
+			return fmt.Errorf("bcast: %w", err)
+		}
+	} else {
+		lb = lowbit(vrank)
+		parent := (vrank - lb + root) % size
+		data, err = c.collRecv(parent, tagBcast)
+		if err != nil {
+			return fmt.Errorf("bcast: %w", err)
+		}
+		if _, err := dt.Unpack(data, buf, off, count); err != nil {
+			return fmt.Errorf("bcast: %w", err)
+		}
+	}
+	for m := lb >> 1; m > 0; m >>= 1 {
+		if vrank+m < size {
+			child := (vrank + m + root) % size
+			if err := c.collSend(data, child, tagBcast); err != nil {
+				return fmt.Errorf("bcast: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Gather collects scount elements of sdt from every member into rbuf on
+// the root, rank r's block landing at roff + r*rcount*extent(rdt) —
+// MPI_Gather. Fixed-size datatypes ride a binomial tree; variable-size
+// (Object) data is gathered linearly.
+func (c *Comm) Gather(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	size := c.Size()
+	myData, err := sdt.Pack(nil, sbuf, soff, scount)
+	if err != nil {
+		return fmt.Errorf("gather: %w", err)
+	}
+	if size == 1 {
+		_, err := rdt.Unpack(myData, rbuf, roff, rcount)
+		return err
+	}
+
+	if sdt.ByteSize() < 0 {
+		// Variable-size blocks: linear gather.
+		if c.rank != root {
+			return c.collSend(myData, root, tagGather)
+		}
+		for r := 0; r < size; r++ {
+			data := myData
+			if r != root {
+				if data, err = c.collRecv(r, tagGather); err != nil {
+					return fmt.Errorf("gather: %w", err)
+				}
+			}
+			if _, err := rdt.Unpack(data, rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
+				return fmt.Errorf("gather: %w", err)
+			}
+		}
+		return nil
+	}
+
+	// Binomial tree. Blocks are indexed by vrank; node v accumulates the
+	// blocks of vranks [v, v+2^k) as the mask grows.
+	bs := len(myData)
+	vrank := (c.rank - root + size) % size
+	data := myData
+	span := 1
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % size
+			if err := c.collSend(data, parent, tagGather); err != nil {
+				return fmt.Errorf("gather: %w", err)
+			}
+			return nil
+		}
+		srcV := vrank | mask
+		if srcV < size {
+			got, err := c.collRecv((srcV+root)%size, tagGather)
+			if err != nil {
+				return fmt.Errorf("gather: %w", err)
+			}
+			wantBlocks := min(srcV+mask, size) - srcV
+			if len(got) != wantBlocks*bs {
+				return fmt.Errorf("gather: %w: got %d bytes from vrank %d, want %d",
+					ErrOther, len(got), srcV, wantBlocks*bs)
+			}
+			// Grow the accumulated buffer to cover [vrank, srcV+wantBlocks).
+			need := (srcV - vrank + wantBlocks) * bs
+			for len(data) < need {
+				data = append(data, make([]byte, need-len(data))...)
+			}
+			copy(data[(srcV-vrank)*bs:], got)
+			span = srcV - vrank + wantBlocks
+		}
+	}
+
+	// Only the root reaches here, holding blocks for vranks [0, size).
+	if span != size {
+		return fmt.Errorf("gather: %w: root assembled %d of %d blocks", ErrOther, span, size)
+	}
+	for v := 0; v < size; v++ {
+		r := (v + root) % size
+		if _, err := rdt.Unpack(data[v*bs:(v+1)*bs], rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
+			return fmt.Errorf("gather: %w", err)
+		}
+	}
+	return nil
+}
+
+// Gatherv collects varying counts: rank r contributes scount elements and
+// the root places rcounts[r] elements at roff + displs[r]*extent(rdt) —
+// MPI_Gatherv. Linear algorithm.
+func (c *Comm) Gatherv(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff int, rcounts, displs []int, rdt Datatype, root int) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	size := c.Size()
+	if c.rank != root {
+		data, err := sdt.Pack(nil, sbuf, soff, scount)
+		if err != nil {
+			return fmt.Errorf("gatherv: %w", err)
+		}
+		return c.collSend(data, root, tagGather)
+	}
+	if len(rcounts) != size || len(displs) != size {
+		return fmt.Errorf("%w: gatherv needs %d rcounts/displs, got %d/%d",
+			ErrCount, size, len(rcounts), len(displs))
+	}
+	// Post all receives first, then satisfy them in any order.
+	reqs := make([]*device.Request, size)
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		var err error
+		if reqs[r], err = c.collIrecv(r, tagGather); err != nil {
+			return fmt.Errorf("gatherv: %w", err)
+		}
+	}
+	ownData, err := sdt.Pack(nil, sbuf, soff, scount)
+	if err != nil {
+		return fmt.Errorf("gatherv: %w", err)
+	}
+	for r := 0; r < size; r++ {
+		data := ownData
+		if r != root {
+			if _, err := reqs[r].Wait(); err != nil {
+				return fmt.Errorf("gatherv: %w", err)
+			}
+			data = reqs[r].Data()
+		}
+		if _, err := rdt.Unpack(data, rbuf, roff+displs[r]*rdt.Extent(), rcounts[r]); err != nil {
+			return fmt.Errorf("gatherv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Scatter distributes scount elements of sdt per rank from the root's sbuf
+// (rank r's block at soff + r*scount*extent) into every member's rbuf —
+// MPI_Scatter. Fixed-size datatypes ride a binomial tree; Object data is
+// scattered linearly.
+func (c *Comm) Scatter(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	size := c.Size()
+	if size == 1 {
+		data, err := sdt.Pack(nil, sbuf, soff, scount)
+		if err != nil {
+			return fmt.Errorf("scatter: %w", err)
+		}
+		_, err = rdt.Unpack(data, rbuf, roff, rcount)
+		return err
+	}
+
+	if sdt.ByteSize() < 0 || rdt.ByteSize() < 0 {
+		// Variable-size blocks: linear scatter.
+		if c.rank == root {
+			for r := 0; r < size; r++ {
+				data, err := sdt.Pack(nil, sbuf, soff+r*scount*sdt.Extent(), scount)
+				if err != nil {
+					return fmt.Errorf("scatter: %w", err)
+				}
+				if r == root {
+					if _, err := rdt.Unpack(data, rbuf, roff, rcount); err != nil {
+						return fmt.Errorf("scatter: %w", err)
+					}
+					continue
+				}
+				if err := c.collSend(data, r, tagScatter); err != nil {
+					return fmt.Errorf("scatter: %w", err)
+				}
+			}
+			return nil
+		}
+		data, err := c.collRecv(root, tagScatter)
+		if err != nil {
+			return fmt.Errorf("scatter: %w", err)
+		}
+		_, err = rdt.Unpack(data, rbuf, roff, rcount)
+		return err
+	}
+
+	// Binomial tree, the mirror image of Gather: data travels root-down,
+	// each node forwarding the halves of its vrank range.
+	vrank := (c.rank - root + size) % size
+	var data []byte
+	var lb int
+	if vrank == 0 {
+		lb = pow2ceil(size)
+		// Assemble blocks in vrank order.
+		for v := 0; v < size; v++ {
+			r := (v + root) % size
+			var err error
+			data, err = sdt.Pack(data, sbuf, soff+r*scount*sdt.Extent(), scount)
+			if err != nil {
+				return fmt.Errorf("scatter: %w", err)
+			}
+		}
+	} else {
+		lb = lowbit(vrank)
+		parent := (vrank - lb + root) % size
+		var err error
+		if data, err = c.collRecv(parent, tagScatter); err != nil {
+			return fmt.Errorf("scatter: %w", err)
+		}
+	}
+	myBlocks := min(lb, size-vrank) // blocks this node covers: [vrank, vrank+myBlocks)
+	bs := len(data) / myBlocks
+	for m := lb >> 1; m > 0; m >>= 1 {
+		if vrank+m < size {
+			child := (vrank + m + root) % size
+			childBlocks := min(m, size-(vrank+m))
+			sub := data[m*bs : (m+childBlocks)*bs]
+			if err := c.collSend(sub, child, tagScatter); err != nil {
+				return fmt.Errorf("scatter: %w", err)
+			}
+		}
+	}
+	if _, err := rdt.Unpack(data[:bs], rbuf, roff, rcount); err != nil {
+		return fmt.Errorf("scatter: %w", err)
+	}
+	return nil
+}
+
+// Scatterv distributes varying counts from the root: rank r receives
+// scounts[r] elements taken from soff + displs[r]*extent(sdt) —
+// MPI_Scatterv. Linear algorithm.
+func (c *Comm) Scatterv(sbuf any, soff int, scounts, displs []int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	size := c.Size()
+	if c.rank == root {
+		if len(scounts) != size || len(displs) != size {
+			return fmt.Errorf("%w: scatterv needs %d scounts/displs, got %d/%d",
+				ErrCount, size, len(scounts), len(displs))
+		}
+		for r := 0; r < size; r++ {
+			data, err := sdt.Pack(nil, sbuf, soff+displs[r]*sdt.Extent(), scounts[r])
+			if err != nil {
+				return fmt.Errorf("scatterv: %w", err)
+			}
+			if r == root {
+				if _, err := rdt.Unpack(data, rbuf, roff, rcount); err != nil {
+					return fmt.Errorf("scatterv: %w", err)
+				}
+				continue
+			}
+			if err := c.collSend(data, r, tagScatter); err != nil {
+				return fmt.Errorf("scatterv: %w", err)
+			}
+		}
+		return nil
+	}
+	data, err := c.collRecv(root, tagScatter)
+	if err != nil {
+		return fmt.Errorf("scatterv: %w", err)
+	}
+	_, err = rdt.Unpack(data, rbuf, roff, rcount)
+	return err
+}
+
+// Allgather gathers every member's block to every member — MPI_Allgather.
+// Fixed-size datatypes use the ring algorithm (p-1 steps, bandwidth
+// optimal); Object data falls back to gather+bcast.
+func (c *Comm) Allgather(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype) error {
+	size := c.Size()
+	myData, err := sdt.Pack(nil, sbuf, soff, scount)
+	if err != nil {
+		return fmt.Errorf("allgather: %w", err)
+	}
+	if size == 1 {
+		_, err := rdt.Unpack(myData, rbuf, roff, rcount)
+		return err
+	}
+	if sdt.ByteSize() < 0 {
+		if err := c.Gather(sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, 0); err != nil {
+			return err
+		}
+		return c.Bcast(rbuf, roff, size*rcount, rdt, 0)
+	}
+
+	// Ring: in step s we forward the block of rank (rank-s mod p).
+	if _, err := rdt.Unpack(myData, rbuf, roff+c.rank*rcount*rdt.Extent(), rcount); err != nil {
+		return fmt.Errorf("allgather: %w", err)
+	}
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	cur := myData
+	for s := 0; s < size-1; s++ {
+		got, err := c.collExchange(cur, right, left, tagAllgather)
+		if err != nil {
+			return fmt.Errorf("allgather: %w", err)
+		}
+		owner := (c.rank - s - 1 + size*2) % size
+		if _, err := rdt.Unpack(got, rbuf, roff+owner*rcount*rdt.Extent(), rcount); err != nil {
+			return fmt.Errorf("allgather: %w", err)
+		}
+		cur = got
+	}
+	return nil
+}
+
+// Allgatherv gathers varying counts to every member — MPI_Allgatherv,
+// implemented as Gatherv to rank 0 followed by a broadcast of the packed
+// result (counts differ per rank, so the ring bookkeeping is not worth it
+// at our scales).
+func (c *Comm) Allgatherv(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff int, rcounts, displs []int, rdt Datatype) error {
+	if err := c.Gatherv(sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt, 0); err != nil {
+		return err
+	}
+	size := c.Size()
+	if len(rcounts) != size || len(displs) != size {
+		return fmt.Errorf("%w: allgatherv needs %d rcounts/displs", ErrCount, size)
+	}
+	// Broadcast each block from its final position; a single bcast of
+	// the full span would also rebroadcast the gaps between blocks.
+	for r := 0; r < size; r++ {
+		if err := c.Bcast(rbuf, roff+displs[r]*rdt.Extent(), rcounts[r], rdt, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Alltoall exchanges a distinct scount-element block between every pair of
+// members — MPI_Alltoall. All sends and receives are posted up front and
+// completed with WaitAll.
+func (c *Comm) Alltoall(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype) error {
+	size := c.Size()
+	recvs := make([]*device.Request, size)
+	sends := make([]*device.Request, size)
+	for r := 0; r < size; r++ {
+		if r == c.rank {
+			continue
+		}
+		var err error
+		if recvs[r], err = c.collIrecv(r, tagAlltoall); err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+	}
+	for r := 0; r < size; r++ {
+		data, err := sdt.Pack(nil, sbuf, soff+r*scount*sdt.Extent(), scount)
+		if err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+		if r == c.rank {
+			if _, err := rdt.Unpack(data, rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
+				return fmt.Errorf("alltoall: %w", err)
+			}
+			continue
+		}
+		if sends[r], err = c.collIsend(data, r, tagAlltoall); err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+	}
+	for r := 0; r < size; r++ {
+		if r == c.rank {
+			continue
+		}
+		if _, err := sends[r].Wait(); err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+		if _, err := recvs[r].Wait(); err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+		if _, err := rdt.Unpack(recvs[r].Data(), rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+	}
+	return nil
+}
+
+// Alltoallv exchanges varying counts between every pair — MPI_Alltoallv.
+func (c *Comm) Alltoallv(sbuf any, soff int, scounts, sdispls []int, sdt Datatype,
+	rbuf any, roff int, rcounts, rdispls []int, rdt Datatype) error {
+	size := c.Size()
+	if len(scounts) != size || len(sdispls) != size || len(rcounts) != size || len(rdispls) != size {
+		return fmt.Errorf("%w: alltoallv count/displacement slices must have length %d", ErrCount, size)
+	}
+	recvs := make([]*device.Request, size)
+	sends := make([]*device.Request, size)
+	for r := 0; r < size; r++ {
+		if r == c.rank {
+			continue
+		}
+		var err error
+		if recvs[r], err = c.collIrecv(r, tagAlltoall); err != nil {
+			return fmt.Errorf("alltoallv: %w", err)
+		}
+	}
+	for r := 0; r < size; r++ {
+		data, err := sdt.Pack(nil, sbuf, soff+sdispls[r]*sdt.Extent(), scounts[r])
+		if err != nil {
+			return fmt.Errorf("alltoallv: %w", err)
+		}
+		if r == c.rank {
+			if _, err := rdt.Unpack(data, rbuf, roff+rdispls[r]*rdt.Extent(), rcounts[r]); err != nil {
+				return fmt.Errorf("alltoallv: %w", err)
+			}
+			continue
+		}
+		if sends[r], err = c.collIsend(data, r, tagAlltoall); err != nil {
+			return fmt.Errorf("alltoallv: %w", err)
+		}
+	}
+	for r := 0; r < size; r++ {
+		if r == c.rank {
+			continue
+		}
+		if _, err := sends[r].Wait(); err != nil {
+			return fmt.Errorf("alltoallv: %w", err)
+		}
+		if _, err := recvs[r].Wait(); err != nil {
+			return fmt.Errorf("alltoallv: %w", err)
+		}
+		if _, err := rdt.Unpack(recvs[r].Data(), rbuf, roff+rdispls[r]*rdt.Extent(), rcounts[r]); err != nil {
+			return fmt.Errorf("alltoallv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Reduce combines count elements of dt from every member's sbuf with op,
+// leaving the result in the root's rbuf — MPI_Reduce. Binomial tree; ops
+// are assumed commutative and associative, as for predefined MPI ops.
+func (c *Comm) Reduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op, root int) error {
+	if err := c.checkRoot(root); err != nil {
+		return err
+	}
+	comb, err := op.combinerFor(dt)
+	if err != nil {
+		return err
+	}
+	data, err := dt.Pack(nil, sbuf, soff, count)
+	if err != nil {
+		return fmt.Errorf("reduce: %w", err)
+	}
+	size := c.Size()
+	vrank := (c.rank - root + size) % size
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % size
+			if err := c.collSend(data, parent, tagReduce); err != nil {
+				return fmt.Errorf("reduce: %w", err)
+			}
+			return nil
+		}
+		srcV := vrank | mask
+		if srcV < size {
+			got, err := c.collRecv((srcV+root)%size, tagReduce)
+			if err != nil {
+				return fmt.Errorf("reduce: %w", err)
+			}
+			if err := comb(got, data); err != nil {
+				return fmt.Errorf("reduce: %w", err)
+			}
+		}
+	}
+	// Root.
+	if _, err := dt.Unpack(data, rbuf, roff, count); err != nil {
+		return fmt.Errorf("reduce: %w", err)
+	}
+	return nil
+}
+
+// Allreduce combines every member's data and leaves the result on all
+// members — MPI_Allreduce. Power-of-two sizes use recursive doubling;
+// other sizes reduce to rank 0 and broadcast. AllreduceWith selects the
+// algorithm explicitly.
+func (c *Comm) Allreduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) error {
+	alg := AllreduceTreeBcast
+	if size := c.Size(); size&(size-1) == 0 {
+		alg = AllreduceRecursiveDoubling
+	}
+	return c.AllreduceWith(alg, sbuf, soff, rbuf, roff, count, dt, op)
+}
+
+// AllreduceWith runs Allreduce with an explicit algorithm choice; the A1
+// ablation benchmark compares them.
+func (c *Comm) AllreduceWith(alg AllreduceAlgorithm, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) error {
+	size := c.Size()
+	switch alg {
+	case AllreduceAuto:
+		return c.Allreduce(sbuf, soff, rbuf, roff, count, dt, op)
+	case AllreduceRecursiveDoubling:
+		if size&(size-1) != 0 {
+			return fmt.Errorf("%w: recursive doubling requires power-of-two size, have %d", ErrComm, size)
+		}
+		comb, err := op.combinerFor(dt)
+		if err != nil {
+			return err
+		}
+		data, err := dt.Pack(nil, sbuf, soff, count)
+		if err != nil {
+			return fmt.Errorf("allreduce: %w", err)
+		}
+		for mask := 1; mask < size; mask <<= 1 {
+			partner := c.rank ^ mask
+			got, err := c.collExchange(data, partner, partner, tagAllreduce)
+			if err != nil {
+				return fmt.Errorf("allreduce: %w", err)
+			}
+			if err := comb(got, data); err != nil {
+				return fmt.Errorf("allreduce: %w", err)
+			}
+		}
+		if _, err := dt.Unpack(data, rbuf, roff, count); err != nil {
+			return fmt.Errorf("allreduce: %w", err)
+		}
+		return nil
+	case AllreduceTreeBcast:
+		if err := c.Reduce(sbuf, soff, rbuf, roff, count, dt, op, 0); err != nil {
+			return err
+		}
+		return c.Bcast(rbuf, roff, count, dt, 0)
+	default:
+		return fmt.Errorf("%w: unknown allreduce algorithm %d", ErrOther, alg)
+	}
+}
+
+// ReduceScatter combines every member's data and scatters the result:
+// rank r receives rcounts[r] elements of the combined vector —
+// MPI_Reduce_scatter. Implemented as Reduce to rank 0 plus Scatterv.
+func (c *Comm) ReduceScatter(sbuf any, soff int, rbuf any, roff int, rcounts []int, dt Datatype, op *Op) error {
+	size := c.Size()
+	if len(rcounts) != size {
+		return fmt.Errorf("%w: reduce-scatter needs %d rcounts, got %d", ErrCount, size, len(rcounts))
+	}
+	total := 0
+	displs := make([]int, size)
+	for i, n := range rcounts {
+		if n < 0 {
+			return fmt.Errorf("%w: negative rcount %d", ErrCount, n)
+		}
+		displs[i] = total
+		total += n
+	}
+	var full any
+	if c.rank == 0 {
+		full = dt.Alloc(total)
+	}
+	if err := c.Reduce(sbuf, soff, full, 0, total, dt, op, 0); err != nil {
+		return err
+	}
+	return c.Scatterv(full, 0, rcounts, displs, dt, rbuf, roff, rcounts[c.rank], dt, 0)
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives the
+// combination of the contributions from ranks 0..r — MPI_Scan.
+// Simultaneous binomial algorithm, ceil(log2 p) rounds.
+func (c *Comm) Scan(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) error {
+	comb, err := op.combinerFor(dt)
+	if err != nil {
+		return err
+	}
+	result, err := dt.Pack(nil, sbuf, soff, count)
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	partial := append([]byte(nil), result...)
+	size := c.Size()
+	for mask := 1; mask < size; mask <<= 1 {
+		dst := c.rank + mask
+		src := c.rank - mask
+		var sr *device.Request
+		if dst < size {
+			if sr, err = c.collIsend(partial, dst, tagScan); err != nil {
+				return fmt.Errorf("scan: %w", err)
+			}
+		}
+		if src >= 0 {
+			got, err := c.collRecv(src, tagScan)
+			if err != nil {
+				return fmt.Errorf("scan: %w", err)
+			}
+			// Everything received comes from lower ranks: fold it into
+			// both the running result and the partial we forward.
+			if err := comb(got, result); err != nil {
+				return fmt.Errorf("scan: %w", err)
+			}
+			if err := comb(got, partial); err != nil {
+				return fmt.Errorf("scan: %w", err)
+			}
+		}
+		if sr != nil {
+			if _, err := sr.Wait(); err != nil {
+				return fmt.Errorf("scan: %w", err)
+			}
+		}
+	}
+	if _, err := dt.Unpack(result, rbuf, roff, count); err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpj/internal/device"
+)
+
+// procState is the per-process state shared by all communicators derived
+// from one world: the context id allocator and the buffered-send pool.
+type procState struct {
+	dev *device.Device
+
+	mu      sync.Mutex
+	nextCtx int
+	bsend   *bsendPool
+
+	abort func(code int) // installed by the runtime; see SetAbortHandler
+}
+
+// Comm is an intra-communicator: a group of processes plus a private
+// communication context — the central MPJ object. Each communicator owns
+// two device contexts, one for point-to-point traffic and one for
+// collectives, so user messages can never be intercepted by collective
+// internals.
+//
+// All collective operations must be called by every member of the
+// communicator, in the same order; a communicator must not be used by
+// multiple goroutines concurrently for collectives (matching MPI's rules).
+type Comm struct {
+	dev   *device.Device
+	proc  *procState
+	group *Group
+	rank  int // this process's rank within group
+	pt2pt int // device context for point-to-point
+	coll  int // device context for collectives
+
+	topo any // *CartInfo or *GraphInfo when the comm carries a topology
+}
+
+// NewWorld builds the world communicator over an opened device, taking
+// the place of MPI_Init: ranks and job size come from the device's
+// transport, and contexts 0/1 are reserved for the world.
+func NewWorld(dev *device.Device) (*Comm, error) {
+	ranks := make([]int, dev.Size())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	g, err := NewGroup(ranks)
+	if err != nil {
+		return nil, err
+	}
+	proc := &procState{dev: dev, nextCtx: 2, bsend: &bsendPool{}}
+	return &Comm{
+		dev:   dev,
+		proc:  proc,
+		group: g,
+		rank:  dev.Rank(),
+		pt2pt: 0,
+		coll:  1,
+	}, nil
+}
+
+// Rank returns the calling process's rank in this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of processes in this communicator.
+func (c *Comm) Size() int { return c.group.Size() }
+
+// Group returns the communicator's process group.
+func (c *Comm) Group() *Group { return c.group }
+
+// Device exposes the underlying device (used by the runtime and
+// benchmarks; applications should not need it).
+func (c *Comm) Device() *device.Device { return c.dev }
+
+// SetAbortHandler installs the whole-job abort hook used by Abort. The
+// runtime installs a handler that fans the abort out through the daemon
+// layer; without one, Abort simply closes the local device.
+func (c *Comm) SetAbortHandler(f func(code int)) {
+	c.proc.mu.Lock()
+	defer c.proc.mu.Unlock()
+	c.proc.abort = f
+}
+
+// Abort terminates the parallel job, the MPJ equivalent of MPI_Abort. In
+// the distributed runtime this raises an MPJAbort event that destroys
+// every slave of the job.
+func (c *Comm) Abort(code int) {
+	c.proc.mu.Lock()
+	f := c.proc.abort
+	c.proc.mu.Unlock()
+	if f != nil {
+		f(code)
+		return
+	}
+	c.dev.Close()
+}
+
+// worldRank translates a group rank to an absolute device rank.
+func (c *Comm) worldRank(rank int) (int, error) {
+	w := c.group.WorldRank(rank)
+	if w == Undefined {
+		return 0, fmt.Errorf("%w: rank %d of %d-process communicator", ErrRank, rank, c.Size())
+	}
+	return w, nil
+}
+
+// groupSource translates an absolute device rank in a status back to a
+// group rank.
+func (c *Comm) groupSource(world int) int { return c.group.Rank(world) }
+
+// Compare compares two communicators: Ident if they are the same object,
+// Congruent for equal groups with different contexts, Similar/Unequal per
+// group comparison — MPI_Comm_compare.
+func (c *Comm) Compare(other *Comm) int {
+	if c == other {
+		return Ident
+	}
+	switch c.group.Compare(other.group) {
+	case Ident:
+		if c.pt2pt == other.pt2pt {
+			return Ident
+		}
+		return Congruent
+	case Similar:
+		return Similar
+	default:
+		return Unequal
+	}
+}
+
+// allocContextPair agrees on a fresh (pt2pt, coll) context pair across all
+// members of c. It is collective: an allreduce(MAX) over the members makes
+// every process pick the same pair even if their local counters diverged.
+func (c *Comm) allocContextPair() (int, int, error) {
+	c.proc.mu.Lock()
+	local := c.proc.nextCtx
+	c.proc.mu.Unlock()
+
+	in := []int{local}
+	out := []int{0}
+	if err := c.Allreduce(in, 0, out, 0, 1, GoInt, MaxOp); err != nil {
+		return 0, 0, err
+	}
+	agreed := out[0]
+
+	c.proc.mu.Lock()
+	if agreed+2 > c.proc.nextCtx {
+		c.proc.nextCtx = agreed + 2
+	}
+	c.proc.mu.Unlock()
+	return agreed, agreed + 1, nil
+}
+
+// Dup duplicates the communicator with the same group but fresh contexts,
+// so libraries can isolate their traffic — MPI_Comm_dup. Collective.
+func (c *Comm) Dup() (*Comm, error) {
+	p2p, coll, err := c.allocContextPair()
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{
+		dev: c.dev, proc: c.proc, group: c.group,
+		rank: c.rank, pt2pt: p2p, coll: coll,
+	}, nil
+}
+
+// Create builds a communicator over a subgroup of c — MPI_Comm_create.
+// Collective over c: every member must call it with the same group;
+// processes outside the group receive nil.
+func (c *Comm) Create(g *Group) (*Comm, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil group", ErrGroup)
+	}
+	p2p, coll, err := c.allocContextPair()
+	if err != nil {
+		return nil, err
+	}
+	myWorld := c.group.WorldRank(c.rank)
+	newRank := g.Rank(myWorld)
+	if newRank == Undefined {
+		return nil, nil
+	}
+	return &Comm{
+		dev: c.dev, proc: c.proc, group: g,
+		rank: newRank, pt2pt: p2p, coll: coll,
+	}, nil
+}
+
+// Split partitions the communicator by color, ordering each new
+// communicator by key (ties by old rank) — MPI_Comm_split. Collective.
+// A process passing color Undefined receives nil.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	size := c.Size()
+	// Exchange (color, key) with everyone.
+	mine := []int32{int32(color), int32(key)}
+	all := make([]int32, 2*size)
+	if err := c.Allgather(mine, 0, 2, Int, all, 0, 2, Int); err != nil {
+		return nil, err
+	}
+
+	p2p, coll, err := c.allocContextPair()
+	if err != nil {
+		return nil, err
+	}
+	if color == Undefined {
+		return nil, nil
+	}
+
+	type member struct{ key, oldRank int }
+	var members []member
+	for r := 0; r < size; r++ {
+		if int(all[2*r]) == color {
+			members = append(members, member{key: int(all[2*r+1]), oldRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].oldRank < members[j].oldRank
+	})
+	worldRanks := make([]int, len(members))
+	newRank := Undefined
+	for i, m := range members {
+		worldRanks[i] = c.group.WorldRank(m.oldRank)
+		if m.oldRank == c.rank {
+			newRank = i
+		}
+	}
+	g, err := NewGroup(worldRanks)
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{
+		dev: c.dev, proc: c.proc, group: g,
+		rank: newRank, pt2pt: p2p, coll: coll,
+	}, nil
+}
+
+// Free releases the communicator. Contexts are not recycled (the id space
+// is effectively unbounded), so this is bookkeeping only, kept for MPJ API
+// fidelity.
+func (c *Comm) Free() {}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mpj/internal/serialize"
+)
+
+// Datatype describes how elements of a user buffer are converted to and
+// from the byte vectors the device level moves (the paper keeps "all
+// handling of user-buffer datatypes outside the device level").
+//
+// A buffer is a Go slice of the datatype's base element type (e.g. []int32
+// for Int). Derived datatypes (Contiguous, Vector, Indexed) describe
+// patterns over the same base slice; one derived element spans Extent base
+// slots of which only the pattern's slots are transmitted.
+type Datatype interface {
+	// Name returns the MPJ name of the type (e.g. "MPJ.INT").
+	Name() string
+	// ByteSize returns the packed size in bytes of one element, or -1
+	// if elements have variable size (Object).
+	ByteSize() int
+	// Extent returns how many base-buffer slots one element spans.
+	// Base types have extent 1.
+	Extent() int
+	// Base returns the underlying base datatype (itself for base types).
+	Base() Datatype
+	// Pack appends count elements of buf starting at slot off to dst
+	// and returns the extended slice.
+	Pack(dst []byte, buf any, off, count int) ([]byte, error)
+	// Unpack decodes up to count elements from data into buf starting
+	// at slot off. It returns the number of elements decoded.
+	Unpack(data []byte, buf any, off, count int) (int, error)
+	// Alloc allocates a buffer holding n elements of this type
+	// (n*Extent base slots), for internal scratch use.
+	Alloc(n int) any
+}
+
+// baseType implements Datatype for a fixed-width primitive element T.
+type baseType[T any] struct {
+	name string
+	size int
+	enc  func(dst []byte, v T)
+	dec  func(src []byte) T
+}
+
+func (b *baseType[T]) Name() string   { return b.name }
+func (b *baseType[T]) ByteSize() int  { return b.size }
+func (b *baseType[T]) Extent() int    { return 1 }
+func (b *baseType[T]) Base() Datatype { return b }
+
+func (b *baseType[T]) slice(buf any) ([]T, error) {
+	s, ok := buf.([]T)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s expects %T, got %T", ErrBuffer, b.name, []T(nil), buf)
+	}
+	return s, nil
+}
+
+func (b *baseType[T]) Pack(dst []byte, buf any, off, count int) ([]byte, error) {
+	s, err := b.slice(buf)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || count < 0 || off+count > len(s) {
+		return nil, fmt.Errorf("%w: [%d:%d] of %d-element %s buffer", ErrCount, off, off+count, len(s), b.name)
+	}
+	// Byte buffers have an identity encoding: marshal with one copy
+	// instead of a call per element (the pure-Go answer to the paper's
+	// remark that array marshalling is the pain point of pure-Java MPI).
+	if bs, ok := any(s).([]byte); ok {
+		return append(dst, bs[off:off+count]...), nil
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, count*b.size)...)
+	for i := 0; i < count; i++ {
+		b.enc(dst[base+i*b.size:], s[off+i])
+	}
+	return dst, nil
+}
+
+func (b *baseType[T]) Unpack(data []byte, buf any, off, count int) (int, error) {
+	s, err := b.slice(buf)
+	if err != nil {
+		return 0, err
+	}
+	n := len(data) / b.size
+	if n > count {
+		n = count
+	}
+	if off < 0 || off+n > len(s) {
+		return 0, fmt.Errorf("%w: unpack [%d:%d] of %d-element %s buffer", ErrCount, off, off+n, len(s), b.name)
+	}
+	if bs, ok := any(s).([]byte); ok {
+		copy(bs[off:off+n], data[:n])
+		return n, nil
+	}
+	for i := 0; i < n; i++ {
+		s[off+i] = b.dec(data[i*b.size:])
+	}
+	return n, nil
+}
+
+func (b *baseType[T]) Alloc(n int) any { return make([]T, n) }
+
+// The MPJ base datatypes. Names follow the MPJ draft API (MPJ.INT etc.);
+// Go slice element types are noted per constant.
+var (
+	// Byte moves []byte. It has an identity encoding and is the type
+	// the device level itself works in.
+	Byte Datatype = &baseType[byte]{
+		name: "MPJ.BYTE", size: 1,
+		enc: func(d []byte, v byte) { d[0] = v },
+		dec: func(s []byte) byte { return s[0] },
+	}
+	// Boolean moves []bool.
+	Boolean Datatype = &baseType[bool]{
+		name: "MPJ.BOOLEAN", size: 1,
+		enc: func(d []byte, v bool) {
+			if v {
+				d[0] = 1
+			} else {
+				d[0] = 0
+			}
+		},
+		dec: func(s []byte) bool { return s[0] != 0 },
+	}
+	// Char moves []rune (Java char is 16-bit; Go runes are code points,
+	// encoded in 4 bytes to stay lossless).
+	Char Datatype = &baseType[rune]{
+		name: "MPJ.CHAR", size: 4,
+		enc: func(d []byte, v rune) { binary.LittleEndian.PutUint32(d, uint32(v)) },
+		dec: func(s []byte) rune { return rune(binary.LittleEndian.Uint32(s)) },
+	}
+	// Short moves []int16.
+	Short Datatype = &baseType[int16]{
+		name: "MPJ.SHORT", size: 2,
+		enc: func(d []byte, v int16) { binary.LittleEndian.PutUint16(d, uint16(v)) },
+		dec: func(s []byte) int16 { return int16(binary.LittleEndian.Uint16(s)) },
+	}
+	// Int moves []int32.
+	Int Datatype = &baseType[int32]{
+		name: "MPJ.INT", size: 4,
+		enc: func(d []byte, v int32) { binary.LittleEndian.PutUint32(d, uint32(v)) },
+		dec: func(s []byte) int32 { return int32(binary.LittleEndian.Uint32(s)) },
+	}
+	// Long moves []int64.
+	Long Datatype = &baseType[int64]{
+		name: "MPJ.LONG", size: 8,
+		enc: func(d []byte, v int64) { binary.LittleEndian.PutUint64(d, uint64(v)) },
+		dec: func(s []byte) int64 { return int64(binary.LittleEndian.Uint64(s)) },
+	}
+	// GoInt moves []int, a convenience beyond the Java API surface.
+	GoInt Datatype = &baseType[int]{
+		name: "MPJ.GOINT", size: 8,
+		enc: func(d []byte, v int) { binary.LittleEndian.PutUint64(d, uint64(v)) },
+		dec: func(s []byte) int { return int(binary.LittleEndian.Uint64(s)) },
+	}
+	// Float moves []float32.
+	Float Datatype = &baseType[float32]{
+		name: "MPJ.FLOAT", size: 4,
+		enc: func(d []byte, v float32) { binary.LittleEndian.PutUint32(d, math.Float32bits(v)) },
+		dec: func(s []byte) float32 { return math.Float32frombits(binary.LittleEndian.Uint32(s)) },
+	}
+	// Double moves []float64.
+	Double Datatype = &baseType[float64]{
+		name: "MPJ.DOUBLE", size: 8,
+		enc: func(d []byte, v float64) { binary.LittleEndian.PutUint64(d, math.Float64bits(v)) },
+		dec: func(s []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(s)) },
+	}
+)
+
+// DoubleInt is the element of the DoubleInt2 pair type used by MaxLoc and
+// MinLoc reductions: a value with the rank (or index) it came from.
+type DoubleInt struct {
+	Value float64
+	Index int32
+}
+
+// IntInt is the element of the IntInt2 pair type for MaxLoc/MinLoc on
+// integer data.
+type IntInt struct {
+	Value int32
+	Index int32
+}
+
+// FloatInt is the element of the FloatInt2 pair type for MaxLoc/MinLoc on
+// float32 data.
+type FloatInt struct {
+	Value float32
+	Index int32
+}
+
+// Pair datatypes for MaxLoc/MinLoc reductions (MPI's DOUBLE_INT family).
+var (
+	// DoubleInt2 moves []DoubleInt.
+	DoubleInt2 Datatype = &baseType[DoubleInt]{
+		name: "MPJ.DOUBLE_INT", size: 12,
+		enc: func(d []byte, v DoubleInt) {
+			binary.LittleEndian.PutUint64(d, math.Float64bits(v.Value))
+			binary.LittleEndian.PutUint32(d[8:], uint32(v.Index))
+		},
+		dec: func(s []byte) DoubleInt {
+			return DoubleInt{
+				Value: math.Float64frombits(binary.LittleEndian.Uint64(s)),
+				Index: int32(binary.LittleEndian.Uint32(s[8:])),
+			}
+		},
+	}
+	// IntInt2 moves []IntInt.
+	IntInt2 Datatype = &baseType[IntInt]{
+		name: "MPJ.INT_INT", size: 8,
+		enc: func(d []byte, v IntInt) {
+			binary.LittleEndian.PutUint32(d, uint32(v.Value))
+			binary.LittleEndian.PutUint32(d[4:], uint32(v.Index))
+		},
+		dec: func(s []byte) IntInt {
+			return IntInt{
+				Value: int32(binary.LittleEndian.Uint32(s)),
+				Index: int32(binary.LittleEndian.Uint32(s[4:])),
+			}
+		},
+	}
+	// FloatInt2 moves []FloatInt.
+	FloatInt2 Datatype = &baseType[FloatInt]{
+		name: "MPJ.FLOAT_INT", size: 8,
+		enc: func(d []byte, v FloatInt) {
+			binary.LittleEndian.PutUint32(d, math.Float32bits(v.Value))
+			binary.LittleEndian.PutUint32(d[4:], uint32(v.Index))
+		},
+		dec: func(s []byte) FloatInt {
+			return FloatInt{
+				Value: math.Float32frombits(binary.LittleEndian.Uint32(s)),
+				Index: int32(binary.LittleEndian.Uint32(s[4:])),
+			}
+		},
+	}
+)
+
+// objectType implements the MPJ.OBJECT datatype over []any buffers via gob
+// serialization — the Go analogue of the paper's "direct communication of
+// objects via object serialization".
+type objectType struct{}
+
+// Object moves []any; element values must be gob-registered (RegisterType).
+var Object Datatype = objectType{}
+
+func (objectType) Name() string     { return "MPJ.OBJECT" }
+func (objectType) ByteSize() int    { return -1 }
+func (objectType) Extent() int      { return 1 }
+func (o objectType) Base() Datatype { return o }
+
+func (objectType) Pack(dst []byte, buf any, off, count int) ([]byte, error) {
+	s, ok := buf.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%w: MPJ.OBJECT expects []any, got %T", ErrBuffer, buf)
+	}
+	if off < 0 || count < 0 || off+count > len(s) {
+		return nil, fmt.Errorf("%w: [%d:%d] of %d-element object buffer", ErrCount, off, off+count, len(s))
+	}
+	data, err := serialize.EncodeObjects(s[off : off+count])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrType, err)
+	}
+	return append(dst, data...), nil
+}
+
+func (objectType) Unpack(data []byte, buf any, off, count int) (int, error) {
+	s, ok := buf.([]any)
+	if !ok {
+		return 0, fmt.Errorf("%w: MPJ.OBJECT expects []any, got %T", ErrBuffer, buf)
+	}
+	elems, err := serialize.DecodeObjects(data)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrType, err)
+	}
+	n := len(elems)
+	if n > count {
+		n = count
+	}
+	if off < 0 || off+n > len(s) {
+		return 0, fmt.Errorf("%w: unpack [%d:%d] of %d-element object buffer", ErrCount, off, off+n, len(s))
+	}
+	copy(s[off:off+n], elems[:n])
+	return n, nil
+}
+
+func (objectType) Alloc(n int) any { return make([]any, n) }
+
+// RegisterType records a concrete Go type for transmission inside OBJECT
+// buffers, the analogue of marking a Java class Serializable.
+func RegisterType(v any) { serialize.Register(v) }

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseTypeRoundTrips(t *testing.T) {
+	cases := []struct {
+		dt  Datatype
+		buf any
+		mk  func(n int) any
+	}{
+		{Byte, []byte{0, 1, 127, 255}, nil},
+		{Boolean, []bool{true, false, true}, nil},
+		{Char, []rune{'a', '日', 0x10FFFF}, nil},
+		{Short, []int16{-32768, 0, 32767}, nil},
+		{Int, []int32{-1 << 31, -7, 0, 1<<31 - 1}, nil},
+		{Long, []int64{-1 << 63, 0, 1<<63 - 1}, nil},
+		{GoInt, []int{-99, 0, 42}, nil},
+		{Float, []float32{-1.5, 0, float32(math.Inf(1)), 3.25}, nil},
+		{Double, []float64{-math.MaxFloat64, 0, math.Pi}, nil},
+		{DoubleInt2, []DoubleInt{{1.5, 3}, {-2, 0}}, nil},
+		{IntInt2, []IntInt{{5, 1}, {-5, 2}}, nil},
+		{FloatInt2, []FloatInt{{2.5, 7}}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dt.Name(), func(t *testing.T) {
+			n := reflect.ValueOf(tc.buf).Len()
+			packed, err := tc.dt.Pack(nil, tc.buf, 0, n)
+			if err != nil {
+				t.Fatalf("Pack: %v", err)
+			}
+			if want := n * tc.dt.ByteSize(); len(packed) != want {
+				t.Errorf("packed %d bytes, want %d", len(packed), want)
+			}
+			out := tc.dt.Alloc(n)
+			got, err := tc.dt.Unpack(packed, out, 0, n)
+			if err != nil {
+				t.Fatalf("Unpack: %v", err)
+			}
+			if got != n {
+				t.Errorf("unpacked %d elements, want %d", got, n)
+			}
+			if !reflect.DeepEqual(out, tc.buf) {
+				t.Errorf("round trip: got %v, want %v", out, tc.buf)
+			}
+		})
+	}
+}
+
+func TestPackOffsets(t *testing.T) {
+	buf := []int32{10, 20, 30, 40, 50}
+	packed, err := Int.Pack(nil, buf, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, 5)
+	if _, err := Int.Unpack(packed, out, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 0, 20, 30, 40}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("got %v, want %v", out, want)
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	if _, err := Int.Pack(nil, []int64{1}, 0, 1); err == nil {
+		t.Error("Pack accepted wrong slice type")
+	}
+	if _, err := Int.Pack(nil, []int32{1}, 0, 2); err == nil {
+		t.Error("Pack accepted count beyond buffer")
+	}
+	if _, err := Int.Pack(nil, []int32{1}, -1, 1); err == nil {
+		t.Error("Pack accepted negative offset")
+	}
+	if _, err := Int.Unpack(make([]byte, 8), []int32{1}, 0, 2); err == nil {
+		t.Error("Unpack accepted overflow past buffer end")
+	}
+}
+
+func TestUnpackPartialData(t *testing.T) {
+	// Fewer bytes than count elements: unpack decodes what is there.
+	packed, err := Int.Pack(nil, []int32{1, 2}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, 5)
+	n, err := Int.Unpack(packed, out, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || out[0] != 1 || out[1] != 2 {
+		t.Errorf("n=%d out=%v", n, out)
+	}
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	RegisterType(DoubleInt{})
+	in := []any{1, "two", 3.0, DoubleInt{Value: 4, Index: 5}}
+	packed, err := Object.Pack(nil, in, 0, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]any, len(in))
+	n, err := Object.Unpack(packed, out, 0, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(in) || !reflect.DeepEqual(in, out) {
+		t.Errorf("n=%d out=%v", n, out)
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	dt, err := Contiguous(3, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Extent() != 3 || dt.ByteSize() != 12 {
+		t.Errorf("extent=%d bytesize=%d", dt.Extent(), dt.ByteSize())
+	}
+	buf := []int32{1, 2, 3, 4, 5, 6}
+	packed, err := dt.Pack(nil, buf, 0, 2) // two 3-element groups
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, 6)
+	if _, err := dt.Unpack(packed, out, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, buf) {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestVectorExtractsColumn(t *testing.T) {
+	// A 4x4 row-major matrix; Vector(4,1,4) describes one column.
+	matrix := make([]float64, 16)
+	for i := range matrix {
+		matrix[i] = float64(i)
+	}
+	col, err := Vector(4, 1, 4, Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.ByteSize() != 4*8 {
+		t.Errorf("column packs %d bytes, want 32", col.ByteSize())
+	}
+	// Column 1: elements 1, 5, 9, 13.
+	packed, err := col.Pack(nil, matrix, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 4)
+	if _, err := Double.Unpack(packed, got, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 5, 9, 13}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("column = %v, want %v", got, want)
+	}
+	// Scatter the column back into a fresh matrix.
+	fresh := make([]float64, 16)
+	if _, err := col.Unpack(packed, fresh, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fresh {
+		wantV := 0.0
+		if i%4 == 1 {
+			wantV = float64(i)
+		}
+		if v != wantV {
+			t.Errorf("fresh[%d] = %v, want %v", i, v, wantV)
+		}
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	dt, err := Indexed([]int{2, 1}, []int{0, 3}, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Extent() != 4 {
+		t.Errorf("extent = %d, want 4", dt.Extent())
+	}
+	buf := []int32{10, 11, 12, 13, 20, 21, 22, 23}
+	packed, err := dt.Pack(nil, buf, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect elements 0,1,3 of each extent-4 block.
+	got := make([]int32, 6)
+	if _, err := Int.Unpack(packed, got, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{10, 11, 13, 20, 21, 23}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNestedDerived(t *testing.T) {
+	// Contiguous(2) of Vector(2,1,2): the vector selects slots {0,2} and
+	// has MPI extent (count-1)*stride + blocklen = 3, so the second
+	// pattern starts at slot 3 → slots 0,2,3,5 (matching MPI semantics).
+	vec, err := Vector(2, 1, 2, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Extent() != 3 {
+		t.Fatalf("vector extent = %d, want 3", vec.Extent())
+	}
+	dt, err := Contiguous(2, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	packed, err := dt.Pack(nil, buf, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int32, 4)
+	if _, err := Int.Unpack(packed, got, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 2, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDerivedConstructorsValidate(t *testing.T) {
+	if _, err := Contiguous(0, Int); err == nil {
+		t.Error("Contiguous(0) accepted")
+	}
+	if _, err := Vector(2, 1, 0, Int); err == nil {
+		t.Error("Vector with zero stride accepted")
+	}
+	if _, err := Vector(2, 1, -1, Int); err == nil {
+		t.Error("Vector with negative stride accepted")
+	}
+	if _, err := Indexed([]int{1}, []int{0, 1}, Int); err == nil {
+		t.Error("Indexed with mismatched slices accepted")
+	}
+	if _, err := Indexed([]int{1, 1}, []int{3, 0}, Int); err == nil {
+		t.Error("Indexed with descending displacements accepted")
+	}
+	if _, err := Contiguous(2, Object); err == nil {
+		t.Error("derived type over OBJECT accepted")
+	}
+}
+
+func TestRunMergingInNormalize(t *testing.T) {
+	// Vector(2, 2, 2): blocks {0,1} and {2,3} are adjacent and must
+	// merge into a single 4-slot run.
+	dt, err := Vector(2, 2, 2, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dt.(*derivedType)
+	if len(d.runs) != 1 || d.runs[0] != (run{disp: 0, len: 4}) {
+		t.Errorf("runs = %+v, want single merged run", d.runs)
+	}
+}
+
+func TestDoubleRoundTripProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		packed, err := Double.Pack(nil, xs, 0, len(xs))
+		if err != nil {
+			return false
+		}
+		out := make([]float64, len(xs))
+		n, err := Double.Unpack(packed, out, 0, len(xs))
+		if err != nil || n != len(xs) {
+			return false
+		}
+		for i := range xs {
+			// NaN-safe comparison via bit patterns.
+			if math.Float64bits(xs[i]) != math.Float64bits(out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt32RoundTripProperty(t *testing.T) {
+	f := func(xs []int32) bool {
+		packed, err := Int.Pack(nil, xs, 0, len(xs))
+		if err != nil {
+			return false
+		}
+		out := make([]int32, len(xs))
+		n, err := Int.Unpack(packed, out, 0, len(xs))
+		return err == nil && n == len(xs) && reflect.DeepEqual(out, xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackSizeAndHelpers(t *testing.T) {
+	if got := PackSize(10, Int); got != 40 {
+		t.Errorf("PackSize(10, Int) = %d", got)
+	}
+	if got := PackSize(10, Object); got != Undefined {
+		t.Errorf("PackSize(10, Object) = %d, want Undefined", got)
+	}
+	data, err := Pack(nil, []int32{1, 2}, 0, 2, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, 2)
+	if n, err := Unpack(data, out, 0, 2, Int); err != nil || n != 2 {
+		t.Errorf("Unpack: n=%d err=%v", n, err)
+	}
+}

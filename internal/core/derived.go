@@ -1,0 +1,208 @@
+package core
+
+import "fmt"
+
+// run is a contiguous stretch of base-buffer slots inside one derived
+// element: len slots starting disp slots from the element's origin.
+type run struct {
+	disp int
+	len  int
+}
+
+// derivedType is a pattern of base-buffer slots: the MPJ derived datatypes
+// (Contiguous, Vector, Indexed) all flatten to one of these. Element k of
+// a derived buffer starts at slot off + k*Extent; only the slots named by
+// the runs are transmitted.
+type derivedType struct {
+	name   string
+	base   Datatype // always a base type after flattening
+	runs   []run    // pattern in base slots, all displacements >= 0
+	extent int      // base slots spanned by one element
+	slots  int      // base slots actually transmitted per element
+}
+
+func (d *derivedType) Name() string   { return d.name }
+func (d *derivedType) ByteSize() int  { return d.slots * d.base.ByteSize() }
+func (d *derivedType) Extent() int    { return d.extent }
+func (d *derivedType) Base() Datatype { return d.base }
+func (d *derivedType) Alloc(n int) any {
+	return d.base.Alloc(n * d.extent)
+}
+
+func (d *derivedType) Pack(dst []byte, buf any, off, count int) ([]byte, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("%w: negative count %d", ErrCount, count)
+	}
+	var err error
+	for k := 0; k < count; k++ {
+		origin := off + k*d.extent
+		for _, r := range d.runs {
+			dst, err = d.base.Pack(dst, buf, origin+r.disp, r.len)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+func (d *derivedType) Unpack(data []byte, buf any, off, count int) (int, error) {
+	esz := d.base.ByteSize()
+	done := 0
+	for k := 0; k < count; k++ {
+		if len(data) == 0 {
+			return done, nil
+		}
+		origin := off + k*d.extent
+		for _, r := range d.runs {
+			need := r.len * esz
+			if len(data) < need {
+				return done, fmt.Errorf("%w: partial derived element (%d of %d bytes)", ErrTruncate, len(data), need)
+			}
+			if _, err := d.base.Unpack(data[:need], buf, origin+r.disp, r.len); err != nil {
+				return done, err
+			}
+			data = data[need:]
+		}
+		done++
+	}
+	return done, nil
+}
+
+// flatten returns the primitive base type, the run pattern and the extent
+// of an arbitrary datatype, letting derived constructors nest.
+func flatten(dt Datatype) (base Datatype, runs []run, extent int, err error) {
+	switch t := dt.(type) {
+	case *derivedType:
+		return t.base, t.runs, t.extent, nil
+	case objectType:
+		return nil, nil, 0, fmt.Errorf("%w: derived datatypes over MPJ.OBJECT are not supported", ErrType)
+	default:
+		if dt.ByteSize() <= 0 {
+			return nil, nil, 0, fmt.Errorf("%w: cannot derive from %s", ErrType, dt.Name())
+		}
+		return dt, []run{{disp: 0, len: 1}}, 1, nil
+	}
+}
+
+// appendElems appends the runs of old-type elements [first, first+n) to rs,
+// expressed in primitive slots.
+func appendElems(rs []run, oldRuns []run, oldExtent, first, n int) []run {
+	for e := 0; e < n; e++ {
+		origin := (first + e) * oldExtent
+		for _, r := range oldRuns {
+			rs = append(rs, run{disp: origin + r.disp, len: r.len})
+		}
+	}
+	return rs
+}
+
+// normalize merges adjacent runs and computes the pattern's span.
+func normalize(rs []run) (merged []run, extent, slots int, err error) {
+	for _, r := range rs {
+		if r.len == 0 {
+			continue
+		}
+		if r.disp < 0 || r.len < 0 {
+			return nil, 0, 0, fmt.Errorf("%w: negative displacement or length in derived type", ErrType)
+		}
+		if n := len(merged); n > 0 && merged[n-1].disp+merged[n-1].len == r.disp {
+			merged[n-1].len += r.len
+		} else {
+			merged = append(merged, r)
+		}
+		if end := r.disp + r.len; end > extent {
+			extent = end
+		}
+		slots += r.len
+	}
+	return merged, extent, slots, nil
+}
+
+// Contiguous builds a datatype of count consecutive elements of old — the
+// analogue of MPI_Type_contiguous.
+func Contiguous(count int, old Datatype) (Datatype, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("%w: Contiguous count %d", ErrCount, count)
+	}
+	base, oldRuns, oldExt, err := flatten(old)
+	if err != nil {
+		return nil, err
+	}
+	rs := appendElems(nil, oldRuns, oldExt, 0, count)
+	merged, extent, slots, err := normalize(rs)
+	if err != nil {
+		return nil, err
+	}
+	return &derivedType{
+		name: fmt.Sprintf("Contiguous(%d,%s)", count, old.Name()),
+		base: base, runs: merged, extent: extent, slots: slots,
+	}, nil
+}
+
+// Vector builds a strided datatype: count blocks of blocklength elements of
+// old, the start of each block stride elements apart — the analogue of
+// MPI_Type_vector. stride must be positive.
+func Vector(count, blocklength, stride int, old Datatype) (Datatype, error) {
+	if count <= 0 || blocklength <= 0 {
+		return nil, fmt.Errorf("%w: Vector count %d, blocklength %d", ErrCount, count, blocklength)
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("%w: Vector stride %d must be positive", ErrType, stride)
+	}
+	base, oldRuns, oldExt, err := flatten(old)
+	if err != nil {
+		return nil, err
+	}
+	var rs []run
+	for b := 0; b < count; b++ {
+		rs = appendElems(rs, oldRuns, oldExt, b*stride, blocklength)
+	}
+	merged, extent, slots, err := normalize(rs)
+	if err != nil {
+		return nil, err
+	}
+	return &derivedType{
+		name: fmt.Sprintf("Vector(%d,%d,%d,%s)", count, blocklength, stride, old.Name()),
+		base: base, runs: merged, extent: extent, slots: slots,
+	}, nil
+}
+
+// Indexed builds an irregular datatype: block i holds blocklengths[i]
+// elements of old starting at displacement displacements[i] — the analogue
+// of MPI_Type_indexed. Displacements must be non-negative and
+// non-decreasing block starts keep unpack order intuitive, so blocks must
+// be given in ascending displacement order.
+func Indexed(blocklengths, displacements []int, old Datatype) (Datatype, error) {
+	if len(blocklengths) != len(displacements) {
+		return nil, fmt.Errorf("%w: Indexed got %d lengths, %d displacements", ErrCount, len(blocklengths), len(displacements))
+	}
+	if len(blocklengths) == 0 {
+		return nil, fmt.Errorf("%w: Indexed needs at least one block", ErrCount)
+	}
+	base, oldRuns, oldExt, err := flatten(old)
+	if err != nil {
+		return nil, err
+	}
+	var rs []run
+	prev := -1
+	for i, bl := range blocklengths {
+		d := displacements[i]
+		if bl < 0 || d < 0 {
+			return nil, fmt.Errorf("%w: Indexed block %d: length %d, displacement %d", ErrType, i, bl, d)
+		}
+		if d < prev {
+			return nil, fmt.Errorf("%w: Indexed displacements must be ascending", ErrType)
+		}
+		prev = d
+		rs = appendElems(rs, oldRuns, oldExt, d, bl)
+	}
+	merged, extent, slots, err := normalize(rs)
+	if err != nil {
+		return nil, err
+	}
+	return &derivedType{
+		name: fmt.Sprintf("Indexed(%d blocks,%s)", len(blocklengths), old.Name()),
+		base: base, runs: merged, extent: extent, slots: slots,
+	}, nil
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"os"
+	"time"
+)
+
+// Version identifies this MPJ implementation.
+const Version = "mpj-go 1.0 (reference implementation of the MPJ draft API)"
+
+// TagUB is the largest tag value a user message may carry, mirroring the
+// MPI_TAG_UB attribute.
+const TagUB = 1<<31 - 2
+
+// wtimeEpoch anchors Wtime so values are small and high-resolution.
+var wtimeEpoch = time.Now()
+
+// Wtime returns elapsed wall-clock seconds from an arbitrary fixed origin —
+// MPI_Wtime.
+func Wtime() float64 { return time.Since(wtimeEpoch).Seconds() }
+
+// Wtick returns the resolution of Wtime in seconds — MPI_Wtick.
+func Wtick() float64 { return 1e-9 }
+
+// ProcessorName returns the name of the host running this process —
+// MPI_Get_processor_name.
+func ProcessorName() string {
+	name, err := os.Hostname()
+	if err != nil {
+		return "unknown"
+	}
+	return name
+}

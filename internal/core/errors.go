@@ -1,0 +1,46 @@
+// Package core implements the MPJ API proper: the "base level" (point-to-
+// point communication in all modes, groups, communicators, datatypes,
+// environmental management) and the "high level" (collective operations
+// and process topologies) of the paper's Figure 1, layered on the device
+// package exactly as the paper's architecture prescribes.
+//
+// The API transliterates the MPJ draft specification (Java Grande Forum,
+// JGF-TR-3) into Go idiom: methods return errors instead of throwing
+// MPJException, buffers are Go slices described by a Datatype, and
+// MPI_INIT/MPI_FINALIZE are absorbed into environment setup/teardown just
+// as the paper absorbs them around the user's main method.
+package core
+
+import "errors"
+
+// Error classes, mirroring the MPI error classes relevant to a pure
+// message-passing implementation. They are wrapped with context by the
+// operations that raise them; match with errors.Is.
+var (
+	// ErrBuffer reports an invalid buffer argument (wrong slice type,
+	// nil where data was required).
+	ErrBuffer = errors.New("mpj: invalid buffer")
+	// ErrCount reports an invalid count argument.
+	ErrCount = errors.New("mpj: invalid count")
+	// ErrType reports an invalid or mismatched datatype argument.
+	ErrType = errors.New("mpj: invalid datatype")
+	// ErrTag reports an invalid tag argument.
+	ErrTag = errors.New("mpj: invalid tag")
+	// ErrRank reports a rank outside the communicator's group.
+	ErrRank = errors.New("mpj: invalid rank")
+	// ErrComm reports an invalid communicator.
+	ErrComm = errors.New("mpj: invalid communicator")
+	// ErrGroup reports an invalid group argument.
+	ErrGroup = errors.New("mpj: invalid group")
+	// ErrOp reports a reduction op applied to an unsupported datatype.
+	ErrOp = errors.New("mpj: invalid reduction operation")
+	// ErrDims reports invalid topology dimensions.
+	ErrDims = errors.New("mpj: invalid dimensions")
+	// ErrTopology reports an invalid topology argument.
+	ErrTopology = errors.New("mpj: invalid topology")
+	// ErrTruncate reports a received message longer than the receive
+	// buffer, as in MPI_ERR_TRUNCATE.
+	ErrTruncate = errors.New("mpj: message truncated")
+	// ErrOther reports failures that fit no other class.
+	ErrOther = errors.New("mpj: error")
+)

@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// GraphComm is a communicator with an attached general graph topology —
+// the MPJ Graphcomm, mirroring MPI_Graph_create's CRS-style description:
+// index[i] is the cumulative neighbour count through node i, and edges
+// lists the neighbours of all nodes back to back.
+type GraphComm struct {
+	*Comm
+	index []int
+	edges []int
+}
+
+// CreateGraph attaches a graph topology over the first len(index)
+// processes of c — MPI_Graph_create. Collective over c; processes outside
+// the graph receive nil. reorder is accepted but ranks are not permuted.
+func (c *Comm) CreateGraph(index, edges []int, reorder bool) (*GraphComm, error) {
+	nnodes := len(index)
+	if nnodes == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrTopology)
+	}
+	if nnodes > c.Size() {
+		return nil, fmt.Errorf("%w: graph has %d nodes, communicator %d processes", ErrTopology, nnodes, c.Size())
+	}
+	prev := 0
+	for i, x := range index {
+		if x < prev {
+			return nil, fmt.Errorf("%w: index must be non-decreasing (index[%d]=%d after %d)", ErrTopology, i, x, prev)
+		}
+		prev = x
+	}
+	if prev != len(edges) {
+		return nil, fmt.Errorf("%w: index ends at %d but %d edges given", ErrTopology, prev, len(edges))
+	}
+	for _, e := range edges {
+		if e < 0 || e >= nnodes {
+			return nil, fmt.Errorf("%w: edge to rank %d outside %d-node graph", ErrTopology, e, nnodes)
+		}
+	}
+	_ = reorder
+
+	members := make([]int, nnodes)
+	for i := range members {
+		members[i] = i
+	}
+	sub, err := c.Group().Incl(members)
+	if err != nil {
+		return nil, err
+	}
+	base, err := c.Create(sub)
+	if err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return nil, nil
+	}
+	gc := &GraphComm{
+		Comm:  base,
+		index: append([]int(nil), index...),
+		edges: append([]int(nil), edges...),
+	}
+	base.topo = gc
+	return gc, nil
+}
+
+// GraphDims returns the node and edge counts — MPI_Graphdims_get.
+func (gc *GraphComm) GraphDims() (nnodes, nedges int) {
+	return len(gc.index), len(gc.edges)
+}
+
+// Index returns the cumulative neighbour counts.
+func (gc *GraphComm) Index() []int { return append([]int(nil), gc.index...) }
+
+// Edges returns the flattened adjacency lists.
+func (gc *GraphComm) Edges() []int { return append([]int(nil), gc.edges...) }
+
+// NeighboursCount returns the number of neighbours of rank —
+// MPI_Graph_neighbors_count.
+func (gc *GraphComm) NeighboursCount(rank int) (int, error) {
+	if rank < 0 || rank >= len(gc.index) {
+		return 0, fmt.Errorf("%w: rank %d of %d-node graph", ErrRank, rank, len(gc.index))
+	}
+	lo := 0
+	if rank > 0 {
+		lo = gc.index[rank-1]
+	}
+	return gc.index[rank] - lo, nil
+}
+
+// Neighbours returns the neighbour ranks of rank — MPI_Graph_neighbors.
+func (gc *GraphComm) Neighbours(rank int) ([]int, error) {
+	if rank < 0 || rank >= len(gc.index) {
+		return nil, fmt.Errorf("%w: rank %d of %d-node graph", ErrRank, rank, len(gc.index))
+	}
+	lo := 0
+	if rank > 0 {
+		lo = gc.index[rank-1]
+	}
+	return append([]int(nil), gc.edges[lo:gc.index[rank]]...), nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comparison results for Group.Compare and Comm comparison, mirroring
+// MPI_IDENT/MPI_SIMILAR/MPI_UNEQUAL (and MPI_CONGRUENT for communicators).
+const (
+	// Ident: same members in the same order.
+	Ident = iota
+	// Congruent: same members in the same order but distinct contexts
+	// (communicator comparison only).
+	Congruent
+	// Similar: same members in a different order.
+	Similar
+	// Unequal: different membership.
+	Unequal
+)
+
+// Undefined is returned for ranks with no image under a group mapping,
+// mirroring MPI_UNDEFINED.
+const Undefined = -1
+
+// Group is an ordered set of processes identified by their world ranks —
+// the MPJ Group. Groups are immutable; the set operations return new
+// groups. Per the paper's device contract, groups exist entirely above
+// the device level, which sees only the absolute ids stored here.
+type Group struct {
+	ranks []int // ranks[i] = world rank of group rank i
+}
+
+// NewGroup builds a group from world ranks. The slice is copied. Ranks
+// must be distinct and non-negative.
+func NewGroup(worldRanks []int) (*Group, error) {
+	seen := make(map[int]bool, len(worldRanks))
+	for _, r := range worldRanks {
+		if r < 0 {
+			return nil, fmt.Errorf("%w: negative world rank %d", ErrGroup, r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("%w: duplicate world rank %d", ErrGroup, r)
+		}
+		seen[r] = true
+	}
+	return &Group{ranks: append([]int(nil), worldRanks...)}, nil
+}
+
+// Size returns the number of processes in the group.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// WorldRank returns the world rank of group member rank, or Undefined if
+// rank is out of range.
+func (g *Group) WorldRank(rank int) int {
+	if rank < 0 || rank >= len(g.ranks) {
+		return Undefined
+	}
+	return g.ranks[rank]
+}
+
+// Rank returns the group rank of the process with the given world rank,
+// or Undefined if it is not a member.
+func (g *Group) Rank(worldRank int) int {
+	for i, r := range g.ranks {
+		if r == worldRank {
+			return i
+		}
+	}
+	return Undefined
+}
+
+// Contains reports whether the world rank is a member.
+func (g *Group) Contains(worldRank int) bool { return g.Rank(worldRank) != Undefined }
+
+// Ranks returns a copy of the group's world ranks in group-rank order.
+func (g *Group) Ranks() []int { return append([]int(nil), g.ranks...) }
+
+// TranslateRanks maps ranks of this group to ranks in other, Undefined
+// where a process is not a member of other — MPI_Group_translate_ranks.
+func (g *Group) TranslateRanks(ranks []int, other *Group) ([]int, error) {
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, fmt.Errorf("%w: rank %d not in %d-process group", ErrRank, r, len(g.ranks))
+		}
+		out[i] = other.Rank(g.ranks[r])
+	}
+	return out, nil
+}
+
+// Compare reports Ident, Similar or Unequal — MPI_Group_compare.
+func (g *Group) Compare(other *Group) int {
+	if len(g.ranks) != len(other.ranks) {
+		return Unequal
+	}
+	ident := true
+	for i, r := range g.ranks {
+		if other.ranks[i] != r {
+			ident = false
+			break
+		}
+	}
+	if ident {
+		return Ident
+	}
+	a := append([]int(nil), g.ranks...)
+	b := append([]int(nil), other.ranks...)
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return Unequal
+		}
+	}
+	return Similar
+}
+
+// Union returns a group of all members of g followed by members of other
+// not in g — MPI_Group_union.
+func (g *Group) Union(other *Group) *Group {
+	out := append([]int(nil), g.ranks...)
+	for _, r := range other.ranks {
+		if !g.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return &Group{ranks: out}
+}
+
+// Intersection returns the members of g that are also in other, in g's
+// order — MPI_Group_intersection.
+func (g *Group) Intersection(other *Group) *Group {
+	var out []int
+	for _, r := range g.ranks {
+		if other.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return &Group{ranks: out}
+}
+
+// Difference returns the members of g not in other, in g's order —
+// MPI_Group_difference.
+func (g *Group) Difference(other *Group) *Group {
+	var out []int
+	for _, r := range g.ranks {
+		if !other.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return &Group{ranks: out}
+}
+
+// Incl returns the subgroup consisting of the listed ranks of g, in the
+// listed order — MPI_Group_incl.
+func (g *Group) Incl(ranks []int) (*Group, error) {
+	out := make([]int, len(ranks))
+	seen := make(map[int]bool, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, fmt.Errorf("%w: rank %d not in %d-process group", ErrRank, r, len(g.ranks))
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("%w: duplicate rank %d in Incl", ErrRank, r)
+		}
+		seen[r] = true
+		out[i] = g.ranks[r]
+	}
+	return &Group{ranks: out}, nil
+}
+
+// Excl returns the subgroup of g without the listed ranks, preserving
+// order — MPI_Group_excl.
+func (g *Group) Excl(ranks []int) (*Group, error) {
+	drop := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, fmt.Errorf("%w: rank %d not in %d-process group", ErrRank, r, len(g.ranks))
+		}
+		if drop[r] {
+			return nil, fmt.Errorf("%w: duplicate rank %d in Excl", ErrRank, r)
+		}
+		drop[r] = true
+	}
+	var out []int
+	for i, r := range g.ranks {
+		if !drop[i] {
+			out = append(out, r)
+		}
+	}
+	return &Group{ranks: out}, nil
+}
+
+// RangeIncl returns the subgroup given by [first, last, stride] triples —
+// MPI_Group_range_incl.
+func (g *Group) RangeIncl(ranges [][3]int) (*Group, error) {
+	var ranks []int
+	for _, rng := range ranges {
+		first, last, stride := rng[0], rng[1], rng[2]
+		if stride == 0 {
+			return nil, fmt.Errorf("%w: zero stride in RangeIncl", ErrRank)
+		}
+		if stride > 0 {
+			for r := first; r <= last; r += stride {
+				ranks = append(ranks, r)
+			}
+		} else {
+			for r := first; r >= last; r += stride {
+				ranks = append(ranks, r)
+			}
+		}
+	}
+	return g.Incl(ranks)
+}
+
+// RangeExcl returns the subgroup of g without the ranks given by
+// [first, last, stride] triples — MPI_Group_range_excl.
+func (g *Group) RangeExcl(ranges [][3]int) (*Group, error) {
+	var ranks []int
+	for _, rng := range ranges {
+		first, last, stride := rng[0], rng[1], rng[2]
+		if stride == 0 {
+			return nil, fmt.Errorf("%w: zero stride in RangeExcl", ErrRank)
+		}
+		if stride > 0 {
+			for r := first; r <= last; r += stride {
+				ranks = append(ranks, r)
+			}
+		} else {
+			for r := first; r >= last; r += stride {
+				ranks = append(ranks, r)
+			}
+		}
+	}
+	return g.Excl(ranks)
+}

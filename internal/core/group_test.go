@@ -1,0 +1,150 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustGroup(t *testing.T, ranks ...int) *Group {
+	t.Helper()
+	g, err := NewGroup(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup([]int{0, 1, 1}); err == nil {
+		t.Error("duplicate ranks accepted")
+	}
+	if _, err := NewGroup([]int{-1}); err == nil {
+		t.Error("negative rank accepted")
+	}
+}
+
+func TestGroupBasics(t *testing.T) {
+	g := mustGroup(t, 4, 2, 7)
+	if g.Size() != 3 {
+		t.Errorf("size = %d", g.Size())
+	}
+	if g.WorldRank(1) != 2 {
+		t.Errorf("WorldRank(1) = %d", g.WorldRank(1))
+	}
+	if g.WorldRank(5) != Undefined {
+		t.Error("out-of-range WorldRank not Undefined")
+	}
+	if g.Rank(7) != 2 {
+		t.Errorf("Rank(7) = %d", g.Rank(7))
+	}
+	if g.Rank(0) != Undefined {
+		t.Error("non-member Rank not Undefined")
+	}
+	if !reflect.DeepEqual(g.Ranks(), []int{4, 2, 7}) {
+		t.Errorf("Ranks = %v", g.Ranks())
+	}
+}
+
+func TestGroupSetOps(t *testing.T) {
+	a := mustGroup(t, 0, 1, 2, 3)
+	b := mustGroup(t, 2, 3, 4, 5)
+	if got := a.Union(b).Ranks(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Intersection(b).Ranks(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("intersection = %v", got)
+	}
+	if got := a.Difference(b).Ranks(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("difference = %v", got)
+	}
+	if got := b.Difference(a).Ranks(); !reflect.DeepEqual(got, []int{4, 5}) {
+		t.Errorf("difference = %v", got)
+	}
+}
+
+func TestGroupInclExcl(t *testing.T) {
+	g := mustGroup(t, 10, 11, 12, 13, 14)
+	inc, err := g.Incl([]int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inc.Ranks(); !reflect.DeepEqual(got, []int{13, 10}) {
+		t.Errorf("incl = %v", got)
+	}
+	exc, err := g.Excl([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exc.Ranks(); !reflect.DeepEqual(got, []int{10, 12, 14}) {
+		t.Errorf("excl = %v", got)
+	}
+	if _, err := g.Incl([]int{9}); err == nil {
+		t.Error("Incl out-of-range accepted")
+	}
+	if _, err := g.Incl([]int{0, 0}); err == nil {
+		t.Error("Incl duplicate accepted")
+	}
+	if _, err := g.Excl([]int{5}); err == nil {
+		t.Error("Excl out-of-range accepted")
+	}
+}
+
+func TestGroupRanges(t *testing.T) {
+	g := mustGroup(t, 0, 1, 2, 3, 4, 5, 6, 7)
+	ri, err := g.RangeIncl([][3]int{{0, 6, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ri.Ranks(); !reflect.DeepEqual(got, []int{0, 2, 4, 6}) {
+		t.Errorf("range incl = %v", got)
+	}
+	rd, err := g.RangeIncl([][3]int{{6, 0, -2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rd.Ranks(); !reflect.DeepEqual(got, []int{6, 4, 2, 0}) {
+		t.Errorf("descending range incl = %v", got)
+	}
+	re, err := g.RangeExcl([][3]int{{1, 7, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Ranks(); !reflect.DeepEqual(got, []int{0, 2, 4, 6}) {
+		t.Errorf("range excl = %v", got)
+	}
+	if _, err := g.RangeIncl([][3]int{{0, 3, 0}}); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+func TestGroupCompare(t *testing.T) {
+	a := mustGroup(t, 1, 2, 3)
+	if a.Compare(mustGroup(t, 1, 2, 3)) != Ident {
+		t.Error("identical groups not Ident")
+	}
+	if a.Compare(mustGroup(t, 3, 2, 1)) != Similar {
+		t.Error("permuted groups not Similar")
+	}
+	if a.Compare(mustGroup(t, 1, 2)) != Unequal {
+		t.Error("different-size groups not Unequal")
+	}
+	if a.Compare(mustGroup(t, 1, 2, 4)) != Unequal {
+		t.Error("different members not Unequal")
+	}
+}
+
+func TestTranslateRanks(t *testing.T) {
+	a := mustGroup(t, 5, 6, 7, 8)
+	b := mustGroup(t, 8, 6)
+	got, err := a.TranslateRanks([]int{0, 1, 2, 3}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{Undefined, 1, Undefined, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("translate = %v, want %v", got, want)
+	}
+	if _, err := a.TranslateRanks([]int{4}, b); err == nil {
+		t.Error("out-of-range translate accepted")
+	}
+}

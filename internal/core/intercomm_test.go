@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// buildIntercomm splits the world into even/odd halves and links them.
+func buildIntercomm(w *Comm) (*Intercomm, *Comm, error) {
+	half, err := w.Split(w.Rank()%2, w.Rank())
+	if err != nil {
+		return nil, nil, err
+	}
+	// Leaders are local rank 0 on each side: world ranks 0 and 1.
+	remoteLeader := 1 - w.Rank()%2
+	ic, err := half.CreateIntercomm(0, w, remoteLeader, 42)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ic, half, nil
+}
+
+func TestIntercommCreateBasics(t *testing.T) {
+	runRanks(t, 6, func(w *Comm) error {
+		ic, half, err := buildIntercomm(w)
+		if err != nil {
+			return err
+		}
+		if err := expect(ic.Size() == half.Size(), "local size %d", ic.Size()); err != nil {
+			return err
+		}
+		if err := expect(ic.RemoteSize() == 3, "remote size %d", ic.RemoteSize()); err != nil {
+			return err
+		}
+		// Local and remote groups are disjoint.
+		if n := ic.LocalComm().Group().Intersection(ic.RemoteGroup()).Size(); n != 0 {
+			return fmt.Errorf("groups overlap in %d members", n)
+		}
+		return nil
+	})
+}
+
+func TestIntercommPointToPoint(t *testing.T) {
+	runRanks(t, 6, func(w *Comm) error {
+		ic, _, err := buildIntercomm(w)
+		if err != nil {
+			return err
+		}
+		// Each local rank i sends to remote rank i and receives the
+		// peer's value: even side holds world ranks {0,2,4}, odd side
+		// {1,3,5}; remote rank i maps to the peer with the same local
+		// index.
+		out := []int32{int32(w.Rank() * 10)}
+		in := make([]int32, 1)
+		peerLocal := ic.Rank()
+		rr, err := ic.Irecv(in, 0, 1, Int, peerLocal, 5)
+		if err != nil {
+			return err
+		}
+		if err := ic.Send(out, 0, 1, Int, peerLocal, 5); err != nil {
+			return err
+		}
+		st, err := rr.Wait()
+		if err != nil {
+			return err
+		}
+		// My peer is the world rank with the same local index on the
+		// other side: evens pair with odds (0↔1, 2↔3, 4↔5).
+		peerWorld := w.Rank() + 1
+		if w.Rank()%2 == 1 {
+			peerWorld = w.Rank() - 1
+		}
+		if err := expect(in[0] == int32(peerWorld*10), "got %d from peer %d", in[0], peerWorld); err != nil {
+			return err
+		}
+		return expect(st.Source == peerLocal, "status source %d, want %d", st.Source, peerLocal)
+	})
+}
+
+func TestIntercommAnySource(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		ic, _, err := buildIntercomm(w)
+		if err != nil {
+			return err
+		}
+		// Everyone sends to remote local-rank 0; rank 0 of each side
+		// collects with a wildcard and must see every remote peer.
+		if err := ic.Send([]int32{int32(w.Rank())}, 0, 1, Int, 0, 3); err != nil {
+			return err
+		}
+		if ic.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < ic.RemoteSize(); i++ {
+				buf := make([]int32, 1)
+				st, err := ic.Recv(buf, 0, 1, Int, AnySource, 3)
+				if err != nil {
+					return err
+				}
+				// Sources report remote-group ranks; the payload holds
+				// the sender's world rank and must be a remote member.
+				if !ic.RemoteGroup().Contains(int(buf[0])) {
+					return fmt.Errorf("payload %d not in remote group", buf[0])
+				}
+				seen[st.Source] = true
+			}
+			return expect(len(seen) == ic.RemoteSize(), "heard from %v", seen)
+		}
+		return nil
+	})
+}
+
+func TestIntercommMerge(t *testing.T) {
+	runRanks(t, 6, func(w *Comm) error {
+		ic, _, err := buildIntercomm(w)
+		if err != nil {
+			return err
+		}
+		// Even side low, odd side high.
+		merged, err := ic.Merge(w.Rank()%2 == 1)
+		if err != nil {
+			return err
+		}
+		if err := expect(merged.Size() == 6, "merged size %d", merged.Size()); err != nil {
+			return err
+		}
+		// Evens get ranks 0..2 (ordered by old local rank), odds 3..5.
+		want := w.Rank() / 2
+		if w.Rank()%2 == 1 {
+			want = 3 + w.Rank()/2
+		}
+		if err := expect(merged.Rank() == want, "merged rank %d, want %d", merged.Rank(), want); err != nil {
+			return err
+		}
+		// The merged communicator must be fully functional.
+		sum := make([]int64, 1)
+		if err := merged.Allreduce([]int64{int64(w.Rank())}, 0, sum, 0, 1, Long, SumOp); err != nil {
+			return err
+		}
+		return expect(sum[0] == 15, "merged sum %d", sum[0])
+	})
+}
+
+func TestIntercommValidation(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		half, err := w.Split(w.Rank()%2, w.Rank())
+		if err != nil {
+			return err
+		}
+		if _, err := half.CreateIntercomm(9, w, 0, 1); !errors.Is(err, ErrRank) {
+			return fmt.Errorf("bad leader accepted: %v", err)
+		}
+		// Re-sync: the failed creation returned before any collective.
+		ic, err := half.CreateIntercomm(0, w, 1-w.Rank()%2, 7)
+		if err != nil {
+			return err
+		}
+		if err := ic.Send(nil, 0, 0, Byte, 5, 0); !errors.Is(err, ErrRank) {
+			return fmt.Errorf("send to bad remote rank: %v", err)
+		}
+		if _, err := ic.Recv(nil, 0, 0, Byte, 0, -7); !errors.Is(err, ErrTag) {
+			return fmt.Errorf("recv with bad tag: %v", err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,242 @@
+package core
+
+import "fmt"
+
+// combiner folds one packed vector into another: inout[i] = op(in[i],
+// inout[i]) element-wise over packed representations.
+type combiner func(in, inout []byte) error
+
+// Op is a reduction operation for Reduce/Allreduce/ReduceScatter/Scan,
+// the analogue of MPI_Op. The predefined ops support the datatype classes
+// MPI prescribes (numeric for MaxOp/MinOp/SumOp/ProdOp, boolean for the
+// logical ops, integer for the bitwise ops, pair types for the -Loc ops);
+// applying an op to an unsupported datatype reports ErrOp.
+type Op struct {
+	name    string
+	byType  map[Datatype]combiner
+	generic func(dt Datatype) (combiner, error) // user-defined ops
+}
+
+// Name returns the operation's name.
+func (o *Op) Name() string { return o.name }
+
+// combinerFor resolves the combiner for dt.
+func (o *Op) combinerFor(dt Datatype) (combiner, error) {
+	base := dt.Base()
+	if c, ok := o.byType[base]; ok {
+		return c, nil
+	}
+	if o.generic != nil {
+		return o.generic(base)
+	}
+	return nil, fmt.Errorf("%w: %s does not support %s", ErrOp, o.name, dt.Name())
+}
+
+// numCombiner builds a packed-vector combiner for a primitive base type.
+func numCombiner[T any](dt Datatype, f func(a, b T) T) combiner {
+	b := dt.(*baseType[T])
+	return func(in, inout []byte) error {
+		if len(in) != len(inout) {
+			return fmt.Errorf("%w: reduce length mismatch %d != %d", ErrOp, len(in), len(inout))
+		}
+		for i := 0; i+b.size <= len(inout); i += b.size {
+			b.enc(inout[i:], f(b.dec(in[i:]), b.dec(inout[i:])))
+		}
+		return nil
+	}
+}
+
+func maxOf[T int8 | int16 | int32 | int64 | int | byte | float32 | float64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minOf[T int8 | int16 | int32 | int64 | int | byte | float32 | float64](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Predefined reduction operations.
+var (
+	// MaxOp computes element-wise maxima of numeric data.
+	MaxOp = &Op{name: "MPJ.MAX", byType: map[Datatype]combiner{
+		Byte:   numCombiner(Byte, maxOf[byte]),
+		Short:  numCombiner(Short, maxOf[int16]),
+		Int:    numCombiner(Int, maxOf[int32]),
+		Long:   numCombiner(Long, maxOf[int64]),
+		GoInt:  numCombiner(GoInt, maxOf[int]),
+		Float:  numCombiner(Float, maxOf[float32]),
+		Double: numCombiner(Double, maxOf[float64]),
+	}}
+	// MinOp computes element-wise minima of numeric data.
+	MinOp = &Op{name: "MPJ.MIN", byType: map[Datatype]combiner{
+		Byte:   numCombiner(Byte, minOf[byte]),
+		Short:  numCombiner(Short, minOf[int16]),
+		Int:    numCombiner(Int, minOf[int32]),
+		Long:   numCombiner(Long, minOf[int64]),
+		GoInt:  numCombiner(GoInt, minOf[int]),
+		Float:  numCombiner(Float, minOf[float32]),
+		Double: numCombiner(Double, minOf[float64]),
+	}}
+	// SumOp computes element-wise sums of numeric data.
+	SumOp = &Op{name: "MPJ.SUM", byType: map[Datatype]combiner{
+		Byte:   numCombiner(Byte, func(a, b byte) byte { return a + b }),
+		Short:  numCombiner(Short, func(a, b int16) int16 { return a + b }),
+		Int:    numCombiner(Int, func(a, b int32) int32 { return a + b }),
+		Long:   numCombiner(Long, func(a, b int64) int64 { return a + b }),
+		GoInt:  numCombiner(GoInt, func(a, b int) int { return a + b }),
+		Float:  numCombiner(Float, func(a, b float32) float32 { return a + b }),
+		Double: numCombiner(Double, func(a, b float64) float64 { return a + b }),
+	}}
+	// ProdOp computes element-wise products of numeric data.
+	ProdOp = &Op{name: "MPJ.PROD", byType: map[Datatype]combiner{
+		Byte:   numCombiner(Byte, func(a, b byte) byte { return a * b }),
+		Short:  numCombiner(Short, func(a, b int16) int16 { return a * b }),
+		Int:    numCombiner(Int, func(a, b int32) int32 { return a * b }),
+		Long:   numCombiner(Long, func(a, b int64) int64 { return a * b }),
+		GoInt:  numCombiner(GoInt, func(a, b int) int { return a * b }),
+		Float:  numCombiner(Float, func(a, b float32) float32 { return a * b }),
+		Double: numCombiner(Double, func(a, b float64) float64 { return a * b }),
+	}}
+	// LAndOp computes element-wise logical AND of boolean data.
+	LAndOp = &Op{name: "MPJ.LAND", byType: map[Datatype]combiner{
+		Boolean: numCombiner(Boolean, func(a, b bool) bool { return a && b }),
+	}}
+	// LOrOp computes element-wise logical OR of boolean data.
+	LOrOp = &Op{name: "MPJ.LOR", byType: map[Datatype]combiner{
+		Boolean: numCombiner(Boolean, func(a, b bool) bool { return a || b }),
+	}}
+	// LXorOp computes element-wise logical XOR of boolean data.
+	LXorOp = &Op{name: "MPJ.LXOR", byType: map[Datatype]combiner{
+		Boolean: numCombiner(Boolean, func(a, b bool) bool { return a != b }),
+	}}
+	// BAndOp computes element-wise bitwise AND of integer data.
+	BAndOp = &Op{name: "MPJ.BAND", byType: map[Datatype]combiner{
+		Byte:  numCombiner(Byte, func(a, b byte) byte { return a & b }),
+		Short: numCombiner(Short, func(a, b int16) int16 { return a & b }),
+		Int:   numCombiner(Int, func(a, b int32) int32 { return a & b }),
+		Long:  numCombiner(Long, func(a, b int64) int64 { return a & b }),
+		GoInt: numCombiner(GoInt, func(a, b int) int { return a & b }),
+	}}
+	// BOrOp computes element-wise bitwise OR of integer data.
+	BOrOp = &Op{name: "MPJ.BOR", byType: map[Datatype]combiner{
+		Byte:  numCombiner(Byte, func(a, b byte) byte { return a | b }),
+		Short: numCombiner(Short, func(a, b int16) int16 { return a | b }),
+		Int:   numCombiner(Int, func(a, b int32) int32 { return a | b }),
+		Long:  numCombiner(Long, func(a, b int64) int64 { return a | b }),
+		GoInt: numCombiner(GoInt, func(a, b int) int { return a | b }),
+	}}
+	// BXorOp computes element-wise bitwise XOR of integer data.
+	BXorOp = &Op{name: "MPJ.BXOR", byType: map[Datatype]combiner{
+		Byte:  numCombiner(Byte, func(a, b byte) byte { return a ^ b }),
+		Short: numCombiner(Short, func(a, b int16) int16 { return a ^ b }),
+		Int:   numCombiner(Int, func(a, b int32) int32 { return a ^ b }),
+		Long:  numCombiner(Long, func(a, b int64) int64 { return a ^ b }),
+		GoInt: numCombiner(GoInt, func(a, b int) int { return a ^ b }),
+	}}
+	// MaxLocOp computes element-wise maxima of pair data, carrying the
+	// index of the maximum; ties resolve to the lower index.
+	MaxLocOp = &Op{name: "MPJ.MAXLOC", byType: map[Datatype]combiner{
+		DoubleInt2: numCombiner(DoubleInt2, func(a, b DoubleInt) DoubleInt {
+			if a.Value > b.Value || (a.Value == b.Value && a.Index < b.Index) {
+				return a
+			}
+			return b
+		}),
+		FloatInt2: numCombiner(FloatInt2, func(a, b FloatInt) FloatInt {
+			if a.Value > b.Value || (a.Value == b.Value && a.Index < b.Index) {
+				return a
+			}
+			return b
+		}),
+		IntInt2: numCombiner(IntInt2, func(a, b IntInt) IntInt {
+			if a.Value > b.Value || (a.Value == b.Value && a.Index < b.Index) {
+				return a
+			}
+			return b
+		}),
+	}}
+	// MinLocOp computes element-wise minima of pair data, carrying the
+	// index of the minimum; ties resolve to the lower index.
+	MinLocOp = &Op{name: "MPJ.MINLOC", byType: map[Datatype]combiner{
+		DoubleInt2: numCombiner(DoubleInt2, func(a, b DoubleInt) DoubleInt {
+			if a.Value < b.Value || (a.Value == b.Value && a.Index < b.Index) {
+				return a
+			}
+			return b
+		}),
+		FloatInt2: numCombiner(FloatInt2, func(a, b FloatInt) FloatInt {
+			if a.Value < b.Value || (a.Value == b.Value && a.Index < b.Index) {
+				return a
+			}
+			return b
+		}),
+		IntInt2: numCombiner(IntInt2, func(a, b IntInt) IntInt {
+			if a.Value < b.Value || (a.Value == b.Value && a.Index < b.Index) {
+				return a
+			}
+			return b
+		}),
+	}}
+)
+
+// NewOp creates a user-defined reduction, the analogue of MPI_Op_create.
+// f receives decoded element slices (the concrete slice type of dt's base,
+// e.g. []float64 for Double, []any for Object) and must fold in into inout
+// element-wise. The operation must be associative; the library assumes
+// commutativity when picking reduction trees, as MPI does by default.
+func NewOp(name string, f func(in, inout any, dt Datatype) error) *Op {
+	return &Op{
+		name: name,
+		generic: func(dt Datatype) (combiner, error) {
+			return func(inBytes, inoutBytes []byte) error {
+				in, err := decodeAll(dt, inBytes)
+				if err != nil {
+					return err
+				}
+				inout, err := decodeAll(dt, inoutBytes)
+				if err != nil {
+					return err
+				}
+				if err := f(in, inout, dt); err != nil {
+					return err
+				}
+				packed, err := dt.Pack(nil, inout, 0, countOf(dt, inoutBytes))
+				if err != nil {
+					return err
+				}
+				if len(packed) != len(inoutBytes) {
+					return fmt.Errorf("%w: user op %s changed packed size", ErrOp, name)
+				}
+				copy(inoutBytes, packed)
+				return nil
+			}, nil
+		},
+	}
+}
+
+// countOf computes how many dt elements a packed buffer holds (fixed-size
+// base types only; user ops on Object decode the stream itself).
+func countOf(dt Datatype, packed []byte) int {
+	if sz := dt.ByteSize(); sz > 0 {
+		return len(packed) / sz
+	}
+	return 0
+}
+
+// decodeAll unpacks an entire packed vector into a fresh buffer.
+func decodeAll(dt Datatype, packed []byte) (any, error) {
+	n := countOf(dt, packed)
+	if dt.ByteSize() < 0 {
+		return nil, fmt.Errorf("%w: user-defined ops require fixed-size datatypes", ErrOp)
+	}
+	buf := dt.Alloc(n)
+	if _, err := dt.Unpack(packed, buf, 0, n); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// applyOp is a test helper running an op over packed representations.
+func applyOp(t *testing.T, op *Op, dt Datatype, in, inout any, n int) any {
+	t.Helper()
+	comb, err := op.combinerFor(dt)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", op.Name(), dt.Name(), err)
+	}
+	inB, err := dt.Pack(nil, in, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inoutB, err := dt.Pack(nil, inout, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comb(inB, inoutB); err != nil {
+		t.Fatal(err)
+	}
+	out := dt.Alloc(n)
+	if _, err := dt.Unpack(inoutB, out, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestNumericOps(t *testing.T) {
+	in := []int32{5, -3, 7}
+	inout := []int32{2, 4, 7}
+	if got := applyOp(t, SumOp, Int, in, inout, 3); !reflect.DeepEqual(got, []int32{7, 1, 14}) {
+		t.Errorf("sum = %v", got)
+	}
+	if got := applyOp(t, MaxOp, Int, in, inout, 3); !reflect.DeepEqual(got, []int32{5, 4, 7}) {
+		t.Errorf("max = %v", got)
+	}
+	if got := applyOp(t, MinOp, Int, in, inout, 3); !reflect.DeepEqual(got, []int32{2, -3, 7}) {
+		t.Errorf("min = %v", got)
+	}
+	if got := applyOp(t, ProdOp, Int, in, inout, 3); !reflect.DeepEqual(got, []int32{10, -12, 49}) {
+		t.Errorf("prod = %v", got)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	in := []float64{1.5, -2}
+	inout := []float64{0.5, 3}
+	if got := applyOp(t, SumOp, Double, in, inout, 2); !reflect.DeepEqual(got, []float64{2, 1}) {
+		t.Errorf("sum = %v", got)
+	}
+	if got := applyOp(t, MaxOp, Double, in, inout, 2); !reflect.DeepEqual(got, []float64{1.5, 3}) {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	in := []bool{true, true, false, false}
+	inout := []bool{true, false, true, false}
+	if got := applyOp(t, LAndOp, Boolean, in, inout, 4); !reflect.DeepEqual(got, []bool{true, false, false, false}) {
+		t.Errorf("land = %v", got)
+	}
+	if got := applyOp(t, LOrOp, Boolean, in, inout, 4); !reflect.DeepEqual(got, []bool{true, true, true, false}) {
+		t.Errorf("lor = %v", got)
+	}
+	if got := applyOp(t, LXorOp, Boolean, in, inout, 4); !reflect.DeepEqual(got, []bool{false, true, true, false}) {
+		t.Errorf("lxor = %v", got)
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	in := []int64{0b1100}
+	inout := []int64{0b1010}
+	if got := applyOp(t, BAndOp, Long, in, inout, 1); got.([]int64)[0] != 0b1000 {
+		t.Errorf("band = %b", got.([]int64)[0])
+	}
+	if got := applyOp(t, BOrOp, Long, in, inout, 1); got.([]int64)[0] != 0b1110 {
+		t.Errorf("bor = %b", got.([]int64)[0])
+	}
+	if got := applyOp(t, BXorOp, Long, in, inout, 1); got.([]int64)[0] != 0b0110 {
+		t.Errorf("bxor = %b", got.([]int64)[0])
+	}
+}
+
+func TestMaxLocMinLoc(t *testing.T) {
+	in := []DoubleInt{{Value: 3, Index: 0}, {Value: 1, Index: 0}, {Value: 5, Index: 2}}
+	inout := []DoubleInt{{Value: 3, Index: 1}, {Value: 2, Index: 1}, {Value: 4, Index: 1}}
+	got := applyOp(t, MaxLocOp, DoubleInt2, in, inout, 3).([]DoubleInt)
+	want := []DoubleInt{{3, 0}, {2, 1}, {5, 2}} // tie at 3 → lower index
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("maxloc = %v, want %v", got, want)
+	}
+	got = applyOp(t, MinLocOp, DoubleInt2, in, inout, 3).([]DoubleInt)
+	want = []DoubleInt{{3, 0}, {1, 0}, {4, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("minloc = %v, want %v", got, want)
+	}
+}
+
+func TestOpTypeRestrictions(t *testing.T) {
+	cases := []struct {
+		op *Op
+		dt Datatype
+	}{
+		{SumOp, Boolean},    // no arithmetic on booleans
+		{LAndOp, Int},       // no logical ops on ints
+		{BAndOp, Double},    // no bitwise ops on floats
+		{MaxLocOp, Double},  // loc ops need pair types
+		{SumOp, DoubleInt2}, // no arithmetic on pairs
+		{SumOp, Object},     // no predefined ops on objects
+	}
+	for _, tc := range cases {
+		if _, err := tc.op.combinerFor(tc.dt); !errors.Is(err, ErrOp) {
+			t.Errorf("%s on %s: err=%v, want ErrOp", tc.op.Name(), tc.dt.Name(), err)
+		}
+	}
+}
+
+func TestOpOnDerivedUsesBase(t *testing.T) {
+	// Reductions over derived types operate element-wise on the base.
+	dt, err := Contiguous(2, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SumOp.combinerFor(dt); err != nil {
+		t.Errorf("SumOp on Contiguous(Int): %v", err)
+	}
+}
+
+func TestUserDefinedOp(t *testing.T) {
+	// Sum-of-squares accumulate: inout[i] += in[i]*in[i].
+	op := NewOp("sumsq", func(in, inout any, dt Datatype) error {
+		a := in.([]float64)
+		b := inout.([]float64)
+		for i := range b {
+			b[i] += a[i] * a[i]
+		}
+		return nil
+	})
+	got := applyOp(t, op, Double, []float64{2, 3}, []float64{1, 1}, 2).([]float64)
+	if !reflect.DeepEqual(got, []float64{5, 10}) {
+		t.Errorf("user op = %v", got)
+	}
+}
+
+func TestUserOpRejectsObject(t *testing.T) {
+	op := NewOp("noop", func(in, inout any, dt Datatype) error { return nil })
+	comb, err := op.combinerFor(Object)
+	if err != nil {
+		t.Fatalf("combinerFor: %v", err)
+	}
+	if err := comb([]byte{1}, []byte{1}); !errors.Is(err, ErrOp) {
+		t.Errorf("user op on Object: err=%v, want ErrOp", err)
+	}
+}
+
+func TestCombinerLengthMismatch(t *testing.T) {
+	comb, err := SumOp.combinerFor(Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comb(make([]byte, 4), make([]byte, 8)); !errors.Is(err, ErrOp) {
+		t.Errorf("length mismatch: err=%v, want ErrOp", err)
+	}
+}

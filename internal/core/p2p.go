@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mpj/internal/device"
+)
+
+// Request is a handle on a non-blocking MPJ operation. It wraps a device
+// request plus the datatype post-processing (unpacking a received byte
+// vector into the user buffer) that runs when the operation completes.
+type Request struct {
+	comm *Comm
+	dreq *device.Request
+
+	mu     sync.Mutex
+	fin    func(device.Status) (*Status, error) // runs once on completion
+	status *Status
+	err    error
+	done   bool
+}
+
+// newRequest wraps a device request.
+func newRequest(c *Comm, dr *device.Request, fin func(device.Status) (*Status, error)) *Request {
+	return &Request{comm: c, dreq: dr, fin: fin}
+}
+
+// finalize runs the completion hook exactly once and caches its result.
+func (r *Request) finalize(dst device.Status, derr error) (*Status, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return r.status, r.err
+	}
+	r.done = true
+	if derr != nil {
+		r.status, r.err = &Status{Source: r.comm.groupSource(dst.Source), Tag: dst.Tag, elements: -1}, derr
+	} else if r.fin != nil {
+		r.status, r.err = r.fin(dst)
+	} else {
+		r.status = &Status{
+			Source:    r.comm.groupSource(dst.Source),
+			Tag:       dst.Tag,
+			Cancelled: dst.Cancelled,
+			bytes:     dst.Count,
+			elements:  -1,
+		}
+	}
+	return r.status, r.err
+}
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() (*Status, error) {
+	dst, derr := r.dreq.Wait()
+	return r.finalize(dst, derr)
+}
+
+// Test reports without blocking whether the operation has completed,
+// returning its status when it has.
+func (r *Request) Test() (*Status, bool, error) {
+	dst, ok, derr := r.dreq.Test()
+	if !ok {
+		return nil, false, nil
+	}
+	st, err := r.finalize(dst, derr)
+	return st, true, err
+}
+
+// Cancel attempts to cancel the operation; see device.Request.Cancel for
+// the exact semantics.
+func (r *Request) Cancel() error { return r.dreq.Cancel() }
+
+// WaitAny blocks until one of the requests completes and returns its index
+// and status. Completed requests are consumed, so calling WaitAny in a
+// loop steps through all completions; it returns index -1 when none are
+// active — MPI_Waitany.
+func WaitAny(reqs []*Request) (int, *Status, error) {
+	if len(reqs) == 0 {
+		return -1, nil, nil
+	}
+	var dev *device.Device
+	dreqs := make([]*device.Request, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		dreqs[i] = r.dreq
+		dev = r.comm.dev
+	}
+	if dev == nil {
+		return -1, nil, nil
+	}
+	idx, dst, derr := dev.WaitAny(dreqs)
+	if idx < 0 {
+		return -1, nil, nil
+	}
+	st, err := reqs[idx].finalize(dst, derr)
+	return idx, st, err
+}
+
+// TestAny is the non-blocking WaitAny — MPI_Testany. ok is true when a
+// request completed or none are active.
+func TestAny(reqs []*Request) (int, *Status, bool, error) {
+	if len(reqs) == 0 {
+		return -1, nil, true, nil
+	}
+	var dev *device.Device
+	dreqs := make([]*device.Request, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		dreqs[i] = r.dreq
+		dev = r.comm.dev
+	}
+	if dev == nil {
+		return -1, nil, true, nil
+	}
+	idx, dst, ok, derr := dev.TestAny(dreqs)
+	if !ok || idx < 0 {
+		return idx, nil, ok, nil
+	}
+	st, err := reqs[idx].finalize(dst, derr)
+	return idx, st, ok, err
+}
+
+// WaitAll blocks until every request completes — MPI_Waitall. It returns
+// one status per slot (nil for nil requests) and the first error.
+func WaitAll(reqs []*Request) ([]*Status, error) {
+	sts := make([]*Status, len(reqs))
+	var firstErr error
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		st, err := r.Wait()
+		sts[i] = st
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	return sts, firstErr
+}
+
+// sendMode issues a non-blocking send in the given device mode.
+func (c *Comm) sendMode(buf any, off, count int, dt Datatype, dst, tag int, mode device.Mode) (*Request, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("%w: tag %d must be non-negative", ErrTag, tag)
+	}
+	w, err := c.worldRank(dst)
+	if err != nil {
+		return nil, err
+	}
+	data, err := dt.Pack(nil, buf, off, count)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := c.dev.Isend(data, w, tag, c.pt2pt, mode)
+	if err != nil {
+		return nil, err
+	}
+	return newRequest(c, dr, nil), nil
+}
+
+// recvFinisher builds the completion hook that unpacks received bytes into
+// the user buffer and translates the source to a group rank.
+func (c *Comm) recvFinisher(dr *device.Request, buf any, off, count int, dt Datatype) func(device.Status) (*Status, error) {
+	return func(dst device.Status) (*Status, error) {
+		data := dr.Data()
+		st := &Status{
+			Source:    c.groupSource(dst.Source),
+			Tag:       dst.Tag,
+			Cancelled: dst.Cancelled,
+			bytes:     len(data),
+			elements:  -1,
+		}
+		if dst.Cancelled {
+			return st, nil
+		}
+		n, err := dt.Unpack(data, buf, off, count)
+		st.elements = n
+		if err != nil {
+			return st, err
+		}
+		// More bytes than count elements can hold is a truncation, as
+		// in MPI_ERR_TRUNCATE.
+		if sz := dt.ByteSize(); sz > 0 && len(data) > count*sz {
+			return st, fmt.Errorf("%w: message holds %d bytes, receive posted for %d",
+				ErrTruncate, len(data), count*sz)
+		}
+		return st, nil
+	}
+}
+
+// Isend starts a standard-mode non-blocking send of count elements of dt
+// from buf starting at offset off — MPI_Isend.
+func (c *Comm) Isend(buf any, off, count int, dt Datatype, dst, tag int) (*Request, error) {
+	return c.sendMode(buf, off, count, dt, dst, tag, device.ModeStandard)
+}
+
+// Issend starts a synchronous-mode non-blocking send: it completes only
+// after the destination posts a matching receive — MPI_Issend.
+func (c *Comm) Issend(buf any, off, count int, dt Datatype, dst, tag int) (*Request, error) {
+	return c.sendMode(buf, off, count, dt, dst, tag, device.ModeSync)
+}
+
+// Irsend starts a ready-mode non-blocking send: the caller asserts a
+// matching receive is already posted — MPI_Irsend.
+func (c *Comm) Irsend(buf any, off, count int, dt Datatype, dst, tag int) (*Request, error) {
+	return c.sendMode(buf, off, count, dt, dst, tag, device.ModeReady)
+}
+
+// Ibsend starts a buffered-mode non-blocking send using the buffer
+// attached with BufferAttach — MPI_Ibsend.
+func (c *Comm) Ibsend(buf any, off, count int, dt Datatype, dst, tag int) (*Request, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("%w: tag %d must be non-negative", ErrTag, tag)
+	}
+	w, err := c.worldRank(dst)
+	if err != nil {
+		return nil, err
+	}
+	data, err := dt.Pack(nil, buf, off, count)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.proc.bsend.reserve(len(data)); err != nil {
+		return nil, err
+	}
+	// Buffered sends complete locally: force the eager protocol, whose
+	// sender side never blocks on the receiver. The reservation is
+	// released immediately because the device copies data into the
+	// outgoing frame before Isend returns.
+	dr, err := c.dev.Isend(data, w, tag, c.pt2pt, device.ModeReady)
+	c.proc.bsend.release(len(data))
+	if err != nil {
+		return nil, err
+	}
+	return newRequest(c, dr, nil), nil
+}
+
+// Irecv starts a non-blocking receive of up to count elements of dt into
+// buf at offset off; src may be AnySource, tag may be AnyTag — MPI_Irecv.
+func (c *Comm) Irecv(buf any, off, count int, dt Datatype, src, tag int) (*Request, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("%w: tag %d", ErrTag, tag)
+	}
+	w := device.AnySource
+	if src != AnySource {
+		var err error
+		if w, err = c.worldRank(src); err != nil {
+			return nil, err
+		}
+	}
+	dtag := tag
+	if tag == AnyTag {
+		dtag = device.AnyTag
+	}
+	dr, err := c.dev.Irecv(nil, w, dtag, c.pt2pt)
+	if err != nil {
+		return nil, err
+	}
+	r := newRequest(c, dr, nil)
+	r.fin = c.recvFinisher(dr, buf, off, count, dt)
+	return r, nil
+}
+
+// Send performs a blocking standard-mode send — MPI_Send.
+func (c *Comm) Send(buf any, off, count int, dt Datatype, dst, tag int) error {
+	r, err := c.Isend(buf, off, count, dt, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// Ssend performs a blocking synchronous-mode send — MPI_Ssend.
+func (c *Comm) Ssend(buf any, off, count int, dt Datatype, dst, tag int) error {
+	r, err := c.Issend(buf, off, count, dt, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// Rsend performs a blocking ready-mode send — MPI_Rsend.
+func (c *Comm) Rsend(buf any, off, count int, dt Datatype, dst, tag int) error {
+	r, err := c.Irsend(buf, off, count, dt, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// Bsend performs a blocking buffered-mode send — MPI_Bsend.
+func (c *Comm) Bsend(buf any, off, count int, dt Datatype, dst, tag int) error {
+	r, err := c.Ibsend(buf, off, count, dt, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// Recv performs a blocking receive — MPI_Recv.
+func (c *Comm) Recv(buf any, off, count int, dt Datatype, src, tag int) (*Status, error) {
+	r, err := c.Irecv(buf, off, count, dt, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return r.Wait()
+}
+
+// Sendrecv executes a send and a receive concurrently, safe against the
+// exchange deadlock — MPI_Sendrecv.
+func (c *Comm) Sendrecv(
+	sbuf any, soff, scount int, sdt Datatype, dst, stag int,
+	rbuf any, roff, rcount int, rdt Datatype, src, rtag int,
+) (*Status, error) {
+	rr, err := c.Irecv(rbuf, roff, rcount, rdt, src, rtag)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := c.Isend(sbuf, soff, scount, sdt, dst, stag)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return nil, err
+	}
+	return rr.Wait()
+}
+
+// SendrecvReplace sends and receives using a single buffer —
+// MPI_Sendrecv_replace. The incoming message replaces the outgoing data.
+func (c *Comm) SendrecvReplace(
+	buf any, off, count int, dt Datatype, dst, stag, src, rtag int,
+) (*Status, error) {
+	// The outgoing bytes are packed (copied) before the receive can
+	// touch the buffer, so one buffer is safe.
+	sr, err := c.Isend(buf, off, count, dt, dst, stag)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := c.Irecv(buf, off, count, dt, src, rtag)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return nil, err
+	}
+	return rr.Wait()
+}
+
+// Probe blocks until a matching message is ready to be received and
+// returns its envelope — MPI_Probe.
+func (c *Comm) Probe(src, tag int) (*Status, error) {
+	w := device.AnySource
+	if src != AnySource {
+		var err error
+		if w, err = c.worldRank(src); err != nil {
+			return nil, err
+		}
+	}
+	dtag := tag
+	if tag == AnyTag {
+		dtag = device.AnyTag
+	}
+	dst, err := c.dev.Probe(w, dtag, c.pt2pt)
+	if err != nil {
+		return nil, err
+	}
+	return &Status{Source: c.groupSource(dst.Source), Tag: dst.Tag, bytes: dst.Count, elements: -1}, nil
+}
+
+// Iprobe checks without blocking whether a matching message has arrived —
+// MPI_Iprobe.
+func (c *Comm) Iprobe(src, tag int) (*Status, bool, error) {
+	w := device.AnySource
+	if src != AnySource {
+		var err error
+		if w, err = c.worldRank(src); err != nil {
+			return nil, false, err
+		}
+	}
+	dtag := tag
+	if tag == AnyTag {
+		dtag = device.AnyTag
+	}
+	dst, ok := c.dev.Iprobe(w, dtag, c.pt2pt)
+	if !ok {
+		return nil, false, nil
+	}
+	return &Status{Source: c.groupSource(dst.Source), Tag: dst.Tag, bytes: dst.Count, elements: -1}, true, nil
+}

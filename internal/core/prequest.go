@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"mpj/internal/device"
+)
+
+// Prequest is a persistent communication request — MPI_Send_init /
+// MPI_Recv_init. The envelope and buffer are fixed once; Start activates
+// a fresh communication with them each time, avoiding per-iteration
+// argument processing in tight exchange loops (halo exchanges and the
+// like).
+type Prequest struct {
+	comm   *Comm
+	isSend bool
+	mode   device.Mode
+
+	buf   any
+	off   int
+	count int
+	dt    Datatype
+	peer  int // dst for sends, src for receives (may be AnySource)
+	tag   int
+
+	active *Request
+}
+
+// SendInit creates a persistent standard-mode send request —
+// MPI_Send_init.
+func (c *Comm) SendInit(buf any, off, count int, dt Datatype, dst, tag int) (*Prequest, error) {
+	return c.sendInitMode(buf, off, count, dt, dst, tag, device.ModeStandard)
+}
+
+// SsendInit creates a persistent synchronous-mode send request —
+// MPI_Ssend_init.
+func (c *Comm) SsendInit(buf any, off, count int, dt Datatype, dst, tag int) (*Prequest, error) {
+	return c.sendInitMode(buf, off, count, dt, dst, tag, device.ModeSync)
+}
+
+// RsendInit creates a persistent ready-mode send request — MPI_Rsend_init.
+func (c *Comm) RsendInit(buf any, off, count int, dt Datatype, dst, tag int) (*Prequest, error) {
+	return c.sendInitMode(buf, off, count, dt, dst, tag, device.ModeReady)
+}
+
+func (c *Comm) sendInitMode(buf any, off, count int, dt Datatype, dst, tag int, mode device.Mode) (*Prequest, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("%w: tag %d must be non-negative", ErrTag, tag)
+	}
+	if _, err := c.worldRank(dst); err != nil {
+		return nil, err
+	}
+	return &Prequest{
+		comm: c, isSend: true, mode: mode,
+		buf: buf, off: off, count: count, dt: dt, peer: dst, tag: tag,
+	}, nil
+}
+
+// RecvInit creates a persistent receive request — MPI_Recv_init.
+func (c *Comm) RecvInit(buf any, off, count int, dt Datatype, src, tag int) (*Prequest, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("%w: tag %d", ErrTag, tag)
+	}
+	if src != AnySource {
+		if _, err := c.worldRank(src); err != nil {
+			return nil, err
+		}
+	}
+	return &Prequest{
+		comm: c, isSend: false,
+		buf: buf, off: off, count: count, dt: dt, peer: src, tag: tag,
+	}, nil
+}
+
+// Start activates the persistent request. The previous activation must
+// have completed (Wait/Test returned) before Start is called again.
+func (p *Prequest) Start() error {
+	if p.active != nil && !p.active.dreq.Done() {
+		return fmt.Errorf("%w: persistent request started while still active", ErrOther)
+	}
+	var (
+		r   *Request
+		err error
+	)
+	if p.isSend {
+		r, err = p.comm.sendMode(p.buf, p.off, p.count, p.dt, p.peer, p.tag, p.mode)
+	} else {
+		r, err = p.comm.Irecv(p.buf, p.off, p.count, p.dt, p.peer, p.tag)
+	}
+	if err != nil {
+		return err
+	}
+	p.active = r
+	return nil
+}
+
+// Wait blocks until the current activation completes.
+func (p *Prequest) Wait() (*Status, error) {
+	if p.active == nil {
+		return nil, fmt.Errorf("%w: persistent request not started", ErrOther)
+	}
+	return p.active.Wait()
+}
+
+// Test reports whether the current activation has completed.
+func (p *Prequest) Test() (*Status, bool, error) {
+	if p.active == nil {
+		return nil, false, fmt.Errorf("%w: persistent request not started", ErrOther)
+	}
+	return p.active.Test()
+}
+
+// StartAll activates a set of persistent requests — MPI_Startall.
+func StartAll(ps []*Prequest) error {
+	for i, p := range ps {
+		if p == nil {
+			continue
+		}
+		if err := p.Start(); err != nil {
+			return fmt.Errorf("starting request %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WaitAllP waits for the current activations of a set of persistent
+// requests.
+func WaitAllP(ps []*Prequest) ([]*Status, error) {
+	reqs := make([]*Request, len(ps))
+	for i, p := range ps {
+		if p != nil {
+			if p.active == nil {
+				return nil, fmt.Errorf("%w: persistent request %d not started", ErrOther, i)
+			}
+			reqs[i] = p.active
+		}
+	}
+	return WaitAll(reqs)
+}

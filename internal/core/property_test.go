@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// groupFromBits builds a deterministic group from a bitmask over a small
+// world, for property tests.
+func groupFromBits(bits uint8) *Group {
+	var ranks []int
+	for i := 0; i < 8; i++ {
+		if bits&(1<<i) != 0 {
+			ranks = append(ranks, i)
+		}
+	}
+	g, _ := NewGroup(ranks)
+	return g
+}
+
+func sortedRanks(g *Group) []int {
+	r := g.Ranks()
+	sort.Ints(r)
+	return r
+}
+
+// TestGroupAlgebraProperties checks the set-algebra laws of the Group
+// operations over random member sets.
+func TestGroupAlgebraProperties(t *testing.T) {
+	f := func(aBits, bBits uint8) bool {
+		a := groupFromBits(aBits)
+		b := groupFromBits(bBits)
+
+		union := a.Union(b)
+		inter := a.Intersection(b)
+		diffAB := a.Difference(b)
+		diffBA := b.Difference(a)
+
+		// |A ∪ B| = |A| + |B| - |A ∩ B|
+		if union.Size() != a.Size()+b.Size()-inter.Size() {
+			return false
+		}
+		// A = (A∩B) ∪ (A\B) as sets.
+		recon := inter.Union(diffAB)
+		if !reflect.DeepEqual(sortedRanks(recon), sortedRanks(a)) {
+			return false
+		}
+		// A\B and B\A are disjoint.
+		if diffAB.Intersection(diffBA).Size() != 0 {
+			return false
+		}
+		// Union contains every member of both.
+		for _, r := range a.Ranks() {
+			if !union.Contains(r) {
+				return false
+			}
+		}
+		for _, r := range b.Ranks() {
+			if !union.Contains(r) {
+				return false
+			}
+		}
+		// Intersection members are in both.
+		for _, r := range inter.Ranks() {
+			if !a.Contains(r) || !b.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupInclExclInverse checks that Excl(complement) equals
+// Incl(selection) for random selections.
+func TestGroupInclExclInverse(t *testing.T) {
+	f := func(worldBits, selBits uint8) bool {
+		g := groupFromBits(worldBits | 1) // never empty
+		n := g.Size()
+		var sel, rest []int
+		for i := 0; i < n; i++ {
+			if selBits&(1<<i) != 0 {
+				sel = append(sel, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		inc, err := g.Incl(sel)
+		if err != nil {
+			return false
+		}
+		exc, err := g.Excl(rest)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(sortedRanks(inc), sortedRanks(exc))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupTranslateRoundTrip: translating a rank to another group and
+// back is the identity for common members.
+func TestGroupTranslateRoundTrip(t *testing.T) {
+	f := func(aBits, bBits uint8) bool {
+		a := groupFromBits(aBits | 1)
+		b := groupFromBits(bBits | 1)
+		all := make([]int, a.Size())
+		for i := range all {
+			all[i] = i
+		}
+		toB, err := a.TranslateRanks(all, b)
+		if err != nil {
+			return false
+		}
+		for i, rb := range toB {
+			if rb == Undefined {
+				continue
+			}
+			back, err := b.TranslateRanks([]int{rb}, a)
+			if err != nil || back[0] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDerivedPackUnpackProperty: packing count elements of a random
+// vector type and unpacking into a zeroed buffer reproduces exactly the
+// pattern slots and leaves gaps untouched.
+func TestDerivedPackUnpackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := 1 + rng.Intn(3)
+		blocklen := 1 + rng.Intn(3)
+		stride := blocklen + rng.Intn(3)
+		vcount := 1 + rng.Intn(3)
+		dt, err := Vector(vcount, blocklen, stride, Int)
+		if err != nil {
+			return false
+		}
+		slots := count * dt.Extent()
+		src := make([]int32, slots+8)
+		for i := range src {
+			src[i] = int32(rng.Intn(1000) + 1) // never zero
+		}
+		packed, err := dt.Pack(nil, src, 0, count)
+		if err != nil {
+			return false
+		}
+		if len(packed) != count*dt.ByteSize() {
+			return false
+		}
+		dst := make([]int32, len(src))
+		n, err := dt.Unpack(packed, dst, 0, count)
+		if err != nil || n != count {
+			return false
+		}
+		// Transmitted slots must match, untouched slots must stay zero.
+		touched := map[int]bool{}
+		for k := 0; k < count; k++ {
+			for b := 0; b < vcount; b++ {
+				for j := 0; j < blocklen; j++ {
+					touched[k*dt.Extent()+b*stride+j] = true
+				}
+			}
+		}
+		for i := range dst {
+			if touched[i] {
+				if dst[i] != src[i] {
+					return false
+				}
+			} else if dst[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReduceOpsAssociativityProperty: the integer ops must be associative
+// and commutative over random vectors (the property the tree algorithms
+// rely on).
+func TestReduceOpsAssociativityProperty(t *testing.T) {
+	ops := []*Op{SumOp, ProdOp, MaxOp, MinOp, BAndOp, BOrOp, BXorOp}
+	f := func(a, b, c []int32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if len(c) < n {
+			n = len(c)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b, c = a[:n], b[:n], c[:n]
+		for _, op := range ops {
+			comb, err := op.combinerFor(Int)
+			if err != nil {
+				return false
+			}
+			pack := func(x []int32) []byte {
+				p, _ := Int.Pack(nil, x, 0, n)
+				return p
+			}
+			// (a op b) op c
+			left := pack(b)
+			if comb(pack(a), left) != nil {
+				return false
+			}
+			lhs := pack(c)
+			if comb(left, lhs) != nil {
+				return false
+			}
+			// a op (b op c)
+			right := pack(c)
+			if comb(pack(b), right) != nil {
+				return false
+			}
+			rhs := right
+			if comb(pack(a), rhs) != nil {
+				return false
+			}
+			if !reflect.DeepEqual(lhs, rhs) {
+				return false
+			}
+			// commutativity: a op b == b op a
+			ab := pack(b)
+			_ = comb(pack(a), ab)
+			ba := pack(a)
+			_ = comb(pack(b), ba)
+			if !reflect.DeepEqual(ab, ba) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCartCoordsRankBijection: CartRank∘Coords is the identity over every
+// rank for random grids.
+func TestCartCoordsRankBijection(t *testing.T) {
+	dims := [][]int{{6}, {2, 3}, {2, 2, 2}, {3, 2}}
+	for _, dim := range dims {
+		total := 1
+		for _, d := range dim {
+			total *= d
+		}
+		runRanks(t, total, func(w *Comm) error {
+			periods := make([]bool, len(dim))
+			cc, err := w.CreateCart(dim, periods, false)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < cc.Size(); r++ {
+				coords, err := cc.Coords(r)
+				if err != nil {
+					return err
+				}
+				back, err := cc.CartRank(coords)
+				if err != nil {
+					return err
+				}
+				if back != r {
+					return expect(false, "rank %d -> %v -> %d", r, coords, back)
+				}
+			}
+			return nil
+		})
+	}
+}

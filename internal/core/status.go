@@ -1,0 +1,47 @@
+package core
+
+import "fmt"
+
+// Wildcards for receive and probe operations.
+const (
+	// AnySource matches a message from any source rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// Status reports the outcome of a receive, probe or cancelled operation —
+// the MPJ Status object. Source is a rank in the communicator's group.
+type Status struct {
+	// Source is the group rank the message came from.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Cancelled reports whether the operation was cancelled.
+	Cancelled bool
+
+	bytes    int // packed payload size
+	elements int // decoded element count (receives only; -1 if unknown)
+}
+
+// GetCount returns the number of dt elements in the message, like
+// MPI_Get_count: for completed receives it is the decoded element count;
+// for probes it is derived from the byte count (fixed-size types only,
+// otherwise Undefined).
+func (s *Status) GetCount(dt Datatype) int {
+	if s.elements >= 0 {
+		return s.elements
+	}
+	if sz := dt.ByteSize(); sz > 0 {
+		return s.bytes / sz
+	}
+	return Undefined
+}
+
+// Bytes returns the packed payload size in bytes.
+func (s *Status) Bytes() int { return s.bytes }
+
+// String renders the status for diagnostics.
+func (s *Status) String() string {
+	return fmt.Sprintf("Status{src=%d tag=%d bytes=%d cancelled=%v}", s.Source, s.Tag, s.bytes, s.Cancelled)
+}

@@ -1,0 +1,457 @@
+// Package daemon implements the MPJ service daemon of the paper's §3.2 —
+// the MPJService: a per-host process that spawns slaves on behalf of
+// remote clients, monitors them, forwards their output, raises MPJAbort
+// events when they die (§3.3) and reclaims them when job leases expire
+// (§3.4).
+//
+// The paper realizes the daemon as an RMI activatable object registered
+// with rmid and published through Jini lookup; here it is a long-lived
+// net/rpc server registered with the lookup.Registrar.
+package daemon
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/rpc"
+	"os"
+	"sync"
+	"time"
+
+	"mpj/internal/events"
+	"mpj/internal/lease"
+	"mpj/internal/lookup"
+)
+
+// ServiceType is the lookup service type daemons register under.
+const ServiceType = "MPJService"
+
+// slaveRec tracks one running slave.
+type slaveRec struct {
+	spec  SlaveSpec
+	slave Slave
+}
+
+// jobState tracks all local slaves of one job.
+type jobState struct {
+	id        uint64
+	eventAddr string
+	leaseID   string
+	slaves    map[string]*slaveRec
+	aborted   bool // an abort has been raised or the job destroyed
+	seq       uint64
+}
+
+// Daemon is an MPJService instance.
+type Daemon struct {
+	spawner Spawner
+	ln      net.Listener
+	leases  *lease.Table
+	logger  *log.Logger
+
+	mu   sync.Mutex
+	jobs map[uint64]*jobState
+
+	registrations []registration
+	closed        bool
+}
+
+// registration records one lookup-service registration kept alive by a
+// renewer.
+type registration struct {
+	client  *lookup.Client
+	leaseID string
+	renewer *lease.Renewer
+}
+
+// Option configures a Daemon.
+type Option func(*Daemon)
+
+// WithSpawner overrides the slave spawner (default: ProcSpawner).
+func WithSpawner(s Spawner) Option {
+	return func(d *Daemon) { d.spawner = s }
+}
+
+// WithLogger directs daemon logging (default: log to stderr).
+func WithLogger(l *log.Logger) Option {
+	return func(d *Daemon) { d.logger = l }
+}
+
+// New starts a daemon on an ephemeral localhost port.
+func New(opts ...Option) (*Daemon, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	d := &Daemon{
+		spawner: ProcSpawner{},
+		ln:      ln,
+		jobs:    make(map[uint64]*jobState),
+		logger:  log.New(os.Stderr, "mpjd ", log.LstdFlags),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	d.leases = lease.NewTable(d.onLeaseExpired)
+
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceType, &service{d: d}); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return d, nil
+}
+
+// Addr returns the daemon's RPC endpoint.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Announce registers the daemon with the given lookup registrars under
+// leased registrations that are renewed until Close.
+func (d *Daemon) Announce(registrars []string, leaseDur time.Duration) error {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	item := lookup.ServiceItem{
+		Type: ServiceType,
+		Addr: d.Addr(),
+		Host: host,
+	}
+	for _, addr := range registrars {
+		client, err := lookup.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("daemon: announcing to %s: %w", addr, err)
+		}
+		resp, err := client.Register(item, leaseDur)
+		if err != nil {
+			client.Close()
+			return fmt.Errorf("daemon: registering with %s: %w", addr, err)
+		}
+		leaseID := resp.LeaseID
+		renewer := lease.NewRenewer(leaseDur, func(dur time.Duration) error {
+			return client.Renew(leaseID, dur)
+		}, func(err error) {
+			d.logger.Printf("lookup registration lapsed: %v", err)
+		})
+		d.mu.Lock()
+		d.registrations = append(d.registrations, registration{client: client, leaseID: leaseID, renewer: renewer})
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// JobCount reports how many jobs have live slaves on this daemon.
+func (d *Daemon) JobCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.jobs)
+}
+
+// SlaveCount reports the number of live slaves across all jobs.
+func (d *Daemon) SlaveCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, j := range d.jobs {
+		n += len(j.slaves)
+	}
+	return n
+}
+
+// Close destroys all slaves and shuts the daemon down.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	regs := d.registrations
+	d.registrations = nil
+	var all []*slaveRec
+	for _, j := range d.jobs {
+		j.aborted = true
+		for _, rec := range j.slaves {
+			all = append(all, rec)
+		}
+	}
+	d.jobs = make(map[uint64]*jobState)
+	d.mu.Unlock()
+
+	for _, reg := range regs {
+		reg.renewer.Stop()
+		_ = reg.client.Cancel(reg.leaseID)
+		reg.client.Close()
+	}
+	for _, rec := range all {
+		rec.slave.Destroy()
+	}
+	d.ln.Close()
+	d.leases.Close()
+}
+
+// createSlave spawns one slave and begins monitoring it.
+func (d *Daemon) createSlave(spec SlaveSpec) (string, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return "", fmt.Errorf("daemon: closed")
+	}
+	job, ok := d.jobs[spec.JobID]
+	if !ok {
+		job = &jobState{
+			id:        spec.JobID,
+			eventAddr: spec.EventAddr,
+			slaves:    make(map[string]*slaveRec),
+		}
+		if spec.LeaseMs > 0 {
+			info := d.leases.Grant(spec.JobID, time.Duration(spec.LeaseMs)*time.Millisecond)
+			job.leaseID = info.ID
+		}
+		d.jobs[spec.JobID] = job
+	}
+	if job.aborted {
+		d.mu.Unlock()
+		return "", fmt.Errorf("daemon: job %d already aborted", spec.JobID)
+	}
+	d.mu.Unlock()
+
+	slave, err := d.spawner.Spawn(spec, d.Addr())
+	if err != nil {
+		return "", err
+	}
+
+	d.mu.Lock()
+	job.slaves[slave.ID()] = &slaveRec{spec: spec, slave: slave}
+	d.mu.Unlock()
+
+	go d.monitor(spec.JobID, slave)
+	return slave.ID(), nil
+}
+
+// monitor waits for a slave to exit and applies the paper's §3.3 rule: an
+// unexpected death raises MPJAbort at the client and destroys the job's
+// remaining local slaves.
+func (d *Daemon) monitor(jobID uint64, slave Slave) {
+	err := slave.Wait()
+
+	d.mu.Lock()
+	job, ok := d.jobs[jobID]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	delete(job.slaves, slave.ID())
+	crashed := err != nil && !job.aborted
+	var toDestroy []*slaveRec
+	var eventAddr string
+	var seq uint64
+	if crashed {
+		job.aborted = true
+		eventAddr = job.eventAddr
+		job.seq++
+		seq = job.seq
+		for _, rec := range job.slaves {
+			toDestroy = append(toDestroy, rec)
+		}
+		job.slaves = make(map[string]*slaveRec)
+	}
+	d.reapJobLocked(job)
+	d.mu.Unlock()
+
+	if crashed {
+		d.logger.Printf("job %d: slave %s died: %v — destroying %d local slaves",
+			jobID, slave.ID(), err, len(toDestroy))
+		for _, rec := range toDestroy {
+			rec.slave.Destroy()
+		}
+		if eventAddr != "" {
+			ev := events.Event{
+				Type:    events.TypeAbort,
+				JobID:   jobID,
+				Source:  "daemon " + d.Addr(),
+				Seq:     seq,
+				Message: fmt.Sprintf("slave %s died: %v", slave.ID(), err),
+			}
+			if nerr := events.Notify(eventAddr, ev); nerr != nil {
+				d.logger.Printf("job %d: abort notification failed: %v", jobID, nerr)
+			}
+		}
+	}
+}
+
+// reapJobLocked drops a job with no remaining slaves. Callers hold d.mu.
+func (d *Daemon) reapJobLocked(job *jobState) {
+	if len(job.slaves) != 0 {
+		return
+	}
+	delete(d.jobs, job.id)
+	if job.leaseID != "" {
+		_ = d.leases.Cancel(job.leaseID)
+	}
+}
+
+// destroyJob forcibly removes all local slaves of a job. Used for client
+// aborts, lease expiry, and orderly job teardown.
+func (d *Daemon) destroyJob(jobID uint64, reason string) {
+	d.mu.Lock()
+	job, ok := d.jobs[jobID]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	job.aborted = true
+	var toDestroy []*slaveRec
+	for _, rec := range job.slaves {
+		toDestroy = append(toDestroy, rec)
+	}
+	job.slaves = make(map[string]*slaveRec)
+	d.reapJobLocked(job)
+	d.mu.Unlock()
+
+	if len(toDestroy) > 0 {
+		d.logger.Printf("job %d: destroying %d slaves (%s)", jobID, len(toDestroy), reason)
+	}
+	for _, rec := range toDestroy {
+		rec.slave.Destroy()
+	}
+}
+
+// onLeaseExpired implements §3.4: if the client stops renewing (killed,
+// partitioned), its job's slaves are orphans and must be destroyed.
+func (d *Daemon) onLeaseExpired(id string, payload any) {
+	jobID, ok := payload.(uint64)
+	if !ok {
+		return
+	}
+	d.destroyJob(jobID, "job lease expired")
+}
+
+// renewJob extends a job's lease.
+func (d *Daemon) renewJob(jobID uint64, dur time.Duration) error {
+	d.mu.Lock()
+	job, ok := d.jobs[jobID]
+	var leaseID string
+	if ok {
+		leaseID = job.leaseID
+	}
+	d.mu.Unlock()
+	if !ok || leaseID == "" {
+		return fmt.Errorf("daemon: no leased job %d", jobID)
+	}
+	_, err := d.leases.Renew(leaseID, dur)
+	return err
+}
+
+// RPC surface.
+
+// JobRef names a job in RPC calls.
+type JobRef struct {
+	JobID  uint64
+	Reason string
+}
+
+// RenewJobReq extends a job lease.
+type RenewJobReq struct {
+	JobID   uint64
+	LeaseMs int64
+}
+
+// SlaveInfo describes a created slave.
+type SlaveInfo struct {
+	SlaveID string
+}
+
+// PingReply answers a liveness probe.
+type PingReply struct {
+	Addr   string
+	Jobs   int
+	Slaves int
+}
+
+type service struct{ d *Daemon }
+
+// CreateSlave spawns a slave for the given spec.
+func (s *service) CreateSlave(spec SlaveSpec, reply *SlaveInfo) error {
+	id, err := s.d.createSlave(spec)
+	if err != nil {
+		return err
+	}
+	reply.SlaveID = id
+	return nil
+}
+
+// DestroyJob destroys all local slaves of the job.
+func (s *service) DestroyJob(req JobRef, _ *struct{}) error {
+	s.d.destroyJob(req.JobID, req.Reason)
+	return nil
+}
+
+// RenewJob extends the job's lease.
+func (s *service) RenewJob(req RenewJobReq, _ *struct{}) error {
+	return s.d.renewJob(req.JobID, time.Duration(req.LeaseMs)*time.Millisecond)
+}
+
+// Ping reports daemon liveness; slaves also use it as their watchdog
+// probe (a slave whose daemon stops answering destroys itself, closing
+// the daemon-death hole in §3.4).
+func (s *service) Ping(_ struct{}, reply *PingReply) error {
+	reply.Addr = s.d.Addr()
+	reply.Jobs = s.d.JobCount()
+	reply.Slaves = s.d.SlaveCount()
+	return nil
+}
+
+// Client is an RPC connection to a remote daemon.
+type Client struct {
+	addr string
+	rpc  *rpc.Client
+}
+
+// DialDaemon connects to a daemon's RPC endpoint.
+func DialDaemon(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: dialing %s: %w", addr, err)
+	}
+	return &Client{addr: addr, rpc: rpc.NewClient(conn)}, nil
+}
+
+// Addr returns the daemon address this client talks to.
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases the connection.
+func (c *Client) Close() { c.rpc.Close() }
+
+// CreateSlave asks the daemon to spawn a slave.
+func (c *Client) CreateSlave(spec SlaveSpec) (SlaveInfo, error) {
+	var info SlaveInfo
+	err := c.rpc.Call(ServiceType+".CreateSlave", spec, &info)
+	return info, err
+}
+
+// DestroyJob tears down the job's local slaves.
+func (c *Client) DestroyJob(jobID uint64, reason string) error {
+	return c.rpc.Call(ServiceType+".DestroyJob", JobRef{JobID: jobID, Reason: reason}, &struct{}{})
+}
+
+// RenewJob extends the job lease.
+func (c *Client) RenewJob(jobID uint64, dur time.Duration) error {
+	return c.rpc.Call(ServiceType+".RenewJob", RenewJobReq{JobID: jobID, LeaseMs: dur.Milliseconds()}, &struct{}{})
+}
+
+// Ping probes daemon liveness.
+func (c *Client) Ping() (PingReply, error) {
+	var reply PingReply
+	err := c.rpc.Call(ServiceType+".Ping", struct{}{}, &reply)
+	return reply, err
+}

@@ -1,0 +1,587 @@
+// Package device implements the "MPJ device level" of the paper — the
+// analogue of MPICH's abstract device interface (MPID).
+//
+// Per §3.5 of the paper, the device deals only in:
+//
+//   - absolute (world) process ids — groups and communicators live above;
+//   - integer contexts and tags — the full communicator abstraction lives
+//     above;
+//   - byte vectors — datatype handling lives above.
+//
+// The basic operations are Isend, Irecv and the wait/test family
+// (WaitAny/TestAny et al.), which "suffice to build legal implementations
+// of all the MPI communication modes". Two wire protocols are provided:
+//
+//   - eager: the payload travels with the envelope; unmatched messages are
+//     buffered without limit on the receiver (paper §3.5 3a);
+//   - rendezvous: a ready-to-send header is queued until a matching receive
+//     is posted, the receiver answers clear-to-send, and only then does the
+//     payload move (paper §3.5 3b) — receiver buffering is bounded by
+//     queued headers.
+//
+// Standard-mode sends pick eager below EagerLimit and rendezvous above;
+// synchronous sends always use rendezvous (the CTS proves a matching
+// receive was posted); ready sends always use eager.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mpj/internal/transport"
+	"mpj/internal/wire"
+)
+
+// Wildcards accepted by Irecv and Probe.
+const (
+	// AnySource matches messages from every source rank.
+	AnySource = -1
+	// AnyTag matches messages with any tag.
+	AnyTag = -1
+)
+
+// DefaultEagerLimit is the payload size (bytes) up to which standard-mode
+// sends use the eager protocol. Chosen near the classic MPICH default; the
+// A2 ablation benchmark sweeps it.
+const DefaultEagerLimit = 16 << 10
+
+// Mode selects the send protocol semantics.
+type Mode uint8
+
+const (
+	// ModeStandard uses eager for payloads up to the eager limit and
+	// rendezvous beyond it.
+	ModeStandard Mode = iota
+	// ModeSync always uses rendezvous; completion implies a matching
+	// receive was posted (MPI_Ssend semantics).
+	ModeSync
+	// ModeReady always uses eager: the caller asserts the receive is
+	// already posted (MPI_Rsend semantics).
+	ModeReady
+)
+
+// Errors reported by the device.
+var (
+	// ErrTruncate reports a message longer than the posted receive buffer.
+	ErrTruncate = errors.New("device: message truncated")
+	// ErrClosed reports use of a closed device.
+	ErrClosed = errors.New("device: closed")
+	// ErrPeerFailure reports that a peer process failed; per the paper's
+	// failure model the whole job must now abort.
+	ErrPeerFailure = errors.New("device: peer failure")
+)
+
+// Stats counts protocol events; the protocol benchmarks and tests read it.
+type Stats struct {
+	EagerSent    atomic.Int64
+	EagerRecv    atomic.Int64
+	RTSSent      atomic.Int64
+	RTSRecv      atomic.Int64
+	CTSSent      atomic.Int64
+	DataSent     atomic.Int64
+	DataRecv     atomic.Int64
+	Unexpected   atomic.Int64 // messages queued before a matching receive
+	PostedDirect atomic.Int64 // messages that met an already-posted receive
+}
+
+// unexpected is an arrived message (eager payload or rendezvous header)
+// for which no receive has been posted yet.
+type unexpected struct {
+	src     int
+	tag     int
+	ctx     int
+	eager   bool
+	payload []byte // eager only
+	msgID   uint64 // rendezvous only
+	plen    int    // rendezvous payload length
+}
+
+// rdvKey identifies an in-flight rendezvous on the receiver side.
+type rdvKey struct {
+	src   int
+	msgID uint64
+}
+
+// Device is one endpoint of the MPJ device level, bound to a Transport.
+type Device struct {
+	t     transport.Transport
+	rank  int
+	size  int
+	stats Stats
+
+	mu   sync.Mutex
+	cond sync.Cond // broadcast whenever any request or probe state changes
+
+	eagerLimit int
+	closed     bool
+	failure    error
+
+	posted []*Request   // posted receives, FIFO
+	unexp  []unexpected // arrived-but-unmatched messages, FIFO
+
+	pendingRTS map[uint64]*Request // sender side: msgID → send awaiting CTS
+	awaitData  map[rdvKey]*Request // receiver side: matched RTS awaiting DATA
+
+	nextMsgID uint64
+	seq       []uint64 // per-destination sequence numbers (diagnostics)
+
+	onFailure func(peer int, err error)
+}
+
+// Option configures a Device at Open time.
+type Option func(*Device)
+
+// WithEagerLimit overrides the standard-mode eager/rendezvous threshold.
+func WithEagerLimit(n int) Option {
+	return func(d *Device) { d.eagerLimit = n }
+}
+
+// WithFailureHandler installs a callback invoked (once per failing peer,
+// outside the device lock) when a peer connection dies. The job layer uses
+// it to trigger the MPJAbort fan-out.
+func WithFailureHandler(f func(peer int, err error)) Option {
+	return func(d *Device) { d.onFailure = f }
+}
+
+// Open binds a Device to t and starts the transport. The device owns the
+// transport from here on: Close closes it.
+func Open(t transport.Transport, opts ...Option) (*Device, error) {
+	d := &Device{
+		t:          t,
+		rank:       t.Rank(),
+		size:       t.Size(),
+		eagerLimit: DefaultEagerLimit,
+		pendingRTS: make(map[uint64]*Request),
+		awaitData:  make(map[rdvKey]*Request),
+		seq:        make([]uint64, t.Size()),
+	}
+	d.cond.L = &d.mu
+	for _, opt := range opts {
+		opt(d)
+	}
+	t.SetHandler(d.handle)
+	t.SetErrorHandler(d.peerFailed)
+	if err := t.Start(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Rank returns the absolute rank of this process.
+func (d *Device) Rank() int { return d.rank }
+
+// Size returns the number of processes in the job.
+func (d *Device) Size() int { return d.size }
+
+// EagerLimit returns the standard-mode protocol threshold.
+func (d *Device) EagerLimit() int { return d.eagerLimit }
+
+// Stats exposes the protocol counters.
+func (d *Device) Stats() *Stats { return &d.stats }
+
+// Isend starts a non-blocking send of buf to absolute rank dst with the
+// given tag and context. The returned request completes once buf is
+// reusable; for ModeSync that also implies a matching receive was posted.
+// buf is copied into the outgoing frame immediately, so the caller may
+// reuse it as soon as Isend returns, but the *request* still tracks
+// protocol completion (rendezvous waits for its CTS).
+func (d *Device) Isend(buf []byte, dst, tag, ctx int, mode Mode) (*Request, error) {
+	if dst < 0 || dst >= d.size {
+		return nil, fmt.Errorf("device: isend to rank %d of %d: %w", dst, d.size, transport.ErrBadRank)
+	}
+	d.mu.Lock()
+	if err := d.usable(); err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	r := &Request{d: d, kind: reqSend, dst: dst, tag: tag, ctx: ctx}
+
+	eager := mode == ModeReady || (mode == ModeStandard && len(buf) <= d.eagerLimit)
+	if eager {
+		h := wire.Header{
+			Kind:    wire.KindEager,
+			Src:     int32(d.rank),
+			Tag:     int32(tag),
+			Context: int32(ctx),
+			Seq:     d.seq[dst],
+			Len:     int32(len(buf)),
+		}
+		d.seq[dst]++
+		frame := wire.NewFrame(&h, buf)
+		d.completeLocked(r, Status{Source: d.rank, Tag: tag, Count: len(buf)}, nil)
+		d.mu.Unlock()
+		d.stats.EagerSent.Add(1)
+		return r, d.t.Send(dst, frame)
+	}
+
+	// Rendezvous: send RTS, stash the payload until the CTS arrives.
+	d.nextMsgID++
+	r.msgID = d.nextMsgID
+	r.payload = append([]byte(nil), buf...) // caller may reuse buf immediately
+	r.count = len(buf)
+	d.pendingRTS[r.msgID] = r
+	h := wire.Header{
+		Kind:    wire.KindRTS,
+		Src:     int32(d.rank),
+		Tag:     int32(tag),
+		Context: int32(ctx),
+		Seq:     d.seq[dst],
+		MsgID:   r.msgID,
+		Len:     int32(len(buf)),
+	}
+	d.seq[dst]++
+	frame := wire.NewFrame(&h, nil)
+	d.mu.Unlock()
+	d.stats.RTSSent.Add(1)
+	return r, d.t.Send(dst, frame)
+}
+
+// Irecv posts a non-blocking receive into buf for a message matching
+// (src, tag, ctx); src may be AnySource and tag may be AnyTag. The request
+// completes when a matching message has fully arrived in buf.
+//
+// A nil buf selects allocate-on-arrival: the device sizes the buffer to
+// the incoming message (no truncation possible) and the payload is read
+// with Request.Data after completion. The layers above use this for
+// variable-length (serialized object) messages.
+func (d *Device) Irecv(buf []byte, src, tag, ctx int) (*Request, error) {
+	if src != AnySource && (src < 0 || src >= d.size) {
+		return nil, fmt.Errorf("device: irecv from rank %d of %d: %w", src, d.size, transport.ErrBadRank)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.usable(); err != nil {
+		return nil, err
+	}
+	r := &Request{d: d, kind: reqRecv, buf: buf, dynamic: buf == nil, src: src, tag: tag, ctx: ctx}
+
+	// First try the unexpected queue, in arrival order.
+	for i, u := range d.unexp {
+		if !envelopeMatches(src, tag, ctx, u.src, u.tag, u.ctx) {
+			continue
+		}
+		d.unexp = append(d.unexp[:i], d.unexp[i+1:]...)
+		if u.eager {
+			d.deliverLocked(r, u.src, u.tag, u.payload)
+		} else {
+			d.grantRendezvousLocked(r, u.src, u.tag, u.msgID, u.plen)
+		}
+		d.stats.PostedDirect.Add(1)
+		return r, nil
+	}
+	d.posted = append(d.posted, r)
+	return r, nil
+}
+
+// Iprobe checks, without receiving, whether a message matching
+// (src, tag, ctx) has arrived. The returned status reports the envelope
+// and byte count of the earliest such message.
+func (d *Device) Iprobe(src, tag, ctx int) (Status, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, u := range d.unexp {
+		if envelopeMatches(src, tag, ctx, u.src, u.tag, u.ctx) {
+			n := u.plen
+			if u.eager {
+				n = len(u.payload)
+			}
+			return Status{Source: u.src, Tag: u.tag, Count: n}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a message matching (src, tag, ctx) has arrived and
+// returns its envelope without receiving it.
+func (d *Device) Probe(src, tag, ctx int) (Status, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if err := d.usable(); err != nil {
+			return Status{}, err
+		}
+		for _, u := range d.unexp {
+			if envelopeMatches(src, tag, ctx, u.src, u.tag, u.ctx) {
+				n := u.plen
+				if u.eager {
+					n = len(u.payload)
+				}
+				return Status{Source: u.src, Tag: u.tag, Count: n}, nil
+			}
+		}
+		d.cond.Wait()
+	}
+}
+
+// usable reports the terminal error state, if any. Callers hold d.mu.
+func (d *Device) usable() error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.failure != nil {
+		return d.failure
+	}
+	return nil
+}
+
+// envelopeMatches implements MPI matching: recvSrc/recvTag may be
+// wildcards, context must match exactly.
+func envelopeMatches(recvSrc, recvTag, recvCtx, src, tag, ctx int) bool {
+	if recvCtx != ctx {
+		return false
+	}
+	if recvSrc != AnySource && recvSrc != src {
+		return false
+	}
+	if recvTag != AnyTag && recvTag != tag {
+		return false
+	}
+	return true
+}
+
+// deliverLocked moves an arrived payload into a receive request and
+// completes it. A nil receive buffer means "allocate on arrival": the
+// request adopts the payload slice (zero copy — the frame is already
+// owned by the device) and exposes it via Data. Callers hold d.mu.
+func (d *Device) deliverLocked(r *Request, src, tag int, payload []byte) {
+	if r.dynamic {
+		r.buf = payload
+		d.completeLocked(r, Status{Source: src, Tag: tag, Count: len(payload)}, nil)
+		return
+	}
+	n := copy(r.buf, payload)
+	var err error
+	if len(payload) > len(r.buf) {
+		err = fmt.Errorf("%w: got %d bytes, buffer holds %d", ErrTruncate, len(payload), len(r.buf))
+	}
+	d.completeLocked(r, Status{Source: src, Tag: tag, Count: n}, err)
+}
+
+// grantRendezvousLocked answers a matched RTS with a CTS and parks the
+// receive request until the DATA frame arrives. Callers hold d.mu.
+func (d *Device) grantRendezvousLocked(r *Request, src, tag int, msgID uint64, plen int) {
+	r.matchedSrc = src
+	r.matchedTag = tag
+	r.expect = plen
+	d.awaitData[rdvKey{src: src, msgID: msgID}] = r
+	h := wire.Header{
+		Kind:    wire.KindCTS,
+		Src:     int32(d.rank),
+		Context: int32(r.ctx),
+		MsgID:   msgID,
+	}
+	frame := wire.NewFrame(&h, nil)
+	d.stats.CTSSent.Add(1)
+	// Send outside nothing: transport sends never block, so issuing them
+	// under d.mu is safe and keeps CTS emission ordered with matching.
+	_ = d.t.Send(src, frame)
+}
+
+// completeLocked finishes a request and wakes all waiters. Callers hold d.mu.
+func (d *Device) completeLocked(r *Request, st Status, err error) {
+	r.done = true
+	r.status = st
+	r.err = err
+	d.cond.Broadcast()
+}
+
+// handle is the transport inbound-frame handler. It runs on reader
+// goroutines and never blocks: every action is a queue edit, a buffer copy
+// or an asynchronous send.
+func (d *Device) handle(src int, frame []byte) {
+	var h wire.Header
+	if err := h.Decode(frame); err != nil {
+		d.peerFailed(src, err)
+		return
+	}
+	payload := wire.Payload(frame)
+
+	d.mu.Lock()
+	switch h.Kind {
+	case wire.KindEager:
+		d.stats.EagerRecv.Add(1)
+		if r := d.matchPostedLocked(src, int(h.Tag), int(h.Context)); r != nil {
+			d.deliverLocked(r, src, int(h.Tag), payload)
+		} else {
+			d.stats.Unexpected.Add(1)
+			d.unexp = append(d.unexp, unexpected{
+				src: src, tag: int(h.Tag), ctx: int(h.Context),
+				eager: true, payload: payload,
+			})
+			d.cond.Broadcast() // wake probes
+		}
+
+	case wire.KindRTS:
+		d.stats.RTSRecv.Add(1)
+		if r := d.matchPostedLocked(src, int(h.Tag), int(h.Context)); r != nil {
+			d.grantRendezvousLocked(r, src, int(h.Tag), h.MsgID, int(h.Len))
+		} else {
+			d.stats.Unexpected.Add(1)
+			d.unexp = append(d.unexp, unexpected{
+				src: src, tag: int(h.Tag), ctx: int(h.Context),
+				msgID: h.MsgID, plen: int(h.Len),
+			})
+			d.cond.Broadcast() // wake probes
+		}
+
+	case wire.KindCTS:
+		if r, ok := d.pendingRTS[h.MsgID]; ok {
+			delete(d.pendingRTS, h.MsgID)
+			dh := wire.Header{
+				Kind:    wire.KindData,
+				Src:     int32(d.rank),
+				Tag:     int32(r.tag),
+				Context: int32(r.ctx),
+				MsgID:   r.msgID,
+				Len:     int32(len(r.payload)),
+			}
+			dataFrame := wire.NewFrame(&dh, r.payload)
+			r.payload = nil
+			d.completeLocked(r, Status{Source: d.rank, Tag: r.tag, Count: r.count}, nil)
+			d.stats.DataSent.Add(1)
+			_ = d.t.Send(src, dataFrame)
+		}
+		// A CTS for an unknown msgID means the send was cancelled after
+		// the receiver matched it; the CancelAck(denied) path has already
+		// resolved the race in favour of delivery, so this cannot happen
+		// for correct traffic. Ignore it defensively.
+
+	case wire.KindData:
+		d.stats.DataRecv.Add(1)
+		key := rdvKey{src: src, msgID: h.MsgID}
+		if r, ok := d.awaitData[key]; ok {
+			delete(d.awaitData, key)
+			d.deliverLocked(r, r.matchedSrc, r.matchedTag, payload)
+		}
+
+	case wire.KindCancel:
+		granted := false
+		for i, u := range d.unexp {
+			if !u.eager && u.src == src && u.msgID == h.MsgID {
+				d.unexp = append(d.unexp[:i], d.unexp[i+1:]...)
+				granted = true
+				break
+			}
+		}
+		ah := wire.Header{Kind: wire.KindCancelAck, Src: int32(d.rank), MsgID: h.MsgID}
+		if granted {
+			ah.Len = 1
+		}
+		_ = d.t.Send(src, wire.NewFrame(&ah, nil))
+
+	case wire.KindCancelAck:
+		if r, ok := d.pendingRTS[h.MsgID]; ok && h.Len == 1 {
+			delete(d.pendingRTS, h.MsgID)
+			r.payload = nil
+			st := Status{Source: d.rank, Tag: r.tag, Cancelled: true}
+			d.completeLocked(r, st, nil)
+		}
+		// Denied (Len==0): the CTS is on its way (it was sent before the
+		// ack on the same FIFO path) or already processed; the send
+		// completes through the normal rendezvous path.
+	}
+	d.mu.Unlock()
+}
+
+// matchPostedLocked finds and removes the first posted receive matching an
+// arrived envelope. Callers hold d.mu.
+func (d *Device) matchPostedLocked(src, tag, ctx int) *Request {
+	for i, r := range d.posted {
+		if envelopeMatches(r.src, r.tag, r.ctx, src, tag, ctx) {
+			d.posted = append(d.posted[:i], d.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// peerFailed converts a transport-level connection failure into the
+// paper's total-failure model: every pending operation errors out and the
+// failure handler (if any) is notified so the job can abort cleanly.
+func (d *Device) peerFailed(peer int, err error) {
+	d.mu.Lock()
+	if d.closed || d.failure != nil {
+		d.mu.Unlock()
+		return
+	}
+	d.failure = fmt.Errorf("%w: rank %d: %v", ErrPeerFailure, peer, err)
+	fail := d.failure
+	for _, r := range d.posted {
+		d.completeLocked(r, Status{}, fail)
+	}
+	d.posted = nil
+	for id, r := range d.pendingRTS {
+		delete(d.pendingRTS, id)
+		d.completeLocked(r, Status{}, fail)
+	}
+	for key, r := range d.awaitData {
+		delete(d.awaitData, key)
+		d.completeLocked(r, Status{}, fail)
+	}
+	d.cond.Broadcast()
+	h := d.onFailure
+	d.mu.Unlock()
+	if h != nil {
+		h(peer, err)
+	}
+}
+
+// Drain blocks until all accepted outbound frames are handed to the medium.
+func (d *Device) Drain() { d.t.Drain() }
+
+// Abort tears the device down abruptly after an application failure:
+// pending requests complete with ErrClosed locally, and the transport is
+// aborted so remote peers observe a failure (not an orderly goodbye) and
+// cascade into their own aborts.
+func (d *Device) Abort() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	for _, r := range d.posted {
+		d.completeLocked(r, Status{}, ErrClosed)
+	}
+	d.posted = nil
+	for id, r := range d.pendingRTS {
+		delete(d.pendingRTS, id)
+		d.completeLocked(r, Status{}, ErrClosed)
+	}
+	for key, r := range d.awaitData {
+		delete(d.awaitData, key)
+		d.completeLocked(r, Status{}, ErrClosed)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.t.Abort()
+}
+
+// Close shuts the device down and closes its transport. Communication must
+// be complete (the MPJ layer runs a barrier in finalize before calling
+// this); pending requests at Close complete with ErrClosed.
+func (d *Device) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	for _, r := range d.posted {
+		d.completeLocked(r, Status{}, ErrClosed)
+	}
+	d.posted = nil
+	for id, r := range d.pendingRTS {
+		delete(d.pendingRTS, id)
+		d.completeLocked(r, Status{}, ErrClosed)
+	}
+	for key, r := range d.awaitData {
+		delete(d.awaitData, key)
+		d.completeLocked(r, Status{}, ErrClosed)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return d.t.Close()
+}

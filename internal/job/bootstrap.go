@@ -1,0 +1,210 @@
+// Package job implements the client-side MPJ runtime: the machinery
+// behind the paper's mpjrun program. It discovers daemons through the
+// lookup service, creates the "reliable cocoon" of slave processes,
+// wires them into an all-to-all TCP mesh, merges their output streams,
+// renews leases for the life of the job, and converts any partial
+// failure (slave crash, daemon death, lost client) into a clean total
+// failure.
+package job
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Bootstrap wire messages, exchanged over a plain TCP connection between
+// each slave and the job master using gob (the control plane's
+// serialization, standing in for RMI).
+type (
+	// Hello is the slave's first message: who it is and where its mesh
+	// listener is.
+	Hello struct {
+		JobID uint64
+		Rank  int
+		Addr  string
+	}
+	// Table is the master's answer once all slaves are in: the full
+	// address book for building the all-to-all mesh.
+	Table struct {
+		Addrs []string
+	}
+	// Done is the slave's final message: its application outcome.
+	Done struct {
+		Rank int
+		Err  string
+	}
+)
+
+// BootstrapTimeout bounds the slave gathering phase.
+var BootstrapTimeout = 60 * time.Second
+
+// master coordinates the bootstrap of one job.
+type master struct {
+	jobID uint64
+	np    int
+	ln    net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+	encs  []*gob.Encoder
+	decs  []*gob.Decoder
+}
+
+// newMaster starts the bootstrap server.
+func newMaster(jobID uint64, np int) (*master, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("job: bootstrap listener: %w", err)
+	}
+	return &master{
+		jobID: jobID,
+		np:    np,
+		ln:    ln,
+		conns: make([]net.Conn, np),
+		encs:  make([]*gob.Encoder, np),
+		decs:  make([]*gob.Decoder, np),
+	}, nil
+}
+
+// addr returns the bootstrap server address for slave specs.
+func (m *master) addr() string { return m.ln.Addr().String() }
+
+// gather accepts all np slaves, collects their mesh addresses, and
+// broadcasts the completed address table.
+func (m *master) gather() error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := m.ln.(deadliner); ok {
+		_ = d.SetDeadline(time.Now().Add(BootstrapTimeout))
+	}
+	addrs := make([]string, m.np)
+	for got := 0; got < m.np; {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("job: gathering slaves (%d of %d arrived): %w", got, m.np, err)
+		}
+		dec := gob.NewDecoder(conn)
+		var hello Hello
+		if err := dec.Decode(&hello); err != nil {
+			conn.Close()
+			continue
+		}
+		if hello.JobID != m.jobID || hello.Rank < 0 || hello.Rank >= m.np || m.conns[hello.Rank] != nil {
+			conn.Close()
+			continue
+		}
+		m.mu.Lock()
+		m.conns[hello.Rank] = conn
+		m.encs[hello.Rank] = gob.NewEncoder(conn)
+		m.decs[hello.Rank] = dec
+		m.mu.Unlock()
+		addrs[hello.Rank] = hello.Addr
+		got++
+	}
+	table := Table{Addrs: addrs}
+	for r := 0; r < m.np; r++ {
+		if err := m.encs[r].Encode(table); err != nil {
+			return fmt.Errorf("job: sending address table to rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// await collects the Done report of every slave. It returns the first
+// application error, keyed by rank.
+func (m *master) await() error {
+	errs := make([]error, m.np)
+	var wg sync.WaitGroup
+	for r := 0; r < m.np; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var done Done
+			if err := m.decs[r].Decode(&done); err != nil {
+				errs[r] = fmt.Errorf("job: rank %d vanished before reporting: %w", r, err)
+				return
+			}
+			if done.Err != "" {
+				errs[r] = fmt.Errorf("job: rank %d failed: %s", r, done.Err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close releases the bootstrap server and its connections.
+func (m *master) close() {
+	m.ln.Close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// SlaveConn is the slave's side of the bootstrap connection.
+type SlaveConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	rank int
+}
+
+// SlaveBootstrap runs a slave's half of the bootstrap: listen for the
+// mesh, announce to the master, and receive the address table. The
+// returned listener must be passed to transport.NewTCPTransport, and the
+// returned SlaveConn used to report completion.
+func SlaveBootstrap(masterAddr string, jobID uint64, rank int) (*SlaveConn, []string, net.Listener, error) {
+	meshLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("job: slave mesh listener: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp", masterAddr, BootstrapTimeout)
+	if err != nil {
+		meshLn.Close()
+		return nil, nil, nil, fmt.Errorf("job: slave dialing master %s: %w", masterAddr, err)
+	}
+	sc := &SlaveConn{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+		rank: rank,
+	}
+	if err := sc.enc.Encode(Hello{JobID: jobID, Rank: rank, Addr: meshLn.Addr().String()}); err != nil {
+		conn.Close()
+		meshLn.Close()
+		return nil, nil, nil, fmt.Errorf("job: slave hello: %w", err)
+	}
+	var table Table
+	_ = conn.SetReadDeadline(time.Now().Add(BootstrapTimeout))
+	if err := sc.dec.Decode(&table); err != nil {
+		conn.Close()
+		meshLn.Close()
+		return nil, nil, nil, fmt.Errorf("job: slave receiving address table: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	return sc, table.Addrs, meshLn, nil
+}
+
+// ReportDone sends the slave's outcome to the master.
+func (sc *SlaveConn) ReportDone(appErr error) error {
+	msg := Done{Rank: sc.rank}
+	if appErr != nil {
+		msg.Err = appErr.Error()
+	}
+	return sc.enc.Encode(msg)
+}
+
+// Close releases the bootstrap connection.
+func (sc *SlaveConn) Close() { sc.conn.Close() }

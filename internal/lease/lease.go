@@ -1,0 +1,206 @@
+// Package lease implements the Jini-style leasing paradigm the paper
+// leans on for fault tolerance (§3.4): every remotely held resource is
+// granted for a bounded interval and reclaimed unless its holder keeps
+// renewing. The client leases daemon services for the life of a job; a
+// daemon leases its own slaves. If a client dies, its leases expire and
+// orphaned slaves are destroyed; if a daemon dies, its slaves' leases
+// expire and they self-destruct.
+//
+// Table is the grantor ("landlord") side; Renewer is the holder side.
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrUnknownLease reports a renew or cancel of a lease that does not
+// exist (never granted, expired, or already cancelled).
+var ErrUnknownLease = errors.New("lease: unknown lease")
+
+// Info describes a granted lease to its holder.
+type Info struct {
+	ID         string
+	Expiration time.Time
+}
+
+// grant is the landlord's record of one lease.
+type grant struct {
+	id         string
+	payload    any
+	expiration time.Time
+}
+
+// Table grants and expires leases. When a lease expires (is not renewed
+// in time), the onExpire callback receives its payload; cancellation does
+// not trigger the callback.
+type Table struct {
+	onExpire func(id string, payload any)
+
+	mu     sync.Mutex
+	leases map[string]*grant
+	nextID uint64
+	closed bool
+	wake   chan struct{}
+}
+
+// NewTable creates a lease table. onExpire may be nil.
+func NewTable(onExpire func(id string, payload any)) *Table {
+	t := &Table{
+		onExpire: onExpire,
+		leases:   make(map[string]*grant),
+		wake:     make(chan struct{}, 1),
+	}
+	go t.sweep()
+	return t
+}
+
+// Grant issues a new lease on payload for duration d.
+func (t *Table) Grant(payload any, d time.Duration) Info {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	g := &grant{
+		id:         fmt.Sprintf("lease-%d", t.nextID),
+		payload:    payload,
+		expiration: time.Now().Add(d),
+	}
+	t.leases[g.id] = g
+	t.kick()
+	return Info{ID: g.id, Expiration: g.expiration}
+}
+
+// Renew extends the lease by d from now.
+func (t *Table) Renew(id string, d time.Duration) (Info, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.leases[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %s", ErrUnknownLease, id)
+	}
+	g.expiration = time.Now().Add(d)
+	t.kick()
+	return Info{ID: id, Expiration: g.expiration}, nil
+}
+
+// Cancel ends the lease without invoking the expiry callback — the holder
+// released the resource deliberately.
+func (t *Table) Cancel(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.leases[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLease, id)
+	}
+	delete(t.leases, id)
+	return nil
+}
+
+// Len reports the number of live leases.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.leases)
+}
+
+// Close stops the expiry sweeper. Outstanding leases are dropped without
+// expiry callbacks.
+func (t *Table) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.closed {
+		t.closed = true
+		t.kick()
+	}
+}
+
+// kick wakes the sweeper; callers hold t.mu.
+func (t *Table) kick() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// sweep expires leases as their deadlines pass.
+func (t *Table) sweep() {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		next := now.Add(time.Hour)
+		var expired []*grant
+		for id, g := range t.leases {
+			if !g.expiration.After(now) {
+				expired = append(expired, g)
+				delete(t.leases, id)
+			} else if g.expiration.Before(next) {
+				next = g.expiration
+			}
+		}
+		cb := t.onExpire
+		t.mu.Unlock()
+
+		if cb != nil {
+			for _, g := range expired {
+				cb(g.id, g.payload)
+			}
+		}
+
+		timer := time.NewTimer(time.Until(next))
+		select {
+		case <-t.wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// Renewer keeps one lease alive by invoking a renew function at half the
+// lease interval, the standard Jini LeaseRenewalManager discipline. If a
+// renewal fails, onFail is called once and renewal stops: the resource on
+// the other side will lapse, which is exactly the recovery the paper's
+// failure model wants.
+type Renewer struct {
+	stop    chan struct{}
+	stopped atomic.Bool
+	done    chan struct{}
+}
+
+// NewRenewer starts renewing immediately. renew is called every interval/2
+// with the full interval to request; onFail may be nil.
+func NewRenewer(interval time.Duration, renew func(time.Duration) error, onFail func(error)) *Renewer {
+	r := &Renewer{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		tick := time.NewTicker(interval / 2)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				if err := renew(interval); err != nil {
+					if onFail != nil {
+						onFail(err)
+					}
+					return
+				}
+			}
+		}
+	}()
+	return r
+}
+
+// Stop ends renewal (the holder is done with the resource).
+func (r *Renewer) Stop() {
+	if r.stopped.CompareAndSwap(false, true) {
+		close(r.stop)
+	}
+	<-r.done
+}

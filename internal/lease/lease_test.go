@@ -1,0 +1,148 @@
+package lease
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGrantRenewCancel(t *testing.T) {
+	var expired atomic.Int32
+	tbl := NewTable(func(id string, payload any) { expired.Add(1) })
+	defer tbl.Close()
+
+	info := tbl.Grant("res", 100*time.Millisecond)
+	if info.ID == "" || !info.Expiration.After(time.Now()) {
+		t.Fatalf("bad lease info %+v", info)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	if _, err := tbl.Renew(info.ID, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Cancel(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("len after cancel = %d", tbl.Len())
+	}
+	time.Sleep(150 * time.Millisecond)
+	if expired.Load() != 0 {
+		t.Error("cancelled lease fired expiry callback")
+	}
+}
+
+func TestExpiryFiresCallback(t *testing.T) {
+	type res struct{ name string }
+	got := make(chan any, 1)
+	tbl := NewTable(func(id string, payload any) { got <- payload })
+	defer tbl.Close()
+
+	tbl.Grant(res{name: "slave-3"}, 30*time.Millisecond)
+	select {
+	case p := <-got:
+		if p.(res).name != "slave-3" {
+			t.Errorf("payload %+v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease did not expire")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("expired lease still in table")
+	}
+}
+
+func TestRenewalPreventsExpiry(t *testing.T) {
+	var expired atomic.Int32
+	tbl := NewTable(func(id string, payload any) { expired.Add(1) })
+	defer tbl.Close()
+
+	info := tbl.Grant(nil, 60*time.Millisecond)
+	for i := 0; i < 8; i++ {
+		time.Sleep(25 * time.Millisecond)
+		if _, err := tbl.Renew(info.ID, 60*time.Millisecond); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if expired.Load() != 0 {
+		t.Error("renewed lease expired")
+	}
+	time.Sleep(150 * time.Millisecond)
+	if expired.Load() != 1 {
+		t.Errorf("lease did not expire after renewals stopped (count=%d)", expired.Load())
+	}
+}
+
+func TestUnknownLeaseErrors(t *testing.T) {
+	tbl := NewTable(nil)
+	defer tbl.Close()
+	if _, err := tbl.Renew("nope", time.Second); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("renew unknown: %v", err)
+	}
+	if err := tbl.Cancel("nope"); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("cancel unknown: %v", err)
+	}
+}
+
+func TestManyLeasesIndependentExpiry(t *testing.T) {
+	var mu sync.Mutex
+	expired := map[string]bool{}
+	tbl := NewTable(func(id string, payload any) {
+		mu.Lock()
+		expired[payload.(string)] = true
+		mu.Unlock()
+	})
+	defer tbl.Close()
+
+	short := tbl.Grant("short", 30*time.Millisecond)
+	long := tbl.Grant("long", 10*time.Second)
+	_ = short
+	time.Sleep(200 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if !expired["short"] {
+		t.Error("short lease did not expire")
+	}
+	if expired["long"] {
+		t.Error("long lease expired early")
+	}
+	_ = long
+}
+
+func TestRenewerKeepsLeaseAlive(t *testing.T) {
+	tbl := NewTable(nil)
+	defer tbl.Close()
+	info := tbl.Grant(nil, 80*time.Millisecond)
+
+	r := NewRenewer(80*time.Millisecond, func(d time.Duration) error {
+		_, err := tbl.Renew(info.ID, d)
+		return err
+	}, nil)
+	time.Sleep(400 * time.Millisecond)
+	if tbl.Len() != 1 {
+		t.Error("renewer failed to keep lease alive")
+	}
+	r.Stop()
+}
+
+func TestRenewerReportsFailure(t *testing.T) {
+	failed := make(chan error, 1)
+	r := NewRenewer(20*time.Millisecond, func(d time.Duration) error {
+		return errors.New("registrar gone")
+	}, func(err error) { failed <- err })
+	defer r.Stop()
+	select {
+	case <-failed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("renewer did not report failure")
+	}
+}
+
+func TestRenewerStopIsIdempotent(t *testing.T) {
+	r := NewRenewer(time.Hour, func(d time.Duration) error { return nil }, nil)
+	r.Stop()
+	r.Stop()
+}

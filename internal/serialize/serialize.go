@@ -1,0 +1,75 @@
+// Package serialize provides object serialization for the MPJ OBJECT
+// datatype and marshalling helpers for primitive arrays.
+//
+// The paper's MPJ relies on Java object serialization ("the new version
+// 1.2 of the software supports direct communication of objects via object
+// serialization"). encoding/gob is the Go analogue: self-describing,
+// handles arbitrary object graphs, and — like Java serialization — costs
+// noticeably more than moving primitive arrays, which experiment E7
+// quantifies. As in Java (Serializable), user types must be registered
+// before they can travel inside interface values: see Register.
+package serialize
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Register records a concrete type so it can be transmitted as an OBJECT
+// element. It is the analogue of implementing java.io.Serializable plus
+// class loading: gob needs the concrete type known on both sides.
+func Register(value any) { gob.Register(value) }
+
+// EncodeObjects serializes a slice of arbitrary values into one gob stream.
+func EncodeObjects(elems []any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(len(elems)); err != nil {
+		return nil, fmt.Errorf("serialize: encoding length: %w", err)
+	}
+	for i, e := range elems {
+		if err := enc.Encode(&e); err != nil {
+			return nil, fmt.Errorf("serialize: encoding element %d: %w", i, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeObjects deserializes a gob stream produced by EncodeObjects.
+func DecodeObjects(data []byte) ([]any, error) {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return nil, fmt.Errorf("serialize: decoding length: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("serialize: negative element count %d", n)
+	}
+	elems := make([]any, n)
+	for i := range elems {
+		if err := dec.Decode(&elems[i]); err != nil {
+			return nil, fmt.Errorf("serialize: decoding element %d: %w", i, err)
+		}
+	}
+	return elems, nil
+}
+
+// EncodeValue serializes one Go value (not boxed in an interface). It is
+// used by the control plane (job specs, service records).
+func EncodeValue(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("serialize: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue deserializes data produced by EncodeValue into v, which must
+// be a pointer.
+func DecodeValue(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package serialize
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+type point struct {
+	X, Y float64
+	Name string
+}
+
+func init() { Register(point{}) }
+
+func TestObjectsRoundTrip(t *testing.T) {
+	in := []any{
+		42, "hello", 3.14, true,
+		point{X: 1, Y: 2, Name: "p"},
+		[]int{1, 2, 3},
+		map[string]int{"a": 1},
+	}
+	Register([]int{})
+	Register(map[string]int{})
+	data, err := EncodeObjects(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeObjects(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+func TestEmptyObjects(t *testing.T) {
+	data, err := EncodeObjects(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeObjects(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("decoded %d elements from empty encode", len(out))
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeObjects([]byte("not a gob stream")); err == nil {
+		t.Error("DecodeObjects accepted garbage")
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	f := func(xs []float64, s string, n int64) bool {
+		type rec struct {
+			Xs []float64
+			S  string
+			N  int64
+		}
+		in := rec{Xs: xs, S: s, N: n}
+		data, err := EncodeValue(in)
+		if err != nil {
+			return false
+		}
+		var out rec
+		if err := DecodeValue(data, &out); err != nil {
+			return false
+		}
+		// gob encodes empty and nil slices identically; normalize.
+		if len(in.Xs) == 0 && len(out.Xs) == 0 {
+			return in.S == out.S && in.N == out.N
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectsRoundTripProperty(t *testing.T) {
+	f := func(ints []int64, strs []string) bool {
+		var in []any
+		for _, v := range ints {
+			in = append(in, v)
+		}
+		for _, s := range strs {
+			in = append(in, s)
+		}
+		data, err := EncodeObjects(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeObjects(data)
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

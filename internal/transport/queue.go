@@ -1,0 +1,91 @@
+package transport
+
+import "sync"
+
+// sendQueue is an unbounded FIFO of frames drained by a single writer
+// goroutine. Unbounded queues realize the paper's eager-protocol assumption
+// that "receiver threads have unlimited buffering" on the send side, and —
+// more importantly — they let protocol handlers issue sends (e.g. a CTS in
+// response to an RTS) without ever blocking a reader goroutine, which is
+// what makes the mesh deadlock-free.
+type sendQueue struct {
+	mu         sync.Mutex
+	nonEmp     sync.Cond // signalled when items become non-empty or queue closes
+	idle       sync.Cond // signalled when queue is empty and nothing is in flight
+	items      [][]byte
+	delivering bool // the writer popped a frame and has not finished delivering it
+	closed     bool
+}
+
+func newSendQueue() *sendQueue {
+	q := &sendQueue{}
+	q.nonEmp.L = &q.mu
+	q.idle.L = &q.mu
+	return q
+}
+
+// push appends a frame. It reports false if the queue is closed.
+func (q *sendQueue) push(frame []byte) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, frame)
+	q.nonEmp.Signal()
+	return true
+}
+
+// pop removes the oldest frame, blocking while the queue is empty. It
+// returns ok=false once the queue is closed and fully drained. A successful
+// pop marks the queue as delivering until the writer calls delivered.
+func (q *sendQueue) pop() (frame []byte, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmp.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	frame = q.items[0]
+	q.items = q.items[1:]
+	q.delivering = true
+	return frame, true
+}
+
+// delivered records that the frame returned by the last pop has been handed
+// to the underlying medium.
+func (q *sendQueue) delivered() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.delivering = false
+	if len(q.items) == 0 {
+		q.idle.Broadcast()
+	}
+}
+
+// waitIdle blocks until every pushed frame has been delivered.
+func (q *sendQueue) waitIdle() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) > 0 || q.delivering {
+		q.idle.Wait()
+	}
+}
+
+// close marks the queue closed. The writer drains remaining items first.
+func (q *sendQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmp.Broadcast()
+	q.idle.Broadcast()
+}
+
+// len reports the number of queued frames.
+func (q *sendQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,384 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"mpj/internal/wire"
+)
+
+// tcpMagic begins every mesh handshake so that stray connections are
+// rejected instead of corrupting the frame stream.
+const tcpMagic uint32 = 0x4d504a31 // "MPJ1"
+
+// BootstrapTimeout bounds how long mesh establishment may take: dial
+// retries and accepts both give up after this long.
+var BootstrapTimeout = 30 * time.Second
+
+// TCPTransport is the distributed Transport: an all-to-all TCP mesh
+// between the OS processes of a job, one reader goroutine per inbound
+// connection (the paper's "input handler threads") and one writer goroutine
+// per peer draining an unbounded send queue.
+type TCPTransport struct {
+	rank   int
+	size   int
+	jobID  uint64
+	conns  []net.Conn // conns[peer]; nil at self index
+	queues []*sendQueue
+
+	handler Handler
+	errh    ErrorHandler
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	goodbye []bool // peer sent an orderly GOODBYE
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport establishes the all-to-all mesh for one rank.
+//
+// addrs[i] is the address rank i listens on; ln is this rank's own
+// listener (its address must be addrs[rank]). The mesh forms with the
+// deterministic convention that rank i dials every lower rank and accepts
+// from every higher rank. jobID guards against connections from other jobs.
+//
+// NewTCPTransport returns once connections to all size-1 peers are
+// established and verified. The listener is not closed; the caller owns it.
+func NewTCPTransport(rank int, jobID uint64, addrs []string, ln net.Listener) (*TCPTransport, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d addrs", rank, size)
+	}
+	t := &TCPTransport{
+		rank:    rank,
+		size:    size,
+		jobID:   jobID,
+		conns:   make([]net.Conn, size),
+		queues:  make([]*sendQueue, size),
+		goodbye: make([]bool, size),
+	}
+	for i := range t.queues {
+		t.queues[i] = newSendQueue()
+	}
+
+	deadline := time.Now().Add(BootstrapTimeout)
+
+	// Dial lower ranks and accept from higher ranks concurrently: with
+	// sequential dialing, two middle ranks could otherwise wait on each
+	// other's accept loops.
+	var dialErr, acceptErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for peer := 0; peer < rank; peer++ {
+			conn, err := dialPeer(addrs[peer], rank, jobID, deadline)
+			if err != nil {
+				dialErr = fmt.Errorf("transport: rank %d dialing rank %d at %s: %w", rank, peer, addrs[peer], err)
+				return
+			}
+			t.conns[peer] = conn
+		}
+	}()
+
+	need := size - 1 - rank
+	for got := 0; got < need; {
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := ln.(deadliner); ok {
+			_ = d.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptErr = fmt.Errorf("transport: rank %d accepting peers: %w", rank, err)
+			break
+		}
+		peer, err := readHello(conn, jobID)
+		if err != nil || peer <= rank || peer >= size || t.conns[peer] != nil {
+			// Stray, duplicate, or cross-job connection: drop it and
+			// keep accepting. The legitimate peer will still arrive.
+			conn.Close()
+			continue
+		}
+		t.conns[peer] = conn
+		got++
+	}
+	wg.Wait()
+	if dialErr != nil || acceptErr != nil {
+		t.closeConns()
+		if dialErr != nil {
+			return nil, dialErr
+		}
+		return nil, acceptErr
+	}
+	return t, nil
+}
+
+// dialPeer connects to a peer's listener, retrying until the deadline so
+// that ranks whose listeners come up at slightly different times still
+// mesh. The hello message identifies the dialing rank and job.
+func dialPeer(addr string, rank int, jobID uint64, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for backoff := 5 * time.Millisecond; time.Now().Before(deadline); backoff = min(2*backoff, 250*time.Millisecond) {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			if err := writeHello(conn, rank, jobID); err == nil {
+				return conn, nil
+			} else {
+				conn.Close()
+				lastErr = err
+			}
+		} else {
+			lastErr = err
+		}
+		time.Sleep(backoff)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("bootstrap deadline exceeded")
+	}
+	return nil, lastErr
+}
+
+func writeHello(conn net.Conn, rank int, jobID uint64) error {
+	var hello [16]byte
+	binary.LittleEndian.PutUint32(hello[0:], tcpMagic)
+	binary.LittleEndian.PutUint32(hello[4:], uint32(rank))
+	binary.LittleEndian.PutUint64(hello[8:], jobID)
+	_, err := conn.Write(hello[:])
+	return err
+}
+
+func readHello(conn net.Conn, jobID uint64) (int, error) {
+	var hello [16]byte
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return -1, err
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if binary.LittleEndian.Uint32(hello[0:]) != tcpMagic {
+		return -1, fmt.Errorf("transport: bad handshake magic")
+	}
+	if binary.LittleEndian.Uint64(hello[8:]) != jobID {
+		return -1, fmt.Errorf("transport: handshake from foreign job")
+	}
+	return int(binary.LittleEndian.Uint32(hello[4:])), nil
+}
+
+func (t *TCPTransport) closeConns() {
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Size returns the number of ranks in the mesh.
+func (t *TCPTransport) Size() int { return t.size }
+
+// SetHandler installs the inbound frame handler.
+func (t *TCPTransport) SetHandler(h Handler) { t.handler = h }
+
+// SetErrorHandler installs the peer-failure handler.
+func (t *TCPTransport) SetErrorHandler(h ErrorHandler) { t.errh = h }
+
+// Send enqueues frame for delivery to dst. It never blocks.
+func (t *TCPTransport) Send(dst int, frame []byte) error {
+	if dst < 0 || dst >= t.size {
+		return ErrBadRank
+	}
+	if !t.queues[dst].push(frame) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Start launches one reader goroutine per inbound connection and one
+// writer goroutine per peer.
+func (t *TCPTransport) Start() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		return ErrStarted
+	}
+	if t.handler == nil {
+		return ErrNoHandler
+	}
+	t.started = true
+
+	for peer := range t.conns {
+		peer := peer
+		if peer == t.rank {
+			// Loopback: the writer delivers straight to the handler.
+			q := t.queues[peer]
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				for {
+					frame, ok := q.pop()
+					if !ok {
+						return
+					}
+					t.handler(t.rank, frame)
+					q.delivered()
+				}
+			}()
+			continue
+		}
+		conn := t.conns[peer]
+
+		// Reader: the paper's one input-handler thread per connection.
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			r := bufio.NewReaderSize(conn, 1<<16)
+			for {
+				frame, err := wire.ReadFrame(r)
+				if err != nil {
+					t.reportPeerError(peer, err)
+					return
+				}
+				var h wire.Header
+				if err := h.Decode(frame); err != nil {
+					t.reportPeerError(peer, err)
+					return
+				}
+				if h.Kind == wire.KindGoodbye {
+					t.mu.Lock()
+					t.goodbye[peer] = true
+					t.mu.Unlock()
+					return
+				}
+				t.handler(peer, frame)
+			}
+		}()
+
+		// Writer: drains the unbounded queue into the socket, batching
+		// flushes while the queue stays non-empty.
+		q := t.queues[peer]
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			w := bufio.NewWriterSize(conn, 1<<16)
+			var dead bool
+			for {
+				frame, ok := q.pop()
+				if !ok {
+					w.Flush()
+					return
+				}
+				if !dead {
+					err := wire.WriteFrame(w, frame)
+					if err == nil && q.len() == 0 {
+						err = w.Flush()
+					}
+					if err != nil {
+						dead = true
+						t.reportPeerError(peer, err)
+					}
+				}
+				q.delivered()
+			}
+		}()
+	}
+	return nil
+}
+
+// reportPeerError forwards a connection failure to the error handler unless
+// the failure is part of an orderly shutdown.
+func (t *TCPTransport) reportPeerError(peer int, err error) {
+	t.mu.Lock()
+	suppress := t.closed || t.goodbye[peer]
+	t.mu.Unlock()
+	if suppress || isClosedConn(err) {
+		return
+	}
+	if t.errh != nil {
+		t.errh(peer, err)
+	}
+}
+
+// isClosedConn reports whether err resulted from closing our own socket.
+func isClosedConn(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "use of closed network connection")
+}
+
+// Drain blocks until every accepted frame has been written and flushed to
+// its socket (or handed to the loopback handler).
+func (t *TCPTransport) Drain() {
+	for _, q := range t.queues {
+		q.waitIdle()
+	}
+}
+
+// Abort tears the mesh down without goodbyes: peers see broken
+// connections and report the failure through their error handlers, which
+// is how application failure on this rank becomes visible job-wide.
+func (t *TCPTransport) Abort() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	started := t.started
+	t.mu.Unlock()
+	for _, q := range t.queues {
+		q.close()
+	}
+	t.closeConns()
+	if started {
+		t.wg.Wait()
+	}
+}
+
+// Close performs an orderly shutdown: drain all outbound queues, tell every
+// peer goodbye, then close the sockets and join all goroutines.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	if !t.started {
+		t.closed = true
+		t.mu.Unlock()
+		t.closeConns()
+		return nil
+	}
+	t.mu.Unlock()
+
+	t.Drain()
+
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+
+	bye := wire.NewFrame(&wire.Header{Kind: wire.KindGoodbye, Src: int32(t.rank)}, nil)
+	for peer, q := range t.queues {
+		if peer != t.rank {
+			q.push(bye)
+		}
+	}
+	for _, q := range t.queues {
+		q.close()
+	}
+	// Writers flush the goodbye frames before exiting; give readers their
+	// EOFs by closing the sockets after the queues drain.
+	for _, q := range t.queues {
+		q.waitIdle()
+	}
+	t.closeConns()
+	t.wg.Wait()
+	return nil
+}

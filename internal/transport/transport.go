@@ -1,0 +1,76 @@
+// Package transport provides reliable, ordered frame delivery between the
+// processes of an MPJ job.
+//
+// This is the Go rendition of the paper's "Java Socket and Thread APIs"
+// layer: an all-to-all mesh of connections with one input-handler goroutine
+// per inbound connection, exactly the structure §3.5(1–2) of the paper
+// prescribes for a select-less socket API.
+//
+// Two implementations are provided behind one interface:
+//
+//   - ChanTransport: an in-process mesh built on Go channels. Every rank of
+//     the job runs as a goroutine in one OS process. This is the hermetic
+//     substrate used by unit tests and benchmarks.
+//   - TCPTransport: the real thing — an all-to-all TCP mesh between OS
+//     processes, bootstrapped from an address book.
+//
+// Sends are asynchronous: Send enqueues the frame on an unbounded
+// per-destination queue drained by a dedicated writer goroutine. Inbound
+// frames are pushed to a Handler from the per-connection reader goroutine.
+// Because the device-level handler never blocks (it either completes a
+// posted receive or enqueues the frame), readers never stall and the mesh
+// cannot deadlock on control traffic.
+package transport
+
+import "errors"
+
+// Handler consumes one inbound frame. src is the absolute rank of the
+// sender. The frame slice is owned by the handler after the call.
+//
+// Handlers are invoked from reader goroutines (one per inbound connection,
+// plus one for loopback) and must not block indefinitely.
+type Handler func(src int, frame []byte)
+
+// ErrorHandler is notified when a peer connection fails outside an orderly
+// shutdown. The job layer uses this to turn partial failure into total
+// failure, per the paper's failure model.
+type ErrorHandler func(peer int, err error)
+
+// Transport moves frames between the ranks of one job.
+type Transport interface {
+	// Rank returns the absolute rank of this endpoint in the job.
+	Rank() int
+	// Size returns the number of ranks in the job.
+	Size() int
+	// Send enqueues frame for delivery to dst. It never blocks. Delivery
+	// is reliable and ordered per (src, dst) pair. Send returns an error
+	// only if the transport is closed or dst is out of range.
+	Send(dst int, frame []byte) error
+	// SetHandler installs the inbound frame handler. Must be called
+	// before Start.
+	SetHandler(Handler)
+	// SetErrorHandler installs the peer-failure handler. Optional; must
+	// be called before Start.
+	SetErrorHandler(ErrorHandler)
+	// Start launches reader and writer goroutines.
+	Start() error
+	// Drain blocks until every frame accepted by Send has been handed to
+	// the underlying medium (channel or socket).
+	Drain()
+	// Close tears the endpoint down. It drains outbound queues first so
+	// an orderly shutdown does not drop frames.
+	Close() error
+	// Abort tears the endpoint down abruptly, without draining and
+	// without goodbyes, so that peers observe a failure rather than an
+	// orderly shutdown. Used to propagate application failure.
+	Abort()
+}
+
+// Errors shared by transport implementations.
+var (
+	ErrClosed     = errors.New("transport: closed")
+	ErrBadRank    = errors.New("transport: destination rank out of range")
+	ErrNoHandler  = errors.New("transport: Start called before SetHandler")
+	ErrStarted    = errors.New("transport: already started")
+	ErrNotStarted = errors.New("transport: not started")
+)

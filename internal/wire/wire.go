@@ -1,0 +1,161 @@
+// Package wire defines the binary frame format exchanged by MPJ processes.
+//
+// A frame is a fixed-size header optionally followed by a payload. The
+// header carries everything the device level needs to run its matching
+// engine and its two protocols (eager and rendezvous): the message envelope
+// (source, tag, context), a per-path sequence number, a message id for
+// rendezvous handshakes, and the payload length.
+//
+// The layout is fixed little-endian so that frames can be decoded without
+// reflection on the hot path.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind identifies the protocol role of a frame.
+type Kind uint8
+
+const (
+	// KindEager carries a complete message: header plus full payload.
+	KindEager Kind = iota + 1
+	// KindRTS (ready-to-send) opens a rendezvous: header only, Len holds
+	// the length of the payload that will follow in a KindData frame.
+	KindRTS
+	// KindCTS (clear-to-send / "ready-to-receive") answers an RTS once a
+	// matching receive is posted. MsgID echoes the RTS message id.
+	KindCTS
+	// KindData carries the payload of a rendezvous whose CTS was received.
+	KindData
+	// KindCancel revokes a previously sent RTS (sender-side cancel).
+	KindCancel
+	// KindCancelAck answers a KindCancel: Len=1 grants the cancellation,
+	// Len=0 denies it (the message had already been matched).
+	KindCancelAck
+	// KindGoodbye announces orderly shutdown of the sending peer.
+	KindGoodbye
+)
+
+// String returns the conventional name of the frame kind.
+func (k Kind) String() string {
+	switch k {
+	case KindEager:
+		return "EAGER"
+	case KindRTS:
+		return "RTS"
+	case KindCTS:
+		return "CTS"
+	case KindData:
+		return "DATA"
+	case KindCancel:
+		return "CANCEL"
+	case KindCancelAck:
+		return "CANCELACK"
+	case KindGoodbye:
+		return "GOODBYE"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// HeaderLen is the encoded size of a Header in bytes.
+const HeaderLen = 1 + 4 + 4 + 4 + 8 + 8 + 4
+
+// Header is the fixed frame header.
+//
+// For KindEager and KindData frames the payload immediately follows the
+// header. For KindRTS, Len records the length of the payload the sender
+// wants to transfer, but no payload follows.
+type Header struct {
+	Kind    Kind
+	Src     int32  // absolute (world) rank of the sender
+	Tag     int32  // user tag of the message envelope
+	Context int32  // communication context (communicator id at device level)
+	Seq     uint64 // sequence number per (src, dst) path, for diagnostics
+	MsgID   uint64 // sender-local id tying RTS/CTS/DATA/CANCEL together
+	Len     int32  // payload length in bytes
+}
+
+// ErrShortHeader reports a buffer smaller than HeaderLen.
+var ErrShortHeader = errors.New("wire: buffer shorter than frame header")
+
+// Encode writes the header into buf, which must be at least HeaderLen long.
+func (h *Header) Encode(buf []byte) error {
+	if len(buf) < HeaderLen {
+		return ErrShortHeader
+	}
+	buf[0] = byte(h.Kind)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(h.Src))
+	binary.LittleEndian.PutUint32(buf[5:], uint32(h.Tag))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(h.Context))
+	binary.LittleEndian.PutUint64(buf[13:], h.Seq)
+	binary.LittleEndian.PutUint64(buf[21:], h.MsgID)
+	binary.LittleEndian.PutUint32(buf[29:], uint32(h.Len))
+	return nil
+}
+
+// Decode reads the header from buf, which must be at least HeaderLen long.
+func (h *Header) Decode(buf []byte) error {
+	if len(buf) < HeaderLen {
+		return ErrShortHeader
+	}
+	h.Kind = Kind(buf[0])
+	h.Src = int32(binary.LittleEndian.Uint32(buf[1:]))
+	h.Tag = int32(binary.LittleEndian.Uint32(buf[5:]))
+	h.Context = int32(binary.LittleEndian.Uint32(buf[9:]))
+	h.Seq = binary.LittleEndian.Uint64(buf[13:])
+	h.MsgID = binary.LittleEndian.Uint64(buf[21:])
+	h.Len = int32(binary.LittleEndian.Uint32(buf[29:]))
+	return nil
+}
+
+// NewFrame allocates a frame holding h followed by payload. For header-only
+// kinds (RTS, CTS, CANCEL, GOODBYE) payload may be nil.
+func NewFrame(h *Header, payload []byte) []byte {
+	frame := make([]byte, HeaderLen+len(payload))
+	_ = h.Encode(frame) // cannot fail: frame is long enough by construction
+	copy(frame[HeaderLen:], payload)
+	return frame
+}
+
+// Payload returns the payload portion of an encoded frame.
+func Payload(frame []byte) []byte { return frame[HeaderLen:] }
+
+// maxFrameLen bounds a single frame to guard against corrupt length
+// prefixes when reading from a stream. 1 GiB is far above any message this
+// library sends in one frame.
+const maxFrameLen = 1 << 30
+
+// WriteFrame writes a length-prefixed frame to w.
+func WriteFrame(w io.Writer, frame []byte) error {
+	var pfx [4]byte
+	binary.LittleEndian.PutUint32(pfx[:], uint32(len(frame)))
+	if _, err := w.Write(pfx[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(pfx[:])
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit", n)
+	}
+	if n < HeaderLen {
+		return nil, fmt.Errorf("wire: frame length %d shorter than header", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,169 @@
+// Package mpj is a pure-Go reference implementation of MPJ, the MPI-like
+// message-passing API proposed by the Message-Passing Working Group of the
+// Java Grande Forum and sketched in Baker & Carpenter, "MPJ: A Proposed
+// Java Message Passing API and Environment for High Performance
+// Computing" (2000).
+//
+// The package offers three ways to run a parallel program:
+//
+//   - RunLocal executes np ranks as goroutines inside the calling process,
+//     connected by an in-memory transport — ideal for development, tests
+//     and benchmarks;
+//   - Run launches a distributed job through MPJ daemons discovered via
+//     the lookup service, with slave processes wired into an all-to-all
+//     TCP mesh (the paper's mpjrun);
+//   - SlaveMain is the entry point a spawned slave process calls (the
+//     paper's MPJSlave).
+//
+// Applications are functions from a world communicator to an error,
+// registered by name (the analogue of the user class extending
+// MPJApplication):
+//
+//	func main() {
+//	    mpj.Register("hello", func(w *mpj.Comm) error {
+//	        fmt.Printf("hello from %d of %d\n", w.Rank(), w.Size())
+//	        return nil
+//	    })
+//	    mpj.Main() // dispatches to SlaveMain in slave processes
+//	}
+package mpj
+
+import (
+	"mpj/internal/core"
+	"mpj/internal/device"
+)
+
+// Core communication types, re-exported from the implementation.
+type (
+	// Comm is an intra-communicator; see the methods on core.Comm.
+	Comm = core.Comm
+	// CartComm is a communicator with a Cartesian topology.
+	CartComm = core.CartComm
+	// GraphComm is a communicator with a graph topology.
+	GraphComm = core.GraphComm
+	// Intercomm is an inter-communicator between two disjoint groups.
+	Intercomm = core.Intercomm
+	// Group is an ordered set of processes.
+	Group = core.Group
+	// Datatype describes buffer element encoding.
+	Datatype = core.Datatype
+	// Op is a reduction operation.
+	Op = core.Op
+	// Request is a non-blocking operation handle.
+	Request = core.Request
+	// Prequest is a persistent communication request.
+	Prequest = core.Prequest
+	// Status reports a receive/probe outcome.
+	Status = core.Status
+	// DoubleInt pairs a float64 with an index for MaxLoc/MinLoc.
+	DoubleInt = core.DoubleInt
+	// IntInt pairs an int32 with an index for MaxLoc/MinLoc.
+	IntInt = core.IntInt
+	// FloatInt pairs a float32 with an index for MaxLoc/MinLoc.
+	FloatInt = core.FloatInt
+	// AllreduceAlgorithm selects an Allreduce implementation.
+	AllreduceAlgorithm = core.AllreduceAlgorithm
+)
+
+// Base datatypes (MPJ.BYTE, MPJ.INT, ...).
+var (
+	BYTE       = core.Byte
+	BOOLEAN    = core.Boolean
+	CHAR       = core.Char
+	SHORT      = core.Short
+	INT        = core.Int
+	LONG       = core.Long
+	GOINT      = core.GoInt
+	FLOAT      = core.Float
+	DOUBLE     = core.Double
+	OBJECT     = core.Object
+	DOUBLE_INT = core.DoubleInt2
+	INT_INT    = core.IntInt2
+	FLOAT_INT  = core.FloatInt2
+)
+
+// Predefined reduction operations (MPJ.SUM, MPJ.MAX, ...).
+var (
+	MAX    = core.MaxOp
+	MIN    = core.MinOp
+	SUM    = core.SumOp
+	PROD   = core.ProdOp
+	LAND   = core.LAndOp
+	LOR    = core.LOrOp
+	LXOR   = core.LXorOp
+	BAND   = core.BAndOp
+	BOR    = core.BOrOp
+	BXOR   = core.BXorOp
+	MAXLOC = core.MaxLocOp
+	MINLOC = core.MinLocOp
+)
+
+// Wildcards and special values.
+const (
+	// AnySource matches any source rank in receives and probes.
+	AnySource = core.AnySource
+	// AnyTag matches any tag in receives and probes.
+	AnyTag = core.AnyTag
+	// Undefined marks out-of-group ranks, null processes and unknown counts.
+	Undefined = core.Undefined
+)
+
+// Group/communicator comparison results.
+const (
+	Ident     = core.Ident
+	Congruent = core.Congruent
+	Similar   = core.Similar
+	Unequal   = core.Unequal
+)
+
+// Allreduce algorithm choices (see Comm.AllreduceWith and the A1 bench).
+const (
+	AllreduceAuto              = core.AllreduceAuto
+	AllreduceTreeBcast         = core.AllreduceTreeBcast
+	AllreduceRecursiveDoubling = core.AllreduceRecursiveDoubling
+)
+
+// Derived datatype constructors.
+var (
+	// Contiguous builds count consecutive elements as one element.
+	Contiguous = core.Contiguous
+	// Vector builds a strided block pattern.
+	Vector = core.Vector
+	// Indexed builds an irregular block pattern.
+	Indexed = core.Indexed
+)
+
+// Environment management.
+var (
+	// Wtime returns wall-clock seconds from a fixed origin.
+	Wtime = core.Wtime
+	// Wtick returns the Wtime resolution.
+	Wtick = core.Wtick
+	// ProcessorName returns the host name.
+	ProcessorName = core.ProcessorName
+	// NewGroup builds a group from world ranks.
+	NewGroup = core.NewGroup
+	// NewOp creates a user-defined reduction operation.
+	NewOp = core.NewOp
+	// RegisterType records a concrete type for OBJECT transmission.
+	RegisterType = core.RegisterType
+	// DimsCreate factors a process count into balanced grid dimensions.
+	DimsCreate = core.DimsCreate
+	// Pack serializes elements for BYTE transmission.
+	Pack = core.Pack
+	// Unpack deserializes elements packed by Pack.
+	Unpack = core.Unpack
+	// PackSize returns the packed size of count elements.
+	PackSize = core.PackSize
+	// WaitAny waits for one of several requests.
+	WaitAny = core.WaitAny
+	// TestAny tests several requests without blocking.
+	TestAny = core.TestAny
+	// WaitAll waits for all requests.
+	WaitAll = core.WaitAll
+	// StartAll starts a set of persistent requests.
+	StartAll = core.StartAll
+)
+
+// DefaultEagerLimit is the standard-mode eager/rendezvous threshold.
+const DefaultEagerLimit = device.DefaultEagerLimit

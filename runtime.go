@@ -1,0 +1,342 @@
+package mpj
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mpj/internal/core"
+	"mpj/internal/daemon"
+	"mpj/internal/device"
+	"mpj/internal/job"
+	"mpj/internal/transport"
+)
+
+// App is a parallel application: it runs on every rank of a job with the
+// world communicator, the analogue of the paper's class extending
+// MPJApplication (MPI_INIT/MPI_FINALIZE are absorbed into the runtime
+// around this call, exactly as §3.1 prescribes).
+type App func(world *Comm) error
+
+// appRegistry maps names to applications; the stand-in for downloading
+// user classes (Go binaries are statically linked, so "which code to run"
+// is resolved by name instead of by class loading).
+var appRegistry = struct {
+	sync.Mutex
+	m map[string]App
+}{m: make(map[string]App)}
+
+// Register records an application under a name for Run/SlaveMain
+// dispatch. Register before calling Main.
+func Register(name string, app App) {
+	appRegistry.Lock()
+	defer appRegistry.Unlock()
+	appRegistry.m[name] = app
+}
+
+// Apps lists the registered application names, sorted.
+func Apps() []string {
+	appRegistry.Lock()
+	defer appRegistry.Unlock()
+	names := make([]string, 0, len(appRegistry.m))
+	for n := range appRegistry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookupApp resolves a registered application.
+func lookupApp(name string) (App, error) {
+	appRegistry.Lock()
+	app, ok := appRegistry.m[name]
+	appRegistry.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mpj: no application %q registered (have %v)", name, Apps())
+	}
+	return app, nil
+}
+
+// RunLocal executes app on np ranks inside the calling process, each rank
+// a goroutine, connected by the in-memory transport. It returns the first
+// rank error. This is the quickest way to develop and test MPJ programs;
+// the same code runs unchanged under the distributed runtime.
+func RunLocal(np int, app App) error {
+	return runLocalOpts(np, nil, app)
+}
+
+// RunLocalEager is RunLocal with an explicit eager/rendezvous threshold,
+// used by protocol experiments.
+func RunLocalEager(np, eagerLimit int, app App) error {
+	return runLocalOpts(np, []device.Option{device.WithEagerLimit(eagerLimit)}, app)
+}
+
+func runLocalOpts(np int, opts []device.Option, app App) error {
+	if np <= 0 {
+		return fmt.Errorf("mpj: np must be positive, got %d", np)
+	}
+	eps := transport.NewChanMesh(np)
+	devs := make([]*device.Device, np)
+	worlds := make([]*core.Comm, np)
+	for i := 0; i < np; i++ {
+		dev, err := device.Open(eps[i], opts...)
+		if err != nil {
+			for _, d := range devs {
+				if d != nil {
+					d.Abort()
+				}
+			}
+			return fmt.Errorf("mpj: opening device for rank %d: %w", i, err)
+		}
+		devs[i] = dev
+		world, err := core.NewWorld(dev)
+		if err != nil {
+			for _, d := range devs {
+				if d != nil {
+					d.Abort()
+				}
+			}
+			return fmt.Errorf("mpj: building world for rank %d: %w", i, err)
+		}
+		worlds[i] = world
+	}
+
+	// The local analogue of the paper's failure model: the first rank to
+	// fail aborts every device, unblocking peers that would otherwise
+	// wait forever on the failed rank.
+	var abortOnce sync.Once
+	abortAll := func() {
+		abortOnce.Do(func() {
+			for _, d := range devs {
+				d.Abort()
+			}
+		})
+	}
+
+	appErrs := make([]error, np)
+	var wg sync.WaitGroup
+	for i := 0; i < np; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := app(worlds[i]); err != nil {
+				appErrs[i] = err
+				abortAll()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range appErrs {
+		if err != nil {
+			return fmt.Errorf("mpj: rank %d: %w", i, err)
+		}
+	}
+
+	// All ranks succeeded: finalize with a world barrier (draining all
+	// in-flight traffic), then close the mesh.
+	finErrs := make([]error, np)
+	for i := 0; i < np; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			finErrs[i] = worlds[i].Barrier()
+		}()
+	}
+	wg.Wait()
+	for _, d := range devs {
+		d.Close()
+	}
+	for i, err := range finErrs {
+		if err != nil {
+			return fmt.Errorf("mpj: rank %d finalize: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// JobConfig configures a distributed job; see job.Config for field
+// semantics. The zero value plus NP and App suffices.
+type JobConfig struct {
+	NP       int
+	App      string
+	Args     []string
+	Locators []string
+	UDPPort  int
+	Binary   string
+	LeaseDur time.Duration
+	Output   io.Writer // merged slave output (default os.Stdout)
+}
+
+// Run launches a distributed job through MPJ daemons — the programmatic
+// mpjrun. Slave processes re-execute this binary; their main must call
+// Main (or SlaveMain) after registering applications.
+func Run(cfg JobConfig) error {
+	return job.Run(job.Config{
+		NP:       cfg.NP,
+		App:      cfg.App,
+		Args:     cfg.Args,
+		Locators: cfg.Locators,
+		UDPPort:  cfg.UDPPort,
+		Binary:   cfg.Binary,
+		LeaseDur: cfg.LeaseDur,
+		Output:   cfg.Output,
+	})
+}
+
+// IsSlave reports whether this process was spawned as an MPJ slave.
+func IsSlave() bool { return os.Getenv("MPJ_SLAVE") == "1" }
+
+// Main dispatches to SlaveMain when running as a spawned slave and
+// returns false otherwise, letting one binary serve as both launcher and
+// slave:
+//
+//	func main() {
+//	    mpj.Register("app", run)
+//	    if mpj.Main() {
+//	        return // ran as a slave
+//	    }
+//	    // launcher / CLI behaviour
+//	}
+func Main() bool {
+	if !IsSlave() {
+		return false
+	}
+	SlaveMain()
+	return true
+}
+
+// SlaveMain is the entry point of a spawned slave process (the paper's
+// MPJSlave): it bootstraps against the job master, joins the TCP mesh,
+// runs the registered application, reports the outcome, and exits. It
+// terminates the process.
+func SlaveMain() {
+	spec, daemonAddr, err := daemon.ParseSlaveEnv(os.Getenv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpj slave:", err)
+		os.Exit(2)
+	}
+	appErr := RunSlave(spec, daemonAddr, nil)
+	if appErr != nil {
+		fmt.Fprintln(os.Stderr, "mpj slave:", appErr)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// watchdogInterval is how often a process slave pings its daemon; after
+// three consecutive failures the slave self-destructs (the paper's
+// daemon-leases-its-own-slaves rule, §3.4).
+var watchdogInterval = 2 * time.Second
+
+// RunSlave executes one slave's life cycle over real TCP: bootstrap,
+// mesh, application, report. stop (may be nil) aborts the slave
+// cooperatively; it is used by in-process slave simulations. A non-empty
+// daemonAddr arms the self-destruct watchdog.
+func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) error {
+	app, err := lookupApp(spec.App)
+	if err != nil {
+		return err
+	}
+	sc, addrs, meshLn, err := job.SlaveBootstrap(spec.MasterAddr, spec.JobID, spec.Rank)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	tr, err := transport.NewTCPTransport(spec.Rank, spec.JobID, addrs, meshLn)
+	if err != nil {
+		_ = sc.ReportDone(err)
+		meshLn.Close()
+		return err
+	}
+	meshLn.Close() // the mesh is fully connected; no more peers will dial
+	dev, err := device.Open(tr)
+	if err != nil {
+		_ = sc.ReportDone(err)
+		return err
+	}
+	world, err := core.NewWorld(dev)
+	if err != nil {
+		dev.Close()
+		_ = sc.ReportDone(err)
+		return err
+	}
+
+	// Watchdog: a slave whose daemon has died must destroy itself.
+	watchdogStop := make(chan struct{})
+	if daemonAddr != "" && stop == nil {
+		go func() {
+			failures := 0
+			tick := time.NewTicker(watchdogInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-watchdogStop:
+					return
+				case <-tick.C:
+					client, err := daemon.DialDaemon(daemonAddr)
+					if err == nil {
+						_, err = client.Ping()
+						client.Close()
+					}
+					if err != nil {
+						failures++
+						if failures >= 3 {
+							fmt.Fprintln(os.Stderr, "mpj slave: daemon unreachable, self-destructing")
+							os.Exit(3)
+						}
+					} else {
+						failures = 0
+					}
+				}
+			}
+		}()
+	}
+
+	// Run the application; a stop signal closes the device so pending
+	// operations error out and the app unwinds.
+	appDone := make(chan error, 1)
+	go func() { appDone <- app(world) }()
+	var appErr error
+	if stop != nil {
+		select {
+		case appErr = <-appDone:
+		case <-stop:
+			dev.Close()
+			appErr = <-appDone
+		}
+	} else {
+		appErr = <-appDone
+	}
+	close(watchdogStop)
+
+	if appErr == nil {
+		// Finalize: drain in-flight traffic before tearing down.
+		appErr = world.Barrier()
+	}
+	if appErr != nil {
+		// Abrupt teardown: peers must see a failure (broken mesh
+		// connection), not an orderly goodbye, so the abort cascades.
+		dev.Abort()
+	} else {
+		dev.Close()
+	}
+	if rerr := sc.ReportDone(appErr); rerr != nil && appErr == nil {
+		appErr = rerr
+	}
+	return appErr
+}
+
+// NewFuncSpawner adapts RunSlave for in-process (goroutine) slaves: the
+// hermetic slave mode used by tests and single-machine simulations.
+func NewFuncSpawner() daemon.FuncSpawner {
+	return daemon.FuncSpawner{
+		Run: func(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) error {
+			return RunSlave(spec, "", stop)
+		},
+	}
+}
