@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"mpj/internal/bench"
 	"mpj/internal/core"
 	"mpj/internal/daemon"
 	"mpj/internal/device"
@@ -182,16 +183,21 @@ func BenchmarkF1Device(b *testing.B) {
 func benchDevicePingPong(b *testing.B, size, eagerLimit int, mode device.Mode) {
 	b.Helper()
 	eps := transport.NewChanMesh(2)
+	benchDevicePingPongOver(b, eps[0], eps[1], size, eagerLimit, mode)
+}
+
+func benchDevicePingPongOver(b *testing.B, t0, t1 transport.Transport, size, eagerLimit int, mode device.Mode) {
+	b.Helper()
 	var opts []device.Option
 	if eagerLimit >= 0 {
 		opts = append(opts, device.WithEagerLimit(eagerLimit))
 	}
-	d0, err := device.Open(eps[0], opts...)
+	d0, err := device.Open(t0, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer d0.Close()
-	d1, err := device.Open(eps[1], opts...)
+	d1, err := device.Open(t1, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -223,6 +229,7 @@ func benchDevicePingPong(b *testing.B, size, eagerLimit int, mode device.Mode) {
 	msg := make([]byte, size)
 	buf := make([]byte, size)
 	b.SetBytes(int64(2 * size))
+	b.ReportAllocs() // the eager path is pooled; regressions show up here
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rr, err := d0.Irecv(buf, 1, 0, 0)
@@ -292,6 +299,26 @@ func BenchmarkF1ObjectAPI(b *testing.B) {
 			b.StopTimer()
 			p.close(b)
 		})
+	}
+}
+
+// BenchmarkPPDevices runs the device-level round trip over each
+// selectable device (cmd/mpjbench -exp pingpong prints the same comparison
+// as a table). For co-located ranks, hyb should match chan within noise;
+// tcp shows the loopback-socket tax the hybrid device avoids.
+func BenchmarkPPDevices(b *testing.B) {
+	for _, name := range []transport.DeviceName{transport.DeviceChan, transport.DeviceHyb, transport.DeviceTCP} {
+		name := name
+		for _, size := range benchSizes {
+			b.Run(fmt.Sprintf("dev=%s/size=%d", name, size), func(b *testing.B) {
+				t0, t1, cleanup, err := bench.TransportPair(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cleanup()
+				benchDevicePingPongOver(b, t0, t1, size, -1, device.ModeStandard)
+			})
+		}
 	}
 }
 

@@ -1,7 +1,8 @@
 // mpjbench regenerates every experiment table from EXPERIMENTS.md:
 //
-//	mpjbench            # run everything
-//	mpjbench -exp F1    # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW)
+//	mpjbench                 # run everything
+//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP)
+//	mpjbench -exp pingpong   # alias for PP: ping-pong per device (chan/hyb/tcp)
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results and their interpretation.
@@ -24,8 +25,11 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP (alias: pingpong)")
 	flag.Parse()
+	if strings.EqualFold(*exp, "pingpong") {
+		*exp = "PP"
+	}
 
 	if mpj.Main() {
 		return // never happens: mpjbench spawns no process slaves
@@ -57,6 +61,7 @@ func main() {
 		}},
 		{"F2", runF2},
 		{"BW", func() (*bench.Table, error) { return bench.BandwidthTable(sizes) }},
+		{"PP", func() (*bench.Table, error) { return bench.PPDeviceCompare(sizes) }},
 	}
 
 	ran := 0

@@ -5,6 +5,10 @@
 //
 //	mpjd -registrars host1:4161,host2:4161
 //	mpjd                         # group discovery on the default UDP port
+//
+// -device sets a host-wide default transport device (chan | tcp | hyb) for
+// the slaves this daemon spawns, exported to them as MPJ_DEVICE; a device
+// chosen by the client (mpjrun -device) still wins.
 package main
 
 import (
@@ -18,13 +22,24 @@ import (
 
 	"mpj/internal/daemon"
 	"mpj/internal/lookup"
+	"mpj/internal/transport"
 )
 
 func main() {
 	registrars := flag.String("registrars", "", "comma-separated registrar addresses (unicast discovery)")
 	port := flag.Int("discovery-port", lookup.DefaultDiscoveryPort, "UDP discovery port when -registrars is empty")
 	leaseDur := flag.Duration("lease", 30*time.Second, "lookup registration lease duration")
+	device := flag.String("device", "", "default transport device for spawned slaves: chan, tcp or hyb (overridden by the client's choice)")
 	flag.Parse()
+
+	if *device != "" {
+		if _, err := transport.ParseDeviceName(*device); err != nil {
+			log.Fatalf("mpjd: %v", err)
+		}
+		// Spawned slaves inherit the daemon's environment; slaves resolve
+		// their device as spec > MPJ_DEVICE > built-in default.
+		os.Setenv("MPJ_DEVICE", *device)
+	}
 
 	var locators []string
 	if *registrars != "" {

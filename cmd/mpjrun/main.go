@@ -8,6 +8,11 @@
 // programs in examples/ follow this pattern). Daemons are found through
 // the lookup service: by group discovery by default, or restricted to
 // explicit registrars with -registrars.
+//
+// The transport every slave builds is selected with -device (chan | tcp |
+// hyb), defaulting to the MPJ_DEVICE environment variable and then to the
+// hybrid device, which routes co-located ranks over in-process channels
+// and remote ranks over TCP.
 package main
 
 import (
@@ -19,16 +24,23 @@ import (
 	"time"
 
 	"mpj"
+	"mpj/internal/transport"
 )
 
 func main() {
 	np := flag.Int("np", 0, "number of processes (required)")
 	app := flag.String("app", "", "registered application name (required)")
 	binary := flag.String("binary", "", "slave executable (default: this binary)")
+	device := flag.String("device", os.Getenv("MPJ_DEVICE"), "transport device: chan, tcp or hyb (default: $MPJ_DEVICE, then hyb)")
 	registrars := flag.String("registrars", "", "comma-separated registrar addresses (unicast discovery)")
 	port := flag.Int("discovery-port", 0, "UDP discovery port when -registrars is empty")
 	leaseDur := flag.Duration("lease", 10*time.Second, "job lease duration")
 	flag.Parse()
+
+	if _, err := transport.ParseDeviceName(*device); err != nil {
+		fmt.Fprintln(os.Stderr, "mpjrun:", err)
+		os.Exit(2)
+	}
 
 	if *np <= 0 || *app == "" {
 		fmt.Fprintln(os.Stderr, "usage: mpjrun -np N -app NAME [-binary PATH] [args...]")
@@ -43,6 +55,7 @@ func main() {
 		NP:       *np,
 		App:      *app,
 		Args:     flag.Args(),
+		Device:   *device,
 		Locators: locators,
 		UDPPort:  *port,
 		Binary:   *binary,

@@ -1,0 +1,77 @@
+package mpj_test
+
+import (
+	"fmt"
+
+	"mpj"
+)
+
+// The examples run complete multi-rank MPJ programs inside the test
+// process with RunLocal (the "chan" device: every rank a goroutine). The
+// same application functions run unchanged under the distributed runtime —
+// see README.md for launching them through mpjd/mpjrun.
+
+// A point-to-point exchange: rank 0 sends a greeting, rank 1 receives it.
+func ExampleComm_Send() {
+	err := mpj.RunLocal(2, func(w *mpj.Comm) error {
+		const tag = 1
+		switch w.Rank() {
+		case 0:
+			msg := []byte("hello, rank 1")
+			return w.Send(msg, 0, len(msg), mpj.BYTE, 1, tag)
+		default:
+			buf := make([]byte, 64)
+			st, err := w.Recv(buf, 0, len(buf), mpj.BYTE, 0, tag)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("rank 1 got %q\n", buf[:st.GetCount(mpj.BYTE)])
+			return nil
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rank 1 got "hello, rank 1"
+}
+
+// A broadcast: the root's buffer reaches every rank; the last rank reports.
+func ExampleComm_Bcast() {
+	err := mpj.RunLocal(4, func(w *mpj.Comm) error {
+		buf := make([]int32, 3)
+		if w.Rank() == 0 {
+			buf = []int32{2, 3, 5}
+		}
+		if err := w.Bcast(buf, 0, 3, mpj.INT, 0); err != nil {
+			return err
+		}
+		if w.Rank() == w.Size()-1 {
+			fmt.Println("rank 3 sees", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rank 3 sees [2 3 5]
+}
+
+// An allreduce: every rank contributes rank+1 and every rank learns the
+// global sum; rank 0 reports it.
+func ExampleComm_Allreduce() {
+	err := mpj.RunLocal(4, func(w *mpj.Comm) error {
+		in := []int64{int64(w.Rank() + 1)}
+		out := make([]int64, 1)
+		if err := w.Allreduce(in, 0, out, 0, 1, mpj.LONG, mpj.SUM); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			fmt.Println("sum of 1..4 =", out[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: sum of 1..4 = 10
+}

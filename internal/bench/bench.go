@@ -2,6 +2,9 @@
 // every figure of the paper and every measurable design claim has a
 // generator here that produces the corresponding table. cmd/mpjbench and
 // the root bench_test.go are thin callers.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package bench
 
 import (

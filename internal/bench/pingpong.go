@@ -55,19 +55,26 @@ func TransportPingPong(size, iters int) (time.Duration, error) {
 }
 
 // DevicePingPong measures the device-level round trip (isend/irecv with
-// matching engine) under the given protocol mode.
+// matching engine) over the channel mesh under the given protocol mode.
 func DevicePingPong(size, iters, eagerLimit int, mode device.Mode) (time.Duration, error) {
 	eps := transport.NewChanMesh(2)
+	return DevicePingPongOver(eps[0], eps[1], size, iters, eagerLimit, mode)
+}
+
+// DevicePingPongOver is DevicePingPong over an arbitrary transport pair —
+// the workhorse behind the PP device-comparison experiment. The devices
+// take ownership of (and close) both transports.
+func DevicePingPongOver(t0, t1 transport.Transport, size, iters, eagerLimit int, mode device.Mode) (time.Duration, error) {
 	opts := []device.Option{}
 	if eagerLimit >= 0 {
 		opts = append(opts, device.WithEagerLimit(eagerLimit))
 	}
-	d0, err := device.Open(eps[0], opts...)
+	d0, err := device.Open(t0, opts...)
 	if err != nil {
 		return 0, err
 	}
 	defer d0.Close()
-	d1, err := device.Open(eps[1], opts...)
+	d1, err := device.Open(t1, opts...)
 	if err != nil {
 		return 0, err
 	}

@@ -9,6 +9,9 @@
 // MPJException, buffers are Go slices described by a Datatype, and
 // MPI_INIT/MPI_FINALIZE are absorbed into environment setup/teardown just
 // as the paper absorbs them around the user's main method.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package core
 
 import "errors"

@@ -7,6 +7,9 @@
 // The paper realizes the daemon as an RMI activatable object registered
 // with rmid and published through Jini lookup; here it is a long-lived
 // net/rpc server registered with the lookup.Registrar.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package daemon
 
 import (

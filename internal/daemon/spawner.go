@@ -21,6 +21,11 @@ type SlaveSpec struct {
 	App   string   // application name, resolved in the slave's registry
 	Args  []string // application arguments
 
+	// Device selects the slave's transport ("chan", "tcp", "hyb"). Empty
+	// defers to the slave's MPJ_DEVICE environment (letting a daemon set
+	// a host-wide default) and finally the built-in default.
+	Device string
+
 	MasterAddr string // the client's bootstrap server
 	OutputAddr string // the client's output collector ("" = none)
 	EventAddr  string // the client's event receiver ("" = none)
@@ -31,9 +36,10 @@ type SlaveSpec struct {
 
 // Env encodes the spec as MPJ_* environment variables for a spawned
 // process, the analogue of the daemon passing ids into the java command
-// that starts MPJSlave.
+// that starts MPJSlave. MPJ_DEVICE is emitted only when the spec selects a
+// device, so a daemon-level MPJ_DEVICE default survives inheritance.
 func (s SlaveSpec) Env(daemonAddr string) []string {
-	return []string{
+	env := []string{
 		"MPJ_SLAVE=1",
 		"MPJ_JOB=" + strconv.FormatUint(s.JobID, 10),
 		"MPJ_RANK=" + strconv.Itoa(s.Rank),
@@ -43,6 +49,30 @@ func (s SlaveSpec) Env(daemonAddr string) []string {
 		"MPJ_MASTER=" + s.MasterAddr,
 		"MPJ_DAEMON=" + daemonAddr,
 	}
+	if s.Device != "" {
+		env = append(env, "MPJ_DEVICE="+s.Device)
+	}
+	return env
+}
+
+// mergeEnv overlays the spec variables on an inherited environment,
+// dropping inherited entries that the overlay redefines so the spawned
+// slave sees exactly one value per key regardless of getenv semantics.
+func mergeEnv(base, overlay []string) []string {
+	set := make(map[string]bool, len(overlay))
+	for _, kv := range overlay {
+		if i := strings.IndexByte(kv, '='); i > 0 {
+			set[kv[:i]] = true
+		}
+	}
+	merged := make([]string, 0, len(base)+len(overlay))
+	for _, kv := range base {
+		if i := strings.IndexByte(kv, '='); i > 0 && set[kv[:i]] {
+			continue
+		}
+		merged = append(merged, kv)
+	}
+	return append(merged, overlay...)
 }
 
 // ParseSlaveEnv reconstructs a SlaveSpec from the environment of a spawned
@@ -73,6 +103,7 @@ func ParseSlaveEnv(get func(string) string) (SlaveSpec, string, error) {
 		Size:       size,
 		App:        get("MPJ_APP"),
 		Args:       args,
+		Device:     get("MPJ_DEVICE"),
 		MasterAddr: get("MPJ_MASTER"),
 	}
 	return spec, get("MPJ_DAEMON"), nil
@@ -139,7 +170,7 @@ func (ProcSpawner) Spawn(spec SlaveSpec, daemonAddr string) (Slave, error) {
 		return nil, fmt.Errorf("daemon: spec has no binary to spawn")
 	}
 	cmd := exec.Command(spec.Binary, spec.Args...)
-	cmd.Env = append(cmd.Environ(), spec.Env(daemonAddr)...)
+	cmd.Env = mergeEnv(cmd.Environ(), spec.Env(daemonAddr))
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		return nil, fmt.Errorf("daemon: stdout pipe: %w", err)

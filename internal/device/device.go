@@ -22,6 +22,16 @@
 // Standard-mode sends pick eager below EagerLimit and rendezvous above;
 // synchronous sends always use rendezvous (the CTS proves a matching
 // receive was posted); ready sends always use eager.
+//
+// The device is the terminal owner of every frame it touches (see the
+// transport.Handler contract): outbound frames pass to the transport with
+// Send, and inbound frames are released to the wire frame pool as soon as
+// their bytes are copied out — except frames adopted whole by an
+// allocate-on-arrival receive, whose payload the caller keeps (see
+// Request.Data), and which are therefore never recycled.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package device
 
 import (
@@ -89,13 +99,21 @@ type Stats struct {
 // unexpected is an arrived message (eager payload or rendezvous header)
 // for which no receive has been posted yet.
 type unexpected struct {
-	src     int
-	tag     int
-	ctx     int
-	eager   bool
-	payload []byte // eager only
-	msgID   uint64 // rendezvous only
-	plen    int    // rendezvous payload length
+	src   int
+	tag   int
+	ctx   int
+	eager bool
+	frame []byte // eager only: the retained frame, released when matched
+	msgID uint64 // rendezvous only
+	plen  int    // rendezvous payload length
+}
+
+// bytes returns the payload length of the queued message.
+func (u *unexpected) bytes() int {
+	if u.eager {
+		return len(u.frame) - wire.HeaderLen
+	}
+	return u.plen
 }
 
 // rdvKey identifies an in-flight rendezvous on the receiver side.
@@ -181,6 +199,10 @@ func (d *Device) EagerLimit() int { return d.eagerLimit }
 // Stats exposes the protocol counters.
 func (d *Device) Stats() *Stats { return &d.stats }
 
+// Transport exposes the transport this device is bound to; tests and
+// benchmarks use it to observe which device (chan/tcp/hyb) a job selected.
+func (d *Device) Transport() transport.Transport { return d.t }
+
 // Isend starts a non-blocking send of buf to absolute rank dst with the
 // given tag and context. The returned request completes once buf is
 // reusable; for ModeSync that also implies a matching receive was posted.
@@ -264,7 +286,9 @@ func (d *Device) Irecv(buf []byte, src, tag, ctx int) (*Request, error) {
 		}
 		d.unexp = append(d.unexp[:i], d.unexp[i+1:]...)
 		if u.eager {
-			d.deliverLocked(r, u.src, u.tag, u.payload)
+			if !d.deliverLocked(r, u.src, u.tag, wire.Payload(u.frame)) {
+				wire.PutBuf(u.frame)
+			}
 		} else {
 			d.grantRendezvousLocked(r, u.src, u.tag, u.msgID, u.plen)
 		}
@@ -283,11 +307,7 @@ func (d *Device) Iprobe(src, tag, ctx int) (Status, bool) {
 	defer d.mu.Unlock()
 	for _, u := range d.unexp {
 		if envelopeMatches(src, tag, ctx, u.src, u.tag, u.ctx) {
-			n := u.plen
-			if u.eager {
-				n = len(u.payload)
-			}
-			return Status{Source: u.src, Tag: u.tag, Count: n}, true
+			return Status{Source: u.src, Tag: u.tag, Count: u.bytes()}, true
 		}
 	}
 	return Status{}, false
@@ -304,11 +324,7 @@ func (d *Device) Probe(src, tag, ctx int) (Status, error) {
 		}
 		for _, u := range d.unexp {
 			if envelopeMatches(src, tag, ctx, u.src, u.tag, u.ctx) {
-				n := u.plen
-				if u.eager {
-					n = len(u.payload)
-				}
-				return Status{Source: u.src, Tag: u.tag, Count: n}, nil
+				return Status{Source: u.src, Tag: u.tag, Count: u.bytes()}, nil
 			}
 		}
 		d.cond.Wait()
@@ -344,12 +360,14 @@ func envelopeMatches(recvSrc, recvTag, recvCtx, src, tag, ctx int) bool {
 // deliverLocked moves an arrived payload into a receive request and
 // completes it. A nil receive buffer means "allocate on arrival": the
 // request adopts the payload slice (zero copy — the frame is already
-// owned by the device) and exposes it via Data. Callers hold d.mu.
-func (d *Device) deliverLocked(r *Request, src, tag int, payload []byte) {
+// owned by the device) and exposes it via Data. It reports whether the
+// payload — and hence the frame it aliases — was adopted; if not, the
+// caller still owns the frame and may recycle it. Callers hold d.mu.
+func (d *Device) deliverLocked(r *Request, src, tag int, payload []byte) (adopted bool) {
 	if r.dynamic {
 		r.buf = payload
 		d.completeLocked(r, Status{Source: src, Tag: tag, Count: len(payload)}, nil)
-		return
+		return true
 	}
 	n := copy(r.buf, payload)
 	var err error
@@ -357,6 +375,7 @@ func (d *Device) deliverLocked(r *Request, src, tag int, payload []byte) {
 		err = fmt.Errorf("%w: got %d bytes, buffer holds %d", ErrTruncate, len(payload), len(r.buf))
 	}
 	d.completeLocked(r, Status{Source: src, Tag: tag, Count: n}, err)
+	return false
 }
 
 // grantRendezvousLocked answers a matched RTS with a CTS and parks the
@@ -390,6 +409,12 @@ func (d *Device) completeLocked(r *Request, st Status, err error) {
 // handle is the transport inbound-frame handler. It runs on reader
 // goroutines and never blocks: every action is a queue edit, a buffer copy
 // or an asynchronous send.
+//
+// Per the Handler contract the device owns frame from here on. Frames
+// whose contents are consumed inside the call go back to the frame pool on
+// the way out; the two exceptions are unmatched eager frames (retained in
+// the unexpected queue until a receive matches them) and frames adopted by
+// an allocate-on-arrival receive (the caller keeps the payload).
 func (d *Device) handle(src int, frame []byte) {
 	var h wire.Header
 	if err := h.Decode(frame); err != nil {
@@ -397,19 +422,21 @@ func (d *Device) handle(src int, frame []byte) {
 		return
 	}
 	payload := wire.Payload(frame)
+	retained := false
 
 	d.mu.Lock()
 	switch h.Kind {
 	case wire.KindEager:
 		d.stats.EagerRecv.Add(1)
 		if r := d.matchPostedLocked(src, int(h.Tag), int(h.Context)); r != nil {
-			d.deliverLocked(r, src, int(h.Tag), payload)
+			retained = d.deliverLocked(r, src, int(h.Tag), payload)
 		} else {
 			d.stats.Unexpected.Add(1)
 			d.unexp = append(d.unexp, unexpected{
 				src: src, tag: int(h.Tag), ctx: int(h.Context),
-				eager: true, payload: payload,
+				eager: true, frame: frame,
 			})
+			retained = true
 			d.cond.Broadcast() // wake probes
 		}
 
@@ -453,7 +480,7 @@ func (d *Device) handle(src int, frame []byte) {
 		key := rdvKey{src: src, msgID: h.MsgID}
 		if r, ok := d.awaitData[key]; ok {
 			delete(d.awaitData, key)
-			d.deliverLocked(r, r.matchedSrc, r.matchedTag, payload)
+			retained = d.deliverLocked(r, r.matchedSrc, r.matchedTag, payload)
 		}
 
 	case wire.KindCancel:
@@ -483,6 +510,9 @@ func (d *Device) handle(src int, frame []byte) {
 		// completes through the normal rendezvous path.
 	}
 	d.mu.Unlock()
+	if !retained {
+		wire.PutBuf(frame)
+	}
 }
 
 // matchPostedLocked finds and removes the first posted receive matching an

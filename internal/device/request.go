@@ -90,6 +90,10 @@ func (r *Request) IsSend() bool { return r.kind == reqSend }
 // Data returns the received payload of a completed allocate-on-arrival
 // receive (one posted with a nil buffer). It returns nil for sends and for
 // receives into caller-owned buffers.
+//
+// The returned slice is adopted from the arrived frame (zero copy) and
+// belongs to the caller outright: the device deliberately leaves such
+// frames out of the wire frame pool, so the slice stays valid forever.
 func (r *Request) Data() []byte {
 	r.d.mu.Lock()
 	defer r.d.mu.Unlock()

@@ -3,6 +3,9 @@
 // is the MPJAbort event — raised when any slave of a job dies — whose
 // delivery causes every remaining slave of that job to be destroyed,
 // converting partial failure into clean total failure.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package events
 
 import (

@@ -5,6 +5,9 @@
 // renews leases for the life of the job, and converts any partial
 // failure (slave crash, daemon death, lost client) into a clean total
 // failure.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package job
 
 import (
@@ -13,23 +16,30 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"mpj/internal/transport"
 )
 
 // Bootstrap wire messages, exchanged over a plain TCP connection between
 // each slave and the job master using gob (the control plane's
 // serialization, standing in for RMI).
 type (
-	// Hello is the slave's first message: who it is and where its mesh
-	// listener is.
+	// Hello is the slave's first message: who it is, where its mesh
+	// listener is, and which process it lives in (its locality key, used
+	// by the hybrid device to route co-located ranks over channels).
 	Hello struct {
 		JobID uint64
 		Rank  int
 		Addr  string
+		Loc   string
 	}
 	// Table is the master's answer once all slaves are in: the full
-	// address book for building the all-to-all mesh.
+	// address book for building the all-to-all mesh plus the locality key
+	// of every rank. Locs may be empty when talking to an old master;
+	// the hybrid device then treats every peer as remote, which is safe.
 	Table struct {
 		Addrs []string
+		Locs  []string
 	}
 	// Done is the slave's final message: its application outcome.
 	Done struct {
@@ -80,6 +90,7 @@ func (m *master) gather() error {
 		_ = d.SetDeadline(time.Now().Add(BootstrapTimeout))
 	}
 	addrs := make([]string, m.np)
+	locs := make([]string, m.np)
 	for got := 0; got < m.np; {
 		conn, err := m.ln.Accept()
 		if err != nil {
@@ -101,9 +112,10 @@ func (m *master) gather() error {
 		m.decs[hello.Rank] = dec
 		m.mu.Unlock()
 		addrs[hello.Rank] = hello.Addr
+		locs[hello.Rank] = hello.Loc
 		got++
 	}
-	table := Table{Addrs: addrs}
+	table := Table{Addrs: addrs, Locs: locs}
 	for r := 0; r < m.np; r++ {
 		if err := m.encs[r].Encode(table); err != nil {
 			return fmt.Errorf("job: sending address table to rank %d: %w", r, err)
@@ -162,18 +174,20 @@ type SlaveConn struct {
 }
 
 // SlaveBootstrap runs a slave's half of the bootstrap: listen for the
-// mesh, announce to the master, and receive the address table. The
-// returned listener must be passed to transport.NewTCPTransport, and the
-// returned SlaveConn used to report completion.
-func SlaveBootstrap(masterAddr string, jobID uint64, rank int) (*SlaveConn, []string, net.Listener, error) {
+// mesh, announce to the master (including this process's locality key, so
+// the completed table tells every rank which peers it is co-located with),
+// and receive the address table. The returned listener must be passed to
+// the transport constructor, and the returned SlaveConn used to report
+// completion.
+func SlaveBootstrap(masterAddr string, jobID uint64, rank int) (*SlaveConn, Table, net.Listener, error) {
 	meshLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("job: slave mesh listener: %w", err)
+		return nil, Table{}, nil, fmt.Errorf("job: slave mesh listener: %w", err)
 	}
 	conn, err := net.DialTimeout("tcp", masterAddr, BootstrapTimeout)
 	if err != nil {
 		meshLn.Close()
-		return nil, nil, nil, fmt.Errorf("job: slave dialing master %s: %w", masterAddr, err)
+		return nil, Table{}, nil, fmt.Errorf("job: slave dialing master %s: %w", masterAddr, err)
 	}
 	sc := &SlaveConn{
 		conn: conn,
@@ -181,20 +195,26 @@ func SlaveBootstrap(masterAddr string, jobID uint64, rank int) (*SlaveConn, []st
 		dec:  gob.NewDecoder(conn),
 		rank: rank,
 	}
-	if err := sc.enc.Encode(Hello{JobID: jobID, Rank: rank, Addr: meshLn.Addr().String()}); err != nil {
+	hello := Hello{
+		JobID: jobID,
+		Rank:  rank,
+		Addr:  meshLn.Addr().String(),
+		Loc:   transport.ProcessLocality(),
+	}
+	if err := sc.enc.Encode(hello); err != nil {
 		conn.Close()
 		meshLn.Close()
-		return nil, nil, nil, fmt.Errorf("job: slave hello: %w", err)
+		return nil, Table{}, nil, fmt.Errorf("job: slave hello: %w", err)
 	}
 	var table Table
 	_ = conn.SetReadDeadline(time.Now().Add(BootstrapTimeout))
 	if err := sc.dec.Decode(&table); err != nil {
 		conn.Close()
 		meshLn.Close()
-		return nil, nil, nil, fmt.Errorf("job: slave receiving address table: %w", err)
+		return nil, Table{}, nil, fmt.Errorf("job: slave receiving address table: %w", err)
 	}
 	_ = conn.SetReadDeadline(time.Time{})
-	return sc, table.Addrs, meshLn, nil
+	return sc, table, meshLn, nil
 }
 
 // ReportDone sends the slave's outcome to the master.

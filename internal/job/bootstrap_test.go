@@ -33,17 +33,21 @@ func TestBootstrapGatherAndMesh(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc, addrs, ln, err := SlaveBootstrap(m.addr(), jobID, rank)
+			sc, table, ln, err := SlaveBootstrap(m.addr(), jobID, rank)
 			if err != nil {
 				slaveErrs[rank] = err
 				return
 			}
 			defer sc.Close()
-			if len(addrs) != np {
-				slaveErrs[rank] = fmt.Errorf("table has %d addrs", len(addrs))
+			if len(table.Addrs) != np {
+				slaveErrs[rank] = fmt.Errorf("table has %d addrs", len(table.Addrs))
 				return
 			}
-			tr, err := transport.NewTCPTransport(rank, jobID, addrs, ln)
+			if len(table.Locs) != np || table.Locs[rank] != transport.ProcessLocality() {
+				slaveErrs[rank] = fmt.Errorf("table locs %v missing this process's locality", table.Locs)
+				return
+			}
+			tr, err := transport.NewTCPTransport(rank, jobID, table.Addrs, ln)
 			if err != nil {
 				slaveErrs[rank] = err
 				return

@@ -13,6 +13,7 @@ import (
 	"mpj/internal/events"
 	"mpj/internal/lease"
 	"mpj/internal/lookup"
+	"mpj/internal/transport"
 )
 
 // Config describes one parallel job, mirroring the paper's goal that the
@@ -22,6 +23,11 @@ type Config struct {
 	NP   int      // number of processes (required)
 	App  string   // registered application name (required)
 	Args []string // application arguments
+
+	// Device selects the transport every slave builds: "chan", "tcp" or
+	// "hyb" (empty picks the default, see transport.DefaultDevice). It is
+	// validated here so an unknown name fails before any slave spawns.
+	Device string
 
 	// Discovery: explicit registrar addresses (unicast), or group
 	// discovery on UDPPort when empty.
@@ -51,6 +57,9 @@ func Run(cfg Config) error {
 	}
 	if cfg.App == "" {
 		return fmt.Errorf("job: no application name")
+	}
+	if _, err := transport.ParseDeviceName(cfg.Device); err != nil {
+		return fmt.Errorf("job: %w", err)
 	}
 	if cfg.LeaseDur <= 0 {
 		cfg.LeaseDur = 10 * time.Second
@@ -139,6 +148,7 @@ func Run(cfg Config) error {
 			Size:       cfg.NP,
 			App:        cfg.App,
 			Args:       cfg.Args,
+			Device:     cfg.Device,
 			MasterAddr: m.addr(),
 			OutputAddr: collector.addr(),
 			EventAddr:  recv.Addr(),

@@ -7,6 +7,9 @@
 // expire and they self-destruct.
 //
 // Table is the grantor ("landlord") side; Renewer is the holder side.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package lease
 
 import (

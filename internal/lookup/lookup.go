@@ -12,6 +12,9 @@
 //
 // Registrations are leased: a daemon that dies silently disappears from
 // the registrar once its lease expires.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package lookup
 
 import (

@@ -8,6 +8,9 @@
 // noticeably more than moving primitive arrays, which experiment E7
 // quantifies. As in Java (Serializable), user types must be registered
 // before they can travel inside interface values: see Register.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package serialize
 
 import (

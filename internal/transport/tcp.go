@@ -54,10 +54,22 @@ var _ Transport = (*TCPTransport)(nil)
 // NewTCPTransport returns once connections to all size-1 peers are
 // established and verified. The listener is not closed; the caller owns it.
 func NewTCPTransport(rank int, jobID uint64, addrs []string, ln net.Listener) (*TCPTransport, error) {
+	return NewTCPMesh(rank, jobID, addrs, ln, nil)
+}
+
+// NewTCPMesh is NewTCPTransport with a skip set: no connection is made to
+// (or accepted from) peers with skip[peer] true, and sends to them fail
+// with ErrClosed. The hybrid device uses this to leave co-located ranks —
+// reached over the in-process channel mesh instead — out of the TCP mesh.
+// All ranks of a job must agree on the skip set; it is derived from the
+// job's locality table, which every rank receives identically. A nil skip
+// builds the full mesh.
+func NewTCPMesh(rank int, jobID uint64, addrs []string, ln net.Listener, skip []bool) (*TCPTransport, error) {
 	size := len(addrs)
 	if rank < 0 || rank >= size {
 		return nil, fmt.Errorf("transport: rank %d out of range for %d addrs", rank, size)
 	}
+	skipped := func(peer int) bool { return peer < len(skip) && skip[peer] }
 	t := &TCPTransport{
 		rank:    rank,
 		size:    size,
@@ -68,6 +80,12 @@ func NewTCPTransport(rank int, jobID uint64, addrs []string, ln net.Listener) (*
 	}
 	for i := range t.queues {
 		t.queues[i] = newSendQueue()
+		if skipped(i) && i != rank {
+			// No connection will exist: fail sends immediately rather
+			// than queueing frames nobody drains. The loopback queue
+			// (i == rank) always stays open.
+			t.queues[i].close()
+		}
 	}
 
 	deadline := time.Now().Add(BootstrapTimeout)
@@ -81,6 +99,9 @@ func NewTCPTransport(rank int, jobID uint64, addrs []string, ln net.Listener) (*
 	go func() {
 		defer wg.Done()
 		for peer := 0; peer < rank; peer++ {
+			if skipped(peer) {
+				continue
+			}
 			conn, err := dialPeer(addrs[peer], rank, jobID, deadline)
 			if err != nil {
 				dialErr = fmt.Errorf("transport: rank %d dialing rank %d at %s: %w", rank, peer, addrs[peer], err)
@@ -90,7 +111,12 @@ func NewTCPTransport(rank int, jobID uint64, addrs []string, ln net.Listener) (*
 		}
 	}()
 
-	need := size - 1 - rank
+	need := 0
+	for peer := rank + 1; peer < size; peer++ {
+		if !skipped(peer) {
+			need++
+		}
+	}
 	for got := 0; got < need; {
 		type deadliner interface{ SetDeadline(time.Time) error }
 		if d, ok := ln.(deadliner); ok {
@@ -102,7 +128,7 @@ func NewTCPTransport(rank int, jobID uint64, addrs []string, ln net.Listener) (*
 			break
 		}
 		peer, err := readHello(conn, jobID)
-		if err != nil || peer <= rank || peer >= size || t.conns[peer] != nil {
+		if err != nil || peer <= rank || peer >= size || skipped(peer) || t.conns[peer] != nil {
 			// Stray, duplicate, or cross-job connection: drop it and
 			// keep accepting. The legitimate peer will still arrive.
 			conn.Close()
@@ -236,6 +262,10 @@ func (t *TCPTransport) Start() error {
 			continue
 		}
 		conn := t.conns[peer]
+		if conn == nil {
+			// Skipped peer (see NewTCPMesh): no connection, no goroutines.
+			continue
+		}
 
 		// Reader: the paper's one input-handler thread per connection.
 		t.wg.Add(1)
@@ -264,7 +294,10 @@ func (t *TCPTransport) Start() error {
 		}()
 
 		// Writer: drains the unbounded queue into the socket, batching
-		// flushes while the queue stays non-empty.
+		// flushes while the queue stays non-empty. Once a frame's bytes
+		// are in the socket (or the connection is dead and the frame is
+		// dropped), the frame goes back to the pool — the writer is the
+		// frame's final owner on the remote path.
 		q := t.queues[peer]
 		t.wg.Add(1)
 		go func() {
@@ -287,6 +320,7 @@ func (t *TCPTransport) Start() error {
 						t.reportPeerError(peer, err)
 					}
 				}
+				wire.PutBuf(frame)
 				q.delivered()
 			}
 		}()
@@ -364,10 +398,11 @@ func (t *TCPTransport) Close() error {
 	t.closed = true
 	t.mu.Unlock()
 
-	bye := wire.NewFrame(&wire.Header{Kind: wire.KindGoodbye, Src: int32(t.rank)}, nil)
+	// One goodbye frame per connected peer: the writers release frames to
+	// the pool after writing them, so the frame must not be shared.
 	for peer, q := range t.queues {
-		if peer != t.rank {
-			q.push(bye)
+		if peer != t.rank && t.conns[peer] != nil {
+			q.push(wire.NewFrame(&wire.Header{Kind: wire.KindGoodbye, Src: int32(t.rank)}, nil))
 		}
 	}
 	for _, q := range t.queues {

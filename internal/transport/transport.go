@@ -6,13 +6,19 @@
 // per inbound connection, exactly the structure §3.5(1–2) of the paper
 // prescribes for a select-less socket API.
 //
-// Two implementations are provided behind one interface:
+// Three implementations are provided behind one interface, selectable by
+// DeviceName (the analogue of MPJ Express's niodev/smpdev/hybdev device
+// family):
 //
-//   - ChanTransport: an in-process mesh built on Go channels. Every rank of
-//     the job runs as a goroutine in one OS process. This is the hermetic
-//     substrate used by unit tests and benchmarks.
-//   - TCPTransport: the real thing — an all-to-all TCP mesh between OS
-//     processes, bootstrapped from an address book.
+//   - ChanTransport ("chan"): an in-process mesh built on Go channels.
+//     Every rank of the job runs as a goroutine in one OS process — the
+//     multicore device, and the hermetic substrate used by unit tests and
+//     benchmarks.
+//   - TCPTransport ("tcp"): the real thing — an all-to-all TCP mesh
+//     between OS processes, bootstrapped from an address book.
+//   - HybTransport ("hyb"): the hybrid device — frames to ranks co-located
+//     in the same OS process travel over a shared channel mesh (zero
+//     syscalls), frames to remote ranks over a TCP mesh.
 //
 // Sends are asynchronous: Send enqueues the frame on an unbounded
 // per-destination queue drained by a dedicated writer goroutine. Inbound
@@ -20,16 +26,60 @@
 // Because the device-level handler never blocks (it either completes a
 // posted receive or enqueues the frame), readers never stall and the mesh
 // cannot deadlock on control traffic.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Handler consumes one inbound frame. src is the absolute rank of the
-// sender. The frame slice is owned by the handler after the call.
+// sender. Ownership of the frame slice transfers to the handler with the
+// call: nothing in the transport touches the frame afterwards, and the
+// handler may release it to the frame pool with wire.PutBuf once it has
+// copied (or decided to retain) the bytes it needs. A handler that retains
+// the frame — or a slice aliasing it, such as wire.Payload(frame) — simply
+// never puts it.
 //
 // Handlers are invoked from reader goroutines (one per inbound connection,
 // plus one for loopback) and must not block indefinitely.
 type Handler func(src int, frame []byte)
+
+// DeviceName selects a Transport implementation — the device-selection
+// surface of the paper's §3.5 abstract device level, mirroring MPJ
+// Express's device names.
+type DeviceName string
+
+const (
+	// DeviceChan is the in-process channel mesh (the multicore device):
+	// every rank a goroutine in one OS process.
+	DeviceChan DeviceName = "chan"
+	// DeviceTCP is the all-to-all TCP mesh between OS processes.
+	DeviceTCP DeviceName = "tcp"
+	// DeviceHyb is the hybrid device: channel mesh to co-located ranks,
+	// TCP mesh to remote ranks.
+	DeviceHyb DeviceName = "hyb"
+)
+
+// DefaultDevice is the device used when none is selected explicitly. The
+// hybrid device subsumes the other two: a job whose ranks are all remote
+// degenerates to the TCP mesh, one whose ranks are all co-located to the
+// channel mesh.
+const DefaultDevice = DeviceHyb
+
+// ParseDeviceName validates a device selection ("" selects DefaultDevice).
+func ParseDeviceName(s string) (DeviceName, error) {
+	switch DeviceName(s) {
+	case "":
+		return DefaultDevice, nil
+	case DeviceChan, DeviceTCP, DeviceHyb:
+		return DeviceName(s), nil
+	}
+	return "", fmt.Errorf("transport: unknown device %q (have %q, %q, %q)", s, DeviceChan, DeviceTCP, DeviceHyb)
+}
 
 // ErrorHandler is notified when a peer connection fails outside an orderly
 // shutdown. The job layer uses this to turn partial failure into total
@@ -45,6 +95,11 @@ type Transport interface {
 	// Send enqueues frame for delivery to dst. It never blocks. Delivery
 	// is reliable and ordered per (src, dst) pair. Send returns an error
 	// only if the transport is closed or dst is out of range.
+	//
+	// Ownership of the frame transfers to the transport: the caller must
+	// not touch it after Send returns. The transport either hands the
+	// frame to a local Handler (which then owns it) or writes it to a
+	// socket and releases it to the frame pool itself.
 	Send(dst int, frame []byte) error
 	// SetHandler installs the inbound frame handler. Must be called
 	// before Start.

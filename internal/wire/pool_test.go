@@ -1,0 +1,78 @@
+package wire
+
+import "testing"
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, minClassBits},
+		{1, minClassBits},
+		{64, minClassBits},
+		{65, 7},
+		{128, 7},
+		{129, 8},
+		{1 << 20, maxClassBits},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetBufLengthAndCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 33, 64, 100, 4096, 1 << 20} {
+		b := GetBuf(n)
+		if len(b) != n {
+			t.Errorf("GetBuf(%d) has len %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Errorf("GetBuf(%d) has cap %d", n, cap(b))
+		}
+		PutBuf(b)
+	}
+}
+
+func TestPutBufRecycles(t *testing.T) {
+	// sync.Pool may drop entries under GC pressure, so assert reuse only
+	// statistically: over many iterations at least one Get must return the
+	// buffer just Put (they share a backing array iff &b[0] matches).
+	reused := false
+	for i := 0; i < 100 && !reused; i++ {
+		b := GetBuf(1000)
+		b[0] = 42
+		PutBuf(b)
+		c := GetBuf(900)
+		reused = &b[0] == &c[0]
+		PutBuf(c)
+	}
+	if !reused {
+		t.Error("PutBuf never recycled a buffer into GetBuf")
+	}
+}
+
+func TestOversizedBuffersBypassPool(t *testing.T) {
+	n := (1 << maxClassBits) + 1
+	b := GetBuf(n)
+	if len(b) != n {
+		t.Fatalf("oversized GetBuf len = %d", len(b))
+	}
+	PutBuf(b) // must not panic; the buffer is silently dropped
+}
+
+func TestNewFrameReadFramePooled(t *testing.T) {
+	// A frame released with PutBuf must be reusable by the next NewFrame
+	// without corrupting content.
+	h := Header{Kind: KindEager, Src: 3, Tag: 7, Len: 5}
+	f1 := NewFrame(&h, []byte("hello"))
+	PutBuf(f1)
+	h2 := Header{Kind: KindEager, Src: 4, Tag: 8, Len: 5}
+	f2 := NewFrame(&h2, []byte("world"))
+	var got Header
+	if err := got.Decode(f2); err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != 4 || got.Tag != 8 || string(Payload(f2)) != "world" {
+		t.Errorf("recycled frame decoded to %+v payload %q", got, Payload(f2))
+	}
+	PutBuf(f2)
+}

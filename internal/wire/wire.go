@@ -8,6 +8,14 @@
 //
 // The layout is fixed little-endian so that frames can be decoded without
 // reflection on the hot path.
+//
+// Frames built by NewFrame and read by ReadFrame come from a process-wide
+// buffer pool (see pool.go) so the eager path does not allocate per
+// message; the ownership rules for returning them are documented on GetBuf
+// and PutBuf.
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package wire
 
 import (
@@ -112,16 +120,19 @@ func (h *Header) Decode(buf []byte) error {
 	return nil
 }
 
-// NewFrame allocates a frame holding h followed by payload. For header-only
-// kinds (RTS, CTS, CANCEL, GOODBYE) payload may be nil.
+// NewFrame builds a frame holding h followed by payload. For header-only
+// kinds (RTS, CTS, CANCEL, GOODBYE) payload may be nil. The frame comes
+// from the frame pool: the caller owns it and may release it with PutBuf
+// once no one reads it any more.
 func NewFrame(h *Header, payload []byte) []byte {
-	frame := make([]byte, HeaderLen+len(payload))
+	frame := GetBuf(HeaderLen + len(payload))
 	_ = h.Encode(frame) // cannot fail: frame is long enough by construction
 	copy(frame[HeaderLen:], payload)
 	return frame
 }
 
-// Payload returns the payload portion of an encoded frame.
+// Payload returns the payload portion of an encoded frame. The returned
+// slice aliases the frame: it dies (or is recycled) with it.
 func Payload(frame []byte) []byte { return frame[HeaderLen:] }
 
 // maxFrameLen bounds a single frame to guard against corrupt length
@@ -140,7 +151,9 @@ func WriteFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from r.
+// ReadFrame reads one length-prefixed frame from r. The frame comes from
+// the frame pool; ownership passes to the caller (for the transports, on to
+// their Handler), who may release it with PutBuf when done.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var pfx [4]byte
 	if _, err := io.ReadFull(r, pfx[:]); err != nil {
@@ -153,8 +166,9 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n < HeaderLen {
 		return nil, fmt.Errorf("wire: frame length %d shorter than header", n)
 	}
-	frame := make([]byte, n)
+	frame := GetBuf(int(n))
 	if _, err := io.ReadFull(r, frame); err != nil {
+		PutBuf(frame)
 		return nil, err
 	}
 	return frame, nil

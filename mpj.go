@@ -26,6 +26,9 @@
 //	    })
 //	    mpj.Main() // dispatches to SlaveMain in slave processes
 //	}
+//
+// See ARCHITECTURE.md at the repository root for where this package sits in
+// the layer stack.
 package mpj
 
 import (

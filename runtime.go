@@ -3,6 +3,7 @@ package mpj
 import (
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sort"
 	"sync"
@@ -161,10 +162,17 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 
 // JobConfig configures a distributed job; see job.Config for field
 // semantics. The zero value plus NP and App suffices.
+//
+// Device selects the transport each slave builds — "chan" (in-process
+// channel mesh; requires all ranks co-located), "tcp" (all-to-all TCP
+// mesh), or "hyb" (the hybrid device: channels to co-located ranks, TCP to
+// remote ones). Empty falls back to the slave's MPJ_DEVICE environment
+// variable and then the built-in default ("hyb").
 type JobConfig struct {
 	NP       int
 	App      string
 	Args     []string
+	Device   string
 	Locators []string
 	UDPPort  int
 	Binary   string
@@ -180,6 +188,7 @@ func Run(cfg JobConfig) error {
 		NP:       cfg.NP,
 		App:      cfg.App,
 		Args:     cfg.Args,
+		Device:   cfg.Device,
 		Locators: cfg.Locators,
 		UDPPort:  cfg.UDPPort,
 		Binary:   cfg.Binary,
@@ -242,12 +251,12 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 	if err != nil {
 		return err
 	}
-	sc, addrs, meshLn, err := job.SlaveBootstrap(spec.MasterAddr, spec.JobID, spec.Rank)
+	sc, table, meshLn, err := job.SlaveBootstrap(spec.MasterAddr, spec.JobID, spec.Rank)
 	if err != nil {
 		return err
 	}
 	defer sc.Close()
-	tr, err := transport.NewTCPTransport(spec.Rank, spec.JobID, addrs, meshLn)
+	tr, err := openTransport(spec, table, meshLn)
 	if err != nil {
 		_ = sc.ReportDone(err)
 		meshLn.Close()
@@ -329,6 +338,48 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 		appErr = rerr
 	}
 	return appErr
+}
+
+// openTransport builds the transport a slave was asked for. Selection
+// order: the spec's device (set by the client's -device flag or JobConfig),
+// then the MPJ_DEVICE environment variable (a daemon- or host-wide
+// default), then transport.DefaultDevice.
+func openTransport(spec daemon.SlaveSpec, table job.Table, ln net.Listener) (transport.Transport, error) {
+	sel := spec.Device
+	if sel == "" {
+		sel = os.Getenv("MPJ_DEVICE")
+	}
+	name, err := transport.ParseDeviceName(sel)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case transport.DeviceTCP:
+		return transport.NewTCPTransport(spec.Rank, spec.JobID, table.Addrs, ln)
+	case transport.DeviceChan:
+		// The multicore device: legal only when the whole job shares one
+		// process, so frames never need a socket at all.
+		self := transport.ProcessLocality()
+		for r := 0; r < spec.Size; r++ {
+			if r >= len(table.Locs) || table.Locs[r] != self {
+				return nil, fmt.Errorf("mpj: device %q needs all ranks in one process; rank %d is not co-located with rank %d", name, r, spec.Rank)
+			}
+		}
+		return transport.NewHybTransport(transport.HybConfig{
+			Rank:  spec.Rank,
+			JobID: spec.JobID,
+			Locs:  table.Locs,
+		})
+	case transport.DeviceHyb:
+		return transport.NewHybTransport(transport.HybConfig{
+			Rank:     spec.Rank,
+			JobID:    spec.JobID,
+			Locs:     table.Locs,
+			Addrs:    table.Addrs,
+			Listener: ln,
+		})
+	}
+	return nil, fmt.Errorf("mpj: unhandled device %q", name)
 }
 
 // NewFuncSpawner adapts RunSlave for in-process (goroutine) slaves: the
