@@ -1,8 +1,9 @@
 // mpjbench regenerates every experiment table from EXPERIMENTS.md:
 //
 //	mpjbench                 # run everything
-//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP)
+//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL)
 //	mpjbench -exp pingpong   # alias for PP: ping-pong per device (chan/hyb/tcp)
+//	mpjbench -exp icoll      # blocking vs non-blocking collective overlap
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results and their interpretation.
@@ -25,7 +26,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP (alias: pingpong)")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL (alias: pingpong)")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
 		*exp = "PP"
@@ -38,10 +39,14 @@ func main() {
 	sizes := bench.DefaultSizes
 	nps := []int{2, 4, 8, 16}
 	counts := []int{256, 1024, 4096, 16384, 65536}
+	icollCounts := []int{1 << 10, 8 << 10, 64 << 10}
+	icollIters := 50
 	if *quick {
 		sizes = []int{64, 4096, 65536}
 		nps = []int{2, 4, 8}
 		counts = []int{256, 4096}
+		icollCounts = []int{8 << 10}
+		icollIters = 20
 	}
 
 	experiments := []struct {
@@ -62,6 +67,7 @@ func main() {
 		{"F2", runF2},
 		{"BW", func() (*bench.Table, error) { return bench.BandwidthTable(sizes) }},
 		{"PP", func() (*bench.Table, error) { return bench.PPDeviceCompare(sizes) }},
+		{"ICOLL", func() (*bench.Table, error) { return bench.IcollOverlap(4, icollCounts, icollIters) }},
 	}
 
 	ran := 0

@@ -12,7 +12,10 @@
 // The transport every slave builds is selected with -device (chan | tcp |
 // hyb), defaulting to the MPJ_DEVICE environment variable and then to the
 // hybrid device, which routes co-located ranks over in-process channels
-// and remote ranks over TCP.
+// and remote ranks over TCP. -eager-limit sets the devices'
+// eager/rendezvous protocol threshold in bytes (default: the client's
+// MPJ_EAGER_LIMIT environment variable, then each slave's own
+// MPJ_EAGER_LIMIT, then the built-in default).
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"mpj"
+	dev "mpj/internal/device"
 	"mpj/internal/transport"
 )
 
@@ -32,6 +36,7 @@ func main() {
 	app := flag.String("app", "", "registered application name (required)")
 	binary := flag.String("binary", "", "slave executable (default: this binary)")
 	device := flag.String("device", os.Getenv("MPJ_DEVICE"), "transport device: chan, tcp or hyb (default: $MPJ_DEVICE, then hyb)")
+	eagerLimit := flag.Int("eager-limit", 0, "eager/rendezvous protocol threshold in bytes (default: $MPJ_EAGER_LIMIT, then each slave's default)")
 	registrars := flag.String("registrars", "", "comma-separated registrar addresses (unicast discovery)")
 	port := flag.Int("discovery-port", 0, "UDP discovery port when -registrars is empty")
 	leaseDur := flag.Duration("lease", 10*time.Second, "job lease duration")
@@ -40,6 +45,20 @@ func main() {
 	if _, err := transport.ParseDeviceName(*device); err != nil {
 		fmt.Fprintln(os.Stderr, "mpjrun:", err)
 		os.Exit(2)
+	}
+	if *eagerLimit < 0 {
+		fmt.Fprintln(os.Stderr, "mpjrun: -eager-limit must be non-negative")
+		os.Exit(2)
+	}
+	// Like -device and $MPJ_DEVICE, an unset flag falls back to the
+	// client's environment.
+	if *eagerLimit == 0 {
+		v, err := dev.ParseEagerLimit(os.Getenv("MPJ_EAGER_LIMIT"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpjrun: MPJ_EAGER_LIMIT:", err)
+			os.Exit(2)
+		}
+		*eagerLimit = v
 	}
 
 	if *np <= 0 || *app == "" {
@@ -52,14 +71,15 @@ func main() {
 		locators = strings.Split(*registrars, ",")
 	}
 	err := mpj.Run(mpj.JobConfig{
-		NP:       *np,
-		App:      *app,
-		Args:     flag.Args(),
-		Device:   *device,
-		Locators: locators,
-		UDPPort:  *port,
-		Binary:   *binary,
-		LeaseDur: *leaseDur,
+		NP:         *np,
+		App:        *app,
+		Args:       flag.Args(),
+		Device:     *device,
+		EagerLimit: *eagerLimit,
+		Locators:   locators,
+		UDPPort:    *port,
+		Binary:     *binary,
+		LeaseDur:   *leaseDur,
 	})
 	if err != nil {
 		log.Fatalf("mpjrun: %v", err)

@@ -1,0 +1,105 @@
+package mpj
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mpj/internal/device"
+)
+
+// registerEagerApp registers an app asserting the eager/rendezvous
+// threshold its slave device was actually opened with: proof that the
+// -eager-limit / JobConfig.EagerLimit / MPJ_EAGER_LIMIT surface reaches
+// device.WithEagerLimit.
+func registerEagerApp(name string, want int) {
+	Register(name, func(w *Comm) error {
+		if got := w.Device().EagerLimit(); got != want {
+			return fmt.Errorf("device eager limit %d, want %d", got, want)
+		}
+		return nil
+	})
+}
+
+func TestEagerLimitFromJobConfig(t *testing.T) {
+	const limit = 3 << 10
+	registerEagerApp("eager-config", limit)
+	reg, _ := testEnv(t, 1, NewFuncSpawner())
+	err := Run(JobConfig{
+		NP:         2,
+		App:        "eager-config",
+		EagerLimit: limit,
+		Locators:   []string{reg.Addr()},
+		LeaseDur:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("job with EagerLimit failed: %v", err)
+	}
+}
+
+func TestEagerLimitFromEnv(t *testing.T) {
+	t.Setenv("MPJ_EAGER_LIMIT", "2048")
+	registerEagerApp("eager-env", 2048)
+	reg, _ := testEnv(t, 1, NewFuncSpawner())
+	err := Run(JobConfig{
+		NP:       2,
+		App:      "eager-env",
+		Locators: []string{reg.Addr()},
+		LeaseDur: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("job with MPJ_EAGER_LIMIT failed: %v", err)
+	}
+}
+
+func TestEagerLimitConfigBeatsEnv(t *testing.T) {
+	t.Setenv("MPJ_EAGER_LIMIT", "2048")
+	const limit = 512
+	registerEagerApp("eager-both", limit)
+	reg, _ := testEnv(t, 1, NewFuncSpawner())
+	err := Run(JobConfig{
+		NP:         2,
+		App:        "eager-both",
+		EagerLimit: limit,
+		Locators:   []string{reg.Addr()},
+		LeaseDur:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("job with both eager settings failed: %v", err)
+	}
+}
+
+func TestEagerLimitRunLocal(t *testing.T) {
+	t.Setenv("MPJ_EAGER_LIMIT", "1234")
+	err := RunLocal(2, func(w *Comm) error {
+		if got := w.Device().EagerLimit(); got != 1234 {
+			return fmt.Errorf("device eager limit %d, want 1234", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv("MPJ_EAGER_LIMIT", "not-a-size")
+	noop := func(w *Comm) error { return nil }
+	if err := RunLocal(2, noop); err == nil {
+		t.Fatal("RunLocal accepted malformed MPJ_EAGER_LIMIT")
+	}
+
+	t.Setenv("MPJ_EAGER_LIMIT", "")
+	if err := RunLocal(1, func(w *Comm) error {
+		if got := w.Device().EagerLimit(); got != device.DefaultEagerLimit {
+			return fmt.Errorf("unset env changed eager limit to %d", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerLimitRejectsNegative(t *testing.T) {
+	if err := Run(JobConfig{NP: 2, App: "sum", EagerLimit: -1}); err == nil {
+		t.Fatal("job with negative EagerLimit reported success")
+	}
+}

@@ -1,11 +1,19 @@
 // 2-D Jacobi heat diffusion on a Cartesian process topology: the halo-
 // exchange workload that motivates most of the MPJ API — Cartesian
-// communicators (CreateCart/Shift), persistent-style neighbour exchange
-// with Sendrecv, and convergence detection with Allreduce(MAX).
+// communicators (CreateCart/Shift), neighbour exchange, and convergence
+// detection with Allreduce(MAX).
 //
 // The N×N plate is decomposed by rows; boundary rows are fixed at hot
 // (top) and cold (bottom). Each iteration exchanges halo rows with the
 // up/down neighbours and relaxes the interior.
+//
+// With -overlap (the default) the exchange is non-blocking and overlapped:
+// halo Isend/Irecv are posted, the halo-independent interior rows relax
+// while the messages fly, then the edge rows finish after WaitAll — and
+// the convergence check is a deferred Iallreduce, started after one
+// iteration and harvested during the next, so the reduction tree runs
+// behind the stencil. -overlap=false keeps the classic Sendrecv+Allreduce
+// structure for comparison.
 //
 //	go run ./examples/heat2d -np 4 -n 256 -iters 500
 package main
@@ -20,12 +28,32 @@ import (
 )
 
 var (
-	gridN = flag.Int("n", 128, "grid size (N x N)")
-	iters = flag.Int("iters", 200, "maximum iterations")
-	tol   = flag.Float64("tol", 1e-4, "convergence tolerance on max update")
+	gridN   = flag.Int("n", 128, "grid size (N x N)")
+	iters   = flag.Int("iters", 200, "maximum iterations")
+	tol     = flag.Float64("tol", 1e-4, "convergence tolerance on max update")
+	overlap = flag.Bool("overlap", true, "overlap halo exchange and convergence reduction with compute")
 )
 
 const haloTag = 7
+
+// relaxRows applies one Jacobi update to rows lo..hi (inclusive) and
+// returns the largest update it made.
+func relaxRows(cur, next []float64, n, lo, hi int) float64 {
+	var localMax float64
+	for i := lo; i <= hi; i++ {
+		for j := 1; j < n-1; j++ {
+			idx := i*n + j
+			v := 0.25 * (cur[idx-n] + cur[idx+n] + cur[idx-1] + cur[idx+1])
+			if d := math.Abs(v - cur[idx]); d > localMax {
+				localMax = d
+			}
+			next[idx] = v
+		}
+		next[i*n] = cur[i*n]
+		next[i*n+n-1] = cur[i*n+n-1]
+	}
+	return localMax
+}
 
 func heatApp(w *mpj.Comm) error {
 	// A 1-D non-periodic process grid over the rows.
@@ -62,51 +90,122 @@ func heatApp(w *mpj.Comm) error {
 		}
 	}
 
-	for it := 0; it < *iters; it++ {
-		// Halo exchange: send the first interior row up / last down,
-		// receive into the halo rows. Sendrecv pairs avoid deadlock;
-		// boundary ranks skip the missing neighbour (null process).
-		if up != mpj.Undefined {
-			if _, err := cart.Sendrecv(
-				cur, n, n, mpj.DOUBLE, up, haloTag,
-				cur, 0, n, mpj.DOUBLE, up, haloTag); err != nil {
-				return fmt.Errorf("halo up: %w", err)
-			}
-		}
-		if down != mpj.Undefined {
-			if _, err := cart.Sendrecv(
-				cur, rows*n, n, mpj.DOUBLE, down, haloTag,
-				cur, (rows+1)*n, n, mpj.DOUBLE, down, haloTag); err != nil {
-				return fmt.Errorf("halo down: %w", err)
-			}
-		}
+	// Deferred convergence state (overlap mode): the Iallreduce started in
+	// iteration k is harvested in iteration k+1, so the reduction overlaps
+	// a full stencil sweep.
+	var convReq *mpj.CollRequest
+	convOut := make([]float64, 1)
 
-		// Relax the interior (skip fixed global boundaries).
+	finish := func(it int, gmax float64) error {
+		if rank == 0 {
+			fmt.Printf("converged after %d iterations (max update %.2e)\n", it+1, gmax)
+		}
+		return report(cart, cur, rows, n)
+	}
+
+	for it := 0; it < *iters; it++ {
 		var localMax float64
-		for i := 1; i <= rows; i++ {
-			for j := 1; j < n-1; j++ {
-				idx := i*n + j
-				v := 0.25 * (cur[idx-n] + cur[idx+n] + cur[idx-1] + cur[idx+1])
-				if d := math.Abs(v - cur[idx]); d > localMax {
-					localMax = d
+
+		if *overlap {
+			// Post the halo exchange, relax the halo-independent interior
+			// while it flies, then finish the edge rows.
+			var reqs []*mpj.Request
+			post := func(r *mpj.Request, err error) error {
+				if err != nil {
+					return fmt.Errorf("halo: %w", err)
 				}
-				next[idx] = v
+				reqs = append(reqs, r)
+				return nil
 			}
-			next[i*n] = cur[i*n]
-			next[i*n+n-1] = cur[i*n+n-1]
+			if up != mpj.Undefined {
+				rr, err := cart.Irecv(cur, 0, n, mpj.DOUBLE, up, haloTag)
+				if err := post(rr, err); err != nil {
+					return err
+				}
+				sr, err := cart.Isend(cur, n, n, mpj.DOUBLE, up, haloTag)
+				if err := post(sr, err); err != nil {
+					return err
+				}
+			}
+			if down != mpj.Undefined {
+				rr, err := cart.Irecv(cur, (rows+1)*n, n, mpj.DOUBLE, down, haloTag)
+				if err := post(rr, err); err != nil {
+					return err
+				}
+				sr, err := cart.Isend(cur, rows*n, n, mpj.DOUBLE, down, haloTag)
+				if err := post(sr, err); err != nil {
+					return err
+				}
+			}
+			if rows > 2 {
+				localMax = relaxRows(cur, next, n, 2, rows-1)
+			}
+			if _, err := mpj.WaitAll(reqs); err != nil {
+				return fmt.Errorf("halo wait: %w", err)
+			}
+			if m := relaxRows(cur, next, n, 1, 1); m > localMax {
+				localMax = m
+			}
+			if rows > 1 {
+				if m := relaxRows(cur, next, n, rows, rows); m > localMax {
+					localMax = m
+				}
+			}
+		} else {
+			// Classic structure: blocking Sendrecv pairs, then the sweep.
+			if up != mpj.Undefined {
+				if _, err := cart.Sendrecv(
+					cur, n, n, mpj.DOUBLE, up, haloTag,
+					cur, 0, n, mpj.DOUBLE, up, haloTag); err != nil {
+					return fmt.Errorf("halo up: %w", err)
+				}
+			}
+			if down != mpj.Undefined {
+				if _, err := cart.Sendrecv(
+					cur, rows*n, n, mpj.DOUBLE, down, haloTag,
+					cur, (rows+1)*n, n, mpj.DOUBLE, down, haloTag); err != nil {
+					return fmt.Errorf("halo down: %w", err)
+				}
+			}
+			localMax = relaxRows(cur, next, n, 1, rows)
 		}
 		cur, next = next, cur
 
 		// Global convergence check.
-		gmax := make([]float64, 1)
-		if err := cart.Allreduce([]float64{localMax}, 0, gmax, 0, 1, mpj.DOUBLE, mpj.MAX); err != nil {
-			return fmt.Errorf("convergence allreduce: %w", err)
-		}
-		if gmax[0] < *tol {
-			if rank == 0 {
-				fmt.Printf("converged after %d iterations (max update %.2e)\n", it+1, gmax[0])
+		if *overlap {
+			// Harvest last iteration's reduction, then launch this one.
+			if convReq != nil {
+				if _, err := convReq.Wait(); err != nil {
+					return fmt.Errorf("convergence iallreduce: %w", err)
+				}
+				convReq = nil
+				if convOut[0] < *tol {
+					return finish(it, convOut[0])
+				}
 			}
-			return report(cart, cur, rows, n)
+			convOut[0] = 0
+			if convReq, err = cart.Iallreduce(
+				[]float64{localMax}, 0, convOut, 0, 1, mpj.DOUBLE, mpj.MAX); err != nil {
+				return fmt.Errorf("convergence iallreduce: %w", err)
+			}
+		} else {
+			gmax := make([]float64, 1)
+			if err := cart.Allreduce([]float64{localMax}, 0, gmax, 0, 1, mpj.DOUBLE, mpj.MAX); err != nil {
+				return fmt.Errorf("convergence allreduce: %w", err)
+			}
+			if gmax[0] < *tol {
+				return finish(it, gmax[0])
+			}
+		}
+	}
+	// Harvest the final sweep's reduction so overlap mode detects
+	// convergence on the last iteration exactly like blocking mode.
+	if convReq != nil {
+		if _, err := convReq.Wait(); err != nil {
+			return fmt.Errorf("convergence iallreduce: %w", err)
+		}
+		if convOut[0] < *tol {
+			return finish(*iters-1, convOut[0])
 		}
 	}
 	if rank == 0 {

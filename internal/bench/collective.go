@@ -10,35 +10,61 @@ import (
 	"mpj/internal/transport"
 )
 
-// runJob runs an np-rank in-process job, handing each rank to fn.
+// runJob runs an np-rank in-process job over the channel mesh, handing
+// each rank to fn.
 func runJob(np int, fn func(w *core.Comm) error) error {
 	eps := transport.NewChanMesh(np)
+	return runJobOn(len(eps), func(i int) (transport.Transport, error) { return eps[i], nil }, fn)
+}
+
+// runJobOn runs an np-rank in-process job over endpoints built by mkEp.
+// The first rank to fail aborts every device, so peers blocked in a
+// collective (or the final barrier) error out instead of hanging the
+// harness.
+func runJobOn(np int, mkEp func(rank int) (transport.Transport, error), fn func(w *core.Comm) error) error {
+	devs := make([]*device.Device, np)
+	worlds := make([]*core.Comm, np)
+	abortAll := func() {
+		for _, d := range devs {
+			if d != nil {
+				d.Abort()
+			}
+		}
+	}
+	for i := 0; i < np; i++ {
+		ep, err := mkEp(i)
+		if err != nil {
+			abortAll()
+			return err
+		}
+		if devs[i], err = device.Open(ep); err != nil {
+			abortAll()
+			return err
+		}
+		if worlds[i], err = core.NewWorld(devs[i]); err != nil {
+			abortAll()
+			return err
+		}
+	}
+	var abortOnce sync.Once
 	errs := make([]error, np)
 	var wg sync.WaitGroup
 	for i := 0; i < np; i++ {
-		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			d, err := device.Open(eps[i])
-			if err != nil {
+			if err := fn(worlds[i]); err != nil {
 				errs[i] = err
+				abortOnce.Do(abortAll)
 				return
 			}
-			defer d.Close()
-			w, err := core.NewWorld(d)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if err := fn(w); err != nil {
-				errs[i] = err
-				return
-			}
-			errs[i] = w.Barrier()
+			errs[i] = worlds[i].Barrier()
 		}()
 	}
 	wg.Wait()
+	for _, d := range devs {
+		d.Close()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -6,20 +6,17 @@ import (
 	"mpj/internal/device"
 )
 
-// Internal tags for collective traffic. They live on the communicator's
-// dedicated collective context, so they can never collide with user tags
-// (which use the point-to-point context).
+// Internal tags for the hand-rolled (varying-count) collectives. They
+// live on the communicator's dedicated collective context, so they can
+// never collide with user tags (which use the point-to-point context).
+// Schedule-compiled collectives allocate a fresh tag per operation from
+// tagSchedBase upward (see sched.go), so the fixed tags below must stay
+// under that base.
 const (
-	tagBarrier = iota + 1
-	tagBcast
-	tagGather
+	tagGather = iota + 1
 	tagScatter
-	tagAllgather
 	tagAlltoall
-	tagReduce
-	tagAllreduce
 	tagScan
-	tagReduceScatter
 )
 
 // AllreduceAlgorithm selects the Allreduce implementation; the A1 ablation
@@ -79,24 +76,15 @@ func (c *Comm) collRecv(src, tag int) ([]byte, error) {
 	return r.Data(), nil
 }
 
-// collExchange posts the receive, then the send, then waits for both —
-// the deadlock-safe pairwise exchange used by the butterfly algorithms.
-func (c *Comm) collExchange(data []byte, dst, src, tag int) ([]byte, error) {
-	rr, err := c.collIrecv(src, tag)
+// runColl completes a compiled collective schedule synchronously — the
+// shared tail of every blocking collective: compile the same schedule the
+// I* form uses, then Wait.
+func runColl(r *CollRequest, err error) error {
 	if err != nil {
-		return nil, err
+		return err
 	}
-	sr, err := c.collIsend(data, dst, tag)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := sr.Wait(); err != nil {
-		return nil, err
-	}
-	if _, err := rr.Wait(); err != nil {
-		return nil, err
-	}
-	return rr.Data(), nil
+	_, err = r.Wait()
+	return err
 }
 
 // checkRoot validates a root rank argument.
@@ -109,17 +97,10 @@ func (c *Comm) checkRoot(root int) error {
 
 // Barrier blocks until every member of the communicator has entered it —
 // MPI_Barrier. The implementation is the dissemination algorithm:
-// ceil(log2 p) rounds of pairwise signalling.
+// ceil(log2 p) rounds of pairwise signalling (the same schedule Ibarrier
+// compiles).
 func (c *Comm) Barrier() error {
-	size := c.Size()
-	for k := 1; k < size; k <<= 1 {
-		dst := (c.rank + k) % size
-		src := (c.rank - k + size) % size
-		if _, err := c.collExchange(nil, dst, src, tagBarrier); err != nil {
-			return fmt.Errorf("barrier: %w", err)
-		}
-	}
-	return nil
+	return runColl(c.ibarrier("barrier"))
 }
 
 // lowbit returns the lowest set bit of v (v > 0).
@@ -136,45 +117,9 @@ func pow2ceil(n int) int {
 
 // Bcast broadcasts count elements of dt from buf at off on the root to the
 // same position on every member — MPI_Bcast. Binomial tree: latency grows
-// as ceil(log2 p).
+// as ceil(log2 p) (the same schedule Ibcast compiles).
 func (c *Comm) Bcast(buf any, off, count int, dt Datatype, root int) error {
-	if err := c.checkRoot(root); err != nil {
-		return err
-	}
-	size := c.Size()
-	if size == 1 {
-		return nil
-	}
-	vrank := (c.rank - root + size) % size
-
-	var data []byte
-	var err error
-	lb := pow2ceil(size)
-	if vrank == 0 {
-		data, err = dt.Pack(nil, buf, off, count)
-		if err != nil {
-			return fmt.Errorf("bcast: %w", err)
-		}
-	} else {
-		lb = lowbit(vrank)
-		parent := (vrank - lb + root) % size
-		data, err = c.collRecv(parent, tagBcast)
-		if err != nil {
-			return fmt.Errorf("bcast: %w", err)
-		}
-		if _, err := dt.Unpack(data, buf, off, count); err != nil {
-			return fmt.Errorf("bcast: %w", err)
-		}
-	}
-	for m := lb >> 1; m > 0; m >>= 1 {
-		if vrank+m < size {
-			child := (vrank + m + root) % size
-			if err := c.collSend(data, child, tagBcast); err != nil {
-				return fmt.Errorf("bcast: %w", err)
-			}
-		}
-	}
-	return nil
+	return runColl(c.ibcast("bcast", buf, off, count, dt, root))
 }
 
 // Gather collects scount elements of sdt from every member into rbuf on
@@ -183,84 +128,7 @@ func (c *Comm) Bcast(buf any, off, count int, dt Datatype, root int) error {
 // (Object) data is gathered linearly.
 func (c *Comm) Gather(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) error {
-	if err := c.checkRoot(root); err != nil {
-		return err
-	}
-	size := c.Size()
-	myData, err := sdt.Pack(nil, sbuf, soff, scount)
-	if err != nil {
-		return fmt.Errorf("gather: %w", err)
-	}
-	if size == 1 {
-		_, err := rdt.Unpack(myData, rbuf, roff, rcount)
-		return err
-	}
-
-	if sdt.ByteSize() < 0 {
-		// Variable-size blocks: linear gather.
-		if c.rank != root {
-			return c.collSend(myData, root, tagGather)
-		}
-		for r := 0; r < size; r++ {
-			data := myData
-			if r != root {
-				if data, err = c.collRecv(r, tagGather); err != nil {
-					return fmt.Errorf("gather: %w", err)
-				}
-			}
-			if _, err := rdt.Unpack(data, rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
-				return fmt.Errorf("gather: %w", err)
-			}
-		}
-		return nil
-	}
-
-	// Binomial tree. Blocks are indexed by vrank; node v accumulates the
-	// blocks of vranks [v, v+2^k) as the mask grows.
-	bs := len(myData)
-	vrank := (c.rank - root + size) % size
-	data := myData
-	span := 1
-	for mask := 1; mask < size; mask <<= 1 {
-		if vrank&mask != 0 {
-			parent := (vrank - mask + root) % size
-			if err := c.collSend(data, parent, tagGather); err != nil {
-				return fmt.Errorf("gather: %w", err)
-			}
-			return nil
-		}
-		srcV := vrank | mask
-		if srcV < size {
-			got, err := c.collRecv((srcV+root)%size, tagGather)
-			if err != nil {
-				return fmt.Errorf("gather: %w", err)
-			}
-			wantBlocks := min(srcV+mask, size) - srcV
-			if len(got) != wantBlocks*bs {
-				return fmt.Errorf("gather: %w: got %d bytes from vrank %d, want %d",
-					ErrOther, len(got), srcV, wantBlocks*bs)
-			}
-			// Grow the accumulated buffer to cover [vrank, srcV+wantBlocks).
-			need := (srcV - vrank + wantBlocks) * bs
-			for len(data) < need {
-				data = append(data, make([]byte, need-len(data))...)
-			}
-			copy(data[(srcV-vrank)*bs:], got)
-			span = srcV - vrank + wantBlocks
-		}
-	}
-
-	// Only the root reaches here, holding blocks for vranks [0, size).
-	if span != size {
-		return fmt.Errorf("gather: %w: root assembled %d of %d blocks", ErrOther, span, size)
-	}
-	for v := 0; v < size; v++ {
-		r := (v + root) % size
-		if _, err := rdt.Unpack(data[v*bs:(v+1)*bs], rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
-			return fmt.Errorf("gather: %w", err)
-		}
-	}
-	return nil
+	return runColl(c.igather("gather", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root))
 }
 
 // Gatherv collects varying counts: rank r contributes scount elements and
@@ -319,87 +187,7 @@ func (c *Comm) Gatherv(sbuf any, soff, scount int, sdt Datatype,
 // scattered linearly.
 func (c *Comm) Scatter(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) error {
-	if err := c.checkRoot(root); err != nil {
-		return err
-	}
-	size := c.Size()
-	if size == 1 {
-		data, err := sdt.Pack(nil, sbuf, soff, scount)
-		if err != nil {
-			return fmt.Errorf("scatter: %w", err)
-		}
-		_, err = rdt.Unpack(data, rbuf, roff, rcount)
-		return err
-	}
-
-	if sdt.ByteSize() < 0 || rdt.ByteSize() < 0 {
-		// Variable-size blocks: linear scatter.
-		if c.rank == root {
-			for r := 0; r < size; r++ {
-				data, err := sdt.Pack(nil, sbuf, soff+r*scount*sdt.Extent(), scount)
-				if err != nil {
-					return fmt.Errorf("scatter: %w", err)
-				}
-				if r == root {
-					if _, err := rdt.Unpack(data, rbuf, roff, rcount); err != nil {
-						return fmt.Errorf("scatter: %w", err)
-					}
-					continue
-				}
-				if err := c.collSend(data, r, tagScatter); err != nil {
-					return fmt.Errorf("scatter: %w", err)
-				}
-			}
-			return nil
-		}
-		data, err := c.collRecv(root, tagScatter)
-		if err != nil {
-			return fmt.Errorf("scatter: %w", err)
-		}
-		_, err = rdt.Unpack(data, rbuf, roff, rcount)
-		return err
-	}
-
-	// Binomial tree, the mirror image of Gather: data travels root-down,
-	// each node forwarding the halves of its vrank range.
-	vrank := (c.rank - root + size) % size
-	var data []byte
-	var lb int
-	if vrank == 0 {
-		lb = pow2ceil(size)
-		// Assemble blocks in vrank order.
-		for v := 0; v < size; v++ {
-			r := (v + root) % size
-			var err error
-			data, err = sdt.Pack(data, sbuf, soff+r*scount*sdt.Extent(), scount)
-			if err != nil {
-				return fmt.Errorf("scatter: %w", err)
-			}
-		}
-	} else {
-		lb = lowbit(vrank)
-		parent := (vrank - lb + root) % size
-		var err error
-		if data, err = c.collRecv(parent, tagScatter); err != nil {
-			return fmt.Errorf("scatter: %w", err)
-		}
-	}
-	myBlocks := min(lb, size-vrank) // blocks this node covers: [vrank, vrank+myBlocks)
-	bs := len(data) / myBlocks
-	for m := lb >> 1; m > 0; m >>= 1 {
-		if vrank+m < size {
-			child := (vrank + m + root) % size
-			childBlocks := min(m, size-(vrank+m))
-			sub := data[m*bs : (m+childBlocks)*bs]
-			if err := c.collSend(sub, child, tagScatter); err != nil {
-				return fmt.Errorf("scatter: %w", err)
-			}
-		}
-	}
-	if _, err := rdt.Unpack(data[:bs], rbuf, roff, rcount); err != nil {
-		return fmt.Errorf("scatter: %w", err)
-	}
-	return nil
+	return runColl(c.iscatter("scatter", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root))
 }
 
 // Scatterv distributes varying counts from the root: rank r receives
@@ -443,44 +231,11 @@ func (c *Comm) Scatterv(sbuf any, soff int, scounts, displs []int, sdt Datatype,
 
 // Allgather gathers every member's block to every member — MPI_Allgather.
 // Fixed-size datatypes use the ring algorithm (p-1 steps, bandwidth
-// optimal); Object data falls back to gather+bcast.
+// optimal); Object data uses a linear exchange (the same schedule
+// Iallgather compiles).
 func (c *Comm) Allgather(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) error {
-	size := c.Size()
-	myData, err := sdt.Pack(nil, sbuf, soff, scount)
-	if err != nil {
-		return fmt.Errorf("allgather: %w", err)
-	}
-	if size == 1 {
-		_, err := rdt.Unpack(myData, rbuf, roff, rcount)
-		return err
-	}
-	if sdt.ByteSize() < 0 {
-		if err := c.Gather(sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, 0); err != nil {
-			return err
-		}
-		return c.Bcast(rbuf, roff, size*rcount, rdt, 0)
-	}
-
-	// Ring: in step s we forward the block of rank (rank-s mod p).
-	if _, err := rdt.Unpack(myData, rbuf, roff+c.rank*rcount*rdt.Extent(), rcount); err != nil {
-		return fmt.Errorf("allgather: %w", err)
-	}
-	right := (c.rank + 1) % size
-	left := (c.rank - 1 + size) % size
-	cur := myData
-	for s := 0; s < size-1; s++ {
-		got, err := c.collExchange(cur, right, left, tagAllgather)
-		if err != nil {
-			return fmt.Errorf("allgather: %w", err)
-		}
-		owner := (c.rank - s - 1 + size*2) % size
-		if _, err := rdt.Unpack(got, rbuf, roff+owner*rcount*rdt.Extent(), rcount); err != nil {
-			return fmt.Errorf("allgather: %w", err)
-		}
-		cur = got
-	}
-	return nil
+	return runColl(c.iallgather("allgather", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt))
 }
 
 // Allgatherv gathers varying counts to every member — MPI_Allgatherv,
@@ -507,52 +262,11 @@ func (c *Comm) Allgatherv(sbuf any, soff, scount int, sdt Datatype,
 }
 
 // Alltoall exchanges a distinct scount-element block between every pair of
-// members — MPI_Alltoall. All sends and receives are posted up front and
-// completed with WaitAll.
+// members — MPI_Alltoall. All sends and receives run in a single schedule
+// round (the same schedule Ialltoall compiles).
 func (c *Comm) Alltoall(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) error {
-	size := c.Size()
-	recvs := make([]*device.Request, size)
-	sends := make([]*device.Request, size)
-	for r := 0; r < size; r++ {
-		if r == c.rank {
-			continue
-		}
-		var err error
-		if recvs[r], err = c.collIrecv(r, tagAlltoall); err != nil {
-			return fmt.Errorf("alltoall: %w", err)
-		}
-	}
-	for r := 0; r < size; r++ {
-		data, err := sdt.Pack(nil, sbuf, soff+r*scount*sdt.Extent(), scount)
-		if err != nil {
-			return fmt.Errorf("alltoall: %w", err)
-		}
-		if r == c.rank {
-			if _, err := rdt.Unpack(data, rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
-				return fmt.Errorf("alltoall: %w", err)
-			}
-			continue
-		}
-		if sends[r], err = c.collIsend(data, r, tagAlltoall); err != nil {
-			return fmt.Errorf("alltoall: %w", err)
-		}
-	}
-	for r := 0; r < size; r++ {
-		if r == c.rank {
-			continue
-		}
-		if _, err := sends[r].Wait(); err != nil {
-			return fmt.Errorf("alltoall: %w", err)
-		}
-		if _, err := recvs[r].Wait(); err != nil {
-			return fmt.Errorf("alltoall: %w", err)
-		}
-		if _, err := rdt.Unpack(recvs[r].Data(), rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
-			return fmt.Errorf("alltoall: %w", err)
-		}
-	}
-	return nil
+	return runColl(c.ialltoall("alltoall", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt))
 }
 
 // Alltoallv exchanges varying counts between every pair — MPI_Alltoallv.
@@ -609,43 +323,7 @@ func (c *Comm) Alltoallv(sbuf any, soff int, scounts, sdispls []int, sdt Datatyp
 // leaving the result in the root's rbuf — MPI_Reduce. Binomial tree; ops
 // are assumed commutative and associative, as for predefined MPI ops.
 func (c *Comm) Reduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op, root int) error {
-	if err := c.checkRoot(root); err != nil {
-		return err
-	}
-	comb, err := op.combinerFor(dt)
-	if err != nil {
-		return err
-	}
-	data, err := dt.Pack(nil, sbuf, soff, count)
-	if err != nil {
-		return fmt.Errorf("reduce: %w", err)
-	}
-	size := c.Size()
-	vrank := (c.rank - root + size) % size
-	for mask := 1; mask < size; mask <<= 1 {
-		if vrank&mask != 0 {
-			parent := (vrank - mask + root) % size
-			if err := c.collSend(data, parent, tagReduce); err != nil {
-				return fmt.Errorf("reduce: %w", err)
-			}
-			return nil
-		}
-		srcV := vrank | mask
-		if srcV < size {
-			got, err := c.collRecv((srcV+root)%size, tagReduce)
-			if err != nil {
-				return fmt.Errorf("reduce: %w", err)
-			}
-			if err := comb(got, data); err != nil {
-				return fmt.Errorf("reduce: %w", err)
-			}
-		}
-	}
-	// Root.
-	if _, err := dt.Unpack(data, rbuf, roff, count); err != nil {
-		return fmt.Errorf("reduce: %w", err)
-	}
-	return nil
+	return runColl(c.ireduce("reduce", sbuf, soff, rbuf, roff, count, dt, op, root))
 }
 
 // Allreduce combines every member's data and leaves the result on all
@@ -663,44 +341,10 @@ func (c *Comm) Allreduce(sbuf any, soff int, rbuf any, roff, count int, dt Datat
 // AllreduceWith runs Allreduce with an explicit algorithm choice; the A1
 // ablation benchmark compares them.
 func (c *Comm) AllreduceWith(alg AllreduceAlgorithm, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) error {
-	size := c.Size()
-	switch alg {
-	case AllreduceAuto:
+	if alg == AllreduceAuto {
 		return c.Allreduce(sbuf, soff, rbuf, roff, count, dt, op)
-	case AllreduceRecursiveDoubling:
-		if size&(size-1) != 0 {
-			return fmt.Errorf("%w: recursive doubling requires power-of-two size, have %d", ErrComm, size)
-		}
-		comb, err := op.combinerFor(dt)
-		if err != nil {
-			return err
-		}
-		data, err := dt.Pack(nil, sbuf, soff, count)
-		if err != nil {
-			return fmt.Errorf("allreduce: %w", err)
-		}
-		for mask := 1; mask < size; mask <<= 1 {
-			partner := c.rank ^ mask
-			got, err := c.collExchange(data, partner, partner, tagAllreduce)
-			if err != nil {
-				return fmt.Errorf("allreduce: %w", err)
-			}
-			if err := comb(got, data); err != nil {
-				return fmt.Errorf("allreduce: %w", err)
-			}
-		}
-		if _, err := dt.Unpack(data, rbuf, roff, count); err != nil {
-			return fmt.Errorf("allreduce: %w", err)
-		}
-		return nil
-	case AllreduceTreeBcast:
-		if err := c.Reduce(sbuf, soff, rbuf, roff, count, dt, op, 0); err != nil {
-			return err
-		}
-		return c.Bcast(rbuf, roff, count, dt, 0)
-	default:
-		return fmt.Errorf("%w: unknown allreduce algorithm %d", ErrOther, alg)
 	}
+	return runColl(c.iallreduce("allreduce", alg, sbuf, soff, rbuf, roff, count, dt, op))
 }
 
 // ReduceScatter combines every member's data and scatters the result:

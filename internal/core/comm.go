@@ -4,12 +4,16 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mpj/internal/device"
 )
 
 // procState is the per-process state shared by all communicators derived
-// from one world: the context id allocator and the buffered-send pool.
+// from one world: the context id allocator, the buffered-send pool, and
+// the registry of in-flight collective schedules (process-wide, so a Wait
+// parked on one communicator's collective can drive the rounds of
+// collectives on every other communicator — see sched.go).
 type procState struct {
 	dev *device.Device
 
@@ -18,6 +22,14 @@ type procState struct {
 	bsend   *bsendPool
 
 	abort func(code int) // installed by the runtime; see SetAbortHandler
+
+	collMu   sync.Mutex
+	inflight map[*CollRequest]struct{}
+
+	// collCount mirrors len(inflight) so the point-to-point hot path can
+	// skip the progress engine entirely (one atomic load) while no
+	// collective is in flight.
+	collCount atomic.Int64
 }
 
 // Comm is an intra-communicator: a group of processes plus a private
@@ -38,6 +50,15 @@ type Comm struct {
 	coll  int // device context for collectives
 
 	topo any // *CartInfo or *GraphInfo when the comm carries a topology
+
+	// Collective-schedule state (see sched.go): the per-call tag counter
+	// that keeps concurrent collectives on this communicator apart and
+	// the freed flag that fails further and in-flight collectives with
+	// ErrComm. The in-flight registry itself lives on proc, shared by
+	// every communicator of the process.
+	collMu  sync.Mutex
+	collSeq int
+	freed   bool
 }
 
 // NewWorld builds the world communicator over an opened device, taking
@@ -241,7 +262,25 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	}, nil
 }
 
-// Free releases the communicator. Contexts are not recycled (the id space
-// is effectively unbounded), so this is bookkeeping only, kept for MPJ API
-// fidelity.
-func (c *Comm) Free() {}
+// Free releases the communicator — MPJ Comm.Free. Contexts are not
+// recycled (the id space is effectively unbounded), but Free is not a
+// no-op: any collective request still in flight on this communicator
+// completes with ErrComm instead of hanging its waiters (the total-failure
+// model extended to abandoned schedules), and starting new collectives on
+// a freed communicator fails with ErrComm immediately.
+func (c *Comm) Free() {
+	c.collMu.Lock()
+	c.freed = true
+	c.collMu.Unlock()
+	c.proc.collMu.Lock()
+	reqs := make([]*CollRequest, 0, len(c.proc.inflight))
+	for r := range c.proc.inflight {
+		if r.c == c {
+			reqs = append(reqs, r)
+		}
+	}
+	c.proc.collMu.Unlock()
+	for _, r := range reqs {
+		r.fail(fmt.Errorf("%w: communicator freed with collective in flight", ErrComm))
+	}
+}

@@ -10,6 +10,11 @@
 // MPI_INIT/MPI_FINALIZE are absorbed into environment setup/teardown just
 // as the paper absorbs them around the user's main method.
 //
+// Collectives run on a schedule engine (sched.go): blocking and
+// non-blocking (I*) forms compile the same per-rank round schedules and a
+// CollRequest advances them on Wait/Test — see ARCHITECTURE.md, "The
+// collective schedule engine".
+//
 // See ARCHITECTURE.md at the repository root for where this package sits in
 // the layer stack.
 package core

@@ -1,0 +1,585 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file implements the non-blocking collectives — Ibarrier, Ibcast,
+// Igather, Iscatter, Iallgather, Ireduce, Iallreduce, Ialltoall — as
+// schedule builders for the engine in sched.go. Each builder compiles the
+// same algorithm the blocking form uses (dissemination barrier, binomial
+// trees, ring allgather, recursive doubling) into per-rank rounds; the
+// blocking collectives in coll.go call the same builders and Wait
+// immediately, so there is exactly one algorithm source.
+
+// ---------------------------------------------------------------------
+// Round builders, one per algorithm.
+// ---------------------------------------------------------------------
+
+// barrierRounds compiles the dissemination barrier: ceil(log2 p) rounds of
+// pairwise empty-message exchange.
+func barrierRounds(c *Comm) []round {
+	size := c.Size()
+	var rs []round
+	for k := 1; k < size; k <<= 1 {
+		dst := (c.rank + k) % size
+		src := (c.rank - k + size) % size
+		rs = append(rs, round{
+			recvs: []recvStep{{from: src}},
+			sends: []sendStep{{to: dst, data: func() []byte { return nil }}},
+		})
+	}
+	return rs
+}
+
+// bcastRounds compiles the binomial-tree broadcast. On the root, cl must
+// already hold the packed payload; on every other rank the first round
+// fills cl from the tree parent, and one further round forwards it to all
+// binomial children at once.
+func bcastRounds(c *Comm, cl *cell, root int) []round {
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	vrank := (c.rank - root + size) % size
+	var rs []round
+	lb := pow2ceil(size)
+	if vrank != 0 {
+		lb = lowbit(vrank)
+		parent := (vrank - lb + root) % size
+		rs = append(rs, round{recvs: []recvStep{{
+			from: parent,
+			on:   func(got []byte) error { cl.b = got; return nil },
+		}}})
+	}
+	var sends []sendStep
+	for m := lb >> 1; m > 0; m >>= 1 {
+		if vrank+m < size {
+			child := (vrank + m + root) % size
+			sends = append(sends, sendStep{to: child, data: func() []byte { return cl.b }})
+		}
+	}
+	if len(sends) > 0 {
+		rs = append(rs, round{sends: sends})
+	}
+	return rs
+}
+
+// gatherRounds compiles the binomial-tree gather for fixed-size blocks of
+// bs bytes. acc starts as this rank's own block and accumulates the
+// blocks of vranks [vrank, vrank+2^k) round by round; a non-zero vrank
+// finishes by sending its accumulated range to the tree parent, the root
+// ends up holding all size blocks in vrank order.
+func gatherRounds(c *Comm, acc *cell, bs, root int) []round {
+	size := c.Size()
+	vrank := (c.rank - root + size) % size
+	var rs []round
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % size
+			rs = append(rs, round{sends: []sendStep{{to: parent, data: func() []byte { return acc.b }}}})
+			return rs
+		}
+		srcV := vrank | mask
+		if srcV >= size {
+			continue
+		}
+		wantBlocks := min(srcV+mask, size) - srcV
+		rs = append(rs, round{recvs: []recvStep{{
+			from: (srcV + root) % size,
+			on: func(got []byte) error {
+				if len(got) != wantBlocks*bs {
+					return fmt.Errorf("%w: got %d bytes from vrank %d, want %d",
+						ErrOther, len(got), srcV, wantBlocks*bs)
+				}
+				need := (srcV - vrank + wantBlocks) * bs
+				for len(acc.b) < need {
+					acc.b = append(acc.b, make([]byte, need-len(acc.b))...)
+				}
+				copy(acc.b[(srcV-vrank)*bs:], got)
+				return nil
+			},
+		}}})
+	}
+	return rs
+}
+
+// scatterRounds compiles the binomial-tree scatter, the mirror image of
+// gatherRounds: the root's cl holds all blocks in vrank order, every other
+// rank first fills cl from its parent, then one round forwards each
+// child's sub-range.
+func scatterRounds(c *Comm, cl *cell, root int) []round {
+	size := c.Size()
+	vrank := (c.rank - root + size) % size
+	var rs []round
+	lb := pow2ceil(size)
+	if vrank != 0 {
+		lb = lowbit(vrank)
+		parent := (vrank - lb + root) % size
+		rs = append(rs, round{recvs: []recvStep{{
+			from: parent,
+			on:   func(got []byte) error { cl.b = got; return nil },
+		}}})
+	}
+	myBlocks := min(lb, size-vrank)
+	var sends []sendStep
+	for m := lb >> 1; m > 0; m >>= 1 {
+		if vrank+m < size {
+			m := m
+			child := (vrank + m + root) % size
+			sends = append(sends, sendStep{to: child, data: func() []byte {
+				bs := 0
+				if myBlocks > 0 {
+					bs = len(cl.b) / myBlocks
+				}
+				childBlocks := min(m, size-(vrank+m))
+				return cl.b[m*bs : (m+childBlocks)*bs]
+			}})
+		}
+	}
+	if len(sends) > 0 {
+		rs = append(rs, round{sends: sends})
+	}
+	return rs
+}
+
+// ringRounds compiles the bandwidth-optimal ring allgather: p-1 rounds, in
+// round s every rank forwards the block of rank (rank-s mod p) to its
+// right neighbour and receives the block of rank (rank-s-1 mod p) from its
+// left, delivering each arrival through onBlock.
+func ringRounds(c *Comm, myData []byte, onBlock func(owner int, got []byte) error) []round {
+	size := c.Size()
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	cur := &cell{b: myData}
+	var rs []round
+	for s := 0; s < size-1; s++ {
+		owner := (c.rank - s - 1 + size*2) % size
+		rs = append(rs, round{
+			recvs: []recvStep{{from: left, on: func(got []byte) error {
+				if err := onBlock(owner, got); err != nil {
+					return err
+				}
+				cur.b = got
+				return nil
+			}}},
+			sends: []sendStep{{to: right, data: func() []byte { return cur.b }}},
+		})
+	}
+	return rs
+}
+
+// reduceRounds compiles the binomial-tree reduction toward root: acc
+// starts as this rank's packed contribution; child contributions are
+// folded in with comb round by round, and a non-zero vrank finishes by
+// sending its partial result to the tree parent. Afterwards the root's acc
+// holds the full reduction.
+func reduceRounds(c *Comm, acc *cell, comb combiner, root int) []round {
+	size := c.Size()
+	vrank := (c.rank - root + size) % size
+	var rs []round
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % size
+			rs = append(rs, round{sends: []sendStep{{to: parent, data: func() []byte { return acc.b }}}})
+			return rs
+		}
+		srcV := vrank | mask
+		if srcV >= size {
+			continue
+		}
+		rs = append(rs, round{recvs: []recvStep{{
+			from: (srcV + root) % size,
+			on:   func(got []byte) error { return comb(got, acc.b) },
+		}}})
+	}
+	return rs
+}
+
+// rdRounds compiles recursive-doubling allreduce (power-of-two sizes
+// only): log2 p rounds of pairwise exchange-and-combine on acc.
+func rdRounds(c *Comm, acc *cell, comb combiner) []round {
+	size := c.Size()
+	var rs []round
+	for mask := 1; mask < size; mask <<= 1 {
+		partner := c.rank ^ mask
+		rs = append(rs, round{
+			// The send snapshots acc at post time, before this round's
+			// combine mutates it — the same order collExchange used.
+			recvs: []recvStep{{from: partner, on: func(got []byte) error { return comb(got, acc.b) }}},
+			sends: []sendStep{{to: partner, data: func() []byte { return acc.b }}},
+		})
+	}
+	return rs
+}
+
+// ---------------------------------------------------------------------
+// The non-blocking collective API. Each I* operation compiles a schedule,
+// posts its first round immediately (so communication overlaps the
+// caller's compute) and returns a *CollRequest to Wait/Test on. The usual
+// collective rules apply: every member must start the same collectives in
+// the same order and eventually complete them.
+// ---------------------------------------------------------------------
+
+// Ibarrier starts a non-blocking barrier — MPI_Ibarrier. The request
+// completes once every member has entered the barrier.
+func (c *Comm) Ibarrier() (*CollRequest, error) {
+	return c.ibarrier("ibarrier")
+}
+
+func (c *Comm) ibarrier(name string) (*CollRequest, error) {
+	return c.newCollRequest(name, c.nextCollTag(), barrierRounds(c), nil)
+}
+
+// Ibcast starts a non-blocking broadcast of count elements of dt from the
+// root's buf to every member — MPI_Ibcast. The buffer must not be touched
+// until the request completes.
+func (c *Comm) Ibcast(buf any, off, count int, dt Datatype, root int) (*CollRequest, error) {
+	return c.ibcast("ibcast", buf, off, count, dt, root)
+}
+
+func (c *Comm) ibcast(name string, buf any, off, count int, dt Datatype, root int) (*CollRequest, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	cl := &cell{}
+	if c.rank == root {
+		var err error
+		if cl.b, err = dt.Pack(nil, buf, off, count); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	var finish func() error
+	if c.rank != root && c.Size() > 1 {
+		finish = func() error {
+			_, err := dt.Unpack(cl.b, buf, off, count)
+			return err
+		}
+	}
+	return c.newCollRequest(name, c.nextCollTag(), bcastRounds(c, cl, root), finish)
+}
+
+// Igather starts a non-blocking gather of scount elements from every
+// member into the root's rbuf — MPI_Igather.
+func (c *Comm) Igather(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
+	return c.igather("igather", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root)
+}
+
+func (c *Comm) igather(name string, sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	size := c.Size()
+	myData, err := sdt.Pack(nil, sbuf, soff, scount)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if size == 1 {
+		return c.newCollRequest(name, c.nextCollTag(), nil, func() error {
+			_, err := rdt.Unpack(myData, rbuf, roff, rcount)
+			return err
+		})
+	}
+
+	if sdt.ByteSize() < 0 {
+		// Variable-size blocks: linear gather, all transfers in one round.
+		if c.rank != root {
+			rounds := []round{{sends: []sendStep{{to: root, data: func() []byte { return myData }}}}}
+			return c.newCollRequest(name, c.nextCollTag(), rounds, nil)
+		}
+		var rd round
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			rd.recvs = append(rd.recvs, recvStep{from: r, on: func(got []byte) error {
+				_, err := rdt.Unpack(got, rbuf, roff+r*rcount*rdt.Extent(), rcount)
+				return err
+			}})
+		}
+		finish := func() error {
+			_, err := rdt.Unpack(myData, rbuf, roff+root*rcount*rdt.Extent(), rcount)
+			return err
+		}
+		return c.newCollRequest(name, c.nextCollTag(), []round{rd}, finish)
+	}
+
+	// Fixed-size blocks: binomial tree over vranks.
+	bs := len(myData)
+	acc := &cell{b: myData}
+	var finish func() error
+	if c.rank == root {
+		finish = func() error {
+			if len(acc.b) != size*bs {
+				return fmt.Errorf("%w: root assembled %d of %d bytes", ErrOther, len(acc.b), size*bs)
+			}
+			for v := 0; v < size; v++ {
+				r := (v + root) % size
+				if _, err := rdt.Unpack(acc.b[v*bs:(v+1)*bs], rbuf, roff+r*rcount*rdt.Extent(), rcount); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return c.newCollRequest(name, c.nextCollTag(), gatherRounds(c, acc, bs, root), finish)
+}
+
+// Iscatter starts a non-blocking scatter of scount elements per rank from
+// the root's sbuf — MPI_Iscatter.
+func (c *Comm) Iscatter(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
+	return c.iscatter("iscatter", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root)
+}
+
+func (c *Comm) iscatter(name string, sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	size := c.Size()
+	if size == 1 {
+		data, err := sdt.Pack(nil, sbuf, soff, scount)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return c.newCollRequest(name, c.nextCollTag(), nil, func() error {
+			_, err := rdt.Unpack(data, rbuf, roff, rcount)
+			return err
+		})
+	}
+
+	if sdt.ByteSize() < 0 || rdt.ByteSize() < 0 {
+		// Variable-size blocks: linear scatter, all transfers in one round.
+		if c.rank == root {
+			var rd round
+			var own []byte
+			for r := 0; r < size; r++ {
+				data, err := sdt.Pack(nil, sbuf, soff+r*scount*sdt.Extent(), scount)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+				if r == root {
+					own = data
+					continue
+				}
+				rd.sends = append(rd.sends, sendStep{to: r, data: func() []byte { return data }})
+			}
+			finish := func() error {
+				_, err := rdt.Unpack(own, rbuf, roff, rcount)
+				return err
+			}
+			return c.newCollRequest(name, c.nextCollTag(), []round{rd}, finish)
+		}
+		cl := &cell{}
+		rounds := []round{{recvs: []recvStep{{
+			from: root,
+			on:   func(got []byte) error { cl.b = got; return nil },
+		}}}}
+		finish := func() error {
+			_, err := rdt.Unpack(cl.b, rbuf, roff, rcount)
+			return err
+		}
+		return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+	}
+
+	// Fixed-size blocks: binomial tree, data travelling root-down.
+	vrank := (c.rank - root + size) % size
+	cl := &cell{}
+	if vrank == 0 {
+		for v := 0; v < size; v++ {
+			r := (v + root) % size
+			var err error
+			cl.b, err = sdt.Pack(cl.b, sbuf, soff+r*scount*sdt.Extent(), scount)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	}
+	finish := func() error {
+		lb := pow2ceil(size)
+		if vrank != 0 {
+			lb = lowbit(vrank)
+		}
+		myBlocks := min(lb, size-vrank)
+		bs := 0
+		if myBlocks > 0 {
+			bs = len(cl.b) / myBlocks
+		}
+		_, err := rdt.Unpack(cl.b[:bs], rbuf, roff, rcount)
+		return err
+	}
+	return c.newCollRequest(name, c.nextCollTag(), scatterRounds(c, cl, root), finish)
+}
+
+// Iallgather starts a non-blocking allgather: every member's block ends up
+// on every member — MPI_Iallgather.
+func (c *Comm) Iallgather(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
+	return c.iallgather("iallgather", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
+}
+
+func (c *Comm) iallgather(name string, sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
+	size := c.Size()
+	myData, err := sdt.Pack(nil, sbuf, soff, scount)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	unpackSlot := func(owner int, got []byte) error {
+		_, err := rdt.Unpack(got, rbuf, roff+owner*rcount*rdt.Extent(), rcount)
+		return err
+	}
+	if size == 1 {
+		return c.newCollRequest(name, c.nextCollTag(), nil, func() error {
+			_, err := rdt.Unpack(myData, rbuf, roff, rcount)
+			return err
+		})
+	}
+
+	if sdt.ByteSize() < 0 {
+		// Variable-size blocks: linear exchange, all transfers in one round.
+		var rd round
+		for r := 0; r < size; r++ {
+			if r == c.rank {
+				continue
+			}
+			rd.recvs = append(rd.recvs, recvStep{from: r, on: func(got []byte) error {
+				return unpackSlot(r, got)
+			}})
+			rd.sends = append(rd.sends, sendStep{to: r, data: func() []byte { return myData }})
+		}
+		finish := func() error { return unpackSlot(c.rank, myData) }
+		return c.newCollRequest(name, c.nextCollTag(), []round{rd}, finish)
+	}
+
+	// Fixed-size blocks: ring. Own block lands immediately; the rest
+	// arrive over p-1 rounds.
+	if err := unpackSlot(c.rank, myData); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return c.newCollRequest(name, c.nextCollTag(), ringRounds(c, myData, unpackSlot), nil)
+}
+
+// Ireduce starts a non-blocking reduction of count elements with op,
+// leaving the result in the root's rbuf — MPI_Ireduce.
+func (c *Comm) Ireduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op, root int) (*CollRequest, error) {
+	return c.ireduce("ireduce", sbuf, soff, rbuf, roff, count, dt, op, root)
+}
+
+func (c *Comm) ireduce(name string, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op, root int) (*CollRequest, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	comb, err := op.combinerFor(dt)
+	if err != nil {
+		return nil, err
+	}
+	data, err := dt.Pack(nil, sbuf, soff, count)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	acc := &cell{b: data}
+	var finish func() error
+	if c.rank == root {
+		finish = func() error {
+			_, err := dt.Unpack(acc.b, rbuf, roff, count)
+			return err
+		}
+	}
+	return c.newCollRequest(name, c.nextCollTag(), reduceRounds(c, acc, comb, root), finish)
+}
+
+// Iallreduce starts a non-blocking allreduce: the combined result lands on
+// every member — MPI_Iallreduce. Power-of-two sizes use recursive
+// doubling, others reduce to rank 0 and broadcast (the same automatic
+// choice Allreduce makes).
+func (c *Comm) Iallreduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
+	alg := AllreduceTreeBcast
+	if size := c.Size(); size&(size-1) == 0 {
+		alg = AllreduceRecursiveDoubling
+	}
+	return c.iallreduce("iallreduce", alg, sbuf, soff, rbuf, roff, count, dt, op)
+}
+
+// IallreduceWith is Iallreduce with an explicit algorithm choice.
+func (c *Comm) IallreduceWith(alg AllreduceAlgorithm, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
+	if alg == AllreduceAuto {
+		return c.Iallreduce(sbuf, soff, rbuf, roff, count, dt, op)
+	}
+	return c.iallreduce("iallreduce", alg, sbuf, soff, rbuf, roff, count, dt, op)
+}
+
+func (c *Comm) iallreduce(name string, alg AllreduceAlgorithm, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
+	size := c.Size()
+	comb, err := op.combinerFor(dt)
+	if err != nil {
+		return nil, err
+	}
+	data, err := dt.Pack(nil, sbuf, soff, count)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	acc := &cell{b: data}
+	var rounds []round
+	switch alg {
+	case AllreduceRecursiveDoubling:
+		if size&(size-1) != 0 {
+			return nil, fmt.Errorf("%w: recursive doubling requires power-of-two size, have %d", ErrComm, size)
+		}
+		rounds = rdRounds(c, acc, comb)
+	case AllreduceTreeBcast:
+		// Reduce to rank 0, then broadcast: the bcast phase reuses acc —
+		// rank 0 enters it holding the full reduction, every other rank's
+		// acc is overwritten by its tree parent before it forwards.
+		rounds = append(reduceRounds(c, acc, comb, 0), bcastRounds(c, acc, 0)...)
+	default:
+		return nil, fmt.Errorf("%w: unknown allreduce algorithm %d", ErrOther, alg)
+	}
+	finish := func() error {
+		_, err := dt.Unpack(acc.b, rbuf, roff, count)
+		return err
+	}
+	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+}
+
+// Ialltoall starts a non-blocking all-to-all personalized exchange: a
+// distinct scount-element block travels between every pair of members —
+// MPI_Ialltoall. All transfers run in a single round.
+func (c *Comm) Ialltoall(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
+	return c.ialltoall("ialltoall", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
+}
+
+func (c *Comm) ialltoall(name string, sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
+	size := c.Size()
+	var rd round
+	var own []byte
+	for r := 0; r < size; r++ {
+		data, err := sdt.Pack(nil, sbuf, soff+r*scount*sdt.Extent(), scount)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if r == c.rank {
+			own = data
+			continue
+		}
+		rd.recvs = append(rd.recvs, recvStep{from: r, on: func(got []byte) error {
+			_, err := rdt.Unpack(got, rbuf, roff+r*rcount*rdt.Extent(), rcount)
+			return err
+		}})
+		rd.sends = append(rd.sends, sendStep{to: r, data: func() []byte { return data }})
+	}
+	finish := func() error {
+		_, err := rdt.Unpack(own, rbuf, roff+c.rank*rcount*rdt.Extent(), rcount)
+		return err
+	}
+	var rounds []round
+	if size > 1 {
+		rounds = []round{rd}
+	}
+	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+}

@@ -1,0 +1,728 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpj/internal/device"
+	"mpj/internal/transport"
+)
+
+// icollJobSeq hands out process-unique hybrid-mesh job ids so the tests in
+// this file never collide in the hybrid device's process-local hub.
+var icollJobSeq atomic.Uint64
+
+// runRanksHyb is runRanks over a co-located hybrid mesh instead of the
+// channel mesh, exercising the hub-routed device under the collectives.
+func runRanksHyb(t *testing.T, np int, fn func(w *Comm) error) {
+	t.Helper()
+	loc := transport.ProcessLocality()
+	locs := make([]string, np)
+	for i := range locs {
+		locs[i] = loc
+	}
+	jobID := 0x1c011<<32 | icollJobSeq.Add(1)
+	eps := make([]transport.Transport, np)
+	for i := range eps {
+		ep, err := transport.NewHybTransport(transport.HybConfig{Rank: i, JobID: jobID, Locs: locs})
+		if err != nil {
+			t.Fatalf("hyb transport rank %d: %v", i, err)
+		}
+		eps[i] = ep
+	}
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for i := 0; i < np; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, err := device.Open(eps[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("open device: %w", err)
+				return
+			}
+			defer d.Close()
+			w, err := NewWorld(d)
+			if err != nil {
+				errs[i] = fmt.Errorf("new world: %w", err)
+				return
+			}
+			if err := fn(w); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.Barrier()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job wedged: ranks did not finish within 60s")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+// icollCase is one randomized configuration of the equivalence property.
+type icollCase struct {
+	np    int
+	count int
+	root  int
+	op    *Op
+}
+
+// fill produces rank r's deterministic contribution for a case.
+func (c icollCase) fill(r, i int) int32 {
+	return int32((r*31+i)*7%1000 - 300)
+}
+
+// checkIcollEquivalence runs all eight collectives blocking and
+// non-blocking with identical inputs on one rank and compares the results
+// element for element. The non-blocking forms are all started before any
+// is waited, so up to eight schedules are in flight on the communicator
+// at once.
+func checkIcollEquivalence(w *Comm, tc icollCase) error {
+	np, n := w.Size(), tc.count
+	me := w.Rank()
+	mine := make([]int32, n)
+	for i := range mine {
+		mine[i] = tc.fill(me, i)
+	}
+	blocks := make([]int32, np*n) // per-destination blocks for alltoall
+	for r := 0; r < np; r++ {
+		for i := 0; i < n; i++ {
+			blocks[r*n+i] = tc.fill(me*np+r, i)
+		}
+	}
+	bcastIn := func() []int32 {
+		b := make([]int32, n)
+		if me == tc.root {
+			copy(b, mine)
+		}
+		return b
+	}
+
+	// Blocking reference results.
+	bBcast := bcastIn()
+	if err := w.Bcast(bBcast, 0, n, Int, tc.root); err != nil {
+		return err
+	}
+	bGather := make([]int32, np*n)
+	if err := w.Gather(mine, 0, n, Int, bGather, 0, n, Int, tc.root); err != nil {
+		return err
+	}
+	bScatter := make([]int32, n)
+	if err := w.Scatter(blocks, 0, n, Int, bScatter, 0, n, Int, tc.root); err != nil {
+		return err
+	}
+	bAllgather := make([]int32, np*n)
+	if err := w.Allgather(mine, 0, n, Int, bAllgather, 0, n, Int); err != nil {
+		return err
+	}
+	bReduce := make([]int32, n)
+	if err := w.Reduce(mine, 0, bReduce, 0, n, Int, tc.op, tc.root); err != nil {
+		return err
+	}
+	bAllreduce := make([]int32, n)
+	if err := w.Allreduce(mine, 0, bAllreduce, 0, n, Int, tc.op); err != nil {
+		return err
+	}
+	bAlltoall := make([]int32, np*n)
+	if err := w.Alltoall(blocks, 0, n, Int, bAlltoall, 0, n, Int); err != nil {
+		return err
+	}
+
+	// Non-blocking: start everything, then drain as one mixed batch.
+	nBcast := bcastIn()
+	nGather := make([]int32, np*n)
+	nScatter := make([]int32, n)
+	nAllgather := make([]int32, np*n)
+	nReduce := make([]int32, n)
+	nAllreduce := make([]int32, n)
+	nAlltoall := make([]int32, np*n)
+
+	var reqs []AnyRequest
+	start := func(r *CollRequest, err error) error {
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, r)
+		return nil
+	}
+	if err := start(w.Ibarrier()); err != nil {
+		return err
+	}
+	if err := start(w.Ibcast(nBcast, 0, n, Int, tc.root)); err != nil {
+		return err
+	}
+	if err := start(w.Igather(mine, 0, n, Int, nGather, 0, n, Int, tc.root)); err != nil {
+		return err
+	}
+	if err := start(w.Iscatter(blocks, 0, n, Int, nScatter, 0, n, Int, tc.root)); err != nil {
+		return err
+	}
+	if err := start(w.Iallgather(mine, 0, n, Int, nAllgather, 0, n, Int)); err != nil {
+		return err
+	}
+	if err := start(w.Ireduce(mine, 0, nReduce, 0, n, Int, tc.op, tc.root)); err != nil {
+		return err
+	}
+	if err := start(w.Iallreduce(mine, 0, nAllreduce, 0, n, Int, tc.op)); err != nil {
+		return err
+	}
+	if err := start(w.Ialltoall(blocks, 0, n, Int, nAlltoall, 0, n, Int)); err != nil {
+		return err
+	}
+	if _, err := WaitAllRequests(reqs); err != nil {
+		return err
+	}
+
+	cmp := func(name string, b, nb []int32, rootOnly bool) error {
+		if rootOnly && me != tc.root {
+			return nil
+		}
+		for i := range b {
+			if b[i] != nb[i] {
+				return fmt.Errorf("%s: np=%d count=%d root=%d op=%s: blocking[%d]=%d nonblocking=%d",
+					name, np, n, tc.root, tc.op.Name(), i, b[i], nb[i])
+			}
+		}
+		return nil
+	}
+	if err := cmp("bcast", bBcast, nBcast, false); err != nil {
+		return err
+	}
+	if err := cmp("gather", bGather, nGather, true); err != nil {
+		return err
+	}
+	if err := cmp("scatter", bScatter, nScatter, false); err != nil {
+		return err
+	}
+	if err := cmp("allgather", bAllgather, nAllgather, false); err != nil {
+		return err
+	}
+	if err := cmp("reduce", bReduce, nReduce, true); err != nil {
+		return err
+	}
+	if err := cmp("allreduce", bAllreduce, nAllreduce, false); err != nil {
+		return err
+	}
+	return cmp("alltoall", bAlltoall, nAlltoall, false)
+}
+
+// TestIcollMatchesBlockingProperty is the equivalence property over
+// randomized sizes, counts, ops and roots on the chan device: the
+// schedule-compiled non-blocking collectives must produce exactly the
+// results of their blocking forms.
+func TestIcollMatchesBlockingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nps := []int{1, 2, 3, 4, 5, 8}
+	ops := []*Op{SumOp, MaxOp, MinOp, BXorOp}
+	for trial := 0; trial < 12; trial++ {
+		np := nps[rng.Intn(len(nps))]
+		tc := icollCase{
+			np:    np,
+			count: rng.Intn(200),
+			root:  rng.Intn(np),
+			op:    ops[rng.Intn(len(ops))],
+		}
+		runRanks(t, np, func(w *Comm) error { return checkIcollEquivalence(w, tc) })
+	}
+}
+
+// TestIcollMatchesBlockingHyb runs the same equivalence property over the
+// hybrid device's hub-routed channel path.
+func TestIcollMatchesBlockingHyb(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, np := range []int{2, 3, 4} {
+		tc := icollCase{
+			np:    np,
+			count: 1 + rng.Intn(300),
+			root:  rng.Intn(np),
+			op:    SumOp,
+		}
+		runRanksHyb(t, np, func(w *Comm) error { return checkIcollEquivalence(w, tc) })
+	}
+}
+
+// TestIcollLargePayload pushes the schedules through the rendezvous
+// protocol: payloads well above the eager limit must flow through the
+// rounds exactly like small ones.
+func TestIcollLargePayload(t *testing.T) {
+	const n = 8 << 10 // 64 KiB of float64 per contribution, > eager limit
+	runRanks(t, 4, func(w *Comm) error {
+		mine := make([]float64, n)
+		for i := range mine {
+			mine[i] = float64(w.Rank()) + float64(i)*1e-6
+		}
+		sum := make([]float64, n)
+		r, err := w.Iallreduce(mine, 0, sum, 0, n, Double, SumOp)
+		if err != nil {
+			return err
+		}
+		if _, err := r.Wait(); err != nil {
+			return err
+		}
+		want := float64(w.Size()*(w.Size()-1))/2 + 4*float64(n-1)*1e-6
+		return expect(sum[n-1] == want, "sum[last] = %v, want %v", sum[n-1], want)
+	})
+}
+
+// TestIcollObjectPaths drives the linear (variable-size) schedules with
+// OBJECT payloads.
+func TestIcollObjectPaths(t *testing.T) {
+	runRanks(t, 3, func(w *Comm) error {
+		np := w.Size()
+		sbuf := []any{fmt.Sprintf("from-%d", w.Rank())}
+		rbuf := make([]any, np)
+		gr, err := w.Igather(sbuf, 0, 1, Object, rbuf, 0, 1, Object, 1)
+		if err != nil {
+			return err
+		}
+		abuf := make([]any, np)
+		ar, err := w.Iallgather(sbuf, 0, 1, Object, abuf, 0, 1, Object)
+		if err != nil {
+			return err
+		}
+		if _, err := WaitAllRequests([]AnyRequest{gr, ar}); err != nil {
+			return err
+		}
+		for r := 0; r < np; r++ {
+			if w.Rank() == 1 && rbuf[r] != fmt.Sprintf("from-%d", r) {
+				return fmt.Errorf("gather rbuf[%d] = %v", r, rbuf[r])
+			}
+			if abuf[r] != fmt.Sprintf("from-%d", r) {
+				return fmt.Errorf("allgather abuf[%d] = %v", r, abuf[r])
+			}
+		}
+		return nil
+	})
+}
+
+// TestIcollConcurrentDisjointComms runs independent non-blocking
+// collectives concurrently from two goroutines per rank, each on its own
+// duplicated communicator (disjoint contexts). Run under -race this
+// checks the engine's locking end to end.
+func TestIcollConcurrentDisjointComms(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		c1, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		c2, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		bodies := []func(c *Comm) error{
+			func(c *Comm) error {
+				in := []int64{int64(c.Rank() + 1)}
+				out := make([]int64, 1)
+				r, err := c.Iallreduce(in, 0, out, 0, 1, Long, ProdOp)
+				if err != nil {
+					return err
+				}
+				if _, err := r.Wait(); err != nil {
+					return err
+				}
+				return expect(out[0] == 24, "prod = %d", out[0])
+			},
+			func(c *Comm) error {
+				buf := []int32{0}
+				if c.Rank() == 2 {
+					buf[0] = 99
+				}
+				r, err := c.Ibcast(buf, 0, 1, Int, 2)
+				if err != nil {
+					return err
+				}
+				if _, err := r.Wait(); err != nil {
+					return err
+				}
+				return expect(buf[0] == 99, "bcast got %d", buf[0])
+			},
+		}
+		for g, c := range []*Comm{c1, c2} {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 10; rep++ {
+					if err := bodies[g](c); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return errors.Join(errs...)
+	})
+}
+
+// TestIcollMixedWaitAll completes a point-to-point exchange and a
+// non-blocking collective through one WaitAllRequests batch.
+func TestIcollMixedWaitAll(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		peer := 1 - w.Rank()
+		out := []int32{int32(10 + w.Rank())}
+		in := make([]int32, 1)
+		sr, err := w.Isend(out, 0, 1, Int, peer, 5)
+		if err != nil {
+			return err
+		}
+		rr, err := w.Irecv(in, 0, 1, Int, peer, 5)
+		if err != nil {
+			return err
+		}
+		sum := make([]int32, 1)
+		cr, err := w.Iallreduce(out, 0, sum, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		if _, err := WaitAllRequests([]AnyRequest{sr, rr, cr}); err != nil {
+			return err
+		}
+		if err := expect(in[0] == int32(10+peer), "p2p got %d", in[0]); err != nil {
+			return err
+		}
+		return expect(sum[0] == 21, "allreduce got %d", sum[0])
+	})
+}
+
+// TestIcollCrossOrderWait completes two outstanding collectives in
+// opposite orders on different ranks — legal MPI that deadlocks unless a
+// parked Wait also drives sibling schedules on the communicator.
+func TestIcollCrossOrderWait(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		// Both are multi-round schedules (recursive doubling /
+		// dissemination at np=4), so rounds beyond the first must be
+		// posted while the rank is parked on the *other* request.
+		in := []int32{int32(w.Rank() + 1)}
+		sum := make([]int32, 1)
+		a, err := w.Iallreduce(in, 0, sum, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		b, err := w.Ibarrier()
+		if err != nil {
+			return err
+		}
+		if w.Rank()%2 == 0 {
+			if _, err := b.Wait(); err != nil {
+				return err
+			}
+			if _, err := a.Wait(); err != nil {
+				return err
+			}
+		} else {
+			if _, err := a.Wait(); err != nil {
+				return err
+			}
+			if _, err := b.Wait(); err != nil {
+				return err
+			}
+		}
+		return expect(sum[0] == 10, "allreduce got %d", sum[0])
+	})
+}
+
+// TestBlockingP2PDrivesCollectives parks a rank in a plain blocking Recv
+// while it still owes rounds to an in-flight collective: the p2p Wait
+// must drive the schedule, or the peer whose collective depends on those
+// rounds would never reach its unblocking Send.
+func TestBlockingP2PDrivesCollectives(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		in := []int32{int32(w.Rank() + 1)}
+		sum := make([]int32, 1)
+		req, err := w.Iallreduce(in, 0, sum, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 3 {
+			// Recv before Wait: the message only arrives after rank 1's
+			// collective completes, which needs this rank's later rounds.
+			got := make([]int32, 1)
+			if _, err := w.Recv(got, 0, 1, Int, 1, 11); err != nil {
+				return err
+			}
+			if err := expect(got[0] == 7, "recv got %d", got[0]); err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+		} else {
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if w.Rank() == 1 {
+				if err := w.Send([]int32{7}, 0, 1, Int, 3, 11); err != nil {
+					return err
+				}
+			}
+		}
+		return expect(sum[0] == 10, "allreduce got %d", sum[0])
+	})
+}
+
+// TestWaitAnyDrivesCollectives is TestBlockingP2PDrivesCollectives for
+// the WaitAny entry point, which parks on the device through its own path.
+func TestWaitAnyDrivesCollectives(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		in := []int32{int32(w.Rank() + 1)}
+		sum := make([]int32, 1)
+		req, err := w.Iallreduce(in, 0, sum, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 3 {
+			got := make([]int32, 1)
+			rr, err := w.Irecv(got, 0, 1, Int, 1, 12)
+			if err != nil {
+				return err
+			}
+			idx, _, err := WaitAny([]*Request{rr})
+			if err != nil {
+				return err
+			}
+			if err := expect(idx == 0 && got[0] == 8, "waitany idx=%d got %d", idx, got[0]); err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+		} else {
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if w.Rank() == 1 {
+				if err := w.Send([]int32{8}, 0, 1, Int, 3, 12); err != nil {
+					return err
+				}
+			}
+		}
+		return expect(sum[0] == 10, "allreduce got %d", sum[0])
+	})
+}
+
+// TestIcollCrossCommCrossOrderWait completes outstanding collectives on
+// two different communicators in opposite orders on different ranks: the
+// in-flight registry is process-wide, so a Wait parked on one
+// communicator's collective must drive the other's rounds too.
+func TestIcollCrossCommCrossOrderWait(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		c2, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		in := []int32{int32(w.Rank() + 1)}
+		sumX := make([]int32, 1)
+		sumY := make([]int32, 1)
+		x, err := w.Iallreduce(in, 0, sumX, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		y, err := c2.Iallreduce(in, 0, sumY, 0, 1, Int, ProdOp)
+		if err != nil {
+			return err
+		}
+		if w.Rank()%2 == 0 {
+			if _, err := x.Wait(); err != nil {
+				return err
+			}
+			if _, err := y.Wait(); err != nil {
+				return err
+			}
+		} else {
+			if _, err := y.Wait(); err != nil {
+				return err
+			}
+			if _, err := x.Wait(); err != nil {
+				return err
+			}
+		}
+		if err := expect(sumX[0] == 10, "sum got %d", sumX[0]); err != nil {
+			return err
+		}
+		return expect(sumY[0] == 24, "prod got %d", sumY[0])
+	})
+}
+
+// TestWaitAllRequestsTypedNil: typed-nil pointers boxed into AnyRequest
+// slots must be skipped like nil interfaces, matching WaitAll's contract.
+func TestWaitAllRequestsTypedNil(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		in := []int32{int32(w.Rank() + 1)}
+		sum := make([]int32, 1)
+		cr, err := w.Iallreduce(in, 0, sum, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		var nilP2P *Request
+		var nilPre *Prequest
+		var nilColl *CollRequest
+		sts, err := WaitAllRequests([]AnyRequest{nilP2P, nilPre, nilColl, nil, cr})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if sts[i] != nil {
+				return fmt.Errorf("slot %d: nil request produced status %v", i, sts[i])
+			}
+		}
+		// A batch of only typed nils must complete immediately too.
+		if _, err := WaitAllRequests([]AnyRequest{nilP2P, nilColl}); err != nil {
+			return err
+		}
+		return expect(sum[0] == 3, "sum got %d", sum[0])
+	})
+}
+
+// TestIcollWaitAllCrossProgress pins the progress guarantee of
+// WaitAllRequests: rank 0 waits on a batch whose first slot (a receive)
+// can only be satisfied after its second slot (a collective) completes on
+// the peer — a slot-by-slot Wait would deadlock, round-robin progress must
+// not.
+func TestIcollWaitAllCrossProgress(t *testing.T) {
+	runRanks(t, 3, func(w *Comm) error {
+		in := []int32{int32(w.Rank() + 1)}
+		sum := make([]int32, 1)
+		if w.Rank() == 0 {
+			got := make([]int32, 1)
+			rr, err := w.Irecv(got, 0, 1, Int, 1, 9)
+			if err != nil {
+				return err
+			}
+			cr, err := w.Iallreduce(in, 0, sum, 0, 1, Int, SumOp)
+			if err != nil {
+				return err
+			}
+			if _, err := WaitAllRequests([]AnyRequest{rr, cr}); err != nil {
+				return err
+			}
+			if err := expect(got[0] == 42, "recv got %d", got[0]); err != nil {
+				return err
+			}
+		} else {
+			cr, err := w.Iallreduce(in, 0, sum, 0, 1, Int, SumOp)
+			if err != nil {
+				return err
+			}
+			// The collective must complete before the unblocking send.
+			if _, err := cr.Wait(); err != nil {
+				return err
+			}
+			if w.Rank() == 1 {
+				if err := w.Send([]int32{42}, 0, 1, Int, 0, 9); err != nil {
+					return err
+				}
+			}
+		}
+		return expect(sum[0] == 6, "allreduce got %d", sum[0])
+	})
+}
+
+// TestIcollTestPolling completes a collective purely through Test calls —
+// no Wait — which exercises the non-blocking progress path.
+func TestIcollTestPolling(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		in := []int32{int32(w.Rank())}
+		out := make([]int32, 1)
+		r, err := w.Iallreduce(in, 0, out, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			_, done, err := r.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("collective did not complete under Test polling")
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return expect(out[0] == 6, "sum = %d", out[0])
+	})
+}
+
+// TestFreeFailsInflightCollective: a collective abandoned when the
+// communicator is freed completes with ErrComm instead of hanging — even
+// when some members never started it (the erroneous program the
+// total-failure model must still unwind).
+func TestFreeFailsInflightCollective(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		c, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		var req *CollRequest
+		if w.Rank() == 0 {
+			// Only rank 0 starts the collective: it can never complete.
+			in := []int32{1}
+			out := make([]int32, 1)
+			if req, err = c.Iallreduce(in, 0, out, 0, 1, Int, SumOp); err != nil {
+				return err
+			}
+		}
+		c.Free()
+		if w.Rank() == 0 {
+			if _, err := req.Wait(); !errors.Is(err, ErrComm) {
+				return fmt.Errorf("wait after Free: got %v, want ErrComm", err)
+			}
+		}
+		// New collectives on the freed communicator fail immediately.
+		if _, err := c.Ibarrier(); !errors.Is(err, ErrComm) {
+			return fmt.Errorf("ibarrier on freed comm: got %v, want ErrComm", err)
+		}
+		if err := c.Barrier(); !errors.Is(err, ErrComm) {
+			return fmt.Errorf("barrier on freed comm: got %v, want ErrComm", err)
+		}
+		return nil
+	})
+}
+
+// TestFreeWakesBlockedWaiter frees the communicator from a second
+// goroutine while Wait is already blocked on an incompletable collective;
+// the waiter must unblock with ErrComm.
+func TestFreeWakesBlockedWaiter(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		c, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 1 {
+			c.Free()
+			return nil
+		}
+		in := []int32{1}
+		out := make([]int32, 1)
+		req, err := c.Iallreduce(in, 0, out, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			c.Free()
+		}()
+		if _, err := req.Wait(); !errors.Is(err, ErrComm) {
+			return fmt.Errorf("blocked wait: got %v, want ErrComm", err)
+		}
+		return nil
+	})
+}

@@ -51,7 +51,22 @@ func (r *Request) finalize(dst device.Status, derr error) (*Status, error) {
 }
 
 // Wait blocks until the operation completes and returns its status.
+//
+// Like every blocking entry point, Wait participates in the collective
+// progress engine: while parked it keeps driving the rounds of any
+// in-flight collective schedules of the process (see sched.go), so a rank
+// blocked in a plain Recv cannot stall a peer's non-blocking collective.
+// With no collective in flight — one atomic load — it parks directly on
+// the device, keeping the point-to-point hot path at its old cost.
 func (r *Request) Wait() (*Status, error) {
+	for r.comm.proc.collCount.Load() != 0 {
+		dst, ok, derr := r.dreq.Test()
+		if ok {
+			return r.finalize(dst, derr)
+		}
+		pending := append(r.comm.progressSiblings(nil), r.dreq)
+		r.comm.dev.WaitProgress(pending)
+	}
 	dst, derr := r.dreq.Wait()
 	return r.finalize(dst, derr)
 }
@@ -74,22 +89,36 @@ func (r *Request) Cancel() error { return r.dreq.Cancel() }
 // WaitAny blocks until one of the requests completes and returns its index
 // and status. Completed requests are consumed, so calling WaitAny in a
 // loop steps through all completions; it returns index -1 when none are
-// active — MPI_Waitany.
+// active — MPI_Waitany. Like Request.Wait it keeps in-flight collective
+// schedules progressing while parked.
 func WaitAny(reqs []*Request) (int, *Status, error) {
 	if len(reqs) == 0 {
 		return -1, nil, nil
 	}
-	var dev *device.Device
+	var comm *Comm
 	dreqs := make([]*device.Request, len(reqs))
 	for i, r := range reqs {
 		if r == nil {
 			continue
 		}
 		dreqs[i] = r.dreq
-		dev = r.comm.dev
+		comm = r.comm
 	}
-	if dev == nil {
+	if comm == nil {
 		return -1, nil, nil
+	}
+	dev := comm.dev
+	for comm.proc.collCount.Load() != 0 {
+		idx, dst, ok, derr := dev.TestAny(dreqs)
+		if ok {
+			if idx < 0 {
+				return -1, nil, nil
+			}
+			st, err := reqs[idx].finalize(dst, derr)
+			return idx, st, err
+		}
+		pending := append(comm.progressSiblings(nil), dreqs...)
+		dev.WaitProgress(pending)
 	}
 	idx, dst, derr := dev.WaitAny(dreqs)
 	if idx < 0 {
@@ -125,8 +154,172 @@ func TestAny(reqs []*Request) (int, *Status, bool, error) {
 	return idx, st, ok, err
 }
 
+// AnyRequest is the completion surface shared by point-to-point Requests,
+// persistent Prequests and collective CollRequests. It lets mixed batches
+// — a halo exchange plus a non-blocking allreduce, say — complete through
+// one WaitAllRequests call.
+type AnyRequest interface {
+	// Wait blocks until the operation completes and returns its status.
+	Wait() (*Status, error)
+	// Test reports without blocking whether the operation has completed.
+	Test() (*Status, bool, error)
+}
+
+// The three request kinds all satisfy the common interface.
+var (
+	_ AnyRequest = (*Request)(nil)
+	_ AnyRequest = (*Prequest)(nil)
+	_ AnyRequest = (*CollRequest)(nil)
+)
+
+// isNilRequest reports whether a batch slot is empty: a nil interface or
+// a typed nil pointer of any request kind (a nil *Request boxed into
+// AnyRequest compares non-nil as an interface but must still be skipped,
+// matching WaitAll's nil-slot contract).
+func isNilRequest(r AnyRequest) bool {
+	switch v := r.(type) {
+	case nil:
+		return true
+	case *Request:
+		return v == nil
+	case *Prequest:
+		return v == nil
+	case *CollRequest:
+		return v == nil
+	}
+	return false
+}
+
+// WaitAllRequests blocks until every non-nil request in a mixed batch
+// completes. It returns one status per slot (nil for nil entries) and the
+// first error in slot order.
+//
+// Batches containing a collective are drained by round-robin Test rather
+// than slot-by-slot Wait: collective schedules advance only when entered
+// (progress on entry), so parking on one slot while a collective on
+// another communicator still has rounds to post could deadlock ranks
+// whose peers complete in a different order. Every pass advances every
+// outstanding request; between fruitless passes the caller parks on the
+// device until any outstanding request completes. Batches without
+// collectives block slot by slot on the device directly.
+func WaitAllRequests(reqs []AnyRequest) ([]*Status, error) {
+	sts := make([]*Status, len(reqs))
+	hasColl := false
+	for _, r := range reqs {
+		if cr, ok := r.(*CollRequest); ok && cr != nil {
+			hasColl = true
+			break
+		}
+	}
+	if !hasColl {
+		var firstErr error
+		for i, r := range reqs {
+			if isNilRequest(r) {
+				continue
+			}
+			st, err := r.Wait()
+			sts[i] = st
+			if firstErr == nil && err != nil {
+				firstErr = err
+			}
+		}
+		return sts, firstErr
+	}
+
+	errs := make([]error, len(reqs))
+	done := make([]bool, len(reqs))
+	remaining := 0
+	for i, r := range reqs {
+		if isNilRequest(r) {
+			done[i] = true
+			continue
+		}
+		remaining++
+	}
+	for remaining > 0 {
+		progressed := false
+		collLeft := false
+		for i, r := range reqs {
+			if done[i] {
+				continue
+			}
+			st, ok, err := r.Test()
+			if !ok {
+				if err != nil {
+					// Untestable slot (e.g. a never-started Prequest):
+					// record the error instead of waiting forever.
+					sts[i], errs[i] = st, err
+					done[i] = true
+					remaining--
+					progressed = true
+					continue
+				}
+				if _, isColl := r.(*CollRequest); isColl {
+					collLeft = true
+				}
+				continue
+			}
+			sts[i], errs[i] = st, err
+			done[i] = true
+			remaining--
+			progressed = true
+		}
+		if remaining == 0 {
+			break
+		}
+		// Once every collective has completed, the rest are plain
+		// point-to-point requests: park on the device per slot.
+		if !collLeft {
+			for i, r := range reqs {
+				if done[i] {
+					continue
+				}
+				sts[i], errs[i] = r.Wait()
+			}
+			break
+		}
+		if progressed {
+			continue
+		}
+		// Nothing moved this pass: park until any outstanding device
+		// request — a p2p slot's or any in-flight schedule's — completes.
+		var comm *Comm
+		var watch []*device.Request
+		for i, r := range reqs {
+			if done[i] {
+				continue
+			}
+			switch v := r.(type) {
+			case *Request:
+				watch = append(watch, v.dreq)
+				comm = v.comm
+			case *Prequest:
+				if v.active != nil {
+					watch = append(watch, v.active.dreq)
+				}
+				comm = v.comm
+			case *CollRequest:
+				comm = v.c
+			}
+		}
+		if comm == nil {
+			continue
+		}
+		watch = append(watch, comm.progressSiblings(nil)...)
+		comm.dev.WaitProgress(watch)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return sts, err
+		}
+	}
+	return sts, nil
+}
+
 // WaitAll blocks until every request completes — MPI_Waitall. It returns
-// one status per slot (nil for nil requests) and the first error.
+// one status per slot (nil for nil requests) and the first error. Each
+// slot waits through Request.Wait, so in-flight collective schedules keep
+// progressing while the batch drains.
 func WaitAll(reqs []*Request) ([]*Status, error) {
 	sts := make([]*Status, len(reqs))
 	var firstErr error

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mpj/internal/device"
+)
+
+// This file implements the collective schedule engine. A collective call
+// is compiled into a per-rank schedule — an ordered list of rounds, each a
+// set of independent isend/irecv steps against the device, with local
+// reduce/copy work attached as receive completion actions — and a
+// CollRequest drives the schedule forward on every Wait/Test entry.
+// Progress therefore needs no background goroutine, exactly like the
+// device layer: whatever goroutine observes the request advances it, and
+// transport reader goroutines complete the underlying device requests in
+// the meantime. Blocking collectives compile the very same schedules and
+// simply Wait immediately, so both families share one algorithm source
+// (see coll.go and icoll.go for the builders).
+
+// cell is a byte-buffer slot shared between schedule steps: a recv action
+// fills it, later sends and the finish hook read it.
+type cell struct{ b []byte }
+
+// sendStep emits one message when its round starts. The payload supplier
+// runs at post time, so it sees every buffer mutation made by earlier
+// rounds; the device copies the bytes immediately, so later mutation of
+// the underlying buffer is safe.
+type sendStep struct {
+	to   int // group rank
+	data func() []byte
+}
+
+// recvStep posts one dynamic-buffer receive when its round starts. The
+// completion action runs when the round finishes, with the received bytes
+// (store into a cell, fold into an accumulator, unpack into user data).
+type recvStep struct {
+	from int // group rank
+	on   func(got []byte) error
+}
+
+// round is one layer of the schedule DAG: steps within a round are
+// independent and run concurrently; a round starts only after every step
+// of the previous round has completed. Receives are posted before sends —
+// the deadlock-safe pairwise ordering used throughout the blocking
+// collectives. Local work lives in recv completion actions and the
+// schedule's finish hook; composed schedules bridge data through shared
+// cells (see iallreduce's reduce+bcast concatenation).
+type round struct {
+	recvs []recvStep
+	sends []sendStep
+}
+
+// tagSchedBase is the first tag used by schedule-compiled collectives.
+// Every compiled collective gets a fresh tag from the communicator's
+// counter, so several collectives can be in flight on one communicator
+// without their traffic cross-matching; the hand-rolled collectives keep
+// their fixed tags below this base (see coll.go).
+const tagSchedBase = 1 << 10
+
+// nextCollTag allocates the tag for the next compiled collective. All
+// members start collectives on a communicator in the same order (the MPI
+// rule), so the counters — and hence the tags — agree across ranks.
+func (c *Comm) nextCollTag() int {
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
+	tag := tagSchedBase + c.collSeq&0x3fffffff
+	c.collSeq++
+	return tag
+}
+
+// registerColl records an in-flight collective in the process-wide
+// registry so Free can fail it and parked waiters can drive it; it
+// rejects new collectives on a freed communicator. The c.collMu section
+// encloses the insert so a concurrent Free either sees the request in the
+// registry or rejects it here.
+func (c *Comm) registerColl(r *CollRequest) error {
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
+	if c.freed {
+		return fmt.Errorf("%w: communicator is freed", ErrComm)
+	}
+	c.proc.collMu.Lock()
+	if c.proc.inflight == nil {
+		c.proc.inflight = make(map[*CollRequest]struct{})
+	}
+	c.proc.inflight[r] = struct{}{}
+	c.proc.collCount.Store(int64(len(c.proc.inflight)))
+	c.proc.collMu.Unlock()
+	return nil
+}
+
+// unregisterColl drops a completed collective from the registry.
+func (c *Comm) unregisterColl(r *CollRequest) {
+	c.proc.collMu.Lock()
+	delete(c.proc.inflight, r)
+	c.proc.collCount.Store(int64(len(c.proc.inflight)))
+	c.proc.collMu.Unlock()
+}
+
+// progressSiblings advances every other in-flight collective schedule of
+// the process — on this and every other communicator sharing the device —
+// and returns their still-pending device requests. MPI lets a program
+// complete outstanding collectives in any order; because schedules
+// progress only on entry, a Wait parked on one collective must keep
+// driving the rounds of its siblings — and park on their requests too —
+// or ranks waiting in different orders would deadlock.
+func (c *Comm) progressSiblings(except *CollRequest) []*device.Request {
+	c.proc.collMu.Lock()
+	sibs := make([]*CollRequest, 0, len(c.proc.inflight))
+	for s := range c.proc.inflight {
+		if s != except {
+			sibs = append(sibs, s)
+		}
+	}
+	c.proc.collMu.Unlock()
+	var pending []*device.Request
+	for _, s := range sibs {
+		s.mu.Lock()
+		s.progressLocked()
+		if !s.done {
+			pending = append(pending, s.pending...)
+		}
+		s.mu.Unlock()
+	}
+	return pending
+}
+
+// collDone is the terminal status of a completed collective: collectives
+// have no single source or tag, so both report Undefined.
+func collDone() *Status {
+	return &Status{Source: Undefined, Tag: Undefined, elements: -1}
+}
+
+// CollRequest is a handle on an in-flight non-blocking collective — the
+// analogue of the MPI_Request returned by MPI_Ibcast and friends. It
+// satisfies the same Wait/Test surface as point-to-point Requests (both
+// implement AnyRequest), so mixed batches complete through
+// WaitAllRequests.
+//
+// A CollRequest makes progress only inside Wait and Test (progress on
+// entry): each call posts any rounds whose dependencies are met and reaps
+// completed device requests. All members of the communicator must
+// eventually complete the collective, in the same order relative to other
+// collectives on that communicator, as for the blocking forms.
+type CollRequest struct {
+	c    *Comm
+	name string // operation name for error wrapping ("ibcast", ...)
+	tag  int
+
+	mu      sync.Mutex
+	rounds  []round
+	finish  func() error // runs once after the last round
+	cur     int          // index of the current round
+	posted  bool         // current round's requests are in flight
+	pending []*device.Request
+	actions []func([]byte) error // recv completion actions, parallel to pending
+	done    bool
+	status  *Status
+	err     error
+}
+
+// newCollRequest compiles a schedule into a request, registers it with the
+// communicator and posts the first round so communication overlaps
+// whatever the caller does before Wait.
+func (c *Comm) newCollRequest(name string, tag int, rounds []round, finish func() error) (*CollRequest, error) {
+	r := &CollRequest{c: c, name: name, tag: tag, rounds: rounds, finish: finish}
+	if err := c.registerColl(r); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	r.mu.Lock()
+	r.progressLocked()
+	r.mu.Unlock()
+	return r, nil
+}
+
+// postLocked starts the current round: receives are posted, then sends.
+// Callers hold r.mu.
+func (r *CollRequest) postLocked() error {
+	rd := &r.rounds[r.cur]
+	r.pending = make([]*device.Request, 0, len(rd.recvs)+len(rd.sends))
+	r.actions = make([]func([]byte) error, 0, len(rd.recvs))
+	for _, rs := range rd.recvs {
+		dr, err := r.c.collIrecv(rs.from, r.tag)
+		if err != nil {
+			return err
+		}
+		r.pending = append(r.pending, dr)
+		r.actions = append(r.actions, rs.on)
+	}
+	for _, ss := range rd.sends {
+		dr, err := r.c.collIsend(ss.data(), ss.to, r.tag)
+		if err != nil {
+			return err
+		}
+		r.pending = append(r.pending, dr)
+		r.actions = append(r.actions, nil)
+	}
+	r.posted = true
+	return nil
+}
+
+// progressLocked drives the schedule as far as it can without blocking:
+// it posts rounds whose dependencies are met, reaps completed rounds, runs
+// receive actions and, after the last round, the finish hook. Callers
+// hold r.mu.
+func (r *CollRequest) progressLocked() {
+	for !r.done {
+		if r.cur == len(r.rounds) {
+			if r.finish != nil {
+				if err := r.finish(); err != nil {
+					r.failLocked(err)
+					return
+				}
+			}
+			r.completeLocked(nil)
+			return
+		}
+		if !r.posted {
+			if err := r.postLocked(); err != nil {
+				r.failLocked(err)
+				return
+			}
+		}
+		_, ok, err := r.c.dev.TestAll(r.pending)
+		if !ok {
+			return // round still in flight; a later entry will reap it
+		}
+		if err != nil {
+			r.failLocked(err)
+			return
+		}
+		for i, act := range r.actions {
+			if act == nil {
+				continue
+			}
+			if err := act(r.pending[i].Data()); err != nil {
+				r.failLocked(err)
+				return
+			}
+		}
+		r.cur++
+		r.posted = false
+		r.pending, r.actions = nil, nil
+	}
+}
+
+// completeLocked finishes the request successfully and unregisters it.
+// Callers hold r.mu.
+func (r *CollRequest) completeLocked(st *Status) {
+	r.done = true
+	if st == nil {
+		st = collDone()
+	}
+	r.status = st
+	r.c.unregisterColl(r)
+}
+
+// failLocked finishes the request with an error, cancelling whatever is
+// still in flight so concurrent waiters unblock. Callers hold r.mu.
+func (r *CollRequest) failLocked(err error) {
+	r.done = true
+	r.err = fmt.Errorf("%s: %w", r.name, err)
+	r.status = collDone()
+	for _, dr := range r.pending {
+		_ = dr.Cancel() // best effort: unmatched operations complete as cancelled
+	}
+	r.c.unregisterColl(r)
+}
+
+// fail aborts the request from outside the progress loop (Comm.Free, job
+// abort): it completes with err and wakes any goroutine blocked in Wait.
+func (r *CollRequest) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return
+	}
+	r.failLocked(err)
+}
+
+// Wait blocks until the collective completes on this rank and returns its
+// status. It drives the whole engine: rounds of this schedule — and of
+// every sibling schedule in flight on the communicator — are posted and
+// reaped here, so outstanding collectives may be completed in any order,
+// as MPI allows.
+func (r *CollRequest) Wait() (*Status, error) {
+	for {
+		r.mu.Lock()
+		r.progressLocked()
+		if r.done {
+			st, err := r.status, r.err
+			r.mu.Unlock()
+			return st, err
+		}
+		pending := append([]*device.Request(nil), r.pending...)
+		r.mu.Unlock()
+		// Keep sibling schedules moving, then park (outside r.mu, so fail
+		// can interrupt) until anything — ours or a sibling's — completes;
+		// errors are re-observed by the next progressLocked pass.
+		pending = append(pending, r.c.progressSiblings(r)...)
+		r.c.dev.WaitProgress(pending)
+	}
+}
+
+// Test advances the schedule (and, while it is incomplete, its in-flight
+// siblings) without blocking and reports whether the collective has
+// completed. Once done, Test is a cheap status read: siblings are driven
+// by their own waiters.
+func (r *CollRequest) Test() (*Status, bool, error) {
+	r.mu.Lock()
+	if !r.done {
+		r.progressLocked()
+	}
+	done, st, err := r.done, r.status, r.err
+	r.mu.Unlock()
+	if !done {
+		r.c.progressSiblings(r)
+		return nil, false, nil
+	}
+	return st, true, err
+}
+
+// Done reports whether the collective has completed, advancing it first.
+func (r *CollRequest) Done() bool {
+	_, done, _ := r.Test()
+	return done
+}
+
+// String renders the request for diagnostics.
+func (r *CollRequest) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("CollRequest{%s round=%d/%d done=%v}", r.name, r.cur, len(r.rounds), r.done)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"log"
+	"strings"
 	"testing"
 	"time"
 
@@ -302,6 +303,7 @@ func TestSlaveEnvRoundTrip(t *testing.T) {
 		JobID: 42, Rank: 3, Size: 8, App: "heat",
 		Args:       []string{"--n", "100", "with space"},
 		MasterAddr: "1.2.3.4:5",
+		EagerLimit: 4096,
 	}
 	env := spec.Env("9.9.9.9:1")
 	get := func(key string) string {
@@ -323,7 +325,30 @@ func TestSlaveEnvRoundTrip(t *testing.T) {
 	if len(got.Args) != 3 || got.Args[2] != "with space" {
 		t.Errorf("args %v", got.Args)
 	}
+	if got.EagerLimit != 4096 {
+		t.Errorf("eager limit %d, want 4096", got.EagerLimit)
+	}
 	if _, _, err := ParseSlaveEnv(func(string) string { return "" }); err == nil {
 		t.Error("non-slave env parsed")
+	}
+
+	// A spec without an eager limit must not emit the variable at all, so
+	// a daemon-level MPJ_EAGER_LIMIT default survives inheritance.
+	spec.EagerLimit = 0
+	for _, kv := range spec.Env("9.9.9.9:1") {
+		if strings.HasPrefix(kv, "MPJ_EAGER_LIMIT=") {
+			t.Errorf("zero eager limit emitted %q", kv)
+		}
+	}
+
+	// A malformed limit fails the parse.
+	badEnv := func(key string) string {
+		if key == "MPJ_EAGER_LIMIT" {
+			return "lots"
+		}
+		return get(key)
+	}
+	if _, _, err := ParseSlaveEnv(badEnv); err == nil {
+		t.Error("malformed MPJ_EAGER_LIMIT parsed")
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mpj/internal/device"
 )
 
 // SlaveSpec tells a daemon everything needed to start one slave process of
@@ -25,6 +27,11 @@ type SlaveSpec struct {
 	// defers to the slave's MPJ_DEVICE environment (letting a daemon set
 	// a host-wide default) and finally the built-in default.
 	Device string
+
+	// EagerLimit overrides the device's eager/rendezvous protocol
+	// threshold in bytes. Zero defers to the slave's MPJ_EAGER_LIMIT
+	// environment and finally the built-in default.
+	EagerLimit int
 
 	MasterAddr string // the client's bootstrap server
 	OutputAddr string // the client's output collector ("" = none)
@@ -51,6 +58,9 @@ func (s SlaveSpec) Env(daemonAddr string) []string {
 	}
 	if s.Device != "" {
 		env = append(env, "MPJ_DEVICE="+s.Device)
+	}
+	if s.EagerLimit > 0 {
+		env = append(env, "MPJ_EAGER_LIMIT="+strconv.Itoa(s.EagerLimit))
 	}
 	return env
 }
@@ -106,6 +116,11 @@ func ParseSlaveEnv(get func(string) string) (SlaveSpec, string, error) {
 		Device:     get("MPJ_DEVICE"),
 		MasterAddr: get("MPJ_MASTER"),
 	}
+	limit, err := device.ParseEagerLimit(get("MPJ_EAGER_LIMIT"))
+	if err != nil {
+		return SlaveSpec{}, "", fmt.Errorf("daemon: MPJ_EAGER_LIMIT: %w", err)
+	}
+	spec.EagerLimit = limit
 	return spec, get("MPJ_DAEMON"), nil
 }
 

@@ -37,6 +37,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -154,6 +155,21 @@ type Option func(*Device)
 // WithEagerLimit overrides the standard-mode eager/rendezvous threshold.
 func WithEagerLimit(n int) Option {
 	return func(d *Device) { d.eagerLimit = n }
+}
+
+// ParseEagerLimit parses the string form of the eager/rendezvous
+// threshold (the MPJ_EAGER_LIMIT environment variable and the mpjrun
+// -eager-limit surface share it). Empty means unset and returns 0; any
+// other value must be a positive integer byte count.
+func ParseEagerLimit(raw string) (int, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("eager limit %q: must be a positive byte count", raw)
+	}
+	return n, nil
 }
 
 // WithFailureHandler installs a callback invoked (once per failing peer,

@@ -200,6 +200,33 @@ func (d *Device) TestAny(reqs []*Request) (idx int, st Status, ok bool, err erro
 	return -1, Status{}, false, nil
 }
 
+// WaitProgress blocks until at least one of the requests that is
+// incomplete on entry completes; it returns immediately when none are
+// incomplete. Unlike WaitAny it never marks requests consumed — it is the
+// parking primitive of the collective schedule engine, which re-derives
+// what to do from schedule state after every wakeup.
+func (d *Device) WaitProgress(reqs []*Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var watch []*Request
+	for _, r := range reqs {
+		if r != nil && !r.done {
+			watch = append(watch, r)
+		}
+	}
+	if len(watch) == 0 {
+		return
+	}
+	for {
+		for _, r := range watch {
+			if r.done {
+				return
+			}
+		}
+		d.cond.Wait()
+	}
+}
+
 // WaitAll blocks until every non-nil request completes. It returns one
 // status per input slot (zero Status for nil entries) and the first error
 // encountered in request order.

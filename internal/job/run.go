@@ -29,6 +29,11 @@ type Config struct {
 	// validated here so an unknown name fails before any slave spawns.
 	Device string
 
+	// EagerLimit overrides every slave device's eager/rendezvous protocol
+	// threshold in bytes. Zero defers to each slave's MPJ_EAGER_LIMIT
+	// environment and finally the built-in default.
+	EagerLimit int
+
 	// Discovery: explicit registrar addresses (unicast), or group
 	// discovery on UDPPort when empty.
 	Locators []string
@@ -60,6 +65,9 @@ func Run(cfg Config) error {
 	}
 	if _, err := transport.ParseDeviceName(cfg.Device); err != nil {
 		return fmt.Errorf("job: %w", err)
+	}
+	if cfg.EagerLimit < 0 {
+		return fmt.Errorf("job: EagerLimit must be non-negative, got %d", cfg.EagerLimit)
 	}
 	if cfg.LeaseDur <= 0 {
 		cfg.LeaseDur = 10 * time.Second
@@ -149,6 +157,7 @@ func Run(cfg Config) error {
 			App:        cfg.App,
 			Args:       cfg.Args,
 			Device:     cfg.Device,
+			EagerLimit: cfg.EagerLimit,
 			MasterAddr: m.addr(),
 			OutputAddr: collector.addr(),
 			EventAddr:  recv.Addr(),

@@ -54,6 +54,13 @@ type (
 	Op = core.Op
 	// Request is a non-blocking operation handle.
 	Request = core.Request
+	// CollRequest is a non-blocking collective handle returned by the I*
+	// family (Ibarrier, Ibcast, Iallreduce, ...); it is driven by a
+	// compiled communication schedule and completes through Wait/Test.
+	CollRequest = core.CollRequest
+	// AnyRequest is the completion surface shared by Request, Prequest
+	// and CollRequest; WaitAllRequests drains mixed batches.
+	AnyRequest = core.AnyRequest
 	// Prequest is a persistent communication request.
 	Prequest = core.Prequest
 	// Status reports a receive/probe outcome.
@@ -164,6 +171,9 @@ var (
 	TestAny = core.TestAny
 	// WaitAll waits for all requests.
 	WaitAll = core.WaitAll
+	// WaitAllRequests waits for a mixed batch of point-to-point,
+	// persistent and collective requests.
+	WaitAllRequests = core.WaitAllRequests
 	// StartAll starts a set of persistent requests.
 	StartAll = core.StartAll
 )

@@ -65,8 +65,27 @@ func lookupApp(name string) (App, error) {
 // a goroutine, connected by the in-memory transport. It returns the first
 // rank error. This is the quickest way to develop and test MPJ programs;
 // the same code runs unchanged under the distributed runtime.
+//
+// Like the distributed runtime, RunLocal honours the MPJ_EAGER_LIMIT
+// environment variable as the eager/rendezvous protocol threshold.
 func RunLocal(np int, app App) error {
-	return runLocalOpts(np, nil, app)
+	var opts []device.Option
+	if limit, err := eagerLimitFromEnv(); err != nil {
+		return err
+	} else if limit > 0 {
+		opts = append(opts, device.WithEagerLimit(limit))
+	}
+	return runLocalOpts(np, opts, app)
+}
+
+// eagerLimitFromEnv parses the MPJ_EAGER_LIMIT environment variable; zero
+// means unset.
+func eagerLimitFromEnv() (int, error) {
+	limit, err := device.ParseEagerLimit(os.Getenv("MPJ_EAGER_LIMIT"))
+	if err != nil {
+		return 0, fmt.Errorf("mpj: MPJ_EAGER_LIMIT: %w", err)
+	}
+	return limit, nil
 }
 
 // RunLocalEager is RunLocal with an explicit eager/rendezvous threshold,
@@ -168,16 +187,22 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 // mesh), or "hyb" (the hybrid device: channels to co-located ranks, TCP to
 // remote ones). Empty falls back to the slave's MPJ_DEVICE environment
 // variable and then the built-in default ("hyb").
+//
+// EagerLimit overrides every slave device's eager/rendezvous protocol
+// threshold in bytes (see DefaultEagerLimit). Zero falls back to each
+// slave's MPJ_EAGER_LIMIT environment variable and then the built-in
+// default.
 type JobConfig struct {
-	NP       int
-	App      string
-	Args     []string
-	Device   string
-	Locators []string
-	UDPPort  int
-	Binary   string
-	LeaseDur time.Duration
-	Output   io.Writer // merged slave output (default os.Stdout)
+	NP         int
+	App        string
+	Args       []string
+	Device     string
+	EagerLimit int
+	Locators   []string
+	UDPPort    int
+	Binary     string
+	LeaseDur   time.Duration
+	Output     io.Writer // merged slave output (default os.Stdout)
 }
 
 // Run launches a distributed job through MPJ daemons — the programmatic
@@ -185,15 +210,16 @@ type JobConfig struct {
 // Main (or SlaveMain) after registering applications.
 func Run(cfg JobConfig) error {
 	return job.Run(job.Config{
-		NP:       cfg.NP,
-		App:      cfg.App,
-		Args:     cfg.Args,
-		Device:   cfg.Device,
-		Locators: cfg.Locators,
-		UDPPort:  cfg.UDPPort,
-		Binary:   cfg.Binary,
-		LeaseDur: cfg.LeaseDur,
-		Output:   cfg.Output,
+		NP:         cfg.NP,
+		App:        cfg.App,
+		Args:       cfg.Args,
+		Device:     cfg.Device,
+		EagerLimit: cfg.EagerLimit,
+		Locators:   cfg.Locators,
+		UDPPort:    cfg.UDPPort,
+		Binary:     cfg.Binary,
+		LeaseDur:   cfg.LeaseDur,
+		Output:     cfg.Output,
 	})
 }
 
@@ -256,6 +282,12 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 		return err
 	}
 	defer sc.Close()
+	devOpts, err := deviceOptions(spec)
+	if err != nil {
+		_ = sc.ReportDone(err)
+		meshLn.Close()
+		return err
+	}
 	tr, err := openTransport(spec, table, meshLn)
 	if err != nil {
 		_ = sc.ReportDone(err)
@@ -263,7 +295,7 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 		return err
 	}
 	meshLn.Close() // the mesh is fully connected; no more peers will dial
-	dev, err := device.Open(tr)
+	dev, err := device.Open(tr, devOpts...)
 	if err != nil {
 		_ = sc.ReportDone(err)
 		return err
@@ -338,6 +370,25 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 		appErr = rerr
 	}
 	return appErr
+}
+
+// deviceOptions resolves a slave's device tuning. The eager/rendezvous
+// threshold follows the same precedence as device selection: the spec
+// (set by mpjrun -eager-limit or JobConfig.EagerLimit), then the
+// MPJ_EAGER_LIMIT environment variable (a daemon- or host-wide default),
+// then the built-in DefaultEagerLimit.
+func deviceOptions(spec daemon.SlaveSpec) ([]device.Option, error) {
+	limit := spec.EagerLimit
+	if limit == 0 {
+		var err error
+		if limit, err = eagerLimitFromEnv(); err != nil {
+			return nil, err
+		}
+	}
+	if limit <= 0 {
+		return nil, nil
+	}
+	return []device.Option{device.WithEagerLimit(limit)}, nil
 }
 
 // openTransport builds the transport a slave was asked for. Selection
