@@ -1,9 +1,10 @@
 // mpjbench regenerates every experiment table from EXPERIMENTS.md:
 //
 //	mpjbench                 # run everything
-//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL)
+//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED)
 //	mpjbench -exp pingpong   # alias for PP: ping-pong per device (chan/hyb/tcp)
 //	mpjbench -exp icoll      # blocking vs non-blocking collective overlap
+//	mpjbench -exp typed      # typed generics facade vs Datatype facade (writes BENCH_typed.json)
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results and their interpretation.
@@ -26,7 +27,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL (alias: pingpong)")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED (alias: pingpong)")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
 		*exp = "PP"
@@ -68,6 +69,17 @@ func main() {
 		{"BW", func() (*bench.Table, error) { return bench.BandwidthTable(sizes) }},
 		{"PP", func() (*bench.Table, error) { return bench.PPDeviceCompare(sizes) }},
 		{"ICOLL", func() (*bench.Table, error) { return bench.IcollOverlap(4, icollCounts, icollIters) }},
+		{"TYPED", func() (*bench.Table, error) {
+			t, js, err := bench.TypedCompare(*quick)
+			if err != nil {
+				return nil, err
+			}
+			if werr := os.WriteFile("BENCH_typed.json", js, 0o644); werr != nil {
+				return nil, fmt.Errorf("writing BENCH_typed.json: %w", werr)
+			}
+			fmt.Println("  (results recorded in BENCH_typed.json)")
+			return t, nil
+		}},
 	}
 
 	ran := 0

@@ -75,3 +75,45 @@ func ExampleComm_Allreduce() {
 	}
 	// Output: sum of 1..4 = 10
 }
+
+// The typed API: the same allreduce with a plain slice and a typed
+// reduction — no Datatype or offset arguments, checked at compile time.
+func ExampleAllreduce() {
+	err := mpj.RunLocal(4, func(w *mpj.Comm) error {
+		sum := make([]int64, 1)
+		if err := mpj.Allreduce(w, []int64{int64(w.Rank())}, sum, mpj.Sum[int64]()); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			fmt.Printf("sum of ranks = %d\n", sum[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: sum of ranks = 6
+}
+
+// Typed point-to-point: offsets are subslices, the element type selects
+// the wire datatype.
+func ExampleSend() {
+	err := mpj.RunLocal(2, func(w *mpj.Comm) error {
+		const tag = 1
+		switch w.Rank() {
+		case 0:
+			return mpj.Send(w, []float64{3.14, 2.71}, 1, tag)
+		case 1:
+			buf := make([]float64, 2)
+			if _, err := mpj.Recv(w, buf, 0, tag); err != nil {
+				return err
+			}
+			fmt.Printf("received %.2f and %.2f\n", buf[0], buf[1])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: received 3.14 and 2.71
+}

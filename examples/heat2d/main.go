@@ -7,6 +7,12 @@
 // (top) and cold (bottom). Each iteration exchanges halo rows with the
 // up/down neighbours and relaxes the interior.
 //
+// The halo exchange is written against the typed API: offsets are plain
+// subslices (cur[:n] is the upper halo row, cur[n:2*n] the first interior
+// row), so a receive is mpj.Irecv(cart.Comm, cur[:n], up, tag). The
+// -overlap=false branch keeps the classic Sendrecv surface to show the two
+// facades interoperating on one communicator.
+//
 // With -overlap (the default) the exchange is non-blocking and overlapped:
 // halo Isend/Irecv are posted, the halo-independent interior rows relax
 // while the messages fly, then the edge rows finish after WaitAll — and
@@ -118,21 +124,21 @@ func heatApp(w *mpj.Comm) error {
 				return nil
 			}
 			if up != mpj.Undefined {
-				rr, err := cart.Irecv(cur, 0, n, mpj.DOUBLE, up, haloTag)
+				rr, err := mpj.Irecv(cart.Comm, cur[:n], up, haloTag)
 				if err := post(rr, err); err != nil {
 					return err
 				}
-				sr, err := cart.Isend(cur, n, n, mpj.DOUBLE, up, haloTag)
+				sr, err := mpj.Isend(cart.Comm, cur[n:2*n], up, haloTag)
 				if err := post(sr, err); err != nil {
 					return err
 				}
 			}
 			if down != mpj.Undefined {
-				rr, err := cart.Irecv(cur, (rows+1)*n, n, mpj.DOUBLE, down, haloTag)
+				rr, err := mpj.Irecv(cart.Comm, cur[(rows+1)*n:], down, haloTag)
 				if err := post(rr, err); err != nil {
 					return err
 				}
-				sr, err := cart.Isend(cur, rows*n, n, mpj.DOUBLE, down, haloTag)
+				sr, err := mpj.Isend(cart.Comm, cur[rows*n:(rows+1)*n], down, haloTag)
 				if err := post(sr, err); err != nil {
 					return err
 				}
@@ -184,13 +190,13 @@ func heatApp(w *mpj.Comm) error {
 				}
 			}
 			convOut[0] = 0
-			if convReq, err = cart.Iallreduce(
-				[]float64{localMax}, 0, convOut, 0, 1, mpj.DOUBLE, mpj.MAX); err != nil {
+			if convReq, err = mpj.Iallreduce(
+				cart.Comm, []float64{localMax}, convOut, mpj.Max[float64]()); err != nil {
 				return fmt.Errorf("convergence iallreduce: %w", err)
 			}
 		} else {
 			gmax := make([]float64, 1)
-			if err := cart.Allreduce([]float64{localMax}, 0, gmax, 0, 1, mpj.DOUBLE, mpj.MAX); err != nil {
+			if err := mpj.Allreduce(cart.Comm, []float64{localMax}, gmax, mpj.Max[float64]()); err != nil {
 				return fmt.Errorf("convergence allreduce: %w", err)
 			}
 			if gmax[0] < *tol {
@@ -227,7 +233,7 @@ func report(cart *mpj.CartComm, cur []float64, rows, n int) error {
 	if cart.Rank() == 0 {
 		all = make([]float64, cart.Size())
 	}
-	if err := cart.Gather(mine, 0, 1, mpj.DOUBLE, all, 0, 1, mpj.DOUBLE, 0); err != nil {
+	if err := mpj.Gather(cart.Comm, mine, all, 0); err != nil {
 		return err
 	}
 	if cart.Rank() == 0 {

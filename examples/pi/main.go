@@ -1,6 +1,7 @@
 // Monte-Carlo estimation of pi: every rank samples independently and a
 // Reduce combines the hit counts — the classic first "real" MPI program,
-// exercising Reduce, Bcast and per-rank RNG streams.
+// exercising Reduce, Bcast and per-rank RNG streams, written against the
+// typed API (mpj.Bcast/mpj.Reduce over plain slices).
 //
 //	go run ./examples/pi -np 4 -samples 4000000
 package main
@@ -27,7 +28,7 @@ func piApp(w *mpj.Comm) error {
 	if rank == 0 {
 		cfg[0] = *samplesFlag
 	}
-	if err := w.Bcast(cfg, 0, 1, mpj.LONG, 0); err != nil {
+	if err := mpj.Bcast(w, cfg, 0); err != nil {
 		return err
 	}
 	total := cfg[0]
@@ -47,7 +48,7 @@ func piApp(w *mpj.Comm) error {
 	}
 
 	global := make([]int64, 1)
-	if err := w.Reduce([]int64{hits}, 0, global, 0, 1, mpj.LONG, mpj.SUM, 0); err != nil {
+	if err := mpj.Reduce(w, []int64{hits}, global, mpj.Sum[int64](), 0); err != nil {
 		return err
 	}
 	if rank == 0 {

@@ -1,6 +1,9 @@
-// Quickstart: the smallest complete MPJ program. Every rank greets, the
-// ranks exchange messages around a ring, and an allreduce computes a
-// global sum — the "hello world" of message passing.
+// Quickstart: the smallest complete MPJ program, written against the typed
+// API. Every rank greets, the ranks exchange messages around a ring, and
+// an allreduce computes a global sum — the "hello world" of message
+// passing. Buffers are plain Go slices; the element type selects the wire
+// datatype at compile time (mpj.Send(w, buf, ...) instead of
+// w.Send(buf, 0, len(buf), mpj.INT, ...)).
 //
 // Run locally (all ranks as goroutines in this process):
 //
@@ -19,19 +22,25 @@ func quickstart(w *mpj.Comm) error {
 	rank, size := w.Rank(), w.Size()
 	fmt.Printf("hello from rank %d of %d on %s\n", rank, size, mpj.ProcessorName())
 
-	// Pass a token around the ring.
+	// Pass a token around the ring: post the receive, send, then wait.
 	right := (rank + 1) % size
 	left := (rank - 1 + size) % size
-	token := []int32{int32(rank)}
 	got := make([]int32, 1)
-	if _, err := w.Sendrecv(token, 0, 1, mpj.INT, right, 0, got, 0, 1, mpj.INT, left, 0); err != nil {
+	rr, err := mpj.Irecv(w, got, left, 0)
+	if err != nil {
+		return fmt.Errorf("ring exchange: %w", err)
+	}
+	if err := mpj.Send(w, []int32{int32(rank)}, right, 0); err != nil {
+		return fmt.Errorf("ring exchange: %w", err)
+	}
+	if _, err := rr.Wait(); err != nil {
 		return fmt.Errorf("ring exchange: %w", err)
 	}
 	fmt.Printf("rank %d received token %d from rank %d\n", rank, got[0], left)
 
 	// Global sum of all ranks.
 	sum := make([]int64, 1)
-	if err := w.Allreduce([]int64{int64(rank)}, 0, sum, 0, 1, mpj.LONG, mpj.SUM); err != nil {
+	if err := mpj.Allreduce(w, []int64{int64(rank)}, sum, mpj.Sum[int64]()); err != nil {
 		return fmt.Errorf("allreduce: %w", err)
 	}
 	if rank == 0 {

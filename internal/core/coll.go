@@ -16,7 +16,6 @@ const (
 	tagGather = iota + 1
 	tagScatter
 	tagAlltoall
-	tagScan
 )
 
 // AllreduceAlgorithm selects the Allreduce implementation; the A1 ablation
@@ -44,6 +43,36 @@ func (c *Comm) collIsend(data []byte, dst, tag int) (*device.Request, error) {
 	return c.dev.Isend(data, w, tag, c.coll, device.ModeStandard)
 }
 
+// collIsendFill starts a raw byte send on the collective context whose
+// n-byte payload is packed directly into the outgoing frame by fill —
+// the schedule engine's entry to the frame-filling fast path.
+func (c *Comm) collIsendFill(n int, fill func([]byte) error, dst, tag int) (*device.Request, error) {
+	w, err := c.worldRank(dst)
+	if err != nil {
+		return nil, err
+	}
+	return c.dev.IsendFill(n, fill, w, tag, c.coll, device.ModeStandard)
+}
+
+// collIsendBlock sends count elements of dt from buf at off to dst on the
+// collective context, packing directly into the outgoing frame when the
+// datatype supports it and falling back to an intermediate pack buffer
+// (variable-size datatypes) otherwise.
+func (c *Comm) collIsendBlock(buf any, off, count int, dt Datatype, dst, tag int) (*device.Request, error) {
+	if pi, ok := dt.(packerInto); ok && count >= 0 {
+		if sz := dt.ByteSize(); sz >= 0 {
+			return c.collIsendFill(count*sz, func(p []byte) error {
+				return pi.PackInto(p, buf, off, count)
+			}, dst, tag)
+		}
+	}
+	data, err := dt.Pack(nil, buf, off, count)
+	if err != nil {
+		return nil, err
+	}
+	return c.collIsend(data, dst, tag)
+}
+
 // collIrecv posts a raw dynamic-buffer receive on the collective context.
 // src is a group rank.
 func (c *Comm) collIrecv(src, tag int) (*device.Request, error) {
@@ -52,16 +81,6 @@ func (c *Comm) collIrecv(src, tag int) (*device.Request, error) {
 		return nil, err
 	}
 	return c.dev.Irecv(nil, w, tag, c.coll)
-}
-
-// collSend is the blocking collIsend.
-func (c *Comm) collSend(data []byte, dst, tag int) error {
-	r, err := c.collIsend(data, dst, tag)
-	if err != nil {
-		return err
-	}
-	_, err = r.Wait()
-	return err
 }
 
 // collRecv is the blocking collIrecv; it returns the received bytes.
@@ -141,11 +160,14 @@ func (c *Comm) Gatherv(sbuf any, soff, scount int, sdt Datatype,
 	}
 	size := c.Size()
 	if c.rank != root {
-		data, err := sdt.Pack(nil, sbuf, soff, scount)
+		r, err := c.collIsendBlock(sbuf, soff, scount, sdt, root, tagGather)
 		if err != nil {
 			return fmt.Errorf("gatherv: %w", err)
 		}
-		return c.collSend(data, root, tagGather)
+		if _, err := r.Wait(); err != nil {
+			return fmt.Errorf("gatherv: %w", err)
+		}
+		return nil
 	}
 	if len(rcounts) != size || len(displs) != size {
 		return fmt.Errorf("%w: gatherv needs %d rcounts/displs, got %d/%d",
@@ -162,7 +184,7 @@ func (c *Comm) Gatherv(sbuf any, soff, scount int, sdt Datatype,
 			return fmt.Errorf("gatherv: %w", err)
 		}
 	}
-	ownData, err := sdt.Pack(nil, sbuf, soff, scount)
+	ownData, err := packExact(sdt, sbuf, soff, scount)
 	if err != nil {
 		return fmt.Errorf("gatherv: %w", err)
 	}
@@ -205,17 +227,21 @@ func (c *Comm) Scatterv(sbuf any, soff int, scounts, displs []int, sdt Datatype,
 				ErrCount, size, len(scounts), len(displs))
 		}
 		for r := 0; r < size; r++ {
-			data, err := sdt.Pack(nil, sbuf, soff+displs[r]*sdt.Extent(), scounts[r])
-			if err != nil {
-				return fmt.Errorf("scatterv: %w", err)
-			}
 			if r == root {
+				data, err := packExact(sdt, sbuf, soff+displs[r]*sdt.Extent(), scounts[r])
+				if err != nil {
+					return fmt.Errorf("scatterv: %w", err)
+				}
 				if _, err := rdt.Unpack(data, rbuf, roff, rcount); err != nil {
 					return fmt.Errorf("scatterv: %w", err)
 				}
 				continue
 			}
-			if err := c.collSend(data, r, tagScatter); err != nil {
+			sr, err := c.collIsendBlock(sbuf, soff+displs[r]*sdt.Extent(), scounts[r], sdt, r, tagScatter)
+			if err != nil {
+				return fmt.Errorf("scatterv: %w", err)
+			}
+			if _, err := sr.Wait(); err != nil {
 				return fmt.Errorf("scatterv: %w", err)
 			}
 		}
@@ -288,17 +314,18 @@ func (c *Comm) Alltoallv(sbuf any, soff int, scounts, sdispls []int, sdt Datatyp
 		}
 	}
 	for r := 0; r < size; r++ {
-		data, err := sdt.Pack(nil, sbuf, soff+sdispls[r]*sdt.Extent(), scounts[r])
-		if err != nil {
-			return fmt.Errorf("alltoallv: %w", err)
-		}
 		if r == c.rank {
+			data, err := packExact(sdt, sbuf, soff+sdispls[r]*sdt.Extent(), scounts[r])
+			if err != nil {
+				return fmt.Errorf("alltoallv: %w", err)
+			}
 			if _, err := rdt.Unpack(data, rbuf, roff+rdispls[r]*rdt.Extent(), rcounts[r]); err != nil {
 				return fmt.Errorf("alltoallv: %w", err)
 			}
 			continue
 		}
-		if sends[r], err = c.collIsend(data, r, tagAlltoall); err != nil {
+		var err error
+		if sends[r], err = c.collIsendBlock(sbuf, soff+sdispls[r]*sdt.Extent(), scounts[r], sdt, r, tagAlltoall); err != nil {
 			return fmt.Errorf("alltoallv: %w", err)
 		}
 	}
@@ -376,49 +403,8 @@ func (c *Comm) ReduceScatter(sbuf any, soff int, rbuf any, roff int, rcounts []i
 
 // Scan computes the inclusive prefix reduction: rank r receives the
 // combination of the contributions from ranks 0..r — MPI_Scan.
-// Simultaneous binomial algorithm, ceil(log2 p) rounds.
+// Simultaneous binomial algorithm, ceil(log2 p) rounds (the same schedule
+// Iscan compiles).
 func (c *Comm) Scan(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) error {
-	comb, err := op.combinerFor(dt)
-	if err != nil {
-		return err
-	}
-	result, err := dt.Pack(nil, sbuf, soff, count)
-	if err != nil {
-		return fmt.Errorf("scan: %w", err)
-	}
-	partial := append([]byte(nil), result...)
-	size := c.Size()
-	for mask := 1; mask < size; mask <<= 1 {
-		dst := c.rank + mask
-		src := c.rank - mask
-		var sr *device.Request
-		if dst < size {
-			if sr, err = c.collIsend(partial, dst, tagScan); err != nil {
-				return fmt.Errorf("scan: %w", err)
-			}
-		}
-		if src >= 0 {
-			got, err := c.collRecv(src, tagScan)
-			if err != nil {
-				return fmt.Errorf("scan: %w", err)
-			}
-			// Everything received comes from lower ranks: fold it into
-			// both the running result and the partial we forward.
-			if err := comb(got, result); err != nil {
-				return fmt.Errorf("scan: %w", err)
-			}
-			if err := comb(got, partial); err != nil {
-				return fmt.Errorf("scan: %w", err)
-			}
-		}
-		if sr != nil {
-			if _, err := sr.Wait(); err != nil {
-				return fmt.Errorf("scan: %w", err)
-			}
-		}
-	}
-	if _, err := dt.Unpack(result, rbuf, roff, count); err != nil {
-		return fmt.Errorf("scan: %w", err)
-	}
-	return nil
+	return runColl(c.iscan("scan", sbuf, soff, rbuf, roff, count, dt, op))
 }

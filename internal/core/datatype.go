@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
+	"unsafe"
 
 	"mpj/internal/serialize"
 )
@@ -38,12 +41,47 @@ type Datatype interface {
 	Alloc(n int) any
 }
 
+// packerInto is implemented by datatypes that can serialize into an
+// exactly-sized caller-provided destination — a pooled wire frame — instead
+// of appending. Variable-size datatypes (Object) deliberately do not
+// implement it and stay on the append path; callers must fall back to Pack
+// when the assertion fails or ByteSize is negative.
+type packerInto interface {
+	// PackInto fills dst, whose length must be exactly count*ByteSize(),
+	// with count elements of buf starting at slot off.
+	PackInto(dst []byte, buf any, off, count int) error
+}
+
+// rawWindower is implemented by datatypes whose wire encoding equals their
+// in-memory layout, so a receive can land directly in the user buffer.
+type rawWindower interface {
+	// window returns the byte window aliasing buf[off:off+count], or
+	// ok=false when the layout, the buffer type or the bounds rule it out.
+	window(buf any, off, count int) (win []byte, ok bool)
+}
+
+// hostIsLE reports whether this process stores multi-byte values
+// little-endian — the wire byte order. On such hosts (amd64, arm64, ...)
+// fixed-width elements have identical in-memory and wire representations
+// and Pack/Unpack degrade to single memmoves: the bulk path, the pure-Go
+// answer to the paper's remark that array marshalling is the pain point of
+// a pure-language MPI.
+var hostIsLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
 // baseType implements Datatype for a fixed-width primitive element T.
 type baseType[T any] struct {
 	name string
 	size int
 	enc  func(dst []byte, v T)
 	dec  func(src []byte) T
+
+	// raw caches whether the wire encoding of T equals its in-memory
+	// layout (see isRaw); rawOnce guards the one-time verification.
+	rawOnce sync.Once
+	raw     bool
 }
 
 func (b *baseType[T]) Name() string   { return b.name }
@@ -59,6 +97,42 @@ func (b *baseType[T]) slice(buf any) ([]T, error) {
 	return s, nil
 }
 
+// isRaw reports whether []T can be moved to and from the wire as raw
+// memory. The answer is computed once by verification, not assumption: the
+// host must be little-endian, T must have no padding (Sizeof == wire size),
+// and enc/dec must reproduce the in-memory bytes of sample values exactly.
+// Types that fail any test (DoubleInt's padded struct, any type on a
+// big-endian host) simply keep the per-element encode/decode loop.
+func (b *baseType[T]) isRaw() bool {
+	b.rawOnce.Do(func() {
+		var z T
+		if !hostIsLE || int(unsafe.Sizeof(z)) != b.size {
+			return
+		}
+		asc := make([]byte, b.size)
+		for i := range asc {
+			asc[i] = byte(i + 1)
+		}
+		enc := make([]byte, b.size)
+		for _, pat := range [][]byte{make([]byte, b.size), asc} {
+			v := b.dec(pat)
+			b.enc(enc, v)
+			mem := unsafe.Slice((*byte)(unsafe.Pointer(&v)), b.size)
+			if !bytes.Equal(mem, enc) {
+				return
+			}
+		}
+		b.raw = true
+	})
+	return b.raw
+}
+
+// bytesOf returns the raw memory window of s[off:off+count]. Callers must
+// have bounds-checked off/count and established isRaw; count must be > 0.
+func (b *baseType[T]) bytesOf(s []T, off, count int) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[off])), count*b.size)
+}
+
 func (b *baseType[T]) Pack(dst []byte, buf any, off, count int) ([]byte, error) {
 	s, err := b.slice(buf)
 	if err != nil {
@@ -67,9 +141,14 @@ func (b *baseType[T]) Pack(dst []byte, buf any, off, count int) ([]byte, error) 
 	if off < 0 || count < 0 || off+count > len(s) {
 		return nil, fmt.Errorf("%w: [%d:%d] of %d-element %s buffer", ErrCount, off, off+count, len(s), b.name)
 	}
-	// Byte buffers have an identity encoding: marshal with one copy
-	// instead of a call per element (the pure-Go answer to the paper's
-	// remark that array marshalling is the pain point of pure-Java MPI).
+	if count == 0 {
+		return dst, nil
+	}
+	// Bulk path: one memmove when the in-memory layout is the wire
+	// layout. []byte keeps its identity copy even on big-endian hosts.
+	if b.isRaw() {
+		return append(dst, b.bytesOf(s, off, count)...), nil
+	}
 	if bs, ok := any(s).([]byte); ok {
 		return append(dst, bs[off:off+count]...), nil
 	}
@@ -81,10 +160,44 @@ func (b *baseType[T]) Pack(dst []byte, buf any, off, count int) ([]byte, error) 
 	return dst, nil
 }
 
-func (b *baseType[T]) Unpack(data []byte, buf any, off, count int) (int, error) {
+// packIntoSlice fills dst — whose length must be exactly count*size — with
+// count elements of s starting at off. It is the concrete, boxing-free
+// packer behind PackInto and the typed facade.
+func (b *baseType[T]) packIntoSlice(dst []byte, s []T, off, count int) error {
+	if off < 0 || count < 0 || off+count > len(s) {
+		return fmt.Errorf("%w: [%d:%d] of %d-element %s buffer", ErrCount, off, off+count, len(s), b.name)
+	}
+	if len(dst) != count*b.size {
+		return fmt.Errorf("%w: PackInto destination holds %d bytes for %d elements of %s",
+			ErrCount, len(dst), count, b.name)
+	}
+	if count == 0 {
+		return nil
+	}
+	if b.isRaw() {
+		copy(dst, b.bytesOf(s, off, count))
+		return nil
+	}
+	for i := 0; i < count; i++ {
+		b.enc(dst[i*b.size:], s[off+i])
+	}
+	return nil
+}
+
+// PackInto implements packerInto.
+func (b *baseType[T]) PackInto(dst []byte, buf any, off, count int) error {
 	s, err := b.slice(buf)
 	if err != nil {
-		return 0, err
+		return err
+	}
+	return b.packIntoSlice(dst, s, off, count)
+}
+
+// unpackSlice decodes up to count elements from data into s at off,
+// returning the number decoded — the concrete form behind Unpack.
+func (b *baseType[T]) unpackSlice(data []byte, s []T, off, count int) (int, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("%w: negative count %d", ErrCount, count)
 	}
 	n := len(data) / b.size
 	if n > count {
@@ -92,6 +205,13 @@ func (b *baseType[T]) Unpack(data []byte, buf any, off, count int) (int, error) 
 	}
 	if off < 0 || off+n > len(s) {
 		return 0, fmt.Errorf("%w: unpack [%d:%d] of %d-element %s buffer", ErrCount, off, off+n, len(s), b.name)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if b.isRaw() {
+		copy(b.bytesOf(s, off, n), data[:n*b.size])
+		return n, nil
 	}
 	if bs, ok := any(s).([]byte); ok {
 		copy(bs[off:off+n], data[:n])
@@ -103,7 +223,42 @@ func (b *baseType[T]) Unpack(data []byte, buf any, off, count int) (int, error) 
 	return n, nil
 }
 
+func (b *baseType[T]) Unpack(data []byte, buf any, off, count int) (int, error) {
+	s, err := b.slice(buf)
+	if err != nil {
+		return 0, err
+	}
+	return b.unpackSlice(data, s, off, count)
+}
+
+// window implements rawWindower: the byte window of buf[off:off+count]
+// when a receive may land there directly.
+func (b *baseType[T]) window(buf any, off, count int) ([]byte, bool) {
+	s, ok := buf.([]T)
+	if !ok || count <= 0 || off < 0 || off+count > len(s) || !b.isRaw() {
+		return nil, false
+	}
+	return b.bytesOf(s, off, count), true
+}
+
 func (b *baseType[T]) Alloc(n int) any { return make([]T, n) }
+
+// packExact packs count elements of dt into an exactly-sized fresh buffer,
+// avoiding the append path's growth copies. Variable-size datatypes — and
+// any third-party Datatype that does not implement packerInto — fall back
+// to the append path cleanly.
+func packExact(dt Datatype, buf any, off, count int) ([]byte, error) {
+	if pi, ok := dt.(packerInto); ok && count >= 0 {
+		if sz := dt.ByteSize(); sz >= 0 {
+			out := make([]byte, count*sz)
+			if err := pi.PackInto(out, buf, off, count); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
+	return dt.Pack(nil, buf, off, count)
+}
 
 // The MPJ base datatypes. Names follow the MPJ draft API (MPJ.INT etc.);
 // Go slice element types are noted per constant.

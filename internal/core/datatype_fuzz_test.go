@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// perElemClone builds a copy of a base datatype with the bulk (raw memmove)
+// path disabled, so the per-element encode/decode loop runs — the reference
+// implementation the bulk path must match byte for byte.
+func perElemClone[T any](dt Datatype) *baseType[T] {
+	b := dt.(*baseType[T])
+	c := &baseType[T]{name: b.name, size: b.size, enc: b.enc, dec: b.dec}
+	c.rawOnce.Do(func() {}) // trip the verification with raw=false
+	return c
+}
+
+// fuzzRoundTrip cross-checks the bulk and per-element paths of one base
+// type over one (src, off, count) case: identical packed bytes (Pack and
+// PackInto), identical unpack results, and a faithful round trip — also
+// from a deliberately misaligned packed buffer.
+func fuzzRoundTrip[T comparable](t *testing.T, dt Datatype, src []T, off, count int) {
+	t.Helper()
+	canon := dt.(*baseType[T])
+	loop := perElemClone[T](dt)
+
+	bulk, bulkErr := canon.Pack(nil, src, off, count)
+	ref, refErr := loop.Pack(nil, src, off, count)
+	if (bulkErr == nil) != (refErr == nil) {
+		t.Fatalf("%s: pack error mismatch: bulk %v, per-element %v", dt.Name(), bulkErr, refErr)
+	}
+	if bulkErr != nil {
+		return
+	}
+	if !bytes.Equal(bulk, ref) {
+		t.Fatalf("%s: bulk pack differs from per-element pack\n bulk %x\n ref  %x", dt.Name(), bulk, ref)
+	}
+	into := make([]byte, count*canon.size)
+	if err := canon.PackInto(into, src, off, count); err != nil {
+		t.Fatalf("%s: PackInto after successful Pack: %v", dt.Name(), err)
+	}
+	if !bytes.Equal(into, ref) {
+		t.Fatalf("%s: PackInto differs from Pack", dt.Name())
+	}
+
+	// Unpack through both paths — from an offset inside a larger buffer,
+	// so the bulk copy reads byte-misaligned packed data.
+	shifted := append([]byte{0x55}, ref...)
+	a := make([]T, len(src))
+	b := make([]T, len(src))
+	na, errA := canon.Unpack(shifted[1:], a, off, count)
+	nb, errB := loop.Unpack(ref, b, off, count)
+	if errA != nil || errB != nil || na != count || nb != count {
+		t.Fatalf("%s: unpack: bulk (%d,%v), per-element (%d,%v), want count %d",
+			dt.Name(), na, errA, nb, errB, count)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: bulk unpack differs from per-element unpack", dt.Name())
+	}
+	for i := 0; i < count; i++ {
+		if a[off+i] != src[off+i] {
+			t.Fatalf("%s: round trip lost element %d: got %v want %v", dt.Name(), i, a[off+i], src[off+i])
+		}
+	}
+}
+
+// buildSlice decodes raw fuzz bytes into a []T through the datatype's own
+// decoder, padding the tail chunk with zeros.
+func buildSlice[T any](dt Datatype, raw []byte, n int) []T {
+	b := dt.(*baseType[T])
+	s := make([]T, n)
+	chunk := make([]byte, b.size)
+	for i := range s {
+		for j := range chunk {
+			chunk[j] = 0
+			if k := i*b.size + j; k < len(raw) {
+				chunk[j] = raw[k]
+			}
+		}
+		s[i] = b.dec(chunk)
+	}
+	return s
+}
+
+func FuzzBulkPackUnpack(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(0), uint8(3), uint8(0))
+	f.Add([]byte{0xff, 0xfe, 0x80, 0x01, 0x00, 0x7f}, uint8(1), uint8(2), uint8(1))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(2), uint8(1), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(0), uint8(0), uint8(3))
+	f.Add([]byte{42}, uint8(3), uint8(9), uint8(4))
+
+	f.Fuzz(func(t *testing.T, raw []byte, offB, cntB, mode uint8) {
+		n := 1 + len(raw)/4
+		if n > 64 {
+			n = 64
+		}
+		off := int(offB) % (n + 1)
+		count := int(cntB) % (n - off + 1)
+
+		switch mode % 5 {
+		case 0:
+			fuzzRoundTrip(t, Int, buildSlice[int32](Int, raw, n), off, count)
+		case 1:
+			// Sanitize NaNs: their bit patterns round-trip, but they break
+			// value comparison.
+			s := buildSlice[float64](Double, raw, n)
+			for i, v := range s {
+				if math.IsNaN(v) {
+					s[i] = 0
+				}
+			}
+			fuzzRoundTrip(t, Double, s, off, count)
+		case 2:
+			fuzzRoundTrip(t, Short, buildSlice[int16](Short, raw, n), off, count)
+		case 3:
+			// IntInt is a struct type whose packed layout matches memory:
+			// the bulk path must agree with the field-wise encoder.
+			fuzzRoundTrip(t, IntInt2, buildSlice[IntInt](IntInt2, raw, n), off, count)
+		case 4:
+			// A derived (strided vector) pattern over a bulk base vs the
+			// same pattern over a per-element base.
+			fuzzDerived(t, raw, n, off, count)
+		}
+	})
+}
+
+// fuzzDerived cross-checks a Vector pattern built over the canonical Int
+// (bulk-capable) base against the same pattern over a per-element clone.
+func fuzzDerived(t *testing.T, raw []byte, n, off, count int) {
+	t.Helper()
+	vec, err := Vector(2, 1, 2, Int) // 2 blocks of 1, stride 2: extent 3, 2 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulkVec := vec.(*derivedType)
+	loopVec := &derivedType{
+		name: bulkVec.name, base: Datatype(perElemClone[int32](Int)),
+		runs: bulkVec.runs, extent: bulkVec.extent, slots: bulkVec.slots,
+	}
+	slots := n*bulkVec.extent + 8
+	src := make([]int32, slots)
+	for i := range src {
+		v := int32(i + 1)
+		if i < len(raw) {
+			v = int32(raw[i]) + 1
+		}
+		src[i] = v
+	}
+	if off+count > n {
+		count = n - off
+	}
+
+	bulk, err := bulkVec.Pack(nil, src, off*bulkVec.extent, count)
+	if err != nil {
+		t.Fatalf("derived bulk pack: %v", err)
+	}
+	ref, err := loopVec.Pack(nil, src, off*bulkVec.extent, count)
+	if err != nil {
+		t.Fatalf("derived per-element pack: %v", err)
+	}
+	if !bytes.Equal(bulk, ref) {
+		t.Fatalf("derived bulk pack differs from per-element pack")
+	}
+	into := make([]byte, count*bulkVec.ByteSize())
+	if err := bulkVec.PackInto(into, src, off*bulkVec.extent, count); err != nil {
+		t.Fatalf("derived PackInto: %v", err)
+	}
+	if !bytes.Equal(into, ref) {
+		t.Fatalf("derived PackInto differs from Pack")
+	}
+	a := make([]int32, slots)
+	b := make([]int32, slots)
+	if _, err := bulkVec.Unpack(append([]byte{9}, bulk...)[1:], a, off*bulkVec.extent, count); err != nil {
+		t.Fatalf("derived bulk unpack: %v", err)
+	}
+	if _, err := loopVec.Unpack(ref, b, off*bulkVec.extent, count); err != nil {
+		t.Fatalf("derived per-element unpack: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("derived bulk unpack differs from per-element unpack")
+	}
+}

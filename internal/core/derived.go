@@ -46,6 +46,38 @@ func (d *derivedType) Pack(dst []byte, buf any, off, count int) ([]byte, error) 
 	return dst, nil
 }
 
+// PackInto implements packerInto for derived patterns: each run packs in
+// place through the base type's PackInto, so fixed-size derived types ride
+// the same frame-filling fast path as their base (the base is always a
+// fixed-size primitive after flattening, so the assertion cannot fail for
+// types built by Contiguous/Vector/Indexed).
+func (d *derivedType) PackInto(dst []byte, buf any, off, count int) error {
+	if count < 0 {
+		return fmt.Errorf("%w: negative count %d", ErrCount, count)
+	}
+	if len(dst) != count*d.ByteSize() {
+		return fmt.Errorf("%w: PackInto destination holds %d bytes for %d elements of %s",
+			ErrCount, len(dst), count, d.name)
+	}
+	pi, ok := d.base.(packerInto)
+	if !ok {
+		return fmt.Errorf("%w: %s base %s cannot pack in place", ErrType, d.name, d.base.Name())
+	}
+	esz := d.base.ByteSize()
+	pos := 0
+	for k := 0; k < count; k++ {
+		origin := off + k*d.extent
+		for _, r := range d.runs {
+			n := r.len * esz
+			if err := pi.PackInto(dst[pos:pos+n], buf, origin+r.disp, r.len); err != nil {
+				return err
+			}
+			pos += n
+		}
+	}
+	return nil
+}
+
 func (d *derivedType) Unpack(data []byte, buf any, off, count int) (int, error) {
 	esz := d.base.ByteSize()
 	done := 0

@@ -245,7 +245,7 @@ func (c *Comm) ibcast(name string, buf any, off, count int, dt Datatype, root in
 	cl := &cell{}
 	if c.rank == root {
 		var err error
-		if cl.b, err = dt.Pack(nil, buf, off, count); err != nil {
+		if cl.b, err = packExact(dt, buf, off, count); err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 	}
@@ -272,7 +272,7 @@ func (c *Comm) igather(name string, sbuf any, soff, scount int, sdt Datatype,
 		return nil, err
 	}
 	size := c.Size()
-	myData, err := sdt.Pack(nil, sbuf, soff, scount)
+	myData, err := packExact(sdt, sbuf, soff, scount)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -341,7 +341,7 @@ func (c *Comm) iscatter(name string, sbuf any, soff, scount int, sdt Datatype,
 	}
 	size := c.Size()
 	if size == 1 {
-		data, err := sdt.Pack(nil, sbuf, soff, scount)
+		data, err := packExact(sdt, sbuf, soff, scount)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -389,12 +389,24 @@ func (c *Comm) iscatter(name string, sbuf any, soff, scount int, sdt Datatype,
 	vrank := (c.rank - root + size) % size
 	cl := &cell{}
 	if vrank == 0 {
-		for v := 0; v < size; v++ {
-			r := (v + root) % size
-			var err error
-			cl.b, err = sdt.Pack(cl.b, sbuf, soff+r*scount*sdt.Extent(), scount)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", name, err)
+		if pi, ok := sdt.(packerInto); ok && scount >= 0 && sdt.ByteSize() >= 0 {
+			// One exactly-sized buffer, each block packed in place.
+			bs := scount * sdt.ByteSize()
+			cl.b = make([]byte, size*bs)
+			for v := 0; v < size; v++ {
+				r := (v + root) % size
+				if err := pi.PackInto(cl.b[v*bs:(v+1)*bs], sbuf, soff+r*scount*sdt.Extent(), scount); err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+			}
+		} else {
+			for v := 0; v < size; v++ {
+				r := (v + root) % size
+				var err error
+				cl.b, err = sdt.Pack(cl.b, sbuf, soff+r*scount*sdt.Extent(), scount)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
 			}
 		}
 	}
@@ -424,7 +436,7 @@ func (c *Comm) Iallgather(sbuf any, soff, scount int, sdt Datatype,
 func (c *Comm) iallgather(name string, sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
 	size := c.Size()
-	myData, err := sdt.Pack(nil, sbuf, soff, scount)
+	myData, err := packExact(sdt, sbuf, soff, scount)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -477,7 +489,7 @@ func (c *Comm) ireduce(name string, sbuf any, soff int, rbuf any, roff, count in
 	if err != nil {
 		return nil, err
 	}
-	data, err := dt.Pack(nil, sbuf, soff, count)
+	data, err := packExact(dt, sbuf, soff, count)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -518,7 +530,7 @@ func (c *Comm) iallreduce(name string, alg AllreduceAlgorithm, sbuf any, soff in
 	if err != nil {
 		return nil, err
 	}
-	data, err := dt.Pack(nil, sbuf, soff, count)
+	data, err := packExact(dt, sbuf, soff, count)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -557,20 +569,39 @@ func (c *Comm) ialltoall(name string, sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
 	size := c.Size()
 	var rd round
-	var own []byte
+	// Fixed-size blocks pack straight into the outgoing frames (fill
+	// steps): no per-peer intermediate buffers at all. Variable-size
+	// blocks pack up front, as before.
+	pi, fixed := sdt.(packerInto)
+	bs := 0
+	if sz := sdt.ByteSize(); sz >= 0 && scount >= 0 {
+		bs = scount * sz
+	} else {
+		fixed = false
+	}
+	own, err := packExact(sdt, sbuf, soff+c.rank*scount*sdt.Extent(), scount)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
 	for r := 0; r < size; r++ {
-		data, err := sdt.Pack(nil, sbuf, soff+r*scount*sdt.Extent(), scount)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
 		if r == c.rank {
-			own = data
 			continue
 		}
 		rd.recvs = append(rd.recvs, recvStep{from: r, on: func(got []byte) error {
 			_, err := rdt.Unpack(got, rbuf, roff+r*rcount*rdt.Extent(), rcount)
 			return err
 		}})
+		if fixed {
+			off := soff + r*scount*sdt.Extent()
+			rd.sends = append(rd.sends, sendStep{to: r, n: bs, fill: func(p []byte) error {
+				return pi.PackInto(p, sbuf, off, scount)
+			}})
+			continue
+		}
+		data, err := sdt.Pack(nil, sbuf, soff+r*scount*sdt.Extent(), scount)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
 		rd.sends = append(rd.sends, sendStep{to: r, data: func() []byte { return data }})
 	}
 	finish := func() error {
@@ -582,4 +613,53 @@ func (c *Comm) ialltoall(name string, sbuf any, soff, scount int, sdt Datatype,
 		rounds = []round{rd}
 	}
 	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+}
+
+// Iscan starts a non-blocking inclusive prefix reduction: rank r receives
+// the combination of the contributions of ranks 0..r — MPI_Iscan.
+// Simultaneous binomial algorithm, ceil(log2 p) rounds.
+func (c *Comm) Iscan(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
+	return c.iscan("iscan", sbuf, soff, rbuf, roff, count, dt, op)
+}
+
+func (c *Comm) iscan(name string, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
+	comb, err := op.combinerFor(dt)
+	if err != nil {
+		return nil, err
+	}
+	data, err := packExact(dt, sbuf, soff, count)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	// result accumulates this rank's prefix; partial is the running
+	// combination forwarded to higher ranks. Sends snapshot partial at
+	// post time — before the same round's receive folds into it — which
+	// preserves the simultaneous-binomial invariant that rank r forwards
+	// the combination of ranks (r-mask, r].
+	result := &cell{b: data}
+	partial := &cell{b: append([]byte(nil), data...)}
+	size := c.Size()
+	var rs []round
+	for mask := 1; mask < size; mask <<= 1 {
+		var rd round
+		if src := c.rank - mask; src >= 0 {
+			rd.recvs = []recvStep{{from: src, on: func(got []byte) error {
+				// Everything received comes from lower ranks: fold it
+				// into both the running result and the forwarded partial.
+				if err := comb(got, result.b); err != nil {
+					return err
+				}
+				return comb(got, partial.b)
+			}}}
+		}
+		if dst := c.rank + mask; dst < size {
+			rd.sends = []sendStep{{to: dst, data: func() []byte { return partial.b }}}
+		}
+		rs = append(rs, rd)
+	}
+	finish := func() error {
+		_, err := dt.Unpack(result.b, rbuf, roff, count)
+		return err
+	}
+	return c.newCollRequest(name, c.nextCollTag(), rs, finish)
 }

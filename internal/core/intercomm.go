@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"mpj/internal/device"
 )
@@ -13,6 +14,12 @@ type Intercomm struct {
 	local  *Comm  // intra-communication among the local group
 	remote *Group // the remote group, in its own rank order
 	pt2pt  int    // context shared by both sides for inter-group traffic
+	rcomm  *Comm  // remote-facing view: ranks/statuses translate against remote
+
+	mu     sync.Mutex
+	freed  bool
+	merged bool // Merge consumed the reserved context pair
+	live   map[*Request]struct{}
 }
 
 // interHello is the leader-to-leader exchange payload.
@@ -110,7 +117,16 @@ func (c *Comm) CreateIntercomm(localLeader int, peer *Comm, remoteLeader, tag in
 	}
 	c.proc.mu.Unlock()
 
-	return &Intercomm{local: c, remote: remoteGroup, pt2pt: finalCtx}, nil
+	return &Intercomm{
+		local:  c,
+		remote: remoteGroup,
+		pt2pt:  finalCtx,
+		// The remote-facing view routes sends/receives through the shared
+		// Comm machinery (and hence its zero-copy fast paths): group ranks
+		// and statuses translate against the remote group, traffic runs on
+		// the inter-group context.
+		rcomm: &Comm{dev: c.dev, proc: c.proc, group: remoteGroup, pt2pt: finalCtx},
+	}, nil
 }
 
 // Rank returns the calling process's rank in the local group.
@@ -128,13 +144,39 @@ func (ic *Intercomm) RemoteGroup() *Group { return ic.remote }
 // LocalComm returns the local intra-communicator.
 func (ic *Intercomm) LocalComm() *Comm { return ic.local }
 
-// remoteWorld translates a remote-group rank to a world rank.
-func (ic *Intercomm) remoteWorld(rank int) (int, error) {
-	w := ic.remote.WorldRank(rank)
-	if w == Undefined {
-		return 0, fmt.Errorf("%w: remote rank %d of %d", ErrRank, rank, ic.remote.Size())
+// errFreed reports ErrComm when the inter-communicator has been freed.
+func (ic *Intercomm) errFreed() error {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ic.freed {
+		return fmt.Errorf("%w: inter-communicator is freed", ErrComm)
 	}
-	return w, nil
+	return nil
+}
+
+// track registers an in-flight request so Free can fail it; the request
+// deregisters itself when it reaches a terminal state. A Free racing the
+// registration loses no request: if the intercomm was freed in between,
+// the fresh request is failed here.
+func (ic *Intercomm) track(r *Request) error {
+	ic.mu.Lock()
+	if ic.freed {
+		ic.mu.Unlock()
+		err := fmt.Errorf("%w: inter-communicator is freed", ErrComm)
+		r.forceFail(err)
+		return err
+	}
+	if ic.live == nil {
+		ic.live = make(map[*Request]struct{})
+	}
+	ic.live[r] = struct{}{}
+	r.onFinal = func() {
+		ic.mu.Lock()
+		delete(ic.live, r)
+		ic.mu.Unlock()
+	}
+	ic.mu.Unlock()
+	return nil
 }
 
 // Send sends to rank dst of the remote group.
@@ -149,24 +191,17 @@ func (ic *Intercomm) Send(buf any, off, count int, dt Datatype, dst, tag int) er
 
 // Isend starts a non-blocking send to rank dst of the remote group.
 func (ic *Intercomm) Isend(buf any, off, count int, dt Datatype, dst, tag int) (*Request, error) {
-	if tag < 0 {
-		return nil, fmt.Errorf("%w: tag %d must be non-negative", ErrTag, tag)
+	if err := ic.errFreed(); err != nil {
+		return nil, err
 	}
-	w, err := ic.remoteWorld(dst)
+	r, err := ic.rcomm.sendMode(buf, off, count, dt, dst, tag, device.ModeStandard)
 	if err != nil {
 		return nil, err
 	}
-	data, err := dt.Pack(nil, buf, off, count)
-	if err != nil {
+	if err := ic.track(r); err != nil {
 		return nil, err
 	}
-	dr, err := ic.local.dev.Isend(data, w, tag, ic.pt2pt, device.ModeStandard)
-	if err != nil {
-		return nil, err
-	}
-	// Statuses translate sources against the remote group.
-	rc := &Comm{dev: ic.local.dev, proc: ic.local.proc, group: ic.remote, pt2pt: ic.pt2pt}
-	return newRequest(rc, dr, nil), nil
+	return r, nil
 }
 
 // Recv receives from rank src of the remote group (or AnySource).
@@ -180,27 +215,19 @@ func (ic *Intercomm) Recv(buf any, off, count int, dt Datatype, src, tag int) (*
 
 // Irecv starts a non-blocking receive from the remote group.
 func (ic *Intercomm) Irecv(buf any, off, count int, dt Datatype, src, tag int) (*Request, error) {
-	if tag < 0 && tag != AnyTag {
-		return nil, fmt.Errorf("%w: tag %d", ErrTag, tag)
+	if err := ic.errFreed(); err != nil {
+		return nil, err
 	}
-	w := device.AnySource
-	if src != AnySource {
-		var err error
-		if w, err = ic.remoteWorld(src); err != nil {
-			return nil, err
-		}
-	}
-	dtag := tag
-	if tag == AnyTag {
-		dtag = device.AnyTag
-	}
-	dr, err := ic.local.dev.Irecv(nil, w, dtag, ic.pt2pt)
+	// Staged (no zero-copy window): Free may force-fail this request
+	// while it is matched, and a late rendezvous DATA frame must not be
+	// written into user memory after the owner saw the error.
+	r, err := ic.rcomm.irecvOpt(buf, off, count, dt, src, tag, false)
 	if err != nil {
 		return nil, err
 	}
-	rc := &Comm{dev: ic.local.dev, proc: ic.local.proc, group: ic.remote, pt2pt: ic.pt2pt}
-	r := newRequest(rc, dr, nil)
-	r.fin = rc.recvFinisher(dr, buf, off, count, dt)
+	if err := ic.track(r); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
@@ -209,6 +236,13 @@ func (ic *Intercomm) Irecv(buf any, off, count int, dt Datatype, src, tag int) (
 // ranks; both sides must pass complementary flags. Collective over both
 // groups.
 func (ic *Intercomm) Merge(high bool) (*Comm, error) {
+	ic.mu.Lock()
+	if ic.freed {
+		ic.mu.Unlock()
+		return nil, fmt.Errorf("%w: inter-communicator is freed", ErrComm)
+	}
+	ic.merged = true
+	ic.mu.Unlock()
 	lowRanks := ic.local.group.Ranks()
 	highRanks := ic.remote.Ranks()
 	if high {
@@ -236,8 +270,53 @@ func (ic *Intercomm) Merge(high bool) (*Comm, error) {
 	}, nil
 }
 
-// Free releases the inter-communicator (bookkeeping only).
-func (ic *Intercomm) Free() {}
+// Free releases the inter-communicator — the MPJ Intercomm.Free,
+// mirroring Comm.Free's cleanup: any request still in flight on the
+// inter-group context completes with ErrComm instead of hanging its waiter
+// (the posted device operation is cancelled best-effort so a parked Wait
+// unblocks; an operation that already completed at the device keeps its
+// real outcome), and new Isend/Irecv/Send/Recv/Merge calls fail with
+// ErrComm immediately. If the intercomm was never merged and its reserved
+// context triple is still the newest allocation, the context ids are
+// returned to the process allocator for reuse.
+//
+// Like MPI_Comm_free, Free is collective: every member of both groups
+// must call it, and neither side may start new inter-group traffic
+// afterwards. A rank that allocates new communicators while the remote
+// side still sends on the released context risks stale inter-group
+// messages matching the new communicator's traffic — the same hazard MPI
+// programs face when they free a communicator one side still uses.
+func (ic *Intercomm) Free() {
+	ic.mu.Lock()
+	if ic.freed {
+		ic.mu.Unlock()
+		return
+	}
+	ic.freed = true
+	merged := ic.merged
+	reqs := make([]*Request, 0, len(ic.live))
+	for r := range ic.live {
+		reqs = append(reqs, r)
+	}
+	ic.live = nil
+	ic.mu.Unlock()
+
+	for _, r := range reqs {
+		r.forceFail(fmt.Errorf("%w: inter-communicator freed with request in flight", ErrComm))
+	}
+
+	// Best-effort context release: the intercomm reserved
+	// [pt2pt, pt2pt+2]; if nothing allocated beyond it and Merge never
+	// handed the pair to a merged communicator, roll the allocator back.
+	if !merged {
+		p := ic.local.proc
+		p.mu.Lock()
+		if p.nextCtx == ic.pt2pt+3 {
+			p.nextCtx = ic.pt2pt
+		}
+		p.mu.Unlock()
+	}
+}
 
 func init() {
 	// The leader exchange ships interHello values inside OBJECT buffers.

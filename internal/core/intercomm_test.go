@@ -164,3 +164,71 @@ func TestIntercommValidation(t *testing.T) {
 		return nil
 	})
 }
+
+func TestIntercommFreeRejectsNewOps(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		ic, _, err := buildIntercomm(w)
+		if err != nil {
+			return err
+		}
+		ic.Free()
+		if err := ic.Send([]int32{1}, 0, 1, Int, 0, 1); !errors.Is(err, ErrComm) {
+			return fmt.Errorf("send on freed intercomm: %v", err)
+		}
+		if _, err := ic.Irecv(make([]int32, 1), 0, 1, Int, 0, 1); !errors.Is(err, ErrComm) {
+			return fmt.Errorf("irecv on freed intercomm: %v", err)
+		}
+		if _, err := ic.Merge(w.Rank()%2 == 1); !errors.Is(err, ErrComm) {
+			return fmt.Errorf("merge on freed intercomm: %v", err)
+		}
+		ic.Free() // double free is a no-op
+		return nil
+	})
+}
+
+func TestIntercommFreeFailsInflight(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		ic, half, err := buildIntercomm(w)
+		if err != nil {
+			return err
+		}
+		// Post a receive no one will ever match, then free the intercomm:
+		// the waiter must unblock with ErrComm instead of hanging.
+		rr, err := ic.Irecv(make([]int32, 1), 0, 1, Int, ic.Rank(), 99)
+		if err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, werr := rr.Wait()
+			done <- werr
+		}()
+		// Give the waiter a moment to park, then free.
+		if err := half.Barrier(); err != nil {
+			return err
+		}
+		ic.Free()
+		werr := <-done
+		return expect(errors.Is(werr, ErrComm), "in-flight wait after Free: %v", werr)
+	})
+}
+
+func TestIntercommFreeReleasesContexts(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		ic, _, err := buildIntercomm(w)
+		if err != nil {
+			return err
+		}
+		w.proc.mu.Lock()
+		before := w.proc.nextCtx
+		w.proc.mu.Unlock()
+		if err := expect(before == ic.pt2pt+3, "nextCtx %d after create, intercomm ctx %d", before, ic.pt2pt); err != nil {
+			return err
+		}
+		ic.Free()
+		w.proc.mu.Lock()
+		after := w.proc.nextCtx
+		w.proc.mu.Unlock()
+		return expect(after == ic.pt2pt, "nextCtx %d after Free, want %d", after, ic.pt2pt)
+	})
+}

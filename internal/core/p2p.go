@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"mpj/internal/device"
+	"mpj/internal/wire"
 )
 
 // Request is a handle on a non-blocking MPJ operation. It wraps a device
@@ -14,11 +16,12 @@ type Request struct {
 	comm *Comm
 	dreq *device.Request
 
-	mu     sync.Mutex
-	fin    func(device.Status) (*Status, error) // runs once on completion
-	status *Status
-	err    error
-	done   bool
+	mu      sync.Mutex
+	fin     func(device.Status) (*Status, error) // runs once on completion
+	onFinal func()                               // runs once when the request reaches a terminal state
+	status  *Status
+	err     error
+	done    bool
 }
 
 // newRequest wraps a device request.
@@ -29,16 +32,25 @@ func newRequest(c *Comm, dr *device.Request, fin func(device.Status) (*Status, e
 // finalize runs the completion hook exactly once and caches its result.
 func (r *Request) finalize(dst device.Status, derr error) (*Status, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.done {
-		return r.status, r.err
+		st, err := r.status, r.err
+		r.mu.Unlock()
+		return st, err
 	}
 	r.done = true
-	if derr != nil {
-		r.status, r.err = &Status{Source: r.comm.groupSource(dst.Source), Tag: dst.Tag, elements: -1}, derr
-	} else if r.fin != nil {
+	switch {
+	case derr != nil && errors.Is(derr, device.ErrTruncate) && r.fin != nil:
+		// Truncation with a datatype finisher: deliver the bytes that did
+		// arrive, then report the truncation in the API's terms.
 		r.status, r.err = r.fin(dst)
-	} else {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: %v", ErrTruncate, derr)
+		}
+	case derr != nil:
+		r.status, r.err = &Status{Source: r.comm.groupSource(dst.Source), Tag: dst.Tag, elements: -1}, derr
+	case r.fin != nil:
+		r.status, r.err = r.fin(dst)
+	default:
 		r.status = &Status{
 			Source:    r.comm.groupSource(dst.Source),
 			Tag:       dst.Tag,
@@ -47,7 +59,42 @@ func (r *Request) finalize(dst device.Status, derr error) (*Status, error) {
 			elements:  -1,
 		}
 	}
-	return r.status, r.err
+	hook := r.onFinal
+	r.onFinal = nil
+	st, err := r.status, r.err
+	r.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return st, err
+}
+
+// forceFail completes the request with err from outside the normal
+// completion path (Intercomm.Free): waiters observe err, and the posted
+// device operation is cancelled best-effort so a parked Wait unblocks.
+// An operation that already completed at the device level is finalized
+// with its real outcome instead — the message was delivered (or received),
+// and reporting ErrComm for it would invite spurious retransmits.
+func (r *Request) forceFail(err error) {
+	if dst, ok, derr := r.dreq.Test(); ok {
+		_, _ = r.finalize(dst, derr)
+		return
+	}
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	r.done = true
+	r.err = err
+	r.status = &Status{Source: Undefined, Tag: Undefined, elements: -1}
+	hook := r.onFinal
+	r.onFinal = nil
+	r.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	_ = r.dreq.Cancel()
 }
 
 // Wait blocks until the operation completes and returns its status.
@@ -337,6 +384,11 @@ func WaitAll(reqs []*Request) ([]*Status, error) {
 }
 
 // sendMode issues a non-blocking send in the given device mode.
+//
+// Fixed-size datatypes pack directly into the outgoing wire frame
+// (device.IsendFill): the intermediate pack buffer disappears and the
+// eager path stays allocation-free. Variable-size datatypes (Object) keep
+// the append path — their packed size is unknown before packing.
 func (c *Comm) sendMode(buf any, off, count int, dt Datatype, dst, tag int, mode device.Mode) (*Request, error) {
 	if tag < 0 {
 		return nil, fmt.Errorf("%w: tag %d must be non-negative", ErrTag, tag)
@@ -344,6 +396,17 @@ func (c *Comm) sendMode(buf any, off, count int, dt Datatype, dst, tag int, mode
 	w, err := c.worldRank(dst)
 	if err != nil {
 		return nil, err
+	}
+	if pi, ok := dt.(packerInto); ok && count >= 0 {
+		if sz := dt.ByteSize(); sz >= 0 {
+			dr, err := c.dev.IsendFill(count*sz, func(p []byte) error {
+				return pi.PackInto(p, buf, off, count)
+			}, w, tag, c.pt2pt, mode)
+			if err != nil {
+				return nil, err
+			}
+			return newRequest(c, dr, nil), nil
+		}
 	}
 	data, err := dt.Pack(nil, buf, off, count)
 	if err != nil {
@@ -354,6 +417,47 @@ func (c *Comm) sendMode(buf any, off, count int, dt Datatype, dst, tag int, mode
 		return nil, err
 	}
 	return newRequest(c, dr, nil), nil
+}
+
+// rawRecvFinisher completes a receive that landed directly in the user
+// buffer (zero copy): no unpack, just element accounting.
+func (c *Comm) rawRecvFinisher(size int) func(device.Status) (*Status, error) {
+	return func(dst device.Status) (*Status, error) {
+		st := &Status{
+			Source:    c.groupSource(dst.Source),
+			Tag:       dst.Tag,
+			Cancelled: dst.Cancelled,
+			bytes:     dst.Count,
+			elements:  -1,
+		}
+		if dst.Cancelled {
+			return st, nil
+		}
+		st.elements = dst.Count / size
+		return st, nil
+	}
+}
+
+// stagedRecvFinisher unpacks a pooled staging buffer into the user buffer
+// and returns the staging buffer to the wire frame pool.
+func (c *Comm) stagedRecvFinisher(staging []byte, buf any, off, count int, dt Datatype) func(device.Status) (*Status, error) {
+	return func(dst device.Status) (*Status, error) {
+		st := &Status{
+			Source:    c.groupSource(dst.Source),
+			Tag:       dst.Tag,
+			Cancelled: dst.Cancelled,
+			bytes:     dst.Count,
+			elements:  -1,
+		}
+		if dst.Cancelled {
+			wire.PutBuf(staging)
+			return st, nil
+		}
+		n, err := dt.Unpack(staging[:dst.Count], buf, off, count)
+		wire.PutBuf(staging)
+		st.elements = n
+		return st, err
+	}
 }
 
 // recvFinisher builds the completion hook that unpacks received bytes into
@@ -414,6 +518,27 @@ func (c *Comm) Ibsend(buf any, off, count int, dt Datatype, dst, tag int) (*Requ
 	if err != nil {
 		return nil, err
 	}
+	// Buffered sends complete locally: force the eager protocol, whose
+	// sender side never blocks on the receiver. The reservation is
+	// released immediately because the device copies the payload into the
+	// outgoing frame before the send call returns. Fixed-size datatypes
+	// know their packed size up front and fill the frame in place.
+	if pi, ok := dt.(packerInto); ok && count >= 0 {
+		if sz := dt.ByteSize(); sz >= 0 {
+			n := count * sz
+			if err := c.proc.bsend.reserve(n); err != nil {
+				return nil, err
+			}
+			dr, err := c.dev.IsendFill(n, func(p []byte) error {
+				return pi.PackInto(p, buf, off, count)
+			}, w, tag, c.pt2pt, device.ModeReady)
+			c.proc.bsend.release(n)
+			if err != nil {
+				return nil, err
+			}
+			return newRequest(c, dr, nil), nil
+		}
+	}
 	data, err := dt.Pack(nil, buf, off, count)
 	if err != nil {
 		return nil, err
@@ -421,10 +546,6 @@ func (c *Comm) Ibsend(buf any, off, count int, dt Datatype, dst, tag int) (*Requ
 	if err := c.proc.bsend.reserve(len(data)); err != nil {
 		return nil, err
 	}
-	// Buffered sends complete locally: force the eager protocol, whose
-	// sender side never blocks on the receiver. The reservation is
-	// released immediately because the device copies data into the
-	// outgoing frame before Isend returns.
 	dr, err := c.dev.Isend(data, w, tag, c.pt2pt, device.ModeReady)
 	c.proc.bsend.release(len(data))
 	if err != nil {
@@ -435,7 +556,22 @@ func (c *Comm) Ibsend(buf any, off, count int, dt Datatype, dst, tag int) (*Requ
 
 // Irecv starts a non-blocking receive of up to count elements of dt into
 // buf at offset off; src may be AnySource, tag may be AnyTag — MPI_Irecv.
+//
+// Fixed-size datatypes receive into a sized buffer, so the inbound frame
+// returns to the wire pool as soon as its bytes are copied out; when the
+// datatype's wire encoding equals its memory layout the payload lands
+// directly in the user buffer (zero copy), otherwise it is decoded from a
+// pooled staging buffer. Variable-size datatypes keep the
+// allocate-on-arrival path, which adopts the frame whole.
 func (c *Comm) Irecv(buf any, off, count int, dt Datatype, src, tag int) (*Request, error) {
+	return c.irecvOpt(buf, off, count, dt, src, tag, true)
+}
+
+// irecvOpt is Irecv with the zero-copy window path selectable: receivers
+// whose requests can be force-failed while matched (Intercomm.Free) must
+// not hand the device a window aliasing user memory — a late DATA frame
+// would land in a buffer whose owner already saw the operation fail.
+func (c *Comm) irecvOpt(buf any, off, count int, dt Datatype, src, tag int, window bool) (*Request, error) {
 	if tag < 0 && tag != AnyTag {
 		return nil, fmt.Errorf("%w: tag %d", ErrTag, tag)
 	}
@@ -449,6 +585,28 @@ func (c *Comm) Irecv(buf any, off, count int, dt Datatype, src, tag int) (*Reque
 	dtag := tag
 	if tag == AnyTag {
 		dtag = device.AnyTag
+	}
+	if sz := dt.ByteSize(); sz >= 0 && count >= 0 {
+		if rw, ok := dt.(rawWindower); ok && window {
+			if win, ok := rw.window(buf, off, count); ok {
+				dr, err := c.dev.Irecv(win, w, dtag, c.pt2pt)
+				if err != nil {
+					return nil, err
+				}
+				r := newRequest(c, dr, nil)
+				r.fin = c.rawRecvFinisher(sz)
+				return r, nil
+			}
+		}
+		staging := wire.GetBuf(count * sz)
+		dr, err := c.dev.Irecv(staging, w, dtag, c.pt2pt)
+		if err != nil {
+			wire.PutBuf(staging)
+			return nil, err
+		}
+		r := newRequest(c, dr, nil)
+		r.fin = c.stagedRecvFinisher(staging, buf, off, count, dt)
+		return r, nil
 	}
 	dr, err := c.dev.Irecv(nil, w, dtag, c.pt2pt)
 	if err != nil {

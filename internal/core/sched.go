@@ -27,9 +27,17 @@ type cell struct{ b []byte }
 // runs at post time, so it sees every buffer mutation made by earlier
 // rounds; the device copies the bytes immediately, so later mutation of
 // the underlying buffer is safe.
+//
+// A step carries either data (a byte supplier, for payloads that already
+// exist as packed bytes) or fill with its exact length n (a packer that
+// writes the n-byte payload directly into the outgoing wire frame,
+// skipping the intermediate buffer — used by builders whose first-round
+// sends carry freshly packed user data).
 type sendStep struct {
 	to   int // group rank
 	data func() []byte
+	n    int                // fill only: exact payload length
+	fill func([]byte) error // fill the frame payload in place
 }
 
 // recvStep posts one dynamic-buffer receive when its round starts. The
@@ -190,7 +198,13 @@ func (r *CollRequest) postLocked() error {
 		r.actions = append(r.actions, rs.on)
 	}
 	for _, ss := range rd.sends {
-		dr, err := r.c.collIsend(ss.data(), ss.to, r.tag)
+		var dr *device.Request
+		var err error
+		if ss.fill != nil {
+			dr, err = r.c.collIsendFill(ss.n, ss.fill, ss.to, r.tag)
+		} else {
+			dr, err = r.c.collIsend(ss.data(), ss.to, r.tag)
+		}
 		if err != nil {
 			return err
 		}

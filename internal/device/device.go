@@ -276,6 +276,85 @@ func (d *Device) Isend(buf []byte, dst, tag, ctx int, mode Mode) (*Request, erro
 	return r, d.t.Send(dst, frame)
 }
 
+// IsendFill starts a non-blocking send whose n-byte payload is produced by
+// fill writing directly into the outgoing eager frame (or the rendezvous
+// stash), skipping the intermediate pack buffer that Isend's []byte
+// argument implies. fill runs exactly once, synchronously, before IsendFill
+// returns — so buffers it reads may be reused immediately afterwards — and
+// must overwrite all n bytes. A fill error aborts the send: the frame goes
+// back to the pool and the error is returned verbatim.
+//
+// The datatype layer uses this to pack user buffers straight into pooled
+// wire frames ("all handling of user-buffer datatypes outside the device
+// level", without paying a copy for the separation).
+func (d *Device) IsendFill(n int, fill func(payload []byte) error, dst, tag, ctx int, mode Mode) (*Request, error) {
+	if dst < 0 || dst >= d.size {
+		return nil, fmt.Errorf("device: isend to rank %d of %d: %w", dst, d.size, transport.ErrBadRank)
+	}
+
+	eager := mode == ModeReady || (mode == ModeStandard && n <= d.eagerLimit)
+	if eager {
+		frame := wire.GetBuf(wire.HeaderLen + n)
+		if err := fill(frame[wire.HeaderLen:]); err != nil {
+			wire.PutBuf(frame)
+			return nil, err
+		}
+		d.mu.Lock()
+		if err := d.usable(); err != nil {
+			d.mu.Unlock()
+			wire.PutBuf(frame)
+			return nil, err
+		}
+		r := &Request{d: d, kind: reqSend, dst: dst, tag: tag, ctx: ctx}
+		h := wire.Header{
+			Kind:    wire.KindEager,
+			Src:     int32(d.rank),
+			Tag:     int32(tag),
+			Context: int32(ctx),
+			Seq:     d.seq[dst],
+			Len:     int32(n),
+		}
+		d.seq[dst]++
+		_ = h.Encode(frame) // cannot fail: the frame covers the header
+		d.completeLocked(r, Status{Source: d.rank, Tag: tag, Count: n}, nil)
+		d.mu.Unlock()
+		d.stats.EagerSent.Add(1)
+		return r, d.t.Send(dst, frame)
+	}
+
+	// Rendezvous: fill the stashed payload in place (no defensive copy
+	// needed — the bytes are packed, not aliased to the user buffer).
+	payload := make([]byte, n)
+	if err := fill(payload); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if err := d.usable(); err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	r := &Request{d: d, kind: reqSend, dst: dst, tag: tag, ctx: ctx}
+	d.nextMsgID++
+	r.msgID = d.nextMsgID
+	r.payload = payload
+	r.count = n
+	d.pendingRTS[r.msgID] = r
+	h := wire.Header{
+		Kind:    wire.KindRTS,
+		Src:     int32(d.rank),
+		Tag:     int32(tag),
+		Context: int32(ctx),
+		Seq:     d.seq[dst],
+		MsgID:   r.msgID,
+		Len:     int32(n),
+	}
+	d.seq[dst]++
+	frame := wire.NewFrame(&h, nil)
+	d.mu.Unlock()
+	d.stats.RTSSent.Add(1)
+	return r, d.t.Send(dst, frame)
+}
+
 // Irecv posts a non-blocking receive into buf for a message matching
 // (src, tag, ctx); src may be AnySource and tag may be AnyTag. The request
 // completes when a matching message has fully arrived in buf.

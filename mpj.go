@@ -108,6 +108,34 @@ var (
 	MINLOC = core.MinLocOp
 )
 
+// Error classes raised by the API; match with errors.Is. The operations
+// wrap them with context.
+var (
+	// ErrBuffer reports an invalid buffer argument.
+	ErrBuffer = core.ErrBuffer
+	// ErrCount reports an invalid count argument (or slice length).
+	ErrCount = core.ErrCount
+	// ErrType reports an invalid or mismatched datatype argument.
+	ErrType = core.ErrType
+	// ErrTag reports an invalid tag argument.
+	ErrTag = core.ErrTag
+	// ErrRank reports a rank outside the communicator's group.
+	ErrRank = core.ErrRank
+	// ErrComm reports an invalid (e.g. freed) communicator.
+	ErrComm = core.ErrComm
+	// ErrGroup reports an invalid group argument.
+	ErrGroup = core.ErrGroup
+	// ErrOp reports a reduction op applied to an unsupported datatype.
+	ErrOp = core.ErrOp
+	// ErrDims reports invalid topology dimensions.
+	ErrDims = core.ErrDims
+	// ErrTopology reports an invalid topology argument.
+	ErrTopology = core.ErrTopology
+	// ErrTruncate reports a received message longer than the receive
+	// buffer, as in MPI_ERR_TRUNCATE.
+	ErrTruncate = core.ErrTruncate
+)
+
 // Wildcards and special values.
 const (
 	// AnySource matches any source rank in receives and probes.

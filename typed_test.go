@@ -1,0 +1,278 @@
+package mpj
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpj/internal/core"
+	"mpj/internal/device"
+	"mpj/internal/transport"
+)
+
+// typedJobSeq hands out process-unique job ids for the in-process hybrid
+// meshes these tests build, so repeated runs never collide in the hybrid
+// device's process-local hub.
+var typedJobSeq atomic.Uint64
+
+// runWorlds executes fn concurrently on np ranks connected by an
+// in-process mesh of the named device (chan or hyb), mirroring the
+// distributed runtime. It fails the test if any rank errors or wedges.
+func runWorlds(t *testing.T, np int, dev string, fn func(w *Comm) error) {
+	t.Helper()
+	eps := make([]transport.Transport, np)
+	switch dev {
+	case "chan":
+		for i, e := range transport.NewChanMesh(np) {
+			eps[i] = e
+		}
+	case "hyb":
+		loc := transport.ProcessLocality()
+		locs := make([]string, np)
+		for i := range locs {
+			locs[i] = loc
+		}
+		jobID := 0x7e57<<48 | typedJobSeq.Add(1)
+		for i := range eps {
+			h, err := transport.NewHybTransport(transport.HybConfig{Rank: i, JobID: jobID, Locs: locs})
+			if err != nil {
+				t.Fatalf("hyb endpoint %d: %v", i, err)
+			}
+			eps[i] = h
+		}
+	default:
+		t.Fatalf("unknown device %q", dev)
+	}
+
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for i := 0; i < np; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, err := device.Open(eps[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("open device: %w", err)
+				return
+			}
+			defer d.Close()
+			w, err := core.NewWorld(d)
+			if err != nil {
+				errs[i] = fmt.Errorf("new world: %w", err)
+				return
+			}
+			if err := fn(w); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.Barrier()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("job wedged: ranks did not finish within 120s")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+// checkTypedEquiv runs the same operations through the typed facade and
+// the classic Datatype facade and demands byte-identical results: a ring
+// exchange, Bcast, Gather, Allgather, Alltoall, Reduce, Allreduce (plus
+// its non-blocking typed form), and Scan.
+func checkTypedEquiv[T Scalar](w *Comm, count, root int, op ReduceOp[T], gen func(rank, i int) T) error {
+	size, rank := w.Size(), w.Rank()
+	dt := DatatypeOf[T]()
+	cop := op.Op()
+	src := make([]T, count)
+	for i := range src {
+		src[i] = gen(rank, i)
+	}
+	mismatch := func(what string, typed, classic any) error {
+		if !reflect.DeepEqual(typed, classic) {
+			return fmt.Errorf("%s: typed %v != classic %v (np=%d count=%d root=%d op=%s)",
+				what, typed, classic, size, count, root, cop.Name())
+		}
+		return nil
+	}
+
+	// Point-to-point ring, both facades.
+	right, left := (rank+1)%size, (rank-1+size)%size
+	tGot, cGot := make([]T, count), make([]T, count)
+	sr, err := Isend(w, src, right, 11)
+	if err != nil {
+		return err
+	}
+	if _, err := Recv(w, tGot, left, 11); err != nil {
+		return err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return err
+	}
+	cr, err := w.Isend(src, 0, count, dt, right, 12)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Recv(cGot, 0, count, dt, left, 12); err != nil {
+		return err
+	}
+	if _, err := cr.Wait(); err != nil {
+		return err
+	}
+	if err := mismatch("ring", tGot, cGot); err != nil {
+		return err
+	}
+
+	// Bcast.
+	tB := append([]T(nil), src...)
+	cB := append([]T(nil), src...)
+	if err := Bcast(w, tB, root); err != nil {
+		return err
+	}
+	if err := w.Bcast(cB, 0, count, dt, root); err != nil {
+		return err
+	}
+	if err := mismatch("bcast", tB, cB); err != nil {
+		return err
+	}
+
+	// Gather to root.
+	var tG, cG []T
+	if rank == root {
+		tG, cG = make([]T, size*count), make([]T, size*count)
+	}
+	if err := Gather(w, src, tG, root); err != nil {
+		return err
+	}
+	if err := w.Gather(src, 0, count, dt, cG, 0, count, dt, root); err != nil {
+		return err
+	}
+	if err := mismatch("gather", tG, cG); err != nil {
+		return err
+	}
+
+	// Allgather.
+	tAG, cAG := make([]T, size*count), make([]T, size*count)
+	if err := Allgather(w, src, tAG); err != nil {
+		return err
+	}
+	if err := w.Allgather(src, 0, count, dt, cAG, 0, count, dt); err != nil {
+		return err
+	}
+	if err := mismatch("allgather", tAG, cAG); err != nil {
+		return err
+	}
+
+	// Alltoall (one count-element block per peer).
+	sA := make([]T, size*count)
+	for i := range sA {
+		sA[i] = gen(rank, i+7)
+	}
+	tA, cA := make([]T, size*count), make([]T, size*count)
+	if err := Alltoall(w, sA, tA); err != nil {
+		return err
+	}
+	if err := w.Alltoall(sA, 0, count, dt, cA, 0, count, dt); err != nil {
+		return err
+	}
+	if err := mismatch("alltoall", tA, cA); err != nil {
+		return err
+	}
+
+	// Reduce to root.
+	var tR, cR []T
+	if rank == root {
+		tR, cR = make([]T, count), make([]T, count)
+	}
+	if err := Reduce(w, src, tR, op, root); err != nil {
+		return err
+	}
+	if err := w.Reduce(src, 0, cR, 0, count, dt, cop, root); err != nil {
+		return err
+	}
+	if err := mismatch("reduce", tR, cR); err != nil {
+		return err
+	}
+
+	// Allreduce, blocking and non-blocking typed against blocking classic.
+	tAR, cAR, tIAR := make([]T, count), make([]T, count), make([]T, count)
+	if err := Allreduce(w, src, tAR, op); err != nil {
+		return err
+	}
+	if err := w.Allreduce(src, 0, cAR, 0, count, dt, cop); err != nil {
+		return err
+	}
+	if err := mismatch("allreduce", tAR, cAR); err != nil {
+		return err
+	}
+	req, err := Iallreduce(w, src, tIAR, op)
+	if err != nil {
+		return err
+	}
+	if _, err := req.Wait(); err != nil {
+		return err
+	}
+	if err := mismatch("iallreduce", tIAR, cAR); err != nil {
+		return err
+	}
+
+	// Scan (inclusive prefix).
+	tS, cS := make([]T, count), make([]T, count)
+	if err := Scan(w, src, tS, op); err != nil {
+		return err
+	}
+	if err := w.Scan(src, 0, cS, 0, count, dt, cop); err != nil {
+		return err
+	}
+	return mismatch("scan", tS, cS)
+}
+
+// TestTypedDatatypeEquivalenceProperty is the two-facade equivalence
+// property: over randomized np, count, root and reduction op, on both the
+// chan and hyb devices, every typed operation must produce results
+// byte-identical to its Datatype-facade counterpart (the facades share one
+// algorithm source, so any divergence is a fast-path bug). The last
+// iteration pushes the payload past the eager limit to cover the
+// rendezvous protocol.
+func TestTypedDatatypeEquivalenceProperty(t *testing.T) {
+	intOps := []ReduceOp[int64]{Sum[int64](), Max[int64](), BXor[int64]()}
+	floatOps := []ReduceOp[float64]{Sum[float64](), Min[float64](), Prod[float64]()}
+
+	for _, dev := range []string{"chan", "hyb"} {
+		t.Run(dev, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xC0FFEE))
+			const iters = 6
+			for it := 0; it < iters; it++ {
+				np := 2 + rng.Intn(4)
+				count := rng.Intn(70)
+				if it == iters-1 {
+					count = 2600 // 20.8 KiB of int64: crosses the eager limit
+				}
+				root := rng.Intn(np)
+				iop := intOps[rng.Intn(len(intOps))]
+				fop := floatOps[rng.Intn(len(floatOps))]
+				seed := rng.Int63()
+				runWorlds(t, np, dev, func(w *Comm) error {
+					if err := checkTypedEquiv(w, count, root, iop, func(rank, i int) int64 {
+						return seed%1000 + int64(rank*31+i)
+					}); err != nil {
+						return err
+					}
+					return checkTypedEquiv(w, count, root, fop, func(rank, i int) float64 {
+						return 1 + float64((seed+int64(rank*17+i))%97)/8
+					})
+				})
+			}
+		})
+	}
+}
