@@ -1,16 +1,19 @@
 // mpjbench regenerates every experiment table from EXPERIMENTS.md:
 //
 //	mpjbench                 # run everything
-//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED)
+//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL)
 //	mpjbench -exp pingpong   # alias for PP: ping-pong per device (chan/hyb/tcp)
 //	mpjbench -exp icoll      # blocking vs non-blocking collective overlap
 //	mpjbench -exp typed      # typed generics facade vs Datatype facade (writes BENCH_typed.json)
+//	mpjbench -exp coll       # large-message collective algorithms (writes BENCH_coll.json;
+//	                         # with -quick: regression check against the committed file)
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results and their interpretation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,7 +30,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED (alias: pingpong)")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL (alias: pingpong)")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
 		*exp = "PP"
@@ -80,6 +83,7 @@ func main() {
 			fmt.Println("  (results recorded in BENCH_typed.json)")
 			return t, nil
 		}},
+		{"COLL", runColl},
 	}
 
 	ran := 0
@@ -99,6 +103,42 @@ func main() {
 	if ran == 0 {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+}
+
+// runColl runs the large-message collective algorithm sweep. The full run
+// records BENCH_coll.json; the -quick run instead re-measures a subset and
+// fails when a classic-vs-segmented/ring speedup regresses more than 20%
+// against the committed file — the CI smoke gate for the algorithm layer.
+func runColl() (*bench.Table, error) {
+	t, res, err := bench.CollAlgSweep(*quick)
+	if err != nil {
+		return nil, err
+	}
+	if !*quick {
+		js, err := bench.MarshalCollResult(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile("BENCH_coll.json", js, 0o644); err != nil {
+			return nil, fmt.Errorf("writing BENCH_coll.json: %w", err)
+		}
+		fmt.Println("  (results recorded in BENCH_coll.json)")
+		return t, nil
+	}
+	raw, err := os.ReadFile("BENCH_coll.json")
+	if err != nil {
+		fmt.Println("  (no committed BENCH_coll.json; skipping regression check)")
+		return t, nil
+	}
+	var baseline bench.CollBenchResult
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing BENCH_coll.json: %w", err)
+	}
+	if err := bench.CompareCollBaseline(res, &baseline, 0.2); err != nil {
+		return nil, err
+	}
+	fmt.Println("  (speedups within 20% of committed BENCH_coll.json)")
+	return t, nil
 }
 
 // slaveBody adapts the public runtime for the in-process slaves the F2/E5

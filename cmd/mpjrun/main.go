@@ -15,7 +15,12 @@
 // and remote ranks over TCP. -eager-limit sets the devices'
 // eager/rendezvous protocol threshold in bytes (default: the client's
 // MPJ_EAGER_LIMIT environment variable, then each slave's own
-// MPJ_EAGER_LIMIT, then the built-in default).
+// MPJ_EAGER_LIMIT, then the built-in default). -coll-alg forces the
+// collective algorithm family on every slave (classic | segmented | ring;
+// auto restores size-based selection) and -coll-seg the pipelined
+// schedules' segment size in bytes; both default to the client's
+// MPJ_COLL_ALG / MPJ_COLL_SEG and travel in the slave spec so all ranks
+// agree, as collective schedules require.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"mpj"
+	"mpj/internal/core"
 	dev "mpj/internal/device"
 	"mpj/internal/transport"
 )
@@ -37,6 +43,8 @@ func main() {
 	binary := flag.String("binary", "", "slave executable (default: this binary)")
 	device := flag.String("device", os.Getenv("MPJ_DEVICE"), "transport device: chan, tcp or hyb (default: $MPJ_DEVICE, then hyb)")
 	eagerLimit := flag.Int("eager-limit", 0, "eager/rendezvous protocol threshold in bytes (default: $MPJ_EAGER_LIMIT, then each slave's default)")
+	collAlg := flag.String("coll-alg", os.Getenv("MPJ_COLL_ALG"), "collective algorithm family: auto, classic, segmented or ring (default: $MPJ_COLL_ALG, then auto)")
+	collSeg := flag.Int("coll-seg", 0, "segment size in bytes for pipelined collectives (default: $MPJ_COLL_SEG, then 32768)")
 	registrars := flag.String("registrars", "", "comma-separated registrar addresses (unicast discovery)")
 	port := flag.Int("discovery-port", 0, "UDP discovery port when -registrars is empty")
 	leaseDur := flag.Duration("lease", 10*time.Second, "job lease duration")
@@ -60,6 +68,22 @@ func main() {
 		}
 		*eagerLimit = v
 	}
+	if _, err := core.ParseCollAlg(*collAlg); err != nil {
+		fmt.Fprintln(os.Stderr, "mpjrun:", err)
+		os.Exit(2)
+	}
+	if *collSeg < 0 {
+		fmt.Fprintln(os.Stderr, "mpjrun: -coll-seg must be non-negative")
+		os.Exit(2)
+	}
+	if *collSeg == 0 {
+		v, err := core.ParseCollSegSize(os.Getenv("MPJ_COLL_SEG"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpjrun: MPJ_COLL_SEG:", err)
+			os.Exit(2)
+		}
+		*collSeg = v
+	}
 
 	if *np <= 0 || *app == "" {
 		fmt.Fprintln(os.Stderr, "usage: mpjrun -np N -app NAME [-binary PATH] [args...]")
@@ -76,6 +100,8 @@ func main() {
 		Args:       flag.Args(),
 		Device:     *device,
 		EagerLimit: *eagerLimit,
+		CollAlg:    *collAlg,
+		CollSeg:    *collSeg,
 		Locators:   locators,
 		UDPPort:    *port,
 		Binary:     *binary,

@@ -23,14 +23,22 @@ const (
 type AllreduceAlgorithm int
 
 const (
-	// AllreduceAuto picks recursive doubling for power-of-two sizes and
-	// reduce+broadcast otherwise.
+	// AllreduceAuto switches by payload: large fixed-size vectors take
+	// the ring (reduce-scatter + allgather); below the large-message
+	// threshold power-of-two sizes use recursive doubling and other
+	// sizes reduce to rank 0 and broadcast. See collalg.go for the
+	// threshold and the knobs that override it.
 	AllreduceAuto AllreduceAlgorithm = iota
 	// AllreduceTreeBcast always reduces to rank 0 then broadcasts.
 	AllreduceTreeBcast
 	// AllreduceRecursiveDoubling always uses recursive doubling
 	// (power-of-two communicator sizes only).
 	AllreduceRecursiveDoubling
+	// AllreduceRing reduce-scatters around a ring and allgathers the
+	// reduced chunks back — bandwidth-optimal for large vectors (each
+	// rank moves ~2·n bytes regardless of size) and correct for any
+	// communicator size, including non-powers-of-two.
+	AllreduceRing
 )
 
 // collIsend starts a raw byte send on the collective context. dst is a
@@ -76,11 +84,18 @@ func (c *Comm) collIsendBlock(buf any, off, count int, dt Datatype, dst, tag int
 // collIrecv posts a raw dynamic-buffer receive on the collective context.
 // src is a group rank.
 func (c *Comm) collIrecv(src, tag int) (*device.Request, error) {
+	return c.collIrecvInto(nil, src, tag)
+}
+
+// collIrecvInto posts a receive landing directly in buf on the collective
+// context (nil buf: allocate on arrival) — the zero-staging entry the
+// segmented and ring schedules use. src is a group rank.
+func (c *Comm) collIrecvInto(buf []byte, src, tag int) (*device.Request, error) {
 	w, err := c.worldRank(src)
 	if err != nil {
 		return nil, err
 	}
-	return c.dev.Irecv(nil, w, tag, c.coll)
+	return c.dev.Irecv(buf, w, tag, c.coll)
 }
 
 // collRecv is the blocking collIrecv; it returns the received bytes.
@@ -354,15 +369,27 @@ func (c *Comm) Reduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype
 }
 
 // Allreduce combines every member's data and leaves the result on all
-// members — MPI_Allreduce. Power-of-two sizes use recursive doubling;
-// other sizes reduce to rank 0 and broadcast. AllreduceWith selects the
-// algorithm explicitly.
+// members — MPI_Allreduce. Large fixed-size vectors ride the
+// bandwidth-optimal ring (reduce-scatter + allgather); below the
+// large-message threshold power-of-two sizes use recursive doubling and
+// other sizes reduce to rank 0 and broadcast (see collalg.go for the
+// selection knobs). AllreduceWith selects the algorithm explicitly.
 func (c *Comm) Allreduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) error {
-	alg := AllreduceTreeBcast
-	if size := c.Size(); size&(size-1) == 0 {
-		alg = AllreduceRecursiveDoubling
+	return c.AllreduceWith(c.autoAllreduceAlg(count, dt), sbuf, soff, rbuf, roff, count, dt, op)
+}
+
+// autoAllreduceAlg is the measured algorithm selection behind
+// Allreduce/Iallreduce: ring for large fixed-size payloads, recursive
+// doubling for small power-of-two communicators, reduce+broadcast
+// otherwise.
+func (c *Comm) autoAllreduceAlg(count int, dt Datatype) AllreduceAlgorithm {
+	if sz := dt.ByteSize(); sz > 0 && count > 0 && c.collLarge(count*sz) {
+		return AllreduceRing
 	}
-	return c.AllreduceWith(alg, sbuf, soff, rbuf, roff, count, dt, op)
+	if size := c.Size(); size&(size-1) == 0 {
+		return AllreduceRecursiveDoubling
+	}
+	return AllreduceTreeBcast
 }
 
 // AllreduceWith runs Allreduce with an explicit algorithm choice; the A1

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file is the collective algorithm-selection layer. The schedule
+// builders in icoll.go compile one of several algorithms per collective;
+// which one runs is decided here, per operation, from the payload size and
+// communicator size — large payloads switch from the latency-optimised
+// classic trees to the bandwidth-optimised segmented/ring schedules (the
+// thresholds were picked from the COLL benchmark sweep, see
+// BENCH_coll.json). The choice can be forced for benchmarking and tuning
+// via the MPJ_COLL_ALG environment variable or per communicator with
+// SetCollAlg; the segment size of the pipelined schedules comes from
+// MPJ_COLL_SEG or SetCollSegSize.
+
+// CollAlg selects the collective algorithm family.
+type CollAlg int
+
+const (
+	// CollAlgAuto switches algorithms by payload and communicator size:
+	// classic trees below the large-message threshold, segmented
+	// pipelines and rings above it.
+	CollAlgAuto CollAlg = iota
+	// CollAlgClassic always uses the latency-optimised algorithms
+	// (binomial trees, recursive doubling) moving whole payloads per
+	// tree edge.
+	CollAlgClassic
+	// CollAlgSegmented always uses the large-message path: the pipelined
+	// chain broadcast streaming fixed-size segments, and the ring
+	// algorithms for allreduce/allgather.
+	CollAlgSegmented
+	// CollAlgRing is CollAlgSegmented under the name the ring-based
+	// collectives (allreduce, allgather) are usually discussed by; the
+	// two constants force the same large-message schedules.
+	CollAlgRing
+)
+
+// String returns the canonical spelling accepted by ParseCollAlg.
+func (a CollAlg) String() string {
+	switch a {
+	case CollAlgAuto:
+		return "auto"
+	case CollAlgClassic:
+		return "classic"
+	case CollAlgSegmented:
+		return "segmented"
+	case CollAlgRing:
+		return "ring"
+	}
+	return fmt.Sprintf("CollAlg(%d)", int(a))
+}
+
+// DefaultCollSegSize is the default segment size (bytes) of the pipelined
+// schedules; MPJ_COLL_SEG and SetCollSegSize override it.
+const DefaultCollSegSize = 32 << 10
+
+// largeCollMin is the packed payload size (bytes) at which CollAlgAuto
+// switches a collective from the classic trees to the segmented/ring
+// schedules. Below it the extra per-segment messages cost more than the
+// store-and-forward they avoid; the COLL benchmark sweep puts the
+// crossover between 32 KiB and 128 KiB on the hyb device.
+const largeCollMin = 64 << 10
+
+// ParseCollAlg parses the string form of the algorithm selector (the
+// MPJ_COLL_ALG environment variable). Empty means auto.
+func ParseCollAlg(raw string) (CollAlg, error) {
+	switch raw {
+	case "", "auto":
+		return CollAlgAuto, nil
+	case "classic":
+		return CollAlgClassic, nil
+	case "segmented":
+		return CollAlgSegmented, nil
+	case "ring":
+		return CollAlgRing, nil
+	}
+	return CollAlgAuto, fmt.Errorf("collective algorithm %q: want auto, classic, segmented or ring", raw)
+}
+
+// ParseCollSegSize parses the string form of the pipeline segment size
+// (the MPJ_COLL_SEG environment variable). Empty means unset and returns
+// 0; any other value must be a positive integer byte count.
+func ParseCollSegSize(raw string) (int, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("collective segment size %q: must be a positive byte count", raw)
+	}
+	return n, nil
+}
+
+// SetCollAlg forces the collective algorithm family for this communicator,
+// overriding the process-wide default (MPJ_COLL_ALG) and the automatic
+// size-based selection; SetCollAlg(CollAlgAuto) restores automatic
+// selection even when the environment forces a family. Call it before
+// starting collectives; like the collectives themselves it must be applied
+// consistently on every member, or their schedules will not match.
+func (c *Comm) SetCollAlg(a CollAlg) {
+	c.collAlg = a
+	c.algSet = true
+}
+
+// SetCollSegSize sets the segment size (bytes) of the pipelined
+// large-message schedules on this communicator, overriding MPJ_COLL_SEG
+// and the 32 KiB default. Every member must use the same value.
+func (c *Comm) SetCollSegSize(n int) { c.segSize = n }
+
+// collAlgChoice resolves the algorithm family: an explicit per-communicator
+// SetCollAlg wins, then the process-wide default from MPJ_COLL_ALG.
+func (c *Comm) collAlgChoice() CollAlg {
+	if c.algSet {
+		return c.collAlg
+	}
+	return c.proc.collAlg
+}
+
+// collSegSize resolves the pipeline segment size.
+func (c *Comm) collSegSize() int {
+	if c.segSize > 0 {
+		return c.segSize
+	}
+	if c.proc.collSeg > 0 {
+		return c.proc.collSeg
+	}
+	return DefaultCollSegSize
+}
+
+// collLarge reports whether a collective moving total packed bytes should
+// take the segmented/ring large-message path. Auto requires at least three
+// members — on two the classic algorithms move the same bytes over the
+// same single edge without the per-segment overhead.
+func (c *Comm) collLarge(total int) bool {
+	switch c.collAlgChoice() {
+	case CollAlgClassic:
+		return false
+	case CollAlgSegmented, CollAlgRing:
+		return c.Size() > 1
+	}
+	return c.Size() >= 3 && total >= largeCollMin
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,12 @@ type procState struct {
 	mu      sync.Mutex
 	nextCtx int
 	bsend   *bsendPool
+
+	// Process-wide collective tuning defaults, read from MPJ_COLL_ALG /
+	// MPJ_COLL_SEG at NewWorld; per-communicator overrides live on Comm
+	// (see collalg.go).
+	collAlg CollAlg
+	collSeg int
 
 	abort func(code int) // installed by the runtime; see SetAbortHandler
 
@@ -59,6 +66,14 @@ type Comm struct {
 	collMu  sync.Mutex
 	collSeq int
 	freed   bool
+
+	// Collective algorithm overrides (see collalg.go). algSet marks an
+	// explicit SetCollAlg — including SetCollAlg(CollAlgAuto), which must
+	// restore automatic selection even when MPJ_COLL_ALG forces a family
+	// process-wide; segSize zero defers to the process default.
+	collAlg CollAlg
+	algSet  bool
+	segSize int
 }
 
 // NewWorld builds the world communicator over an opened device, taking
@@ -74,6 +89,14 @@ func NewWorld(dev *device.Device) (*Comm, error) {
 		return nil, err
 	}
 	proc := &procState{dev: dev, nextCtx: 2, bsend: &bsendPool{}}
+	// Collective tuning defaults from the environment; a malformed value
+	// fails loudly here rather than silently changing algorithms.
+	if proc.collAlg, err = ParseCollAlg(os.Getenv("MPJ_COLL_ALG")); err != nil {
+		return nil, fmt.Errorf("MPJ_COLL_ALG: %w", err)
+	}
+	if proc.collSeg, err = ParseCollSegSize(os.Getenv("MPJ_COLL_SEG")); err != nil {
+		return nil, fmt.Errorf("MPJ_COLL_SEG: %w", err)
+	}
 	return &Comm{
 		dev:   dev,
 		proc:  proc,

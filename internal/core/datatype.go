@@ -133,6 +133,26 @@ func (b *baseType[T]) bytesOf(s []T, off, count int) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&s[off])), count*b.size)
 }
 
+// viewRaw reinterprets a packed byte vector as []T — the inverse of
+// bytesOf, behind the bulk reduction combiners. Callers must have
+// established isRaw for T; size is T's wire (= memory) size. The view is
+// refused (ok=false) when the vector is not aligned for T: packed data can
+// sit at the payload offset of a pooled frame (HeaderLen is odd), where a
+// multi-byte load through the view would fault on strict-alignment
+// hardware, so misaligned inputs must take the per-element path.
+func viewRaw[T any](b []byte, size int) ([]T, bool) {
+	n := len(b) / size
+	if n == 0 {
+		return nil, true
+	}
+	var z T
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(z) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(p), n), true
+}
+
 func (b *baseType[T]) Pack(dst []byte, buf any, off, count int) ([]byte, error) {
 	s, err := b.slice(buf)
 	if err != nil {

@@ -2,15 +2,19 @@ package core
 
 import (
 	"fmt"
+
+	"mpj/internal/wire"
 )
 
 // This file implements the non-blocking collectives — Ibarrier, Ibcast,
 // Igather, Iscatter, Iallgather, Ireduce, Iallreduce, Ialltoall — as
 // schedule builders for the engine in sched.go. Each builder compiles the
 // same algorithm the blocking form uses (dissemination barrier, binomial
-// trees, ring allgather, recursive doubling) into per-rank rounds; the
-// blocking collectives in coll.go call the same builders and Wait
-// immediately, so there is exactly one algorithm source.
+// trees, ring allgather, recursive doubling; segmented chain pipelines and
+// the ring allreduce for large payloads — see collalg.go for how the
+// algorithm is chosen) into per-rank rounds; the blocking collectives in
+// coll.go call the same builders and Wait immediately, so there is exactly
+// one algorithm source.
 
 // ---------------------------------------------------------------------
 // Round builders, one per algorithm.
@@ -169,6 +173,72 @@ func ringRounds(c *Comm, myData []byte, onBlock func(owner int, got []byte) erro
 	return rs
 }
 
+// ringWindowRounds compiles the zero-staging ring allgather over a raw
+// byte window holding size fixed-size block slots in rank order: in round
+// s every rank forwards block (rank-s mod p) to its right neighbour
+// straight out of the window and receives block (rank-s-1 mod p) from its
+// left neighbour straight into its final slot. Unlike ringRounds there is
+// no per-hop adopt-and-unpack copy, which is what large payloads need.
+func ringWindowRounds(c *Comm, win []byte, bs int) []round {
+	size := c.Size()
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	slot := func(i int) []byte { return win[i*bs : (i+1)*bs] }
+	var rs []round
+	for s := 0; s < size-1; s++ {
+		sendOwner := (c.rank - s + size) % size
+		recvOwner := (c.rank - s - 1 + 2*size) % size
+		data := slot(sendOwner)
+		rs = append(rs, round{
+			recvs: []recvStep{{from: left, buf: slot(recvOwner)}},
+			sends: []sendStep{{to: right, data: func() []byte { return data }}},
+		})
+	}
+	return rs
+}
+
+// ringAllreduceRounds compiles the bandwidth-optimal ring allreduce over
+// the packed vector acc: a reduce-scatter phase (p-1 rounds; in round s
+// every rank sends its partial of chunk rank-s right and folds the
+// arriving partial of chunk rank-s-1 into acc) leaves rank r holding the
+// complete reduction of chunk r+1, then a ring allgather circulates the
+// reduced chunks back into place. Chunks are cut on elem-byte element
+// boundaries as evenly as the count allows, so the schedule is correct for
+// any communicator size, including non-powers-of-two, and for counts that
+// do not divide by it. scratch stages the reduce-scatter arrivals and must
+// hold the largest chunk; each rank moves ~2·len(acc) bytes total
+// regardless of p.
+func ringAllreduceRounds(c *Comm, acc, scratch []byte, elem int, comb combiner) []round {
+	size := c.Size()
+	n := len(acc) / elem // element count
+	bound := func(i int) int { return i * n / size * elem }
+	chunk := func(i int) []byte {
+		i = (i%size + size) % size
+		return acc[bound(i):bound(i+1)]
+	}
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	var rs []round
+	for s := 0; s < size-1; s++ {
+		send := chunk(c.rank - s)
+		dst := chunk(c.rank - s - 1)
+		rs = append(rs, round{
+			recvs: []recvStep{{from: left, buf: scratch[:len(dst)], on: func(got []byte) error {
+				return comb(got, dst)
+			}}},
+			sends: []sendStep{{to: right, data: func() []byte { return send }}},
+		})
+	}
+	for s := 0; s < size-1; s++ {
+		send := chunk(c.rank + 1 - s)
+		rs = append(rs, round{
+			recvs: []recvStep{{from: left, buf: chunk(c.rank - s)}},
+			sends: []sendStep{{to: right, data: func() []byte { return send }}},
+		})
+	}
+	return rs
+}
+
 // reduceRounds compiles the binomial-tree reduction toward root: acc
 // starts as this rank's packed contribution; child contributions are
 // folded in with comb round by round, and a non-zero vrank finishes by
@@ -242,6 +312,12 @@ func (c *Comm) ibcast(name string, buf any, off, count int, dt Datatype, root in
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
+	// Large fixed-size payloads stream down a segmented, pipelined chain
+	// (see collalg.go for the selection knobs); everything else rides the
+	// classic binomial tree.
+	if sz := dt.ByteSize(); sz > 0 && count > 0 && c.Size() > 1 && c.collLarge(count*sz) {
+		return c.ibcastPipelined(name, buf, off, count, dt, count*sz, root)
+	}
 	cl := &cell{}
 	if c.rank == root {
 		var err error
@@ -257,6 +333,42 @@ func (c *Comm) ibcast(name string, buf any, off, count int, dt Datatype, root in
 		}
 	}
 	return c.newCollRequest(name, c.nextCollTag(), bcastRounds(c, cl, root), finish)
+}
+
+// ibcastPipelined compiles the segmented chain broadcast. For raw-layout
+// datatypes the user buffer itself is the assembly space — the root streams
+// segments straight out of it and every other rank receives them straight
+// into it, no packing or staging at all; other fixed-size datatypes stage
+// through one packed buffer and unpack at the end.
+func (c *Comm) ibcastPipelined(name string, buf any, off, count int, dt Datatype, total, root int) (*CollRequest, error) {
+	var asm []byte
+	var finish func() error
+	if rw, ok := dt.(rawWindower); ok {
+		if win, ok := rw.window(buf, off, count); ok {
+			asm = win
+		}
+	}
+	if asm == nil {
+		if c.rank == root {
+			packed, err := packExact(dt, buf, off, count)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			if len(packed) != total {
+				return nil, fmt.Errorf("%s: %w: packed %d of %d bytes", name, ErrCount, len(packed), total)
+			}
+			asm = packed
+		} else {
+			staging := make([]byte, total)
+			asm = staging
+			finish = func() error {
+				_, err := dt.Unpack(staging, buf, off, count)
+				return err
+			}
+		}
+	}
+	rounds := pipeChainRounds(c, asm, root, c.collSegSize())
+	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
 }
 
 // Igather starts a non-blocking gather of scount elements from every
@@ -436,6 +548,22 @@ func (c *Comm) Iallgather(sbuf any, soff, scount int, sdt Datatype,
 func (c *Comm) iallgather(name string, sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
 	size := c.Size()
+	// Large fixed-size payloads whose receive buffer exposes a raw window
+	// ride the zero-staging ring: blocks circulate straight between user
+	// buffers, no per-hop adopt-and-unpack copies.
+	if sz := rdt.ByteSize(); sz > 0 && rcount > 0 && size > 1 && c.collLarge(size*rcount*sz) {
+		if rw, ok := rdt.(rawWindower); ok {
+			if win, ok := rw.window(rbuf, roff, size*rcount); ok {
+				bs := rcount * sz
+				if pi, ok := sdt.(packerInto); ok && scount >= 0 && scount*sdt.ByteSize() == bs {
+					if err := pi.PackInto(win[c.rank*bs:(c.rank+1)*bs], sbuf, soff, scount); err != nil {
+						return nil, fmt.Errorf("%s: %w", name, err)
+					}
+					return c.newCollRequest(name, c.nextCollTag(), ringWindowRounds(c, win, bs), nil)
+				}
+			}
+		}
+	}
 	myData, err := packExact(sdt, sbuf, soff, scount)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -505,15 +633,12 @@ func (c *Comm) ireduce(name string, sbuf any, soff int, rbuf any, roff, count in
 }
 
 // Iallreduce starts a non-blocking allreduce: the combined result lands on
-// every member — MPI_Iallreduce. Power-of-two sizes use recursive
-// doubling, others reduce to rank 0 and broadcast (the same automatic
-// choice Allreduce makes).
+// every member — MPI_Iallreduce. Large fixed-size vectors ride the
+// bandwidth-optimal ring; below the threshold power-of-two sizes use
+// recursive doubling and others reduce to rank 0 and broadcast (the same
+// automatic choice Allreduce makes; see collalg.go).
 func (c *Comm) Iallreduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
-	alg := AllreduceTreeBcast
-	if size := c.Size(); size&(size-1) == 0 {
-		alg = AllreduceRecursiveDoubling
-	}
-	return c.iallreduce("iallreduce", alg, sbuf, soff, rbuf, roff, count, dt, op)
+	return c.iallreduce("iallreduce", c.autoAllreduceAlg(count, dt), sbuf, soff, rbuf, roff, count, dt, op)
 }
 
 // IallreduceWith is Iallreduce with an explicit algorithm choice.
@@ -529,6 +654,9 @@ func (c *Comm) iallreduce(name string, alg AllreduceAlgorithm, sbuf any, soff in
 	comb, err := op.combinerFor(dt)
 	if err != nil {
 		return nil, err
+	}
+	if alg == AllreduceRing {
+		return c.iallreduceRing(name, sbuf, soff, rbuf, roff, count, dt, comb)
 	}
 	data, err := packExact(dt, sbuf, soff, count)
 	if err != nil {
@@ -553,6 +681,54 @@ func (c *Comm) iallreduce(name string, alg AllreduceAlgorithm, sbuf any, soff in
 	finish := func() error {
 		_, err := dt.Unpack(acc.b, rbuf, roff, count)
 		return err
+	}
+	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+}
+
+// iallreduceRing compiles the ring allreduce. For raw-layout datatypes the
+// receive buffer itself is the working vector — the contribution lands in
+// it with one memmove, the ring reduces in place in user memory, and the
+// final unpack disappears; other fixed-size datatypes stage through a
+// packed vector. The reduce-scatter scratch comes from the wire pool and
+// is recycled when the schedule finishes.
+func (c *Comm) iallreduceRing(name string, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, comb combiner) (*CollRequest, error) {
+	elem := dt.Base().ByteSize()
+	if elem <= 0 {
+		return nil, fmt.Errorf("%s: %w: ring allreduce requires fixed-size elements, have %s", name, ErrType, dt.Name())
+	}
+	var acc []byte
+	var unpack func() error
+	if rw, ok := dt.(rawWindower); ok {
+		if win, ok := rw.window(rbuf, roff, count); ok {
+			if pi, ok := dt.(packerInto); ok {
+				if err := pi.PackInto(win, sbuf, soff, count); err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+				acc = win
+			}
+		}
+	}
+	if acc == nil {
+		data, err := packExact(dt, sbuf, soff, count)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		acc = data
+		unpack = func() error {
+			_, err := dt.Unpack(acc, rbuf, roff, count)
+			return err
+		}
+	}
+	n := len(acc) / elem
+	size := c.Size()
+	scratch := wire.GetBuf((n + size - 1) / size * elem) // chunk sizes differ by at most one element
+	rounds := ringAllreduceRounds(c, acc, scratch, elem, comb)
+	finish := func() error {
+		wire.PutBuf(scratch)
+		if unpack != nil {
+			return unpack()
+		}
+		return nil
 	}
 	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
 }

@@ -79,6 +79,8 @@ type icollCase struct {
 	count int
 	root  int
 	op    *Op
+	alg   CollAlg // algorithm family forced for the case (zero = auto)
+	seg   int     // pipeline segment size in bytes (zero = default)
 }
 
 // fill produces rank r's deterministic contribution for a case.
@@ -94,6 +96,8 @@ func (c icollCase) fill(r, i int) int32 {
 func checkIcollEquivalence(w *Comm, tc icollCase) error {
 	np, n := w.Size(), tc.count
 	me := w.Rank()
+	w.SetCollAlg(tc.alg)
+	w.SetCollSegSize(tc.seg)
 	mine := make([]int32, n)
 	for i := range mine {
 		mine[i] = tc.fill(me, i)
@@ -220,10 +224,15 @@ func checkIcollEquivalence(w *Comm, tc icollCase) error {
 	return cmp("alltoall", bAlltoall, nAlltoall, false)
 }
 
+// collAlgs are the algorithm families the property tests randomize over.
+var collAlgs = []CollAlg{CollAlgAuto, CollAlgClassic, CollAlgSegmented, CollAlgRing}
+
 // TestIcollMatchesBlockingProperty is the equivalence property over
-// randomized sizes, counts, ops and roots on the chan device: the
-// schedule-compiled non-blocking collectives must produce exactly the
-// results of their blocking forms.
+// randomized sizes, counts, ops, roots, algorithm families and segment
+// sizes (deliberately including values that do not divide the payload) on
+// the chan device: the schedule-compiled non-blocking collectives must
+// produce exactly the results of their blocking forms under every
+// algorithm, including the ring schedules on non-power-of-two sizes.
 func TestIcollMatchesBlockingProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	nps := []int{1, 2, 3, 4, 5, 8}
@@ -235,23 +244,147 @@ func TestIcollMatchesBlockingProperty(t *testing.T) {
 			count: rng.Intn(200),
 			root:  rng.Intn(np),
 			op:    ops[rng.Intn(len(ops))],
+			alg:   collAlgs[rng.Intn(len(collAlgs))],
+			seg:   1 + rng.Intn(600), // bytes; rarely divides count*4
 		}
 		runRanks(t, np, func(w *Comm) error { return checkIcollEquivalence(w, tc) })
 	}
 }
 
 // TestIcollMatchesBlockingHyb runs the same equivalence property over the
-// hybrid device's hub-routed channel path.
+// hybrid device's hub-routed channel path, again randomizing the
+// algorithm family and segment size over non-power-of-two sizes.
 func TestIcollMatchesBlockingHyb(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	for _, np := range []int{2, 3, 4} {
+	for _, np := range []int{2, 3, 4, 5} {
 		tc := icollCase{
 			np:    np,
 			count: 1 + rng.Intn(300),
 			root:  rng.Intn(np),
 			op:    SumOp,
+			alg:   collAlgs[rng.Intn(len(collAlgs))],
+			seg:   1 + rng.Intn(600),
 		}
 		runRanksHyb(t, np, func(w *Comm) error { return checkIcollEquivalence(w, tc) })
+	}
+}
+
+// checkCollGroundTruth verifies Bcast, Allreduce and Allgather payloads
+// against locally computed expected values — unlike the blocking-vs-
+// non-blocking equivalence, an algorithm that corrupted data identically
+// in both forms cannot slip through. int64 sums keep the check exact under
+// every combine order the algorithms use.
+func checkCollGroundTruth(w *Comm, count, root int) error {
+	np, me := w.Size(), w.Rank()
+	src := func(r, i int) int64 { return int64((r*131+i)*13%4099 - 1024) }
+
+	b := make([]int64, count)
+	if me == root {
+		for i := range b {
+			b[i] = src(root, i)
+		}
+	}
+	if err := w.Bcast(b, 0, count, Long, root); err != nil {
+		return err
+	}
+	for i := range b {
+		if b[i] != src(root, i) {
+			return fmt.Errorf("bcast[%d] = %d, want %d", i, b[i], src(root, i))
+		}
+	}
+
+	in := make([]int64, count)
+	for i := range in {
+		in[i] = src(me, i)
+	}
+	out := make([]int64, count)
+	if err := w.Allreduce(in, 0, out, 0, count, Long, SumOp); err != nil {
+		return err
+	}
+	for i := range out {
+		var want int64
+		for r := 0; r < np; r++ {
+			want += src(r, i)
+		}
+		if out[i] != want {
+			return fmt.Errorf("allreduce[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+
+	all := make([]int64, np*count)
+	if err := w.Allgather(in, 0, count, Long, all, 0, count, Long); err != nil {
+		return err
+	}
+	for r := 0; r < np; r++ {
+		for i := 0; i < count; i++ {
+			if all[r*count+i] != src(r, i) {
+				return fmt.Errorf("allgather[%d][%d] = %d, want %d", r, i, all[r*count+i], src(r, i))
+			}
+		}
+	}
+	return nil
+}
+
+// TestCollAlgGroundTruthProperty drives the ground-truth check across the
+// algorithm selection space on the chan device: payload sizes straddling
+// the large-message threshold, segment sizes that do not divide them, and
+// non-power-of-two communicators.
+func TestCollAlgGroundTruthProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	nps := []int{2, 3, 4, 5, 7, 8}
+	for trial := 0; trial < 10; trial++ {
+		np := nps[rng.Intn(len(nps))]
+		alg := collAlgs[rng.Intn(len(collAlgs))]
+		count := 1 + rng.Intn(12<<10) // up to 96 KiB of int64, beyond largeCollMin
+		seg := 1 + rng.Intn(40<<10)
+		root := rng.Intn(np)
+		runRanks(t, np, func(w *Comm) error {
+			w.SetCollAlg(alg)
+			w.SetCollSegSize(seg)
+			return checkCollGroundTruth(w, count, root)
+		})
+	}
+}
+
+// TestCollAlgGroundTruthHyb is a smaller ground-truth sweep over the
+// hybrid device, pinning the acceptance case: the ring schedules on a
+// 5-rank (non-power-of-two) communicator with large payloads.
+func TestCollAlgGroundTruthHyb(t *testing.T) {
+	for _, alg := range []CollAlg{CollAlgAuto, CollAlgRing} {
+		runRanksHyb(t, 5, func(w *Comm) error {
+			w.SetCollAlg(alg)
+			w.SetCollSegSize(24<<10 + 7) // does not divide the payload
+			return checkCollGroundTruth(w, 20<<10, 3)
+		})
+	}
+}
+
+// TestRingAllreduceExplicit pins AllreduceWith(AllreduceRing) on
+// power-of-two and non-power-of-two sizes against the tree+bcast result,
+// straddling the eager/rendezvous boundary per chunk.
+func TestRingAllreduceExplicit(t *testing.T) {
+	for _, np := range []int{2, 3, 5, 8} {
+		runRanks(t, np, func(w *Comm) error {
+			const n = 9<<10 + 11 // odd count: chunks differ in size
+			in := make([]int64, n)
+			for i := range in {
+				in[i] = int64(w.Rank()*7919 + i)
+			}
+			ring := make([]int64, n)
+			if err := w.AllreduceWith(AllreduceRing, in, 0, ring, 0, n, Long, SumOp); err != nil {
+				return err
+			}
+			tree := make([]int64, n)
+			if err := w.AllreduceWith(AllreduceTreeBcast, in, 0, tree, 0, n, Long, SumOp); err != nil {
+				return err
+			}
+			for i := range ring {
+				if ring[i] != tree[i] {
+					return fmt.Errorf("np=%d: ring[%d]=%d tree=%d", np, i, ring[i], tree[i])
+				}
+			}
+			return nil
+		})
 	}
 }
 

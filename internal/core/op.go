@@ -33,11 +33,28 @@ func (o *Op) combinerFor(dt Datatype) (combiner, error) {
 }
 
 // numCombiner builds a packed-vector combiner for a primitive base type.
+// When T's wire encoding is its memory layout and both vectors are
+// element-aligned, the fold runs over []T views in one flat, vectorizable
+// loop (the bulk path the ring reduction leans on — its inputs are pooled
+// scratch buffers and raw user windows, both aligned); otherwise — on
+// big-endian hosts, for padded pair structs, or for vectors at the odd
+// payload offset of an adopted frame — it decodes and re-encodes per
+// element.
 func numCombiner[T any](dt Datatype, f func(a, b T) T) combiner {
 	b := dt.(*baseType[T])
 	return func(in, inout []byte) error {
 		if len(in) != len(inout) {
 			return fmt.Errorf("%w: reduce length mismatch %d != %d", ErrOp, len(in), len(inout))
+		}
+		if b.isRaw() {
+			iv, iok := viewRaw[T](in, b.size)
+			ov, ook := viewRaw[T](inout, b.size)
+			if iok && ook {
+				for i, v := range iv {
+					ov[i] = f(v, ov[i])
+				}
+				return nil
+			}
 		}
 		for i := 0; i+b.size <= len(inout); i += b.size {
 			b.enc(inout[i:], f(b.dec(in[i:]), b.dec(inout[i:])))

@@ -678,9 +678,13 @@ func (c *Comm) Sendrecv(
 	}
 	sr, err := c.Isend(sbuf, soff, scount, sdt, dst, stag)
 	if err != nil {
+		_ = rr.Cancel()
+		_, _ = rr.Wait()
 		return nil, err
 	}
 	if _, err := sr.Wait(); err != nil {
+		_ = rr.Cancel()
+		_, _ = rr.Wait()
 		return nil, err
 	}
 	return rr.Wait()
@@ -699,9 +703,16 @@ func (c *Comm) SendrecvReplace(
 	}
 	rr, err := c.Irecv(buf, off, count, dt, src, rtag)
 	if err != nil {
+		// The send is out; cancel it (rendezvous sends would otherwise
+		// wait forever for a CTS if the peer failed symmetrically) and
+		// reap it before reporting.
+		_ = sr.Cancel()
+		_, _ = sr.Wait()
 		return nil, err
 	}
 	if _, err := sr.Wait(); err != nil {
+		_ = rr.Cancel()
+		_, _ = rr.Wait()
 		return nil, err
 	}
 	return rr.Wait()

@@ -40,11 +40,16 @@ type sendStep struct {
 	fill func([]byte) error // fill the frame payload in place
 }
 
-// recvStep posts one dynamic-buffer receive when its round starts. The
-// completion action runs when the round finishes, with the received bytes
-// (store into a cell, fold into an accumulator, unpack into user data).
+// recvStep posts one receive when its round starts. With a nil buf the
+// receive is dynamic (the device allocates on arrival); a non-nil buf makes
+// the payload land directly in it — the segmented and ring schedules point
+// buf into their assembly buffers (often raw windows of user memory), so
+// streamed segments arrive with no staging copy. The completion action runs
+// when the round finishes, with the received bytes (store into a cell, fold
+// into an accumulator, unpack into user data); buffered receives see buf.
 type recvStep struct {
-	from int // group rank
+	from int    // group rank
+	buf  []byte // nil: allocate on arrival; else receive in place
 	on   func(got []byte) error
 }
 
@@ -190,12 +195,25 @@ func (r *CollRequest) postLocked() error {
 	r.pending = make([]*device.Request, 0, len(rd.recvs)+len(rd.sends))
 	r.actions = make([]func([]byte) error, 0, len(rd.recvs))
 	for _, rs := range rd.recvs {
-		dr, err := r.c.collIrecv(rs.from, r.tag)
+		var dr *device.Request
+		var err error
+		act := rs.on
+		if rs.buf != nil {
+			dr, err = r.c.collIrecvInto(rs.buf, rs.from, r.tag)
+			if act != nil {
+				// The device leaves Data nil for in-place receives; hand
+				// the action its landing buffer instead.
+				buf, on := rs.buf, rs.on
+				act = func([]byte) error { return on(buf) }
+			}
+		} else {
+			dr, err = r.c.collIrecv(rs.from, r.tag)
+		}
 		if err != nil {
 			return err
 		}
 		r.pending = append(r.pending, dr)
-		r.actions = append(r.actions, rs.on)
+		r.actions = append(r.actions, act)
 	}
 	for _, ss := range rd.sends {
 		var dr *device.Request
@@ -347,4 +365,67 @@ func (r *CollRequest) String() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return fmt.Sprintf("CollRequest{%s round=%d/%d done=%v}", r.name, r.cur, len(r.rounds), r.done)
+}
+
+// ---------------------------------------------------------------------
+// Segmented schedules. The helpers below compile pipelined rounds: the
+// payload is cut into fixed-size segments and successive rounds overlap
+// the receive of segment t with the forwarding of segment t-1, so a tree
+// edge streams segments instead of store-and-forwarding whole payloads.
+// Correctness leans on FIFO matching: all segments of one collective share
+// its tag, the transports deliver frames in order per (src, dst) pair, and
+// the device matches equal envelopes in posted/arrival order, so segment k
+// can only land in the k-th receive of the schedule.
+// ---------------------------------------------------------------------
+
+// segCount returns how many seg-byte segments cover total bytes (the last
+// segment may be short).
+func segCount(total, seg int) int {
+	if total <= 0 {
+		return 0
+	}
+	return (total + seg - 1) / seg
+}
+
+// segOf returns segment i of buf under seg-byte segmentation.
+func segOf(buf []byte, i, seg int) []byte {
+	lo := i * seg
+	hi := min(lo+seg, len(buf))
+	return buf[lo:hi]
+}
+
+// pipeChainRounds compiles the segmented, pipelined chain broadcast: the
+// members form a chain in vrank order rooted at root, and in round t each
+// interior rank receives segment t from its chain predecessor while
+// forwarding segment t-1 to its successor. Total time approaches
+// (nseg + p - 2) segment times instead of the classic tree's
+// depth * whole-payload hops, which is what makes large broadcasts run at
+// link speed. buf holds the packed payload on the root and provides the
+// assembly space — ideally a raw window of the user buffer — everywhere
+// else; every rank must pass the same length.
+func pipeChainRounds(c *Comm, buf []byte, root, seg int) []round {
+	size := c.Size()
+	nseg := segCount(len(buf), seg)
+	if size == 1 || nseg == 0 {
+		return nil
+	}
+	vrank := (c.rank - root + size) % size
+	parent := (vrank - 1 + root + size) % size // group rank of chain predecessor
+	child := (vrank + 1 + root) % size         // group rank of chain successor
+	hasChild := vrank < size-1
+	var rs []round
+	for t := 0; t <= nseg; t++ {
+		var rd round
+		if vrank > 0 && t < nseg {
+			rd.recvs = []recvStep{{from: parent, buf: segOf(buf, t, seg)}}
+		}
+		if hasChild && t > 0 {
+			data := segOf(buf, t-1, seg)
+			rd.sends = []sendStep{{to: child, data: func() []byte { return data }}}
+		}
+		if len(rd.recvs)+len(rd.sends) > 0 {
+			rs = append(rs, rd)
+		}
+	}
+	return rs
 }

@@ -155,6 +155,31 @@ func TypedIrecv[T Scalar](c *Comm, buf []T, src, tag int) (*Request, error) {
 	return r, nil
 }
 
+// TypedSendrecv executes a typed send and a typed receive concurrently —
+// the engine behind mpj.Sendrecv. The receive is posted before the send
+// (the deadlock-safe pairwise ordering), both ride the boxing-free fast
+// paths, and the returned status describes the receive. If the send fails,
+// the already-posted receive is cancelled and reaped before returning, so
+// no orphaned request can steal a later matching message.
+func TypedSendrecv[S, R Scalar](c *Comm, sbuf []S, dst, stag int, rbuf []R, src, rtag int) (*Status, error) {
+	rr, err := TypedIrecv(c, rbuf, src, rtag)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := TypedIsend(c, sbuf, dst, stag)
+	if err != nil {
+		_ = rr.Cancel()
+		_, _ = rr.Wait()
+		return nil, err
+	}
+	if _, err := sr.Wait(); err != nil {
+		_ = rr.Cancel()
+		_, _ = rr.Wait()
+		return nil, err
+	}
+	return rr.Wait()
+}
+
 // TypedSend performs a blocking standard-mode send of the whole slice.
 func TypedSend[T Scalar](c *Comm, buf []T, dst, tag int) error {
 	r, err := TypedIsend(c, buf, dst, tag)

@@ -304,6 +304,8 @@ func TestSlaveEnvRoundTrip(t *testing.T) {
 		Args:       []string{"--n", "100", "with space"},
 		MasterAddr: "1.2.3.4:5",
 		EagerLimit: 4096,
+		CollAlg:    "ring",
+		CollSeg:    65536,
 	}
 	env := spec.Env("9.9.9.9:1")
 	get := func(key string) string {
@@ -332,12 +334,26 @@ func TestSlaveEnvRoundTrip(t *testing.T) {
 		t.Error("non-slave env parsed")
 	}
 
-	// A spec without an eager limit must not emit the variable at all, so
-	// a daemon-level MPJ_EAGER_LIMIT default survives inheritance.
+	// The collective knobs travel the same way: emitted when set (the
+	// slave's NewWorld reads them from its environment) ...
+	if got := get("MPJ_COLL_ALG"); got != "ring" {
+		t.Errorf("MPJ_COLL_ALG = %q, want ring", got)
+	}
+	if got := get("MPJ_COLL_SEG"); got != "65536" {
+		t.Errorf("MPJ_COLL_SEG = %q, want 65536", got)
+	}
+
+	// A spec without an eager limit or collective knobs must not emit the
+	// variables at all, so daemon-level environment defaults survive
+	// inheritance.
 	spec.EagerLimit = 0
+	spec.CollAlg = ""
+	spec.CollSeg = 0
 	for _, kv := range spec.Env("9.9.9.9:1") {
-		if strings.HasPrefix(kv, "MPJ_EAGER_LIMIT=") {
-			t.Errorf("zero eager limit emitted %q", kv)
+		for _, banned := range []string{"MPJ_EAGER_LIMIT=", "MPJ_COLL_ALG=", "MPJ_COLL_SEG="} {
+			if strings.HasPrefix(kv, banned) {
+				t.Errorf("zero-value spec emitted %q", kv)
+			}
 		}
 	}
 

@@ -33,6 +33,19 @@ type SlaveSpec struct {
 	// environment and finally the built-in default.
 	EagerLimit int
 
+	// CollAlg forces the collective algorithm family ("classic",
+	// "segmented", "ring"; "auto" restores the size-based choice). Empty
+	// defers to the slave's MPJ_COLL_ALG environment and finally the
+	// automatic selection. It must be consistent across the job's ranks,
+	// which is why it travels in the spec rather than relying on each
+	// host's daemon environment agreeing.
+	CollAlg string
+
+	// CollSeg overrides the segment size (bytes) of the pipelined
+	// collective schedules. Zero defers to the slave's MPJ_COLL_SEG
+	// environment and finally the built-in default.
+	CollSeg int
+
 	MasterAddr string // the client's bootstrap server
 	OutputAddr string // the client's output collector ("" = none)
 	EventAddr  string // the client's event receiver ("" = none)
@@ -61,6 +74,12 @@ func (s SlaveSpec) Env(daemonAddr string) []string {
 	}
 	if s.EagerLimit > 0 {
 		env = append(env, "MPJ_EAGER_LIMIT="+strconv.Itoa(s.EagerLimit))
+	}
+	if s.CollAlg != "" {
+		env = append(env, "MPJ_COLL_ALG="+s.CollAlg)
+	}
+	if s.CollSeg > 0 {
+		env = append(env, "MPJ_COLL_SEG="+strconv.Itoa(s.CollSeg))
 	}
 	return env
 }

@@ -254,10 +254,13 @@ func (d *Device) Isend(buf []byte, dst, tag, ctx int, mode Mode) (*Request, erro
 		return r, d.t.Send(dst, frame)
 	}
 
-	// Rendezvous: send RTS, stash the payload until the CTS arrives.
+	// Rendezvous: send RTS, stash the payload until the CTS arrives. The
+	// stash comes from the frame pool (the caller may reuse buf
+	// immediately) and is recycled once the DATA frame is built.
 	d.nextMsgID++
 	r.msgID = d.nextMsgID
-	r.payload = append([]byte(nil), buf...) // caller may reuse buf immediately
+	r.payload = wire.GetBuf(len(buf))
+	copy(r.payload, buf)
 	r.count = len(buf)
 	d.pendingRTS[r.msgID] = r
 	h := wire.Header{
@@ -323,9 +326,11 @@ func (d *Device) IsendFill(n int, fill func(payload []byte) error, dst, tag, ctx
 	}
 
 	// Rendezvous: fill the stashed payload in place (no defensive copy
-	// needed — the bytes are packed, not aliased to the user buffer).
-	payload := make([]byte, n)
+	// needed — the bytes are packed, not aliased to the user buffer). The
+	// stash is pooled and recycled once the DATA frame is built.
+	payload := wire.GetBuf(n)
 	if err := fill(payload); err != nil {
+		wire.PutBuf(payload)
 		return nil, err
 	}
 	d.mu.Lock()
@@ -560,6 +565,7 @@ func (d *Device) handle(src int, frame []byte) {
 				Len:     int32(len(r.payload)),
 			}
 			dataFrame := wire.NewFrame(&dh, r.payload)
+			wire.PutBuf(r.payload) // stash copied into the frame; recycle it
 			r.payload = nil
 			d.completeLocked(r, Status{Source: d.rank, Tag: r.tag, Count: r.count}, nil)
 			d.stats.DataSent.Add(1)
@@ -596,6 +602,9 @@ func (d *Device) handle(src int, frame []byte) {
 	case wire.KindCancelAck:
 		if r, ok := d.pendingRTS[h.MsgID]; ok && h.Len == 1 {
 			delete(d.pendingRTS, h.MsgID)
+			if r.payload != nil {
+				wire.PutBuf(r.payload) // cancelled before DATA: recycle the stash
+			}
 			r.payload = nil
 			st := Status{Source: d.rank, Tag: r.tag, Cancelled: true}
 			d.completeLocked(r, st, nil)

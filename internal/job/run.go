@@ -34,6 +34,18 @@ type Config struct {
 	// environment and finally the built-in default.
 	EagerLimit int
 
+	// CollAlg forces the collective algorithm family on every slave
+	// ("classic", "segmented", "ring"; "auto" restores size-based
+	// selection). Empty defers to each slave's MPJ_COLL_ALG environment.
+	// Shipping it in the spec keeps the choice consistent across ranks —
+	// collective schedules must match on every member.
+	CollAlg string
+
+	// CollSeg overrides the pipelined collectives' segment size (bytes)
+	// on every slave. Zero defers to each slave's MPJ_COLL_SEG
+	// environment and finally the built-in default.
+	CollSeg int
+
 	// Discovery: explicit registrar addresses (unicast), or group
 	// discovery on UDPPort when empty.
 	Locators []string
@@ -158,6 +170,8 @@ func Run(cfg Config) error {
 			Args:       cfg.Args,
 			Device:     cfg.Device,
 			EagerLimit: cfg.EagerLimit,
+			CollAlg:    cfg.CollAlg,
+			CollSeg:    cfg.CollSeg,
 			MasterAddr: m.addr(),
 			OutputAddr: collector.addr(),
 			EventAddr:  recv.Addr(),

@@ -73,7 +73,36 @@ type (
 	FloatInt = core.FloatInt
 	// AllreduceAlgorithm selects an Allreduce implementation.
 	AllreduceAlgorithm = core.AllreduceAlgorithm
+	// CollAlg selects the collective algorithm family (classic trees vs
+	// the segmented/ring large-message schedules); see Comm.SetCollAlg,
+	// the MPJ_COLL_ALG environment variable and README "Tuning".
+	CollAlg = core.CollAlg
 )
+
+// Collective algorithm selectors (see CollAlg and Comm.SetCollAlg).
+const (
+	// CollAlgAuto switches algorithms by payload and communicator size.
+	CollAlgAuto = core.CollAlgAuto
+	// CollAlgClassic forces the latency-optimised tree algorithms.
+	CollAlgClassic = core.CollAlgClassic
+	// CollAlgSegmented forces the segmented pipeline / ring algorithms.
+	CollAlgSegmented = core.CollAlgSegmented
+	// CollAlgRing is CollAlgSegmented under its ring-collective name.
+	CollAlgRing = core.CollAlgRing
+)
+
+// WithCollAlg forces the collective algorithm family on c and returns c,
+// for call-site chaining in benchmarks and tuning experiments:
+//
+//	w.SetCollSegSize(64 << 10)
+//	err := mpj.WithCollAlg(w, mpj.CollAlgSegmented).Bcast(buf, 0, n, mpj.DOUBLE, 0)
+//
+// Like all collective configuration it must be applied consistently on
+// every member of the communicator.
+func WithCollAlg(c *Comm, a CollAlg) *Comm {
+	c.SetCollAlg(a)
+	return c
+}
 
 // Base datatypes (MPJ.BYTE, MPJ.INT, ...).
 var (
@@ -159,6 +188,7 @@ const (
 	AllreduceAuto              = core.AllreduceAuto
 	AllreduceTreeBcast         = core.AllreduceTreeBcast
 	AllreduceRecursiveDoubling = core.AllreduceRecursiveDoubling
+	AllreduceRing              = core.AllreduceRing
 )
 
 // Derived datatype constructors.

@@ -192,12 +192,22 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 // threshold in bytes (see DefaultEagerLimit). Zero falls back to each
 // slave's MPJ_EAGER_LIMIT environment variable and then the built-in
 // default.
+//
+// CollAlg forces the collective algorithm family on every slave —
+// "classic", "segmented" or "ring"; "auto" restores size-based selection.
+// Empty falls back to each slave's MPJ_COLL_ALG environment variable.
+// CollSeg likewise overrides the pipelined collectives' segment size in
+// bytes (zero: each slave's MPJ_COLL_SEG, then the 32 KiB default).
+// Shipping these in the job config keeps the choice identical on every
+// rank, which collective schedules require.
 type JobConfig struct {
 	NP         int
 	App        string
 	Args       []string
 	Device     string
 	EagerLimit int
+	CollAlg    string
+	CollSeg    int
 	Locators   []string
 	UDPPort    int
 	Binary     string
@@ -209,12 +219,23 @@ type JobConfig struct {
 // mpjrun. Slave processes re-execute this binary; their main must call
 // Main (or SlaveMain) after registering applications.
 func Run(cfg JobConfig) error {
+	// Validate the collective knobs here, where the parsers live, so a
+	// typo fails before any slave spawns (the device name gets the same
+	// treatment inside job.Run).
+	if _, err := core.ParseCollAlg(cfg.CollAlg); err != nil {
+		return fmt.Errorf("mpj: JobConfig.CollAlg: %w", err)
+	}
+	if cfg.CollSeg < 0 {
+		return fmt.Errorf("mpj: JobConfig.CollSeg must be non-negative, got %d", cfg.CollSeg)
+	}
 	return job.Run(job.Config{
 		NP:         cfg.NP,
 		App:        cfg.App,
 		Args:       cfg.Args,
 		Device:     cfg.Device,
 		EagerLimit: cfg.EagerLimit,
+		CollAlg:    cfg.CollAlg,
+		CollSeg:    cfg.CollSeg,
 		Locators:   cfg.Locators,
 		UDPPort:    cfg.UDPPort,
 		Binary:     cfg.Binary,

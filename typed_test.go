@@ -238,31 +238,43 @@ func checkTypedEquiv[T Scalar](w *Comm, count, root int, op ReduceOp[T], gen fun
 }
 
 // TestTypedDatatypeEquivalenceProperty is the two-facade equivalence
-// property: over randomized np, count, root and reduction op, on both the
-// chan and hyb devices, every typed operation must produce results
-// byte-identical to its Datatype-facade counterpart (the facades share one
-// algorithm source, so any divergence is a fast-path bug). The last
-// iteration pushes the payload past the eager limit to cover the
-// rendezvous protocol.
+// property: over randomized np (including non-powers-of-two), count, root,
+// reduction op, collective algorithm family and pipeline segment size
+// (including values that do not divide the payload), on both the chan and
+// hyb devices, every typed operation must produce results byte-identical
+// to its Datatype-facade counterpart (the facades share one algorithm
+// source, so any divergence is a fast-path bug). The last two iterations
+// push the payload past the eager limit and past the large-message
+// algorithm threshold to cover the rendezvous protocol and the
+// segmented/ring schedules.
 func TestTypedDatatypeEquivalenceProperty(t *testing.T) {
 	intOps := []ReduceOp[int64]{Sum[int64](), Max[int64](), BXor[int64]()}
 	floatOps := []ReduceOp[float64]{Sum[float64](), Min[float64](), Prod[float64]()}
+	algs := []CollAlg{CollAlgAuto, CollAlgClassic, CollAlgSegmented, CollAlgRing}
 
 	for _, dev := range []string{"chan", "hyb"} {
 		t.Run(dev, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(0xC0FFEE))
-			const iters = 6
+			const iters = 7
 			for it := 0; it < iters; it++ {
 				np := 2 + rng.Intn(4)
 				count := rng.Intn(70)
-				if it == iters-1 {
+				switch it {
+				case iters - 2:
 					count = 2600 // 20.8 KiB of int64: crosses the eager limit
+				case iters - 1:
+					np = 5
+					count = 11<<10 + 3 // 88 KiB: crosses the algorithm threshold, odd length
 				}
 				root := rng.Intn(np)
 				iop := intOps[rng.Intn(len(intOps))]
 				fop := floatOps[rng.Intn(len(floatOps))]
+				alg := algs[rng.Intn(len(algs))]
+				seg := 1 + rng.Intn(48<<10)
 				seed := rng.Int63()
 				runWorlds(t, np, dev, func(w *Comm) error {
+					w.SetCollAlg(alg)
+					w.SetCollSegSize(seg)
 					if err := checkTypedEquiv(w, count, root, iop, func(rank, i int) int64 {
 						return seed%1000 + int64(rank*31+i)
 					}); err != nil {
@@ -275,4 +287,37 @@ func TestTypedDatatypeEquivalenceProperty(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestTypedSendrecv checks the typed Sendrecv wrapper: a ring shift with
+// differing send/receive element types, against locally computed values.
+func TestTypedSendrecv(t *testing.T) {
+	runWorlds(t, 4, "chan", func(w *Comm) error {
+		right := (w.Rank() + 1) % w.Size()
+		left := (w.Rank() - 1 + w.Size()) % w.Size()
+		out := []int32{int32(w.Rank()), int32(w.Rank() * 2)}
+		in := make([]int32, 2)
+		st, err := Sendrecv(w, out, right, 3, in, left, 3)
+		if err != nil {
+			return err
+		}
+		if n := st.GetCount(INT); n != 2 {
+			return fmt.Errorf("sendrecv status count = %d, want 2", n)
+		}
+		if in[0] != int32(left) || in[1] != int32(left*2) {
+			return fmt.Errorf("sendrecv got %v from %d", in, left)
+		}
+		// Genuinely mixed element types (S != R): send one int32, receive
+		// its little-endian wire bytes into a []byte.
+		bo := []int32{0x01020304 + int32(w.Rank())}
+		bi := make([]byte, 4)
+		if _, err := Sendrecv(w, bo, right, 4, bi, left, 4); err != nil {
+			return err
+		}
+		want := []byte{byte(4 + left), 3, 2, 1}
+		if !reflect.DeepEqual(bi, want) {
+			return fmt.Errorf("sendrecv mixed got %v, want %v", bi, want)
+		}
+		return nil
+	})
 }
