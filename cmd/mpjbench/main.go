@@ -1,12 +1,15 @@
 // mpjbench regenerates every experiment table from EXPERIMENTS.md:
 //
 //	mpjbench                 # run everything
-//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL)
+//	mpjbench -exp F1         # one experiment (F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL)
 //	mpjbench -exp pingpong   # alias for PP: ping-pong per device (chan/hyb/tcp)
 //	mpjbench -exp icoll      # blocking vs non-blocking collective overlap
 //	mpjbench -exp typed      # typed generics facade vs Datatype facade (writes BENCH_typed.json)
 //	mpjbench -exp coll       # large-message collective algorithms (writes BENCH_coll.json;
 //	                         # with -quick: regression check against the committed file)
+//	mpjbench -exp vcoll      # varying-count collectives: Alltoallv layouts + ReduceScatter
+//	                         # classic vs ring (writes BENCH_vcoll.json; with -quick:
+//	                         # regression check against the committed file)
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results and their interpretation.
@@ -30,7 +33,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL (alias: pingpong)")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL (alias: pingpong)")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
 		*exp = "PP"
@@ -84,6 +87,7 @@ func main() {
 			return t, nil
 		}},
 		{"COLL", runColl},
+		{"VCOLL", runVcoll},
 	}
 
 	ran := 0
@@ -138,6 +142,43 @@ func runColl() (*bench.Table, error) {
 		return nil, err
 	}
 	fmt.Println("  (speedups within 20% of committed BENCH_coll.json)")
+	return t, nil
+}
+
+// runVcoll runs the varying-count collective sweep. The full run records
+// BENCH_vcoll.json; the -quick run re-measures the 1 MiB np=4 subset and
+// fails when the classic-vs-ring reduce-scatter speedup regresses more
+// than 20% against the committed file — the CI smoke gate for the V
+// schedules.
+func runVcoll() (*bench.Table, error) {
+	t, res, err := bench.VcollSweep(*quick)
+	if err != nil {
+		return nil, err
+	}
+	if !*quick {
+		js, err := bench.MarshalVcollResult(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile("BENCH_vcoll.json", js, 0o644); err != nil {
+			return nil, fmt.Errorf("writing BENCH_vcoll.json: %w", err)
+		}
+		fmt.Println("  (results recorded in BENCH_vcoll.json)")
+		return t, nil
+	}
+	raw, err := os.ReadFile("BENCH_vcoll.json")
+	if err != nil {
+		fmt.Println("  (no committed BENCH_vcoll.json; skipping regression check)")
+		return t, nil
+	}
+	var baseline bench.VcollBenchResult
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing BENCH_vcoll.json: %w", err)
+	}
+	if err := bench.CompareVcollBaseline(res, &baseline, 0.2); err != nil {
+		return nil, err
+	}
+	fmt.Println("  (speedups within 20% of committed BENCH_vcoll.json)")
 	return t, nil
 }
 

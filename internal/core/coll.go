@@ -6,18 +6,6 @@ import (
 	"mpj/internal/device"
 )
 
-// Internal tags for the hand-rolled (varying-count) collectives. They
-// live on the communicator's dedicated collective context, so they can
-// never collide with user tags (which use the point-to-point context).
-// Schedule-compiled collectives allocate a fresh tag per operation from
-// tagSchedBase upward (see sched.go), so the fixed tags below must stay
-// under that base.
-const (
-	tagGather = iota + 1
-	tagScatter
-	tagAlltoall
-)
-
 // AllreduceAlgorithm selects the Allreduce implementation; the A1 ablation
 // benchmark compares them.
 type AllreduceAlgorithm int
@@ -62,25 +50,6 @@ func (c *Comm) collIsendFill(n int, fill func([]byte) error, dst, tag int) (*dev
 	return c.dev.IsendFill(n, fill, w, tag, c.coll, device.ModeStandard)
 }
 
-// collIsendBlock sends count elements of dt from buf at off to dst on the
-// collective context, packing directly into the outgoing frame when the
-// datatype supports it and falling back to an intermediate pack buffer
-// (variable-size datatypes) otherwise.
-func (c *Comm) collIsendBlock(buf any, off, count int, dt Datatype, dst, tag int) (*device.Request, error) {
-	if pi, ok := dt.(packerInto); ok && count >= 0 {
-		if sz := dt.ByteSize(); sz >= 0 {
-			return c.collIsendFill(count*sz, func(p []byte) error {
-				return pi.PackInto(p, buf, off, count)
-			}, dst, tag)
-		}
-	}
-	data, err := dt.Pack(nil, buf, off, count)
-	if err != nil {
-		return nil, err
-	}
-	return c.collIsend(data, dst, tag)
-}
-
 // collIrecv posts a raw dynamic-buffer receive on the collective context.
 // src is a group rank.
 func (c *Comm) collIrecv(src, tag int) (*device.Request, error) {
@@ -96,18 +65,6 @@ func (c *Comm) collIrecvInto(buf []byte, src, tag int) (*device.Request, error) 
 		return nil, err
 	}
 	return c.dev.Irecv(buf, w, tag, c.coll)
-}
-
-// collRecv is the blocking collIrecv; it returns the received bytes.
-func (c *Comm) collRecv(src, tag int) ([]byte, error) {
-	r, err := c.collIrecv(src, tag)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := r.Wait(); err != nil {
-		return nil, err
-	}
-	return r.Data(), nil
 }
 
 // runColl completes a compiled collective schedule synchronously — the
@@ -134,7 +91,7 @@ func (c *Comm) checkRoot(root int) error {
 // ceil(log2 p) rounds of pairwise signalling (the same schedule Ibarrier
 // compiles).
 func (c *Comm) Barrier() error {
-	return runColl(c.ibarrier("barrier"))
+	return runColl(c.ibarrier("barrier", c.nextCollTag()))
 }
 
 // lowbit returns the lowest set bit of v (v > 0).
@@ -153,7 +110,7 @@ func pow2ceil(n int) int {
 // same position on every member — MPI_Bcast. Binomial tree: latency grows
 // as ceil(log2 p) (the same schedule Ibcast compiles).
 func (c *Comm) Bcast(buf any, off, count int, dt Datatype, root int) error {
-	return runColl(c.ibcast("bcast", buf, off, count, dt, root))
+	return runColl(c.ibcast("bcast", c.nextCollTag(), buf, off, count, dt, root))
 }
 
 // Gather collects scount elements of sdt from every member into rbuf on
@@ -162,60 +119,16 @@ func (c *Comm) Bcast(buf any, off, count int, dt Datatype, root int) error {
 // (Object) data is gathered linearly.
 func (c *Comm) Gather(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) error {
-	return runColl(c.igather("gather", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root))
+	return runColl(c.igather("gather", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root))
 }
 
 // Gatherv collects varying counts: rank r contributes scount elements and
 // the root places rcounts[r] elements at roff + displs[r]*extent(rdt) —
-// MPI_Gatherv. Linear algorithm.
+// MPI_Gatherv. Linear schedule; raw-layout blocks land in place in the
+// root's buffer (the same schedule Igatherv compiles).
 func (c *Comm) Gatherv(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff int, rcounts, displs []int, rdt Datatype, root int) error {
-	if err := c.checkRoot(root); err != nil {
-		return err
-	}
-	size := c.Size()
-	if c.rank != root {
-		r, err := c.collIsendBlock(sbuf, soff, scount, sdt, root, tagGather)
-		if err != nil {
-			return fmt.Errorf("gatherv: %w", err)
-		}
-		if _, err := r.Wait(); err != nil {
-			return fmt.Errorf("gatherv: %w", err)
-		}
-		return nil
-	}
-	if len(rcounts) != size || len(displs) != size {
-		return fmt.Errorf("%w: gatherv needs %d rcounts/displs, got %d/%d",
-			ErrCount, size, len(rcounts), len(displs))
-	}
-	// Post all receives first, then satisfy them in any order.
-	reqs := make([]*device.Request, size)
-	for r := 0; r < size; r++ {
-		if r == root {
-			continue
-		}
-		var err error
-		if reqs[r], err = c.collIrecv(r, tagGather); err != nil {
-			return fmt.Errorf("gatherv: %w", err)
-		}
-	}
-	ownData, err := packExact(sdt, sbuf, soff, scount)
-	if err != nil {
-		return fmt.Errorf("gatherv: %w", err)
-	}
-	for r := 0; r < size; r++ {
-		data := ownData
-		if r != root {
-			if _, err := reqs[r].Wait(); err != nil {
-				return fmt.Errorf("gatherv: %w", err)
-			}
-			data = reqs[r].Data()
-		}
-		if _, err := rdt.Unpack(data, rbuf, roff+displs[r]*rdt.Extent(), rcounts[r]); err != nil {
-			return fmt.Errorf("gatherv: %w", err)
-		}
-	}
-	return nil
+	return runColl(c.igatherv("gatherv", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt, root))
 }
 
 // Scatter distributes scount elements of sdt per rank from the root's sbuf
@@ -224,50 +137,16 @@ func (c *Comm) Gatherv(sbuf any, soff, scount int, sdt Datatype,
 // scattered linearly.
 func (c *Comm) Scatter(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) error {
-	return runColl(c.iscatter("scatter", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root))
+	return runColl(c.iscatter("scatter", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root))
 }
 
 // Scatterv distributes varying counts from the root: rank r receives
 // scounts[r] elements taken from soff + displs[r]*extent(sdt) —
-// MPI_Scatterv. Linear algorithm.
+// MPI_Scatterv. Linear schedule; the root packs each block straight into
+// its outgoing frame (the same schedule Iscatterv compiles).
 func (c *Comm) Scatterv(sbuf any, soff int, scounts, displs []int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) error {
-	if err := c.checkRoot(root); err != nil {
-		return err
-	}
-	size := c.Size()
-	if c.rank == root {
-		if len(scounts) != size || len(displs) != size {
-			return fmt.Errorf("%w: scatterv needs %d scounts/displs, got %d/%d",
-				ErrCount, size, len(scounts), len(displs))
-		}
-		for r := 0; r < size; r++ {
-			if r == root {
-				data, err := packExact(sdt, sbuf, soff+displs[r]*sdt.Extent(), scounts[r])
-				if err != nil {
-					return fmt.Errorf("scatterv: %w", err)
-				}
-				if _, err := rdt.Unpack(data, rbuf, roff, rcount); err != nil {
-					return fmt.Errorf("scatterv: %w", err)
-				}
-				continue
-			}
-			sr, err := c.collIsendBlock(sbuf, soff+displs[r]*sdt.Extent(), scounts[r], sdt, r, tagScatter)
-			if err != nil {
-				return fmt.Errorf("scatterv: %w", err)
-			}
-			if _, err := sr.Wait(); err != nil {
-				return fmt.Errorf("scatterv: %w", err)
-			}
-		}
-		return nil
-	}
-	data, err := c.collRecv(root, tagScatter)
-	if err != nil {
-		return fmt.Errorf("scatterv: %w", err)
-	}
-	_, err = rdt.Unpack(data, rbuf, roff, rcount)
-	return err
+	return runColl(c.iscatterv("scatterv", c.nextCollTag(), sbuf, soff, scounts, displs, sdt, rbuf, roff, rcount, rdt, root))
 }
 
 // Allgather gathers every member's block to every member — MPI_Allgather.
@@ -276,30 +155,17 @@ func (c *Comm) Scatterv(sbuf any, soff int, scounts, displs []int, sdt Datatype,
 // Iallgather compiles).
 func (c *Comm) Allgather(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) error {
-	return runColl(c.iallgather("allgather", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt))
+	return runColl(c.iallgather("allgather", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt))
 }
 
-// Allgatherv gathers varying counts to every member — MPI_Allgatherv,
-// implemented as Gatherv to rank 0 followed by a broadcast of the packed
-// result (counts differ per rank, so the ring bookkeeping is not worth it
-// at our scales).
+// Allgatherv gathers varying counts to every member — MPI_Allgatherv.
+// Ring algorithm: p-1 rounds forwarding whole blocks, with large
+// raw-layout payloads circulating straight between the members' receive
+// buffers (the same schedule Iallgatherv compiles; see collalg.go for the
+// zero-staging selection).
 func (c *Comm) Allgatherv(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff int, rcounts, displs []int, rdt Datatype) error {
-	if err := c.Gatherv(sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt, 0); err != nil {
-		return err
-	}
-	size := c.Size()
-	if len(rcounts) != size || len(displs) != size {
-		return fmt.Errorf("%w: allgatherv needs %d rcounts/displs", ErrCount, size)
-	}
-	// Broadcast each block from its final position; a single bcast of
-	// the full span would also rebroadcast the gaps between blocks.
-	for r := 0; r < size; r++ {
-		if err := c.Bcast(rbuf, roff+displs[r]*rdt.Extent(), rcounts[r], rdt, 0); err != nil {
-			return err
-		}
-	}
-	return nil
+	return runColl(c.iallgatherv("allgatherv", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt))
 }
 
 // Alltoall exchanges a distinct scount-element block between every pair of
@@ -307,65 +173,23 @@ func (c *Comm) Allgatherv(sbuf any, soff, scount int, sdt Datatype,
 // round (the same schedule Ialltoall compiles).
 func (c *Comm) Alltoall(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) error {
-	return runColl(c.ialltoall("alltoall", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt))
+	return runColl(c.ialltoall("alltoall", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt))
 }
 
 // Alltoallv exchanges varying counts between every pair — MPI_Alltoallv.
+// All transfers run in a single schedule round: sends pack straight into
+// outgoing frames, raw-layout receives land in place at their
+// displacements (the same schedule Ialltoallv compiles).
 func (c *Comm) Alltoallv(sbuf any, soff int, scounts, sdispls []int, sdt Datatype,
 	rbuf any, roff int, rcounts, rdispls []int, rdt Datatype) error {
-	size := c.Size()
-	if len(scounts) != size || len(sdispls) != size || len(rcounts) != size || len(rdispls) != size {
-		return fmt.Errorf("%w: alltoallv count/displacement slices must have length %d", ErrCount, size)
-	}
-	recvs := make([]*device.Request, size)
-	sends := make([]*device.Request, size)
-	for r := 0; r < size; r++ {
-		if r == c.rank {
-			continue
-		}
-		var err error
-		if recvs[r], err = c.collIrecv(r, tagAlltoall); err != nil {
-			return fmt.Errorf("alltoallv: %w", err)
-		}
-	}
-	for r := 0; r < size; r++ {
-		if r == c.rank {
-			data, err := packExact(sdt, sbuf, soff+sdispls[r]*sdt.Extent(), scounts[r])
-			if err != nil {
-				return fmt.Errorf("alltoallv: %w", err)
-			}
-			if _, err := rdt.Unpack(data, rbuf, roff+rdispls[r]*rdt.Extent(), rcounts[r]); err != nil {
-				return fmt.Errorf("alltoallv: %w", err)
-			}
-			continue
-		}
-		var err error
-		if sends[r], err = c.collIsendBlock(sbuf, soff+sdispls[r]*sdt.Extent(), scounts[r], sdt, r, tagAlltoall); err != nil {
-			return fmt.Errorf("alltoallv: %w", err)
-		}
-	}
-	for r := 0; r < size; r++ {
-		if r == c.rank {
-			continue
-		}
-		if _, err := sends[r].Wait(); err != nil {
-			return fmt.Errorf("alltoallv: %w", err)
-		}
-		if _, err := recvs[r].Wait(); err != nil {
-			return fmt.Errorf("alltoallv: %w", err)
-		}
-		if _, err := rdt.Unpack(recvs[r].Data(), rbuf, roff+rdispls[r]*rdt.Extent(), rcounts[r]); err != nil {
-			return fmt.Errorf("alltoallv: %w", err)
-		}
-	}
-	return nil
+	return runColl(c.ialltoallv("alltoallv", c.nextCollTag(), sbuf, soff, scounts, sdispls, sdt, rbuf, roff, rcounts, rdispls, rdt))
 }
 
 // Reduce combines count elements of dt from every member's sbuf with op,
 // leaving the result in the root's rbuf — MPI_Reduce. Binomial tree; ops
 // are assumed commutative and associative, as for predefined MPI ops.
 func (c *Comm) Reduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op, root int) error {
-	return runColl(c.ireduce("reduce", sbuf, soff, rbuf, roff, count, dt, op, root))
+	return runColl(c.ireduce("reduce", c.nextCollTag(), sbuf, soff, rbuf, roff, count, dt, op, root))
 }
 
 // Allreduce combines every member's data and leaves the result on all
@@ -398,34 +222,18 @@ func (c *Comm) AllreduceWith(alg AllreduceAlgorithm, sbuf any, soff int, rbuf an
 	if alg == AllreduceAuto {
 		return c.Allreduce(sbuf, soff, rbuf, roff, count, dt, op)
 	}
-	return runColl(c.iallreduce("allreduce", alg, sbuf, soff, rbuf, roff, count, dt, op))
+	return runColl(c.iallreduce("allreduce", c.nextCollTag(), alg, sbuf, soff, rbuf, roff, count, dt, op))
 }
 
 // ReduceScatter combines every member's data and scatters the result:
 // rank r receives rcounts[r] elements of the combined vector —
-// MPI_Reduce_scatter. Implemented as Reduce to rank 0 plus Scatterv.
+// MPI_Reduce_scatter. Large payloads ride the bandwidth-optimal ring
+// reduce-scatter (each rank moves ~2·n bytes regardless of size, chunks
+// cut on the rcounts boundaries); small ones reduce to rank 0 and
+// scatter linearly (the same schedules IreduceScatter compiles; see
+// collalg.go for the selection knobs).
 func (c *Comm) ReduceScatter(sbuf any, soff int, rbuf any, roff int, rcounts []int, dt Datatype, op *Op) error {
-	size := c.Size()
-	if len(rcounts) != size {
-		return fmt.Errorf("%w: reduce-scatter needs %d rcounts, got %d", ErrCount, size, len(rcounts))
-	}
-	total := 0
-	displs := make([]int, size)
-	for i, n := range rcounts {
-		if n < 0 {
-			return fmt.Errorf("%w: negative rcount %d", ErrCount, n)
-		}
-		displs[i] = total
-		total += n
-	}
-	var full any
-	if c.rank == 0 {
-		full = dt.Alloc(total)
-	}
-	if err := c.Reduce(sbuf, soff, full, 0, total, dt, op, 0); err != nil {
-		return err
-	}
-	return c.Scatterv(full, 0, rcounts, displs, dt, rbuf, roff, rcounts[c.rank], dt, 0)
+	return runColl(c.ireduceScatter("reduce_scatter", c.nextCollTag(), sbuf, soff, rbuf, roff, rcounts, dt, op))
 }
 
 // Scan computes the inclusive prefix reduction: rank r receives the
@@ -433,5 +241,5 @@ func (c *Comm) ReduceScatter(sbuf any, soff int, rbuf any, roff int, rcounts []i
 // Simultaneous binomial algorithm, ceil(log2 p) rounds (the same schedule
 // Iscan compiles).
 func (c *Comm) Scan(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) error {
-	return runColl(c.iscan("scan", sbuf, soff, rbuf, roff, count, dt, op))
+	return runColl(c.iscan("scan", c.nextCollTag(), sbuf, soff, rbuf, roff, count, dt, op))
 }

@@ -6,12 +6,14 @@ import (
 )
 
 // This file is the collective algorithm-selection layer. The schedule
-// builders in icoll.go compile one of several algorithms per collective;
-// which one runs is decided here, per operation, from the payload size and
-// communicator size — large payloads switch from the latency-optimised
-// classic trees to the bandwidth-optimised segmented/ring schedules (the
-// thresholds were picked from the COLL benchmark sweep, see
-// BENCH_coll.json). The choice can be forced for benchmarking and tuning
+// builders in icoll.go and ivcoll.go compile one of several algorithms
+// per collective; which one runs is decided here, per operation, from the
+// payload size and communicator size — large payloads switch from the
+// latency-optimised classic trees to the bandwidth-optimised
+// segmented/ring schedules (the thresholds were picked from the COLL
+// benchmark sweep, see BENCH_coll.json; the varying-count routes —
+// window-ring allgatherv, ring reduce-scatter — share them, measured in
+// BENCH_vcoll.json). The choice can be forced for benchmarking and tuning
 // via the MPJ_COLL_ALG environment variable or per communicator with
 // SetCollAlg; the segment size of the pipelined schedules comes from
 // MPJ_COLL_SEG or SetCollSegSize.

@@ -49,6 +49,10 @@ var (
 	// ErrTruncate reports a received message longer than the receive
 	// buffer, as in MPI_ERR_TRUNCATE.
 	ErrTruncate = errors.New("mpj: message truncated")
+	// ErrArg reports an invalid argument that fits no more specific
+	// class — negative, out-of-range or overlapping displacements in the
+	// varying-count collectives, as in MPI_ERR_ARG.
+	ErrArg = errors.New("mpj: invalid argument")
 	// ErrOther reports failures that fit no other class.
 	ErrOther = errors.New("mpj: error")
 )

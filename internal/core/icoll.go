@@ -6,15 +6,19 @@ import (
 	"mpj/internal/wire"
 )
 
-// This file implements the non-blocking collectives — Ibarrier, Ibcast,
-// Igather, Iscatter, Iallgather, Ireduce, Iallreduce, Ialltoall — as
-// schedule builders for the engine in sched.go. Each builder compiles the
-// same algorithm the blocking form uses (dissemination barrier, binomial
-// trees, ring allgather, recursive doubling; segmented chain pipelines and
-// the ring allreduce for large payloads — see collalg.go for how the
-// algorithm is chosen) into per-rank rounds; the blocking collectives in
-// coll.go call the same builders and Wait immediately, so there is exactly
-// one algorithm source.
+// This file implements the non-blocking fixed-count collectives —
+// Ibarrier, Ibcast, Igather, Iscatter, Iallgather, Ireduce, Iallreduce,
+// Ialltoall, Iscan — as schedule builders for the engine in sched.go (the
+// varying-count family lives in ivcoll.go, the persistent Commit* forms
+// in pcoll.go). Each builder compiles the same algorithm the blocking
+// form uses (dissemination barrier, binomial trees, ring allgather,
+// recursive doubling; segmented chain pipelines and the ring allreduce
+// for large payloads — see collalg.go for how the algorithm is chosen)
+// into per-rank rounds; the blocking collectives in coll.go call the same
+// builders and Wait immediately, so there is exactly one algorithm
+// source. Builders take their schedule tag as a parameter: the I* entry
+// points draw a fresh one per call, the persistent forms re-use the tag
+// reserved at Commit time.
 
 // ---------------------------------------------------------------------
 // Round builders, one per algorithm.
@@ -294,21 +298,21 @@ func rdRounds(c *Comm, acc *cell, comb combiner) []round {
 // Ibarrier starts a non-blocking barrier — MPI_Ibarrier. The request
 // completes once every member has entered the barrier.
 func (c *Comm) Ibarrier() (*CollRequest, error) {
-	return c.ibarrier("ibarrier")
+	return c.ibarrier("ibarrier", c.nextCollTag())
 }
 
-func (c *Comm) ibarrier(name string) (*CollRequest, error) {
-	return c.newCollRequest(name, c.nextCollTag(), barrierRounds(c), nil)
+func (c *Comm) ibarrier(name string, tag int) (*CollRequest, error) {
+	return c.newCollRequest(name, tag, barrierRounds(c), nil)
 }
 
 // Ibcast starts a non-blocking broadcast of count elements of dt from the
 // root's buf to every member — MPI_Ibcast. The buffer must not be touched
 // until the request completes.
 func (c *Comm) Ibcast(buf any, off, count int, dt Datatype, root int) (*CollRequest, error) {
-	return c.ibcast("ibcast", buf, off, count, dt, root)
+	return c.ibcast("ibcast", c.nextCollTag(), buf, off, count, dt, root)
 }
 
-func (c *Comm) ibcast(name string, buf any, off, count int, dt Datatype, root int) (*CollRequest, error) {
+func (c *Comm) ibcast(name string, tag int, buf any, off, count int, dt Datatype, root int) (*CollRequest, error) {
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
@@ -316,7 +320,7 @@ func (c *Comm) ibcast(name string, buf any, off, count int, dt Datatype, root in
 	// (see collalg.go for the selection knobs); everything else rides the
 	// classic binomial tree.
 	if sz := dt.ByteSize(); sz > 0 && count > 0 && c.Size() > 1 && c.collLarge(count*sz) {
-		return c.ibcastPipelined(name, buf, off, count, dt, count*sz, root)
+		return c.ibcastPipelined(name, tag, buf, off, count, dt, count*sz, root)
 	}
 	cl := &cell{}
 	if c.rank == root {
@@ -332,7 +336,7 @@ func (c *Comm) ibcast(name string, buf any, off, count int, dt Datatype, root in
 			return err
 		}
 	}
-	return c.newCollRequest(name, c.nextCollTag(), bcastRounds(c, cl, root), finish)
+	return c.newCollRequest(name, tag, bcastRounds(c, cl, root), finish)
 }
 
 // ibcastPipelined compiles the segmented chain broadcast. For raw-layout
@@ -340,7 +344,7 @@ func (c *Comm) ibcast(name string, buf any, off, count int, dt Datatype, root in
 // segments straight out of it and every other rank receives them straight
 // into it, no packing or staging at all; other fixed-size datatypes stage
 // through one packed buffer and unpack at the end.
-func (c *Comm) ibcastPipelined(name string, buf any, off, count int, dt Datatype, total, root int) (*CollRequest, error) {
+func (c *Comm) ibcastPipelined(name string, tag int, buf any, off, count int, dt Datatype, total, root int) (*CollRequest, error) {
 	var asm []byte
 	var finish func() error
 	if rw, ok := dt.(rawWindower); ok {
@@ -368,17 +372,17 @@ func (c *Comm) ibcastPipelined(name string, buf any, off, count int, dt Datatype
 		}
 	}
 	rounds := pipeChainRounds(c, asm, root, c.collSegSize())
-	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+	return c.newCollRequest(name, tag, rounds, finish)
 }
 
 // Igather starts a non-blocking gather of scount elements from every
 // member into the root's rbuf — MPI_Igather.
 func (c *Comm) Igather(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
-	return c.igather("igather", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root)
+	return c.igather("igather", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root)
 }
 
-func (c *Comm) igather(name string, sbuf any, soff, scount int, sdt Datatype,
+func (c *Comm) igather(name string, tag int, sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
@@ -389,7 +393,7 @@ func (c *Comm) igather(name string, sbuf any, soff, scount int, sdt Datatype,
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	if size == 1 {
-		return c.newCollRequest(name, c.nextCollTag(), nil, func() error {
+		return c.newCollRequest(name, tag, nil, func() error {
 			_, err := rdt.Unpack(myData, rbuf, roff, rcount)
 			return err
 		})
@@ -399,7 +403,7 @@ func (c *Comm) igather(name string, sbuf any, soff, scount int, sdt Datatype,
 		// Variable-size blocks: linear gather, all transfers in one round.
 		if c.rank != root {
 			rounds := []round{{sends: []sendStep{{to: root, data: func() []byte { return myData }}}}}
-			return c.newCollRequest(name, c.nextCollTag(), rounds, nil)
+			return c.newCollRequest(name, tag, rounds, nil)
 		}
 		var rd round
 		for r := 0; r < size; r++ {
@@ -415,7 +419,7 @@ func (c *Comm) igather(name string, sbuf any, soff, scount int, sdt Datatype,
 			_, err := rdt.Unpack(myData, rbuf, roff+root*rcount*rdt.Extent(), rcount)
 			return err
 		}
-		return c.newCollRequest(name, c.nextCollTag(), []round{rd}, finish)
+		return c.newCollRequest(name, tag, []round{rd}, finish)
 	}
 
 	// Fixed-size blocks: binomial tree over vranks.
@@ -436,17 +440,17 @@ func (c *Comm) igather(name string, sbuf any, soff, scount int, sdt Datatype,
 			return nil
 		}
 	}
-	return c.newCollRequest(name, c.nextCollTag(), gatherRounds(c, acc, bs, root), finish)
+	return c.newCollRequest(name, tag, gatherRounds(c, acc, bs, root), finish)
 }
 
 // Iscatter starts a non-blocking scatter of scount elements per rank from
 // the root's sbuf — MPI_Iscatter.
 func (c *Comm) Iscatter(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
-	return c.iscatter("iscatter", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root)
+	return c.iscatter("iscatter", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root)
 }
 
-func (c *Comm) iscatter(name string, sbuf any, soff, scount int, sdt Datatype,
+func (c *Comm) iscatter(name string, tag int, sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
@@ -457,7 +461,7 @@ func (c *Comm) iscatter(name string, sbuf any, soff, scount int, sdt Datatype,
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
-		return c.newCollRequest(name, c.nextCollTag(), nil, func() error {
+		return c.newCollRequest(name, tag, nil, func() error {
 			_, err := rdt.Unpack(data, rbuf, roff, rcount)
 			return err
 		})
@@ -483,7 +487,7 @@ func (c *Comm) iscatter(name string, sbuf any, soff, scount int, sdt Datatype,
 				_, err := rdt.Unpack(own, rbuf, roff, rcount)
 				return err
 			}
-			return c.newCollRequest(name, c.nextCollTag(), []round{rd}, finish)
+			return c.newCollRequest(name, tag, []round{rd}, finish)
 		}
 		cl := &cell{}
 		rounds := []round{{recvs: []recvStep{{
@@ -494,7 +498,7 @@ func (c *Comm) iscatter(name string, sbuf any, soff, scount int, sdt Datatype,
 			_, err := rdt.Unpack(cl.b, rbuf, roff, rcount)
 			return err
 		}
-		return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+		return c.newCollRequest(name, tag, rounds, finish)
 	}
 
 	// Fixed-size blocks: binomial tree, data travelling root-down.
@@ -535,17 +539,17 @@ func (c *Comm) iscatter(name string, sbuf any, soff, scount int, sdt Datatype,
 		_, err := rdt.Unpack(cl.b[:bs], rbuf, roff, rcount)
 		return err
 	}
-	return c.newCollRequest(name, c.nextCollTag(), scatterRounds(c, cl, root), finish)
+	return c.newCollRequest(name, tag, scatterRounds(c, cl, root), finish)
 }
 
 // Iallgather starts a non-blocking allgather: every member's block ends up
 // on every member — MPI_Iallgather.
 func (c *Comm) Iallgather(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
-	return c.iallgather("iallgather", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
+	return c.iallgather("iallgather", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
 }
 
-func (c *Comm) iallgather(name string, sbuf any, soff, scount int, sdt Datatype,
+func (c *Comm) iallgather(name string, tag int, sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
 	size := c.Size()
 	// Large fixed-size payloads whose receive buffer exposes a raw window
@@ -559,7 +563,7 @@ func (c *Comm) iallgather(name string, sbuf any, soff, scount int, sdt Datatype,
 					if err := pi.PackInto(win[c.rank*bs:(c.rank+1)*bs], sbuf, soff, scount); err != nil {
 						return nil, fmt.Errorf("%s: %w", name, err)
 					}
-					return c.newCollRequest(name, c.nextCollTag(), ringWindowRounds(c, win, bs), nil)
+					return c.newCollRequest(name, tag, ringWindowRounds(c, win, bs), nil)
 				}
 			}
 		}
@@ -573,7 +577,7 @@ func (c *Comm) iallgather(name string, sbuf any, soff, scount int, sdt Datatype,
 		return err
 	}
 	if size == 1 {
-		return c.newCollRequest(name, c.nextCollTag(), nil, func() error {
+		return c.newCollRequest(name, tag, nil, func() error {
 			_, err := rdt.Unpack(myData, rbuf, roff, rcount)
 			return err
 		})
@@ -592,7 +596,7 @@ func (c *Comm) iallgather(name string, sbuf any, soff, scount int, sdt Datatype,
 			rd.sends = append(rd.sends, sendStep{to: r, data: func() []byte { return myData }})
 		}
 		finish := func() error { return unpackSlot(c.rank, myData) }
-		return c.newCollRequest(name, c.nextCollTag(), []round{rd}, finish)
+		return c.newCollRequest(name, tag, []round{rd}, finish)
 	}
 
 	// Fixed-size blocks: ring. Own block lands immediately; the rest
@@ -600,16 +604,16 @@ func (c *Comm) iallgather(name string, sbuf any, soff, scount int, sdt Datatype,
 	if err := unpackSlot(c.rank, myData); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	return c.newCollRequest(name, c.nextCollTag(), ringRounds(c, myData, unpackSlot), nil)
+	return c.newCollRequest(name, tag, ringRounds(c, myData, unpackSlot), nil)
 }
 
 // Ireduce starts a non-blocking reduction of count elements with op,
 // leaving the result in the root's rbuf — MPI_Ireduce.
 func (c *Comm) Ireduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op, root int) (*CollRequest, error) {
-	return c.ireduce("ireduce", sbuf, soff, rbuf, roff, count, dt, op, root)
+	return c.ireduce("ireduce", c.nextCollTag(), sbuf, soff, rbuf, roff, count, dt, op, root)
 }
 
-func (c *Comm) ireduce(name string, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op, root int) (*CollRequest, error) {
+func (c *Comm) ireduce(name string, tag int, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op, root int) (*CollRequest, error) {
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
@@ -629,7 +633,7 @@ func (c *Comm) ireduce(name string, sbuf any, soff int, rbuf any, roff, count in
 			return err
 		}
 	}
-	return c.newCollRequest(name, c.nextCollTag(), reduceRounds(c, acc, comb, root), finish)
+	return c.newCollRequest(name, tag, reduceRounds(c, acc, comb, root), finish)
 }
 
 // Iallreduce starts a non-blocking allreduce: the combined result lands on
@@ -638,7 +642,7 @@ func (c *Comm) ireduce(name string, sbuf any, soff int, rbuf any, roff, count in
 // recursive doubling and others reduce to rank 0 and broadcast (the same
 // automatic choice Allreduce makes; see collalg.go).
 func (c *Comm) Iallreduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
-	return c.iallreduce("iallreduce", c.autoAllreduceAlg(count, dt), sbuf, soff, rbuf, roff, count, dt, op)
+	return c.iallreduce("iallreduce", c.nextCollTag(), c.autoAllreduceAlg(count, dt), sbuf, soff, rbuf, roff, count, dt, op)
 }
 
 // IallreduceWith is Iallreduce with an explicit algorithm choice.
@@ -646,17 +650,17 @@ func (c *Comm) IallreduceWith(alg AllreduceAlgorithm, sbuf any, soff int, rbuf a
 	if alg == AllreduceAuto {
 		return c.Iallreduce(sbuf, soff, rbuf, roff, count, dt, op)
 	}
-	return c.iallreduce("iallreduce", alg, sbuf, soff, rbuf, roff, count, dt, op)
+	return c.iallreduce("iallreduce", c.nextCollTag(), alg, sbuf, soff, rbuf, roff, count, dt, op)
 }
 
-func (c *Comm) iallreduce(name string, alg AllreduceAlgorithm, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
+func (c *Comm) iallreduce(name string, tag int, alg AllreduceAlgorithm, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
 	size := c.Size()
 	comb, err := op.combinerFor(dt)
 	if err != nil {
 		return nil, err
 	}
 	if alg == AllreduceRing {
-		return c.iallreduceRing(name, sbuf, soff, rbuf, roff, count, dt, comb)
+		return c.iallreduceRing(name, tag, sbuf, soff, rbuf, roff, count, dt, comb)
 	}
 	data, err := packExact(dt, sbuf, soff, count)
 	if err != nil {
@@ -682,7 +686,7 @@ func (c *Comm) iallreduce(name string, alg AllreduceAlgorithm, sbuf any, soff in
 		_, err := dt.Unpack(acc.b, rbuf, roff, count)
 		return err
 	}
-	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+	return c.newCollRequest(name, tag, rounds, finish)
 }
 
 // iallreduceRing compiles the ring allreduce. For raw-layout datatypes the
@@ -691,7 +695,7 @@ func (c *Comm) iallreduce(name string, alg AllreduceAlgorithm, sbuf any, soff in
 // final unpack disappears; other fixed-size datatypes stage through a
 // packed vector. The reduce-scatter scratch comes from the wire pool and
 // is recycled when the schedule finishes.
-func (c *Comm) iallreduceRing(name string, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, comb combiner) (*CollRequest, error) {
+func (c *Comm) iallreduceRing(name string, tag int, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, comb combiner) (*CollRequest, error) {
 	elem := dt.Base().ByteSize()
 	if elem <= 0 {
 		return nil, fmt.Errorf("%s: %w: ring allreduce requires fixed-size elements, have %s", name, ErrType, dt.Name())
@@ -730,7 +734,7 @@ func (c *Comm) iallreduceRing(name string, sbuf any, soff int, rbuf any, roff, c
 		}
 		return nil
 	}
-	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+	return c.newCollRequest(name, tag, rounds, finish)
 }
 
 // Ialltoall starts a non-blocking all-to-all personalized exchange: a
@@ -738,10 +742,10 @@ func (c *Comm) iallreduceRing(name string, sbuf any, soff int, rbuf any, roff, c
 // MPI_Ialltoall. All transfers run in a single round.
 func (c *Comm) Ialltoall(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
-	return c.ialltoall("ialltoall", sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
+	return c.ialltoall("ialltoall", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
 }
 
-func (c *Comm) ialltoall(name string, sbuf any, soff, scount int, sdt Datatype,
+func (c *Comm) ialltoall(name string, tag int, sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
 	size := c.Size()
 	var rd round
@@ -788,17 +792,17 @@ func (c *Comm) ialltoall(name string, sbuf any, soff, scount int, sdt Datatype,
 	if size > 1 {
 		rounds = []round{rd}
 	}
-	return c.newCollRequest(name, c.nextCollTag(), rounds, finish)
+	return c.newCollRequest(name, tag, rounds, finish)
 }
 
 // Iscan starts a non-blocking inclusive prefix reduction: rank r receives
 // the combination of the contributions of ranks 0..r — MPI_Iscan.
 // Simultaneous binomial algorithm, ceil(log2 p) rounds.
 func (c *Comm) Iscan(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
-	return c.iscan("iscan", sbuf, soff, rbuf, roff, count, dt, op)
+	return c.iscan("iscan", c.nextCollTag(), sbuf, soff, rbuf, roff, count, dt, op)
 }
 
-func (c *Comm) iscan(name string, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
+func (c *Comm) iscan(name string, tag int, sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*CollRequest, error) {
 	comb, err := op.combinerFor(dt)
 	if err != nil {
 		return nil, err
@@ -837,5 +841,5 @@ func (c *Comm) iscan(name string, sbuf any, soff int, rbuf any, roff, count int,
 		_, err := dt.Unpack(result.b, rbuf, roff, count)
 		return err
 	}
-	return c.newCollRequest(name, c.nextCollTag(), rs, finish)
+	return c.newCollRequest(name, tag, rs, finish)
 }

@@ -859,3 +859,907 @@ func TestFreeWakesBlockedWaiter(t *testing.T) {
 		return nil
 	})
 }
+
+// ---------------------------------------------------------------------
+// Varying-count (V family) equivalence property: for every V collective
+// the blocking, non-blocking and persistent forms must produce identical
+// results — and the blocking form is additionally checked against locally
+// computed ground truth, so an algorithm that corrupted data identically
+// in all three forms cannot slip through. Layouts are randomized over
+// zero-count ranks and permuted, gapped (non-contiguous) displacements;
+// persistent schedules are started twice with mutated buffers in between,
+// pinning that each Start re-reads the user data.
+// ---------------------------------------------------------------------
+
+// vcollCase is one randomized configuration of the V equivalence property.
+type vcollCase struct {
+	np       int
+	seed     int64
+	alg      CollAlg
+	seg      int
+	maxCount int
+}
+
+// vSizes derives per-rank block sizes, forcing some ranks to zero.
+func vSizes(rng *rand.Rand, np, maxCount int) []int {
+	s := make([]int, np)
+	for i := range s {
+		if rng.Intn(4) == 0 {
+			continue // zero-count rank
+		}
+		s[i] = 1 + rng.Intn(maxCount)
+	}
+	return s
+}
+
+// vDispls lays the blocks out in a random permutation with random gaps
+// between them (non-contiguous, non-monotone displacements) and returns
+// the displacements plus the spanned slot count.
+func vDispls(rng *rand.Rand, sizes []int) (displs []int, span int) {
+	displs = make([]int, len(sizes))
+	cur := 0
+	for _, r := range rng.Perm(len(sizes)) {
+		cur += rng.Intn(3)
+		displs[r] = cur
+		cur += sizes[r]
+	}
+	return displs, cur + rng.Intn(3)
+}
+
+// checkVcoll runs the V equivalence property for element type T. All
+// randomness comes from tc.seed, so every rank derives the same layouts.
+func checkVcoll[T int32 | int64 | float64](w *Comm, dt Datatype, tc vcollCase) error {
+	np, me := w.Size(), w.Rank()
+	w.SetCollAlg(tc.alg)
+	w.SetCollSegSize(tc.seg)
+	rng := rand.New(rand.NewSource(tc.seed))
+	root := rng.Intn(np)
+	val := func(gen, rank, i int) T { return T((gen*13+rank*31+i)*7%127 - 30) }
+	var sentinel T = -99
+	cmp := func(name string, want, got []T) error {
+		if len(want) != len(got) {
+			return fmt.Errorf("%s: length %d != %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return fmt.Errorf("%s: np=%d root=%d alg=%v seg=%d: [%d] = %v, want %v",
+					name, np, root, tc.alg, tc.seg, i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	blank := func(n int) []T {
+		b := make([]T, n)
+		for i := range b {
+			b[i] = sentinel
+		}
+		return b
+	}
+
+	// --- Gatherv ---
+	gc := vSizes(rng, np, tc.maxCount)
+	gd, gspan := vDispls(rng, gc)
+	gatherWant := func(gen int) []T {
+		want := blank(gspan)
+		for r := 0; r < np; r++ {
+			for i := 0; i < gc[r]; i++ {
+				want[gd[r]+i] = val(gen, r, i)
+			}
+		}
+		return want
+	}
+	gs := make([]T, gc[me])
+	for i := range gs {
+		gs[i] = val(0, me, i)
+	}
+	var bG, nG, pG []T
+	if me == root {
+		bG, nG, pG = blank(gspan), blank(gspan), blank(gspan)
+	}
+	if err := w.Gatherv(gs, 0, gc[me], dt, bG, 0, gc, gd, dt, root); err != nil {
+		return fmt.Errorf("gatherv: %w", err)
+	}
+	if me == root {
+		if err := cmp("gatherv", gatherWant(0), bG); err != nil {
+			return err
+		}
+	}
+	gr, err := w.Igatherv(gs, 0, gc[me], dt, nG, 0, gc, gd, dt, root)
+	if err != nil {
+		return fmt.Errorf("igatherv: %w", err)
+	}
+	if _, err := gr.Wait(); err != nil {
+		return fmt.Errorf("igatherv: %w", err)
+	}
+	if me == root {
+		if err := cmp("igatherv", bG, nG); err != nil {
+			return err
+		}
+	}
+	gp, err := w.CommitGatherv(gs, 0, gc[me], dt, pG, 0, gc, gd, dt, root)
+	if err != nil {
+		return fmt.Errorf("pgatherv: %w", err)
+	}
+	if err := gp.Start(); err != nil {
+		return err
+	}
+	if _, err := gp.Wait(); err != nil {
+		return err
+	}
+	if me == root {
+		if err := cmp("pgatherv", bG, pG); err != nil {
+			return err
+		}
+	}
+	// Mutate the contribution and run the committed schedule again: the
+	// second activation must gather the new data.
+	for i := range gs {
+		gs[i] = val(1, me, i)
+	}
+	if err := gp.Start(); err != nil {
+		return err
+	}
+	if _, err := gp.Wait(); err != nil {
+		return err
+	}
+	if me == root {
+		if err := cmp("pgatherv restart", gatherWant(1), pG); err != nil {
+			return err
+		}
+	}
+
+	// --- Scatterv ---
+	sc := vSizes(rng, np, tc.maxCount)
+	sd, sspan := vDispls(rng, sc)
+	var src []T
+	if me == root {
+		src = make([]T, sspan)
+		for i := range src {
+			src[i] = val(2, root, i)
+		}
+	}
+	scatterWant := func(gen int) []T {
+		want := make([]T, sc[me])
+		for i := range want {
+			want[i] = val(gen, root, sd[me]+i)
+		}
+		return want
+	}
+	bS, nS, pS := blank(sc[me]), blank(sc[me]), blank(sc[me])
+	if err := w.Scatterv(src, 0, sc, sd, dt, bS, 0, sc[me], dt, root); err != nil {
+		return fmt.Errorf("scatterv: %w", err)
+	}
+	if err := cmp("scatterv", scatterWant(2), bS); err != nil {
+		return err
+	}
+	sr, err := w.Iscatterv(src, 0, sc, sd, dt, nS, 0, sc[me], dt, root)
+	if err != nil {
+		return fmt.Errorf("iscatterv: %w", err)
+	}
+	if _, err := sr.Wait(); err != nil {
+		return fmt.Errorf("iscatterv: %w", err)
+	}
+	if err := cmp("iscatterv", bS, nS); err != nil {
+		return err
+	}
+	sp, err := w.CommitScatterv(src, 0, sc, sd, dt, pS, 0, sc[me], dt, root)
+	if err != nil {
+		return fmt.Errorf("pscatterv: %w", err)
+	}
+	for rep, gen := range []int{2, 3} {
+		if me == root && rep == 1 {
+			for i := range src {
+				src[i] = val(gen, root, i)
+			}
+		}
+		if err := sp.Start(); err != nil {
+			return err
+		}
+		if _, err := sp.Wait(); err != nil {
+			return err
+		}
+		if err := cmp("pscatterv", scatterWant(gen), pS); err != nil {
+			return err
+		}
+	}
+
+	// --- Allgatherv ---
+	ac := vSizes(rng, np, tc.maxCount)
+	ad, aspan := vDispls(rng, ac)
+	as := make([]T, ac[me])
+	for i := range as {
+		as[i] = val(4, me, i)
+	}
+	allWant := func(gen int) []T {
+		want := blank(aspan)
+		for r := 0; r < np; r++ {
+			for i := 0; i < ac[r]; i++ {
+				want[ad[r]+i] = val(gen, r, i)
+			}
+		}
+		return want
+	}
+	bA, nA, pA := blank(aspan), blank(aspan), blank(aspan)
+	if err := w.Allgatherv(as, 0, ac[me], dt, bA, 0, ac, ad, dt); err != nil {
+		return fmt.Errorf("allgatherv: %w", err)
+	}
+	if err := cmp("allgatherv", allWant(4), bA); err != nil {
+		return err
+	}
+	ar, err := w.Iallgatherv(as, 0, ac[me], dt, nA, 0, ac, ad, dt)
+	if err != nil {
+		return fmt.Errorf("iallgatherv: %w", err)
+	}
+	if _, err := ar.Wait(); err != nil {
+		return fmt.Errorf("iallgatherv: %w", err)
+	}
+	if err := cmp("iallgatherv", bA, nA); err != nil {
+		return err
+	}
+	ap, err := w.CommitAllgatherv(as, 0, ac[me], dt, pA, 0, ac, ad, dt)
+	if err != nil {
+		return fmt.Errorf("pallgatherv: %w", err)
+	}
+	for rep, gen := range []int{4, 5} {
+		if rep == 1 {
+			for i := range as {
+				as[i] = val(gen, me, i)
+			}
+		}
+		if err := ap.Start(); err != nil {
+			return err
+		}
+		if _, err := ap.Wait(); err != nil {
+			return err
+		}
+		if err := cmp("pallgatherv", allWant(gen), pA); err != nil {
+			return err
+		}
+	}
+
+	// --- Alltoallv ---
+	// M[s][d] is the block size from rank s to rank d; every rank derives
+	// the full matrix and every rank's displacements from the shared rng.
+	M := make([][]int, np)
+	for s := range M {
+		M[s] = vSizes(rng, np, tc.maxCount)
+	}
+	col := func(d int) []int {
+		c := make([]int, np)
+		for s := 0; s < np; s++ {
+			c[s] = M[s][d]
+		}
+		return c
+	}
+	sdispls := make([][]int, np)
+	sspans := make([]int, np)
+	rdispls := make([][]int, np)
+	rspans := make([]int, np)
+	for r := 0; r < np; r++ {
+		sdispls[r], sspans[r] = vDispls(rng, M[r])
+	}
+	for r := 0; r < np; r++ {
+		rdispls[r], rspans[r] = vDispls(rng, col(r))
+	}
+	a2aVal := func(gen, s, d, i int) T { return T((gen*17+s*41+d*13+i)*3%101 - 20) }
+	a2aSrc := func(gen int) []T {
+		sb := make([]T, sspans[me])
+		for i := range sb {
+			sb[i] = sentinel
+		}
+		for d := 0; d < np; d++ {
+			for i := 0; i < M[me][d]; i++ {
+				sb[sdispls[me][d]+i] = a2aVal(gen, me, d, i)
+			}
+		}
+		return sb
+	}
+	a2aWant := func(gen int) []T {
+		want := blank(rspans[me])
+		for s := 0; s < np; s++ {
+			for i := 0; i < M[s][me]; i++ {
+				want[rdispls[me][s]+i] = a2aVal(gen, s, me, i)
+			}
+		}
+		return want
+	}
+	vsb := a2aSrc(6)
+	bV, nV, pV := blank(rspans[me]), blank(rspans[me]), blank(rspans[me])
+	if err := w.Alltoallv(vsb, 0, M[me], sdispls[me], dt, bV, 0, col(me), rdispls[me], dt); err != nil {
+		return fmt.Errorf("alltoallv: %w", err)
+	}
+	if err := cmp("alltoallv", a2aWant(6), bV); err != nil {
+		return err
+	}
+	vr, err := w.Ialltoallv(vsb, 0, M[me], sdispls[me], dt, nV, 0, col(me), rdispls[me], dt)
+	if err != nil {
+		return fmt.Errorf("ialltoallv: %w", err)
+	}
+	if _, err := vr.Wait(); err != nil {
+		return fmt.Errorf("ialltoallv: %w", err)
+	}
+	if err := cmp("ialltoallv", bV, nV); err != nil {
+		return err
+	}
+	vp, err := w.CommitAlltoallv(vsb, 0, M[me], sdispls[me], dt, pV, 0, col(me), rdispls[me], dt)
+	if err != nil {
+		return fmt.Errorf("palltoallv: %w", err)
+	}
+	for rep, gen := range []int{6, 7} {
+		if rep == 1 {
+			copy(vsb, a2aSrc(gen))
+		}
+		if err := vp.Start(); err != nil {
+			return err
+		}
+		if _, err := vp.Wait(); err != nil {
+			return err
+		}
+		if err := cmp("palltoallv", a2aWant(gen), pV); err != nil {
+			return err
+		}
+	}
+
+	// --- ReduceScatter ---
+	rsc := vSizes(rng, np, tc.maxCount)
+	total := 0
+	off := 0
+	for r, n := range rsc {
+		if r < me {
+			off += n
+		}
+		total += n
+	}
+	rin := make([]T, total)
+	for i := range rin {
+		rin[i] = val(8, me, i)
+	}
+	rsWant := func(gen int) []T {
+		want := make([]T, rsc[me])
+		for i := range want {
+			var sum T
+			for r := 0; r < np; r++ {
+				sum += val(gen, r, off+i)
+			}
+			want[i] = sum
+		}
+		return want
+	}
+	bR, nR, pR := blank(rsc[me]), blank(rsc[me]), blank(rsc[me])
+	if err := w.ReduceScatter(rin, 0, bR, 0, rsc, dt, SumOp); err != nil {
+		return fmt.Errorf("reduce_scatter: %w", err)
+	}
+	if err := cmp("reduce_scatter", rsWant(8), bR); err != nil {
+		return err
+	}
+	rr, err := w.IreduceScatter(rin, 0, nR, 0, rsc, dt, SumOp)
+	if err != nil {
+		return fmt.Errorf("ireduce_scatter: %w", err)
+	}
+	if _, err := rr.Wait(); err != nil {
+		return fmt.Errorf("ireduce_scatter: %w", err)
+	}
+	if err := cmp("ireduce_scatter", bR, nR); err != nil {
+		return err
+	}
+	rp, err := w.CommitReduceScatter(rin, 0, pR, 0, rsc, dt, SumOp)
+	if err != nil {
+		return fmt.Errorf("preduce_scatter: %w", err)
+	}
+	for rep, gen := range []int{8, 9} {
+		if rep == 1 {
+			for i := range rin {
+				rin[i] = val(gen, me, i)
+			}
+		}
+		if err := rp.Start(); err != nil {
+			return err
+		}
+		if _, err := rp.Wait(); err != nil {
+			return err
+		}
+		if err := cmp("preduce_scatter", rsWant(gen), pR); err != nil {
+			return err
+		}
+	}
+
+	// --- All five V schedules in flight at once, drained as one mixed
+	// batch (plus a barrier), exercising per-operation tag isolation. ---
+	cG, cS, cA := blank(gspan), blank(sc[me]), blank(aspan)
+	cV, cR := blank(rspans[me]), blank(rsc[me])
+	var cGbuf []T
+	if me == root {
+		cGbuf = cG
+	}
+	var reqs []AnyRequest
+	add := func(r *CollRequest, err error) error {
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, r)
+		return nil
+	}
+	if err := add(w.Igatherv(gs, 0, gc[me], dt, cGbuf, 0, gc, gd, dt, root)); err != nil {
+		return err
+	}
+	if err := add(w.Iscatterv(src, 0, sc, sd, dt, cS, 0, sc[me], dt, root)); err != nil {
+		return err
+	}
+	if err := add(w.Ibarrier()); err != nil {
+		return err
+	}
+	if err := add(w.Iallgatherv(as, 0, ac[me], dt, cA, 0, ac, ad, dt)); err != nil {
+		return err
+	}
+	if err := add(w.Ialltoallv(vsb, 0, M[me], sdispls[me], dt, cV, 0, col(me), rdispls[me], dt)); err != nil {
+		return err
+	}
+	if err := add(w.IreduceScatter(rin, 0, cR, 0, rsc, dt, SumOp)); err != nil {
+		return err
+	}
+	if _, err := WaitAllRequests(reqs); err != nil {
+		return fmt.Errorf("v mixed batch: %w", err)
+	}
+	if me == root {
+		if err := cmp("concurrent gatherv", gatherWant(1), cG); err != nil {
+			return err
+		}
+	}
+	if err := cmp("concurrent scatterv", scatterWant(3), cS); err != nil {
+		return err
+	}
+	if err := cmp("concurrent allgatherv", allWant(5), cA); err != nil {
+		return err
+	}
+	if err := cmp("concurrent alltoallv", a2aWant(7), cV); err != nil {
+		return err
+	}
+	return cmp("concurrent reduce_scatter", rsWant(9), cR)
+}
+
+// runVcollCase dispatches a case to a randomly selected datatype.
+func runVcollCase(w *Comm, tc vcollCase) error {
+	switch tc.seed % 3 {
+	case 0:
+		return checkVcoll[int32](w, Int, tc)
+	case 1:
+		return checkVcoll[int64](w, Long, tc)
+	default:
+		return checkVcoll[float64](w, Double, tc)
+	}
+}
+
+// TestVcollEquivalenceProperty is the V-family equivalence property on the
+// chan device: randomized np (including non-powers-of-two and 1), counts
+// (including zero-count ranks), permuted gapped displacements, datatype,
+// algorithm family and segment size.
+func TestVcollEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nps := []int{1, 2, 3, 4, 5, 7, 8}
+	for trial := 0; trial < 10; trial++ {
+		np := nps[rng.Intn(len(nps))]
+		tc := vcollCase{
+			np:       np,
+			seed:     rng.Int63(),
+			alg:      collAlgs[rng.Intn(len(collAlgs))],
+			seg:      1 + rng.Intn(600),
+			maxCount: 1 + rng.Intn(40),
+		}
+		runRanks(t, np, func(w *Comm) error { return runVcollCase(w, tc) })
+	}
+}
+
+// TestVcollEquivalenceLarge pushes the V family past the large-message
+// threshold on the chan device, forcing the zero-staging window ring
+// (allgatherv) and ring reduce-scatter, with block sizes crossing the
+// eager/rendezvous boundary.
+func TestVcollEquivalenceLarge(t *testing.T) {
+	for _, np := range []int{3, 5} {
+		tc := vcollCase{np: np, seed: 424243, alg: CollAlgAuto, seg: 24<<10 + 7, maxCount: 9 << 10}
+		runRanks(t, np, func(w *Comm) error { return runVcollCase(w, tc) })
+	}
+}
+
+// TestVcollEquivalenceHyb runs the V equivalence property over the hybrid
+// device's hub-routed path, including a forced-ring case.
+func TestVcollEquivalenceHyb(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i, np := range []int{2, 3, 5} {
+		tc := vcollCase{
+			np:       np,
+			seed:     rng.Int63(),
+			alg:      collAlgs[i%len(collAlgs)],
+			seg:      1 + rng.Intn(600),
+			maxCount: 1 + rng.Intn(60),
+		}
+		runRanksHyb(t, np, func(w *Comm) error { return runVcollCase(w, tc) })
+	}
+}
+
+// TestVcollObjectPaths drives the variable-size (Object) paths of the V
+// schedules: gatherv, scatterv, allgatherv and alltoallv with per-rank
+// string payloads of varying counts.
+func TestVcollObjectPaths(t *testing.T) {
+	runRanks(t, 3, func(w *Comm) error {
+		np, me := w.Size(), w.Rank()
+		counts := []int{2, 0, 1}
+		displs := []int{3, 0, 1}
+		span := 5
+		obj := func(r, i int) any { return fmt.Sprintf("obj-%d-%d", r, i) }
+		sbuf := make([]any, counts[me])
+		for i := range sbuf {
+			sbuf[i] = obj(me, i)
+		}
+		check := func(name string, got []any) error {
+			for r := 0; r < np; r++ {
+				for i := 0; i < counts[r]; i++ {
+					if got[displs[r]+i] != obj(r, i) {
+						return fmt.Errorf("%s: [%d] = %v, want %v", name, displs[r]+i, got[displs[r]+i], obj(r, i))
+					}
+				}
+			}
+			return nil
+		}
+		gbuf := make([]any, span)
+		if err := w.Gatherv(sbuf, 0, counts[me], Object, gbuf, 0, counts, displs, Object, 1); err != nil {
+			return err
+		}
+		if me == 1 {
+			if err := check("gatherv", gbuf); err != nil {
+				return err
+			}
+		}
+		abuf := make([]any, span)
+		if err := w.Allgatherv(sbuf, 0, counts[me], Object, abuf, 0, counts, displs, Object); err != nil {
+			return err
+		}
+		if err := check("allgatherv", abuf); err != nil {
+			return err
+		}
+		// Scatterv the gathered layout back out from rank 1.
+		rbuf := make([]any, counts[me])
+		if err := w.Scatterv(gbuf, 0, counts, displs, Object, rbuf, 0, counts[me], Object, 1); err != nil {
+			return err
+		}
+		for i := 0; i < counts[me]; i++ {
+			if rbuf[i] != obj(me, i) {
+				return fmt.Errorf("scatterv: [%d] = %v", i, rbuf[i])
+			}
+		}
+		// Alltoallv: rank s sends one string to every d >= s.
+		sc := make([]int, np)
+		sd := make([]int, np)
+		for d := range sc {
+			if d >= me {
+				sc[d] = 1
+			}
+			sd[d] = d
+		}
+		rc := make([]int, np)
+		rd := make([]int, np)
+		for s := range rc {
+			if s <= me {
+				rc[s] = 1
+			}
+			rd[s] = s
+		}
+		vs := make([]any, np)
+		for d := 0; d < np; d++ {
+			vs[d] = obj(me, 100+d)
+		}
+		vr := make([]any, np)
+		if err := w.Alltoallv(vs, 0, sc, sd, Object, vr, 0, rc, rd, Object); err != nil {
+			return err
+		}
+		for s := 0; s <= me; s++ {
+			if vr[s] != obj(s, 100+me) {
+				return fmt.Errorf("alltoallv: from %d = %v", s, vr[s])
+			}
+		}
+		return nil
+	})
+}
+
+// TestPcollStartWhileActive pins the persistent-collective activation
+// contract: Wait before any Start fails, completed activations restart
+// cleanly, and Start while the previous activation is still in flight
+// fails with ErrOther (checked on an activation that provably cannot
+// complete: its peer never starts).
+func TestPcollStartWhileActive(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		in := []int32{int32(w.Rank() + 1)}
+		out := make([]int32, 1)
+		p, err := w.CommitAllreduce(in, 0, out, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		if _, err := p.Wait(); !errors.Is(err, ErrOther) {
+			return fmt.Errorf("wait before start: got %v, want ErrOther", err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			if err := p.Start(); err != nil {
+				return err
+			}
+			if _, err := p.Wait(); err != nil {
+				return err
+			}
+			if err := expect(out[0] == 3, "rep %d: allreduce got %d", rep, out[0]); err != nil {
+				return err
+			}
+		}
+		// Start-while-active, deterministically: on a duplicated
+		// communicator only rank 0 activates, so the activation can never
+		// complete and the second Start must be rejected.
+		c, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		var q *PcollRequest
+		if w.Rank() == 0 {
+			if q, err = c.CommitAllreduce(in, 0, out, 0, 1, Int, SumOp); err != nil {
+				return err
+			}
+			if err := q.Start(); err != nil {
+				return err
+			}
+			if err := q.Start(); !errors.Is(err, ErrOther) {
+				return fmt.Errorf("start while active: got %v, want ErrOther", err)
+			}
+		}
+		c.Free()
+		if w.Rank() == 0 {
+			if _, err := q.Wait(); !errors.Is(err, ErrComm) {
+				return fmt.Errorf("wait after free: got %v, want ErrComm", err)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPcollFreeFailsInflight frees the communicator while a persistent
+// collective activation can never complete: the parked waiter must
+// unblock with ErrComm, and both Start and Commit on the freed
+// communicator must fail with ErrComm.
+func TestPcollFreeFailsInflight(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		c, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		var p *PcollRequest
+		if w.Rank() == 0 {
+			// Only rank 0 starts the activation: it can never complete.
+			in := []int32{1}
+			out := make([]int32, 1)
+			if p, err = c.CommitAllreduce(in, 0, out, 0, 1, Int, SumOp); err != nil {
+				return err
+			}
+			if err := p.Start(); err != nil {
+				return err
+			}
+		}
+		c.Free()
+		if w.Rank() == 0 {
+			if _, err := p.Wait(); !errors.Is(err, ErrComm) {
+				return fmt.Errorf("wait after Free: got %v, want ErrComm", err)
+			}
+			if err := p.Start(); !errors.Is(err, ErrComm) {
+				return fmt.Errorf("start on freed comm: got %v, want ErrComm", err)
+			}
+		}
+		if _, err := c.CommitBarrier(); !errors.Is(err, ErrComm) {
+			return fmt.Errorf("commit on freed comm: got %v, want ErrComm", err)
+		}
+		return nil
+	})
+}
+
+// TestPcollMixedWaitAll drains a persistent collective activation, a
+// plain collective and a point-to-point exchange through one
+// WaitAllRequests batch.
+func TestPcollMixedWaitAll(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		peer := 1 - w.Rank()
+		out := []int32{int32(10 + w.Rank())}
+		in := make([]int32, 1)
+		sum := make([]int32, 1)
+		psum := make([]int32, 1)
+		p, err := w.CommitAllreduce(out, 0, psum, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		if err := p.Start(); err != nil {
+			return err
+		}
+		sr, err := w.Isend(out, 0, 1, Int, peer, 5)
+		if err != nil {
+			return err
+		}
+		rr, err := w.Irecv(in, 0, 1, Int, peer, 5)
+		if err != nil {
+			return err
+		}
+		cr, err := w.Iallreduce(out, 0, sum, 0, 1, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		if _, err := WaitAllRequests([]AnyRequest{sr, rr, cr, p}); err != nil {
+			return err
+		}
+		if err := expect(in[0] == int32(10+peer), "p2p got %d", in[0]); err != nil {
+			return err
+		}
+		if err := expect(sum[0] == 21, "allreduce got %d", sum[0]); err != nil {
+			return err
+		}
+		return expect(psum[0] == 21, "persistent allreduce got %d", psum[0])
+	})
+}
+
+// TestPcollClassicFamily commits persistent forms of the fixed-count
+// collectives (bcast, gather, scatter, allgather, alltoall, reduce, scan,
+// barrier) and runs each twice with mutated inputs, checking ground truth
+// both times.
+func TestPcollClassicFamily(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		np, me := w.Size(), w.Rank()
+		const n = 5
+		val := func(gen, rank, i int) int64 { return int64(gen*1000 + rank*10 + i) }
+
+		bb := make([]int64, n)
+		pb, err := w.CommitBcast(bb, 0, n, Long, 2)
+		if err != nil {
+			return err
+		}
+		gsrc := make([]int64, n)
+		gdst := make([]int64, np*n)
+		pg, err := w.CommitGather(gsrc, 0, n, Long, gdst, 0, n, Long, 1)
+		if err != nil {
+			return err
+		}
+		ssrc := make([]int64, np*n)
+		sdst := make([]int64, n)
+		ps, err := w.CommitScatter(ssrc, 0, n, Long, sdst, 0, n, Long, 0)
+		if err != nil {
+			return err
+		}
+		adst := make([]int64, np*n)
+		pa, err := w.CommitAllgather(gsrc, 0, n, Long, adst, 0, n, Long)
+		if err != nil {
+			return err
+		}
+		tsrc := make([]int64, np*n)
+		tdst := make([]int64, np*n)
+		pt, err := w.CommitAlltoall(tsrc, 0, n, Long, tdst, 0, n, Long)
+		if err != nil {
+			return err
+		}
+		rdst := make([]int64, n)
+		pr, err := w.CommitReduce(gsrc, 0, rdst, 0, n, Long, SumOp, 3)
+		if err != nil {
+			return err
+		}
+		cdst := make([]int64, n)
+		pc, err := w.CommitScan(gsrc, 0, cdst, 0, n, Long, SumOp)
+		if err != nil {
+			return err
+		}
+		pbar, err := w.CommitBarrier()
+		if err != nil {
+			return err
+		}
+
+		for gen := 0; gen < 2; gen++ {
+			if me == 2 {
+				for i := range bb {
+					bb[i] = val(gen, 2, i)
+				}
+			}
+			for i := range gsrc {
+				gsrc[i] = val(gen, me, i)
+			}
+			for r := 0; r < np; r++ {
+				for i := 0; i < n; i++ {
+					ssrc[r*n+i] = val(gen, r, i)
+					tsrc[r*n+i] = val(gen, me*np+r, i)
+				}
+			}
+			for _, p := range []*PcollRequest{pb, pg, ps, pa, pt, pr, pc, pbar} {
+				if err := p.Start(); err != nil {
+					return err
+				}
+				if _, err := p.Wait(); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < n; i++ {
+				if bb[i] != val(gen, 2, i) {
+					return fmt.Errorf("gen %d: pbcast[%d] = %d", gen, i, bb[i])
+				}
+				if sdst[i] != val(gen, me, i) {
+					return fmt.Errorf("gen %d: pscatter[%d] = %d", gen, i, sdst[i])
+				}
+				var sum, prefix int64
+				for r := 0; r < np; r++ {
+					sum += val(gen, r, i)
+					if r <= me {
+						prefix += val(gen, r, i)
+					}
+				}
+				if me == 3 && rdst[i] != sum {
+					return fmt.Errorf("gen %d: preduce[%d] = %d, want %d", gen, i, rdst[i], sum)
+				}
+				if cdst[i] != prefix {
+					return fmt.Errorf("gen %d: pscan[%d] = %d, want %d", gen, i, cdst[i], prefix)
+				}
+				for r := 0; r < np; r++ {
+					if me == 1 && gdst[r*n+i] != val(gen, r, i) {
+						return fmt.Errorf("gen %d: pgather[%d][%d] = %d", gen, r, i, gdst[r*n+i])
+					}
+					if adst[r*n+i] != val(gen, r, i) {
+						return fmt.Errorf("gen %d: pallgather[%d][%d] = %d", gen, r, i, adst[r*n+i])
+					}
+					if tdst[r*n+i] != val(gen, r*np+me, i) {
+						return fmt.Errorf("gen %d: palltoall[%d][%d] = %d", gen, r, i, tdst[r*n+i])
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestVcollZeroCountExemptDispls pins the exemption checkVSpec documents:
+// a zero-count block is never accessed, so whatever displacement rides
+// along with it — negative, out of range — must not fail the collective,
+// including for the caller's own block in the finish hooks.
+func TestVcollZeroCountExemptDispls(t *testing.T) {
+	runRanks(t, 1, func(w *Comm) error {
+		var none []int32
+		if err := w.Gatherv(none, 0, 0, Int, none, 0, []int{0}, []int{99}, Int, 0); err != nil {
+			return fmt.Errorf("gatherv: %w", err)
+		}
+		if err := w.Scatterv(none, 0, []int{0}, []int{-5}, Int, none, 0, 0, Int, 0); err != nil {
+			return fmt.Errorf("scatterv: %w", err)
+		}
+		if err := w.Allgatherv(none, 0, 0, Int, none, 0, []int{0}, []int{1 << 30}, Int); err != nil {
+			return fmt.Errorf("allgatherv: %w", err)
+		}
+		if err := w.Alltoallv(none, 0, []int{0}, []int{-3}, Int, none, 0, []int{0}, []int{7}, Int); err != nil {
+			return fmt.Errorf("alltoallv: %w", err)
+		}
+		if err := w.ReduceScatter(none, 0, none, 0, []int{0}, Int, SumOp); err != nil {
+			return fmt.Errorf("reduce_scatter: %w", err)
+		}
+		return nil
+	})
+	// Multi-rank: one rank's block is empty with a garbage displacement;
+	// the other blocks must land correctly around it.
+	runRanks(t, 3, func(w *Comm) error {
+		me := w.Rank()
+		counts := []int{2, 0, 1}
+		displs := []int{0, -9, 3}
+		mine := make([]int32, counts[me])
+		for i := range mine {
+			mine[i] = int32(me*10 + i)
+		}
+		got := make([]int32, 4)
+		if err := w.Allgatherv(mine, 0, counts[me], Int, got, 0, counts, displs, Int); err != nil {
+			return fmt.Errorf("allgatherv: %w", err)
+		}
+		if got[0] != 0 || got[1] != 1 || got[3] != 20 {
+			return fmt.Errorf("allgatherv: got %v", got)
+		}
+		var root []int32
+		if me == 0 {
+			root = make([]int32, 4)
+		}
+		if err := w.Gatherv(mine, 0, counts[me], Int, root, 0, counts, displs, Int, 0); err != nil {
+			return fmt.Errorf("gatherv: %w", err)
+		}
+		if me == 0 && (root[0] != 0 || root[1] != 1 || root[3] != 20) {
+			return fmt.Errorf("gatherv: got %v", root)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+
+	"mpj/internal/wire"
+)
+
+// This file implements the varying-count (V family) collectives —
+// Igatherv, Iscatterv, Iallgatherv, Ialltoallv, IreduceScatter — as
+// schedule builders for the engine in sched.go, completing the move of
+// every collective onto compiled per-rank round schedules. Each builder
+// validates the per-peer counts/displacements up front (checkVSpec: typed
+// ErrCount/ErrArg errors before anything is posted or written), packs
+// sends straight into outgoing wire frames (vSendStep) and lands
+// raw-layout receives in place at their displacements (vWindow), so V
+// payloads never stage. The blocking forms in coll.go compile and Wait on
+// exactly these schedules, and the persistent Commit* forms (pcoll.go)
+// re-compile them per Start under one committed tag.
+
+// Igatherv starts a non-blocking varying-count gather — MPI_Igatherv:
+// rank r contributes scount elements of sdt and the root places
+// rcounts[r] elements at roff + displs[r]*extent(rdt). Linear schedule;
+// raw-layout blocks land directly in the root's buffer. rcounts/displs
+// are read on the root only. A rank whose block is empty (scount 0 on the
+// sender, rcounts[r] 0 on the root) exchanges no message at all.
+func (c *Comm) Igatherv(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff int, rcounts, displs []int, rdt Datatype, root int) (*CollRequest, error) {
+	return c.igatherv("igatherv", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt, root)
+}
+
+func (c *Comm) igatherv(name string, tag int, sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff int, rcounts, displs []int, rdt Datatype, root int) (*CollRequest, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	size := c.Size()
+	if c.rank != root {
+		var rounds []round
+		if scount != 0 {
+			ss, err := vSendStep(root, sdt, sbuf, soff, scount)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			rounds = []round{{sends: []sendStep{ss}}}
+		}
+		return c.newCollRequest(name, tag, rounds, nil)
+	}
+	ext := rdt.Extent()
+	if err := checkVSpec(size, rcounts, displs, ext, roff, bufSlots(rbuf), true); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	own, err := packExact(sdt, sbuf, soff, scount)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	var rd round
+	for r := 0; r < size; r++ {
+		if r == root || rcounts[r] == 0 {
+			continue
+		}
+		if win := vWindow(rdt, rbuf, roff+displs[r]*ext, rcounts[r]); win != nil {
+			rd.recvs = append(rd.recvs, recvStep{from: r, buf: win})
+			continue
+		}
+		rd.recvs = append(rd.recvs, recvStep{from: r, on: func(got []byte) error {
+			_, err := rdt.Unpack(got, rbuf, roff+displs[r]*ext, rcounts[r])
+			return err
+		}})
+	}
+	finish := func() error {
+		if rcounts[root] == 0 {
+			return nil // empty blocks are exempt from their displacements
+		}
+		_, err := rdt.Unpack(own, rbuf, roff+displs[root]*ext, rcounts[root])
+		return err
+	}
+	var rounds []round
+	if len(rd.recvs) > 0 {
+		rounds = []round{rd}
+	}
+	return c.newCollRequest(name, tag, rounds, finish)
+}
+
+// Iscatterv starts a non-blocking varying-count scatter — MPI_Iscatterv:
+// rank r receives rcount elements of rdt taken from the root's sbuf at
+// soff + displs[r]*extent(sdt). Linear schedule; the root packs each
+// block straight into its outgoing frame and raw-layout receive buffers
+// are filled in place. scounts/displs are read on the root only.
+func (c *Comm) Iscatterv(sbuf any, soff int, scounts, displs []int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
+	return c.iscatterv("iscatterv", c.nextCollTag(), sbuf, soff, scounts, displs, sdt, rbuf, roff, rcount, rdt, root)
+}
+
+func (c *Comm) iscatterv(name string, tag int, sbuf any, soff int, scounts, displs []int, sdt Datatype,
+	rbuf any, roff, rcount int, rdt Datatype, root int) (*CollRequest, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	if rcount < 0 {
+		return nil, fmt.Errorf("%s: %w: negative receive count %d", name, ErrCount, rcount)
+	}
+	size := c.Size()
+	if c.rank != root {
+		if rcount == 0 {
+			return c.newCollRequest(name, tag, nil, nil)
+		}
+		if win := vWindow(rdt, rbuf, roff, rcount); win != nil {
+			rounds := []round{{recvs: []recvStep{{from: root, buf: win}}}}
+			return c.newCollRequest(name, tag, rounds, nil)
+		}
+		cl := &cell{}
+		rounds := []round{{recvs: []recvStep{{from: root, on: func(got []byte) error { cl.b = got; return nil }}}}}
+		finish := func() error {
+			_, err := rdt.Unpack(cl.b, rbuf, roff, rcount)
+			return err
+		}
+		return c.newCollRequest(name, tag, rounds, finish)
+	}
+	ext := sdt.Extent()
+	if err := checkVSpec(size, scounts, displs, ext, soff, bufSlots(sbuf), false); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	var rd round
+	for r := 0; r < size; r++ {
+		if r == root || scounts[r] == 0 {
+			continue
+		}
+		ss, err := vSendStep(r, sdt, sbuf, soff+displs[r]*ext, scounts[r])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rd.sends = append(rd.sends, ss)
+	}
+	finish := func() error {
+		if scounts[root] == 0 {
+			return nil // empty blocks are exempt from their displacements
+		}
+		data, err := packExact(sdt, sbuf, soff+displs[root]*ext, scounts[root])
+		if err != nil {
+			return err
+		}
+		_, err = rdt.Unpack(data, rbuf, roff, rcount)
+		return err
+	}
+	var rounds []round
+	if len(rd.sends) > 0 {
+		rounds = []round{rd}
+	}
+	return c.newCollRequest(name, tag, rounds, finish)
+}
+
+// Iallgatherv starts a non-blocking varying-count allgather —
+// MPI_Iallgatherv: every member's scount-element contribution lands at
+// roff + displs[r]*extent(rdt) in every member's rbuf. Ring algorithm
+// (p-1 rounds forwarding whole blocks); large raw-layout payloads take
+// the zero-staging window ring, blocks circulating straight between the
+// members' receive buffers (see collalg.go for the selection knobs).
+func (c *Comm) Iallgatherv(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff int, rcounts, displs []int, rdt Datatype) (*CollRequest, error) {
+	return c.iallgatherv("iallgatherv", c.nextCollTag(), sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt)
+}
+
+func (c *Comm) iallgatherv(name string, tag int, sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff int, rcounts, displs []int, rdt Datatype) (*CollRequest, error) {
+	size := c.Size()
+	ext := rdt.Extent()
+	if err := checkVSpec(size, rcounts, displs, ext, roff, bufSlots(rbuf), true); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if sz := rdt.ByteSize(); sz > 0 && size > 1 {
+		total := 0
+		for _, n := range rcounts {
+			total += n
+		}
+		if total > 0 && c.collLarge(total*sz) {
+			if rounds, ok := c.ringWindowVRounds(sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt); ok {
+				return c.newCollRequest(name, tag, rounds, nil)
+			}
+		}
+	}
+	// Forwarding ring: each hop re-sends the block bytes it received and
+	// unpacks a copy into place — works for any datatype incl. Object and
+	// for blocks whose layout refuses a raw window.
+	myData, err := packExact(sdt, sbuf, soff, scount)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	unpackSlot := func(owner int, got []byte) error {
+		if rcounts[owner] == 0 {
+			return nil // empty blocks are exempt from their displacements
+		}
+		_, err := rdt.Unpack(got, rbuf, roff+displs[owner]*ext, rcounts[owner])
+		return err
+	}
+	if size == 1 {
+		return c.newCollRequest(name, tag, nil, func() error {
+			if rcounts[0] == 0 {
+				return nil // empty blocks are exempt from their displacements
+			}
+			return unpackSlot(0, myData)
+		})
+	}
+	if rcounts[c.rank] > 0 {
+		if err := unpackSlot(c.rank, myData); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return c.newCollRequest(name, tag, ringRounds(c, myData, unpackSlot), nil)
+}
+
+// ringWindowVRounds compiles the zero-staging ring allgatherv: block r of
+// the varying layout lives at displs[r] in every member's receive buffer,
+// and in round s each rank forwards block (rank-s mod p) straight out of
+// its buffer while block (rank-s-1 mod p) lands straight into its final
+// slot — the varying-count analogue of ringWindowRounds. Empty blocks
+// still flow through the ring as empty messages, keeping every hop's
+// rounds aligned with its neighbours'. ok=false when a non-empty slot
+// refuses a raw window or the local contribution cannot pack in place, in
+// which case the caller falls back to the forwarding ring.
+func (c *Comm) ringWindowVRounds(sbuf any, soff, scount int, sdt Datatype,
+	rbuf any, roff int, rcounts, displs []int, rdt Datatype) ([]round, bool) {
+	size := c.Size()
+	ext := rdt.Extent()
+	slots := make([][]byte, size)
+	for r := 0; r < size; r++ {
+		if rcounts[r] == 0 {
+			continue
+		}
+		win := vWindow(rdt, rbuf, roff+displs[r]*ext, rcounts[r])
+		if win == nil {
+			return nil, false
+		}
+		slots[r] = win
+	}
+	pi, ok := sdt.(packerInto)
+	if !ok || sdt.ByteSize() < 0 || scount < 0 || scount*sdt.ByteSize() != len(slots[c.rank]) {
+		return nil, false
+	}
+	if scount > 0 {
+		if err := pi.PackInto(slots[c.rank], sbuf, soff, scount); err != nil {
+			return nil, false
+		}
+	}
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	var rs []round
+	for s := 0; s < size-1; s++ {
+		data := slots[(c.rank-s+size)%size]
+		rd := round{sends: []sendStep{{to: right, data: func() []byte { return data }}}}
+		if dst := slots[(c.rank-s-1+2*size)%size]; len(dst) > 0 {
+			rd.recvs = []recvStep{{from: left, buf: dst}}
+		} else {
+			rd.recvs = []recvStep{{from: left}}
+		}
+		rs = append(rs, rd)
+	}
+	return rs, true
+}
+
+// Ialltoallv starts a non-blocking varying-count all-to-all personalized
+// exchange — MPI_Ialltoallv: the block for peer r is read from
+// soff + sdispls[r]*extent(sdt) and peer r's block lands at
+// roff + rdispls[r]*extent(rdt). All transfers run in a single schedule
+// round; sends pack straight into outgoing frames, raw-layout receives
+// land in place. Pairs whose block is empty on both sides (scounts on the
+// sender, rcounts on the receiver) exchange no message.
+func (c *Comm) Ialltoallv(sbuf any, soff int, scounts, sdispls []int, sdt Datatype,
+	rbuf any, roff int, rcounts, rdispls []int, rdt Datatype) (*CollRequest, error) {
+	return c.ialltoallv("ialltoallv", c.nextCollTag(), sbuf, soff, scounts, sdispls, sdt, rbuf, roff, rcounts, rdispls, rdt)
+}
+
+func (c *Comm) ialltoallv(name string, tag int, sbuf any, soff int, scounts, sdispls []int, sdt Datatype,
+	rbuf any, roff int, rcounts, rdispls []int, rdt Datatype) (*CollRequest, error) {
+	size := c.Size()
+	sext, rext := sdt.Extent(), rdt.Extent()
+	if err := checkVSpec(size, scounts, sdispls, sext, soff, bufSlots(sbuf), false); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if err := checkVSpec(size, rcounts, rdispls, rext, roff, bufSlots(rbuf), true); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	var rd round
+	for r := 0; r < size; r++ {
+		if r == c.rank || rcounts[r] == 0 {
+			continue
+		}
+		if win := vWindow(rdt, rbuf, roff+rdispls[r]*rext, rcounts[r]); win != nil {
+			rd.recvs = append(rd.recvs, recvStep{from: r, buf: win})
+			continue
+		}
+		rd.recvs = append(rd.recvs, recvStep{from: r, on: func(got []byte) error {
+			_, err := rdt.Unpack(got, rbuf, roff+rdispls[r]*rext, rcounts[r])
+			return err
+		}})
+	}
+	for r := 0; r < size; r++ {
+		if r == c.rank || scounts[r] == 0 {
+			continue
+		}
+		ss, err := vSendStep(r, sdt, sbuf, soff+sdispls[r]*sext, scounts[r])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rd.sends = append(rd.sends, ss)
+	}
+	finish := func() error {
+		// Empty blocks are exempt from their displacements, so the own
+		// block only packs and unpacks when its side's count is non-zero.
+		var data []byte
+		if scounts[c.rank] > 0 {
+			var err error
+			if data, err = packExact(sdt, sbuf, soff+sdispls[c.rank]*sext, scounts[c.rank]); err != nil {
+				return err
+			}
+		}
+		if rcounts[c.rank] == 0 {
+			return nil
+		}
+		_, err := rdt.Unpack(data, rbuf, roff+rdispls[c.rank]*rext, rcounts[c.rank])
+		return err
+	}
+	var rounds []round
+	if len(rd.recvs)+len(rd.sends) > 0 {
+		rounds = []round{rd}
+	}
+	return c.newCollRequest(name, tag, rounds, finish)
+}
+
+// IreduceScatter starts a non-blocking reduce-scatter —
+// MPI_Ireduce_scatter: every member contributes sum(rcounts) elements,
+// the element-wise combination is computed with op, and rank r receives
+// elements [sum(rcounts[:r]), sum(rcounts[:r+1])) of the result in rbuf
+// at roff. Large payloads ride the bandwidth-optimal ring reduce-scatter
+// with chunks cut on the rcounts boundaries; small ones reduce to rank 0
+// and scatter linearly (see collalg.go for the selection knobs).
+func (c *Comm) IreduceScatter(sbuf any, soff int, rbuf any, roff int, rcounts []int, dt Datatype, op *Op) (*CollRequest, error) {
+	return c.ireduceScatter("ireduce_scatter", c.nextCollTag(), sbuf, soff, rbuf, roff, rcounts, dt, op)
+}
+
+func (c *Comm) ireduceScatter(name string, tag int, sbuf any, soff int, rbuf any, roff int,
+	rcounts []int, dt Datatype, op *Op) (*CollRequest, error) {
+	size := c.Size()
+	if len(rcounts) != size {
+		return nil, fmt.Errorf("%s: %w: need %d rcounts, got %d", name, ErrCount, size, len(rcounts))
+	}
+	elem := dt.ByteSize()
+	if elem <= 0 {
+		return nil, fmt.Errorf("%s: %w: reduce-scatter requires fixed-size elements, have %s", name, ErrType, dt.Name())
+	}
+	total := 0
+	displs := make([]int, size)
+	for i, n := range rcounts {
+		if n < 0 {
+			return nil, fmt.Errorf("%s: %w: negative count %d for rank %d", name, ErrCount, n, i)
+		}
+		displs[i] = total
+		total += n
+	}
+	comb, err := op.combinerFor(dt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if size > 1 && c.collLarge(total*elem) {
+		return c.ireduceScatterRing(name, tag, sbuf, soff, rbuf, roff, rcounts, displs, total, dt, comb)
+	}
+
+	// Classic: binomial-tree reduce to rank 0, then scatter the chunks of
+	// the combined vector linearly.
+	acc := &cell{}
+	if acc.b, err = packExact(dt, sbuf, soff, total); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	rounds := reduceRounds(c, acc, comb, 0)
+	var finish func() error
+	if c.rank == 0 {
+		var rd round
+		for r := 1; r < size; r++ {
+			if rcounts[r] == 0 {
+				continue
+			}
+			lo, hi := displs[r]*elem, (displs[r]+rcounts[r])*elem
+			rd.sends = append(rd.sends, sendStep{to: r, data: func() []byte { return acc.b[lo:hi] }})
+		}
+		if len(rd.sends) > 0 {
+			rounds = append(rounds, rd)
+		}
+		finish = func() error {
+			if rcounts[0] == 0 {
+				return nil
+			}
+			_, err := dt.Unpack(acc.b[:rcounts[0]*elem], rbuf, roff, rcounts[0])
+			return err
+		}
+	} else if rcounts[c.rank] > 0 {
+		if win := vWindow(dt, rbuf, roff, rcounts[c.rank]); win != nil {
+			rounds = append(rounds, round{recvs: []recvStep{{from: 0, buf: win}}})
+		} else {
+			mine := &cell{}
+			rounds = append(rounds, round{recvs: []recvStep{{from: 0, on: func(got []byte) error {
+				mine.b = got
+				return nil
+			}}}})
+			finish = func() error {
+				_, err := dt.Unpack(mine.b, rbuf, roff, rcounts[c.rank])
+				return err
+			}
+		}
+	}
+	return c.newCollRequest(name, tag, rounds, finish)
+}
+
+// ireduceScatterRing compiles the bandwidth-optimal ring reduce-scatter:
+// chunks are cut on the rcounts boundaries of the packed vector, and in
+// round s every rank sends its partial of chunk (rank-s-1 mod p) right
+// while folding the arriving partial of chunk (rank-s-2 mod p) into its
+// accumulator, so after p-1 rounds rank r holds the complete reduction of
+// exactly chunk r — no reduce-at-root bottleneck, and each rank moves
+// ~2·n bytes regardless of p (the first phase of the ring allreduce, with
+// the allgather phase replaced by the scatter semantics). Empty chunks
+// are skipped on both the sending and the receiving side of their hop,
+// which every rank derives consistently from the shared rcounts.
+func (c *Comm) ireduceScatterRing(name string, tag int, sbuf any, soff int, rbuf any, roff int,
+	rcounts, displs []int, total int, dt Datatype, comb combiner) (*CollRequest, error) {
+	size := c.Size()
+	elem := dt.ByteSize()
+	acc, err := packExact(dt, sbuf, soff, total)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	chunk := func(i int) []byte {
+		i = (i%size + size) % size
+		return acc[displs[i]*elem : (displs[i]+rcounts[i])*elem]
+	}
+	maxChunk := 0
+	for _, n := range rcounts {
+		maxChunk = max(maxChunk, n*elem)
+	}
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	scratch := wire.GetBuf(maxChunk)
+	var rs []round
+	for s := 0; s < size-1; s++ {
+		var rd round
+		if dst := chunk(c.rank - s - 2); len(dst) > 0 {
+			rd.recvs = []recvStep{{from: left, buf: scratch[:len(dst)], on: func(got []byte) error {
+				return comb(got, dst)
+			}}}
+		}
+		if send := chunk(c.rank - s - 1); len(send) > 0 {
+			rd.sends = []sendStep{{to: right, data: func() []byte { return send }}}
+		}
+		if len(rd.recvs)+len(rd.sends) > 0 {
+			rs = append(rs, rd)
+		}
+	}
+	finish := func() error {
+		wire.PutBuf(scratch)
+		if rcounts[c.rank] == 0 {
+			return nil
+		}
+		_, err := dt.Unpack(chunk(c.rank), rbuf, roff, rcounts[c.rank])
+		return err
+	}
+	return c.newCollRequest(name, tag, rs, finish)
+}

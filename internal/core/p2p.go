@@ -202,7 +202,8 @@ func TestAny(reqs []*Request) (int, *Status, bool, error) {
 }
 
 // AnyRequest is the completion surface shared by point-to-point Requests,
-// persistent Prequests and collective CollRequests. It lets mixed batches
+// persistent Prequests, collective CollRequests and persistent collective
+// PcollRequests. It lets mixed batches
 // — a halo exchange plus a non-blocking allreduce, say — complete through
 // one WaitAllRequests call.
 type AnyRequest interface {
@@ -212,11 +213,12 @@ type AnyRequest interface {
 	Test() (*Status, bool, error)
 }
 
-// The three request kinds all satisfy the common interface.
+// The four request kinds all satisfy the common interface.
 var (
 	_ AnyRequest = (*Request)(nil)
 	_ AnyRequest = (*Prequest)(nil)
 	_ AnyRequest = (*CollRequest)(nil)
+	_ AnyRequest = (*PcollRequest)(nil)
 )
 
 // isNilRequest reports whether a batch slot is empty: a nil interface or
@@ -233,6 +235,21 @@ func isNilRequest(r AnyRequest) bool {
 		return v == nil
 	case *CollRequest:
 		return v == nil
+	case *PcollRequest:
+		return v == nil
+	}
+	return false
+}
+
+// isCollSlot reports whether a batch slot carries a collective schedule
+// that must be driven by round-robin progress: a CollRequest, or a
+// persistent PcollRequest (whose activation is one).
+func isCollSlot(r AnyRequest) bool {
+	switch v := r.(type) {
+	case *CollRequest:
+		return v != nil
+	case *PcollRequest:
+		return v != nil
 	}
 	return false
 }
@@ -253,7 +270,7 @@ func WaitAllRequests(reqs []AnyRequest) ([]*Status, error) {
 	sts := make([]*Status, len(reqs))
 	hasColl := false
 	for _, r := range reqs {
-		if cr, ok := r.(*CollRequest); ok && cr != nil {
+		if isCollSlot(r) {
 			hasColl = true
 			break
 		}
@@ -301,7 +318,7 @@ func WaitAllRequests(reqs []AnyRequest) ([]*Status, error) {
 					progressed = true
 					continue
 				}
-				if _, isColl := r.(*CollRequest); isColl {
+				if isCollSlot(r) {
 					collLeft = true
 				}
 				continue
@@ -346,6 +363,8 @@ func WaitAllRequests(reqs []AnyRequest) ([]*Status, error) {
 				}
 				comm = v.comm
 			case *CollRequest:
+				comm = v.c
+			case *PcollRequest:
 				comm = v.c
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -284,5 +285,80 @@ func TestCartCoordsRankBijection(t *testing.T) {
 			}
 			return nil
 		})
+	}
+}
+
+// TestVSpecValidationProperty checks the laws of the varying-count layout
+// validator over random layouts: a well-formed permuted/gapped layout is
+// accepted; negating any count fails with ErrCount; negating a
+// displacement, pushing a block past the buffer end, or (on receive
+// sides) colliding two non-empty blocks fails with ErrArg; and send-side
+// validation accepts overlapping blocks (they are only read).
+func TestVSpecValidationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np := 1 + rng.Intn(8)
+		counts := make([]int, np)
+		displs := make([]int, np)
+		cur := 0
+		for _, r := range rng.Perm(np) {
+			if rng.Intn(4) != 0 {
+				counts[r] = 1 + rng.Intn(9)
+			}
+			cur += rng.Intn(3)
+			displs[r] = cur
+			cur += counts[r]
+		}
+		limit := cur + rng.Intn(3)
+		if checkVSpec(np, counts, displs, 1, 0, limit, true) != nil {
+			return false
+		}
+		if checkVSpec(np, counts, displs, 1, 0, -1, true) != nil {
+			return false // unknown buffer length skips the range check
+		}
+		if err := checkVSpec(np, counts[:0], displs, 1, 0, limit, true); !errors.Is(err, ErrCount) {
+			return false
+		}
+		pick := rng.Intn(np)
+		bad := append([]int(nil), counts...)
+		bad[pick] = -1 - bad[pick]
+		if err := checkVSpec(np, bad, displs, 1, 0, limit, true); !errors.Is(err, ErrCount) {
+			return false
+		}
+		if counts[pick] > 0 {
+			negd := append([]int(nil), displs...)
+			negd[pick] = -1
+			if err := checkVSpec(np, counts, negd, 1, 0, limit, true); !errors.Is(err, ErrArg) {
+				return false
+			}
+			outd := append([]int(nil), displs...)
+			outd[pick] = limit
+			if err := checkVSpec(np, counts, outd, 1, 0, limit, true); !errors.Is(err, ErrArg) {
+				return false
+			}
+		}
+		// Collide two non-empty blocks: receive sides must reject the
+		// overlap, send sides must accept it.
+		var busy []int
+		for r := 0; r < np; r++ {
+			if counts[r] > 0 {
+				busy = append(busy, r)
+			}
+		}
+		if len(busy) >= 2 {
+			a, b := busy[0], busy[1]
+			lap := append([]int(nil), displs...)
+			lap[a] = lap[b] + counts[b] - 1
+			if err := checkVSpec(np, counts, lap, 1, 0, -1, true); !errors.Is(err, ErrArg) {
+				return false
+			}
+			if checkVSpec(np, counts, lap, 1, 0, -1, false) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
 	"sync"
 
 	"mpj/internal/device"
@@ -365,6 +367,106 @@ func (r *CollRequest) String() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return fmt.Sprintf("CollRequest{%s round=%d/%d done=%v}", r.name, r.cur, len(r.rounds), r.done)
+}
+
+// ---------------------------------------------------------------------
+// Per-peer-count (V family) schedule support. The varying-count
+// collectives compile schedules whose steps carry a different count and
+// displacement per peer; the helpers below validate such layouts up front
+// — before any round is posted or any buffer written, so argument errors
+// never leave a partial result — and build the per-block send/receive
+// steps the builders in ivcoll.go share.
+// ---------------------------------------------------------------------
+
+// bufSlots returns the base-slot length of a slice buffer, or -1 when buf
+// is not a slice (nil on ranks that do not touch the buffer, or an opaque
+// third-party buffer type) — unknown lengths skip the up-front range
+// check and surface in Pack/Unpack if the buffer is actually touched.
+func bufSlots(buf any) int {
+	if buf == nil {
+		return -1
+	}
+	v := reflect.ValueOf(buf)
+	if v.Kind() != reflect.Slice {
+		return -1
+	}
+	return v.Len()
+}
+
+// checkVSpec validates the counts/displacements of one side of a
+// varying-count collective: slice lengths and negative counts report
+// ErrCount; negative, out-of-range or (on receive sides) overlapping
+// displacements report ErrArg. ext is the datatype extent, off the buffer
+// offset in base slots, limit the buffer length from bufSlots (negative:
+// unknown, range unchecked). Blocks with zero counts are never accessed
+// and are exempt from the displacement checks, matching MPI. Send-side
+// blocks may overlap (they are only read); receive-side blocks must be
+// disjoint, or two messages would land on the same memory.
+func checkVSpec(size int, counts, displs []int, ext, off, limit int, recvSide bool) error {
+	if len(counts) != size || len(displs) != size {
+		return fmt.Errorf("%w: need %d counts/displacements, got %d/%d",
+			ErrCount, size, len(counts), len(displs))
+	}
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, size)
+	for r := 0; r < size; r++ {
+		if counts[r] < 0 {
+			return fmt.Errorf("%w: negative count %d for rank %d", ErrCount, counts[r], r)
+		}
+		if counts[r] == 0 {
+			continue
+		}
+		if displs[r] < 0 {
+			return fmt.Errorf("%w: negative displacement %d for rank %d", ErrArg, displs[r], r)
+		}
+		lo := off + displs[r]*ext
+		hi := lo + counts[r]*ext
+		if limit >= 0 && (lo < 0 || hi > limit) {
+			return fmt.Errorf("%w: rank %d block [%d:%d) outside %d-slot buffer", ErrArg, r, lo, hi, limit)
+		}
+		if recvSide {
+			spans = append(spans, span{lo, hi})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			return fmt.Errorf("%w: receive blocks [%d:%d) and [%d:%d) overlap",
+				ErrArg, spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)
+		}
+	}
+	return nil
+}
+
+// vWindow returns the in-place landing window for count elements of dt at
+// slot off of buf, or nil when the datatype layout or the buffer rules a
+// direct receive out (the caller stages and unpacks instead).
+func vWindow(dt Datatype, buf any, off, count int) []byte {
+	if rw, ok := dt.(rawWindower); ok && count > 0 {
+		if win, ok := rw.window(buf, off, count); ok {
+			return win
+		}
+	}
+	return nil
+}
+
+// vSendStep builds the send step for count elements of dt from buf at
+// off: a frame-filling step for fixed-size datatypes (the payload packs
+// straight into the outgoing wire frame), a pre-packed data step for
+// variable-size ones.
+func vSendStep(to int, dt Datatype, buf any, off, count int) (sendStep, error) {
+	if pi, ok := dt.(packerInto); ok && count >= 0 {
+		if sz := dt.ByteSize(); sz >= 0 {
+			return sendStep{to: to, n: count * sz, fill: func(p []byte) error {
+				return pi.PackInto(p, buf, off, count)
+			}}, nil
+		}
+	}
+	data, err := dt.Pack(nil, buf, off, count)
+	if err != nil {
+		return sendStep{}, err
+	}
+	return sendStep{to: to, data: func() []byte { return data }}, nil
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Fuzz coverage for the varying-count argument validation: whatever
+// counts/displacements a caller passes, the V collectives must either
+// succeed or fail with a typed ErrCount/ErrArg (never panic), and a
+// validation failure must leave the receive buffer untouched — no partial
+// writes. The seed corpus pins the interesting classes (overlapping
+// displacements, out-of-range blocks, negative counts, mismatched slice
+// lengths); `go test` runs the corpus, `go test -fuzz=FuzzV` explores.
+
+// vFuzzArg decodes one small signed integer per input byte: values in
+// [-2, 13], biased positive so valid layouts are reachable.
+func vFuzzArg(b byte) int { return int(b%16) - 2 }
+
+// vFuzzSpec decodes a counts/displs pair for np ranks from the fuzz
+// bytes, consuming 2*np entries.
+func vFuzzSpec(data []byte, np int) (counts, displs []int) {
+	counts = make([]int, np)
+	displs = make([]int, np)
+	for i := 0; i < np; i++ {
+		if len(data) > i {
+			counts[i] = vFuzzArg(data[i])
+		}
+		if len(data) > np+i {
+			displs[i] = vFuzzArg(data[np+i])
+		}
+	}
+	return counts, displs
+}
+
+// vTypedErr reports whether err is one of the argument-error classes the
+// V collectives are allowed to raise.
+func vTypedErr(err error) bool {
+	return errors.Is(err, ErrCount) || errors.Is(err, ErrArg)
+}
+
+// FuzzVSpec fuzzes the layout validator directly: it must never panic,
+// must only raise ErrCount/ErrArg, and must accept exactly the layouts
+// whose blocks are in range (and, on receive sides, disjoint) — checked
+// against an independent brute-force oracle.
+func FuzzVSpec(f *testing.F) {
+	f.Add([]byte{3, 4, 2, 0, 5, 9}, uint8(3), uint8(1), uint8(20), true)
+	f.Add([]byte{3, 4, 2, 0, 2, 9}, uint8(3), uint8(1), uint8(20), true)  // overlap
+	f.Add([]byte{3, 4, 2, 0, 2, 9}, uint8(3), uint8(1), uint8(20), false) // overlap, send side
+	f.Add([]byte{0, 1}, uint8(1), uint8(2), uint8(0), true)               // out of range
+	f.Add([]byte{255, 0}, uint8(1), uint8(1), uint8(10), true)            // negative count
+	f.Add([]byte{2, 255}, uint8(1), uint8(1), uint8(10), true)            // negative displacement
+	f.Add([]byte{}, uint8(4), uint8(1), uint8(10), true)                  // short slices
+	f.Fuzz(func(t *testing.T, data []byte, npB, extB, limitB uint8, recv bool) {
+		np := int(npB%8) + 1
+		ext := int(extB%3) + 1
+		limit := int(limitB) - 8 // negative: unknown length
+		counts, displs := vFuzzSpec(data, np)
+		if len(data) == 0 {
+			counts = counts[:0] // exercise the length mismatch path
+		}
+		err := checkVSpec(np, counts, displs, ext, 0, limit, recv)
+		if err != nil {
+			if !vTypedErr(err) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		// Accepted: re-verify with a brute-force oracle.
+		if len(counts) != np || len(displs) != np {
+			t.Fatalf("accepted mismatched lengths %d/%d for %d ranks", len(counts), len(displs), np)
+		}
+		for r := 0; r < np; r++ {
+			if counts[r] < 0 {
+				t.Fatalf("accepted negative count %d", counts[r])
+			}
+			if counts[r] == 0 {
+				continue
+			}
+			if displs[r] < 0 {
+				t.Fatalf("accepted negative displacement %d", displs[r])
+			}
+			if limit >= 0 && (displs[r]+counts[r])*ext > limit {
+				t.Fatalf("accepted out-of-range block [%d:%d) of %d", displs[r]*ext, (displs[r]+counts[r])*ext, limit)
+			}
+			if !recv {
+				continue
+			}
+			for q := 0; q < r; q++ {
+				if counts[q] == 0 {
+					continue
+				}
+				if displs[r] < displs[q]+counts[q] && displs[q] < displs[r]+counts[r] {
+					t.Fatalf("accepted overlapping receive blocks %d and %d", q, r)
+				}
+			}
+		}
+	})
+}
+
+// vSnapshot fills a buffer with a sentinel and returns a checker that
+// fails unless the buffer is still untouched.
+func vSnapshot(buf []int32) func() error {
+	for i := range buf {
+		buf[i] = -7777
+	}
+	return func() error {
+		for i, v := range buf {
+			if v != -7777 {
+				return fmt.Errorf("partial write: rbuf[%d] = %d after argument error", i, v)
+			}
+		}
+		return nil
+	}
+}
+
+// FuzzVcollValidation drives fuzzed layouts through the V collectives end
+// to end on single-rank and 3-rank in-process worlds. Every outcome must
+// be either success or a typed ErrCount/ErrArg error, and a failed
+// operation must leave the receive buffer exactly as it found it — no
+// partial writes. The single-rank world exercises every validation path
+// without peers (so inconsistent-across-ranks layouts cannot wedge the
+// job); the 3-rank world exercises the success paths and cross-rank
+// zero-count handling with layouts whose send/receive pairs are kept
+// matched, mirroring the MPI requirement.
+func FuzzVcollValidation(f *testing.F) {
+	f.Add([]byte{3, 1, 0, 2, 5, 0}, uint8(30), uint8(30))
+	f.Add([]byte{3, 1, 2, 2, 3, 0}, uint8(30), uint8(30))   // overlap
+	f.Add([]byte{255, 1, 2, 0, 3, 6}, uint8(30), uint8(30)) // negative count
+	f.Add([]byte{9, 1, 2, 200, 3, 6}, uint8(4), uint8(30))  // out of range
+	f.Add([]byte{5, 5, 5, 0, 255, 9}, uint8(30), uint8(30)) // negative displacement
+	f.Add([]byte{1, 1, 1, 0, 1, 2}, uint8(3), uint8(3))     // tight valid layout
+	f.Fuzz(func(t *testing.T, data []byte, rlenB, slenB uint8) {
+		check := func(w *Comm) error {
+			np, me := w.Size(), w.Rank()
+			counts, displs := vFuzzSpec(data, np)
+			counts2, displs2 := vFuzzSpec(reverse(data), np)
+			rbuf := make([]int32, int(rlenB))
+			sspan := 0
+			for i, n := range counts2 {
+				if n > 0 && displs2[i] >= 0 {
+					sspan = max(sspan, displs2[i]+n)
+				}
+			}
+			sbuf := make([]int32, max(sspan, int(slenB)))
+			myCount := 0
+			if me < len(counts) && counts[me] > 0 {
+				myCount = counts[me]
+			}
+			mine := make([]int32, myCount)
+
+			// Gatherv: the layout is validated on the root; a sender's
+			// contribution (counts[me]) always matches the root's
+			// expectation (rcounts[me]), so presence and sizes pair up on
+			// whatever layout the fuzzer produced.
+			snap := vSnapshot(rbuf)
+			if err := w.Gatherv(mine, 0, myCount, Int, rbuf, 0, counts, displs, Int, 0); err != nil {
+				if !vTypedErr(err) {
+					return fmt.Errorf("gatherv: untyped error %w", err)
+				}
+				if me == 0 {
+					if err := snap(); err != nil {
+						return fmt.Errorf("gatherv: %w", err)
+					}
+				}
+			}
+
+			// Scatterv: receivers derive their count from the shared spec
+			// — zero when the root will reject it, counts2[me] otherwise —
+			// so a rejected layout never leaves a receive posted with no
+			// sender behind it.
+			rootRejects := checkVSpec(np, counts2, displs2, 1, 0, len(sbuf), false) != nil
+			rcount := 0
+			if !rootRejects && me < len(counts2) && counts2[me] > 0 {
+				rcount = counts2[me]
+			}
+			rdst := rbuf
+			if rcount < len(rdst) {
+				rdst = rdst[:rcount]
+			}
+			snap = vSnapshot(rbuf)
+			if err := w.Scatterv(sbuf, 0, counts2, displs2, Int, rdst, 0, rcount, Int, 0); err != nil {
+				if !vTypedErr(err) {
+					return fmt.Errorf("scatterv: untyped error %w", err)
+				}
+				if me == 0 {
+					if err := snap(); err != nil {
+						return fmt.Errorf("scatterv: %w", err)
+					}
+				}
+			}
+
+			// Allgatherv and ReduceScatter validate the same spec on every
+			// rank, so all members take the same path; their rings always
+			// post symmetric rounds.
+			snap = vSnapshot(rbuf)
+			if err := w.Allgatherv(mine, 0, myCount, Int, rbuf, 0, counts, displs, Int); err != nil {
+				if !vTypedErr(err) {
+					return fmt.Errorf("allgatherv: untyped error %w", err)
+				}
+				if err := snap(); err != nil {
+					return fmt.Errorf("allgatherv: %w", err)
+				}
+			}
+			total := 0
+			ok := true
+			for _, n := range counts {
+				if n < 0 {
+					ok = false
+					break
+				}
+				total += n
+			}
+			var in []int32
+			if ok {
+				in = make([]int32, total)
+			}
+			snap = vSnapshot(rbuf)
+			if err := w.ReduceScatter(in, 0, rbuf, 0, counts, Int, SumOp); err != nil {
+				if !vTypedErr(err) {
+					return fmt.Errorf("reduce_scatter: untyped error %w", err)
+				}
+				if err := snap(); err != nil {
+					return fmt.Errorf("reduce_scatter: %w", err)
+				}
+			}
+
+			// Alltoallv: at np=1 the fuzzed layouts drive both validation
+			// sides directly. On the multi-rank world an inconsistent
+			// layout would wedge (as in MPI), so the pairwise-matched
+			// matrix S[s][d] runs only when every rank's row and column
+			// pass validation — a decision every rank derives identically.
+			if np == 1 {
+				snap = vSnapshot(rbuf)
+				if err := w.Alltoallv(sbuf, 0, counts2, displs2, Int, rbuf, 0, counts, displs, Int); err != nil {
+					if !vTypedErr(err) {
+						return fmt.Errorf("alltoallv: untyped error %w", err)
+					}
+					if err := snap(); err != nil {
+						return fmt.Errorf("alltoallv: %w", err)
+					}
+				}
+				return nil
+			}
+			at := func(k int) int {
+				if len(data) == 0 {
+					return 1
+				}
+				return vFuzzArg(data[k%len(data)])
+			}
+			S := make([][]int, np)
+			for r := range S {
+				S[r] = make([]int, np)
+				for d := range S[r] {
+					if n := at(r*np + d); n > 0 {
+						S[r][d] = n
+					}
+				}
+			}
+			scnt := S[me]
+			rcnt := make([]int, np)
+			for r := 0; r < np; r++ {
+				rcnt[r] = S[r][me]
+			}
+			sdis := make([]int, np)
+			rdis := make([]int, np)
+			ss, rs := 0, 0
+			for r := 0; r < np; r++ {
+				sdis[r], ss = ss, ss+scnt[r]
+				rdis[r], rs = rs, rs+rcnt[r]
+			}
+			for r := 0; r < np; r++ {
+				// Every rank checks every member's specs, so all members
+				// agree on whether the exchange runs.
+				row, col := S[r], make([]int, np)
+				rd2, sd2 := make([]int, np), make([]int, np)
+				so, ro := 0, 0
+				for q := 0; q < np; q++ {
+					col[q] = S[q][r]
+					sd2[q], so = so, so+row[q]
+					rd2[q], ro = ro, ro+col[q]
+				}
+				if checkVSpec(np, row, sd2, 1, 0, so, false) != nil ||
+					checkVSpec(np, col, rd2, 1, 0, ro, true) != nil {
+					return nil
+				}
+			}
+			vs := make([]int32, ss)
+			vr := make([]int32, rs)
+			if err := w.Alltoallv(vs, 0, scnt, sdis, Int, vr, 0, rcnt, rdis, Int); err != nil {
+				return fmt.Errorf("alltoallv matrix: %w", err)
+			}
+			return nil
+		}
+		runRanks(t, 1, check)
+		runRanks(t, 3, check)
+	})
+}
+
+// reverse returns a reversed copy of the fuzz bytes, deriving the second
+// layout from the same input.
+func reverse(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = v
+	}
+	return out
+}

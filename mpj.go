@@ -58,11 +58,16 @@ type (
 	// family (Ibarrier, Ibcast, Iallreduce, ...); it is driven by a
 	// compiled communication schedule and completes through Wait/Test.
 	CollRequest = core.CollRequest
-	// AnyRequest is the completion surface shared by Request, Prequest
-	// and CollRequest; WaitAllRequests drains mixed batches.
+	// AnyRequest is the completion surface shared by Request, Prequest,
+	// CollRequest and PcollRequest; WaitAllRequests drains mixed batches.
 	AnyRequest = core.AnyRequest
 	// Prequest is a persistent communication request.
 	Prequest = core.Prequest
+	// PcollRequest is a persistent collective request created by the
+	// Commit* methods (CommitBcast, CommitAllreduce, CommitAlltoallv,
+	// ...): the schedule is committed once and Start/Wait activate it any
+	// number of times, re-reading the user buffers each activation.
+	PcollRequest = core.PcollRequest
 	// Status reports a receive/probe outcome.
 	Status = core.Status
 	// DoubleInt pairs a float64 with an index for MaxLoc/MinLoc.
@@ -163,6 +168,10 @@ var (
 	// ErrTruncate reports a received message longer than the receive
 	// buffer, as in MPI_ERR_TRUNCATE.
 	ErrTruncate = core.ErrTruncate
+	// ErrArg reports an invalid argument that fits no more specific
+	// class — negative, out-of-range or overlapping displacements in
+	// the varying-count collectives, as in MPI_ERR_ARG.
+	ErrArg = core.ErrArg
 )
 
 // Wildcards and special values.

@@ -44,7 +44,8 @@ type (
 
 // DatatypeOf returns the Datatype describing []T buffers, for mixing the
 // typed API with the classic surface (e.g. a typed send matched by a
-// classic receive, or Gatherv, which has no typed form yet).
+// classic receive, or the persistent Commit* collectives, which take the
+// classic argument shape).
 func DatatypeOf[T Scalar]() Datatype { return core.DatatypeFor[T]() }
 
 // ---------------------------------------------------------------------
@@ -186,6 +187,80 @@ func alltoallBlock(c *Comm, n int) (int, error) {
 			ErrCount, n, size)
 	}
 	return n / size, nil
+}
+
+// ---------------------------------------------------------------------
+// Varying-count (V family) collectives. Per-rank block layouts are
+// expressed as count/displacement int slices — the count-slice surface:
+// rank r's block holds counts[r] elements and starts at element displs[r]
+// of the gathered buffer. A rank's own contribution length comes from its
+// slice (len(sbuf) for Gatherv, len(rbuf) for Scatterv), so it cannot
+// disagree with the buffer holding it. Layouts are validated before any
+// communication: malformed counts report ErrCount, negative, out-of-range
+// or overlapping receive displacements report ErrArg.
+// ---------------------------------------------------------------------
+
+// Gatherv collects every member's sbuf into the root's rbuf, rank r's
+// len(sbuf) elements landing at rbuf[displs[r]:][:rcounts[r]] — the typed
+// MPI_Gatherv. rcounts/displs are read on the root only; rbuf may be nil
+// elsewhere.
+func Gatherv[T Scalar](c *Comm, sbuf, rbuf []T, rcounts, displs []int, root int) error {
+	return core.TypedGatherv(c, sbuf, rbuf, rcounts, displs, root)
+}
+
+// Igatherv starts a non-blocking Gatherv.
+func Igatherv[T Scalar](c *Comm, sbuf, rbuf []T, rcounts, displs []int, root int) (*CollRequest, error) {
+	return core.TypedIgatherv(c, sbuf, rbuf, rcounts, displs, root)
+}
+
+// Scatterv distributes varying counts from the root: rank r's rbuf is
+// filled from sbuf[displs[r]:][:scounts[r]] — the typed MPI_Scatterv.
+// scounts/displs are read on the root only; sbuf may be nil elsewhere.
+func Scatterv[T Scalar](c *Comm, sbuf []T, scounts, displs []int, rbuf []T, root int) error {
+	return core.TypedScatterv(c, sbuf, scounts, displs, rbuf, root)
+}
+
+// Iscatterv starts a non-blocking Scatterv.
+func Iscatterv[T Scalar](c *Comm, sbuf []T, scounts, displs []int, rbuf []T, root int) (*CollRequest, error) {
+	return core.TypedIscatterv(c, sbuf, scounts, displs, rbuf, root)
+}
+
+// Allgatherv gathers varying counts to every member: rank r's whole sbuf
+// lands at rbuf[displs[r]:][:rcounts[r]] on every member — the typed
+// MPI_Allgatherv.
+func Allgatherv[T Scalar](c *Comm, sbuf, rbuf []T, rcounts, displs []int) error {
+	return core.TypedAllgatherv(c, sbuf, rbuf, rcounts, displs)
+}
+
+// Iallgatherv starts a non-blocking Allgatherv.
+func Iallgatherv[T Scalar](c *Comm, sbuf, rbuf []T, rcounts, displs []int) (*CollRequest, error) {
+	return core.TypedIallgatherv(c, sbuf, rbuf, rcounts, displs)
+}
+
+// Alltoallv exchanges varying counts between every pair of members: the
+// block for peer r is sbuf[sdispls[r]:][:scounts[r]], and peer r's block
+// lands at rbuf[rdispls[r]:][:rcounts[r]] — the typed MPI_Alltoallv.
+func Alltoallv[T Scalar](c *Comm, sbuf []T, scounts, sdispls []int, rbuf []T, rcounts, rdispls []int) error {
+	return core.TypedAlltoallv(c, sbuf, scounts, sdispls, rbuf, rcounts, rdispls)
+}
+
+// Ialltoallv starts a non-blocking Alltoallv.
+func Ialltoallv[T Scalar](c *Comm, sbuf []T, scounts, sdispls []int, rbuf []T, rcounts, rdispls []int) (*CollRequest, error) {
+	return core.TypedIalltoallv(c, sbuf, scounts, sdispls, rbuf, rcounts, rdispls)
+}
+
+// ReduceScatter combines every member's sbuf element-wise with op and
+// scatters the result: rank r's rbuf receives the rcounts[r] elements
+// starting at element sum(rcounts[:r]) of the combination — the typed
+// MPI_Reduce_scatter. len(sbuf) must equal sum(rcounts) and len(rbuf)
+// must hold rcounts[r] elements.
+func ReduceScatter[T Scalar](c *Comm, sbuf, rbuf []T, rcounts []int, op ReduceOp[T]) error {
+	return core.TypedReduceScatter(c, sbuf, rbuf, rcounts, op.op)
+}
+
+// IreduceScatter starts a non-blocking ReduceScatter.
+func IreduceScatter[T Scalar](c *Comm, sbuf, rbuf []T, rcounts []int, op ReduceOp[T]) (*CollRequest, error) {
+	return core.TypedIreduceScatter(c, sbuf, rbuf, rcounts, op.op)
 }
 
 // Reduce combines every member's sbuf element-wise with op, leaving the
