@@ -10,6 +10,9 @@
 //	mpjbench -exp vcoll      # varying-count collectives: Alltoallv layouts + ReduceScatter
 //	                         # classic vs ring (writes BENCH_vcoll.json; with -quick:
 //	                         # regression check against the committed file)
+//	mpjbench -exp ft         # fault tolerance: agreement and shrink latency (writes
+//	                         # BENCH_ft.json; with -quick: regression check against
+//	                         # the committed file)
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results and their interpretation.
@@ -33,7 +36,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL (alias: pingpong)")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL FT (alias: pingpong)")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
 		*exp = "PP"
@@ -88,6 +91,7 @@ func main() {
 		}},
 		{"COLL", runColl},
 		{"VCOLL", runVcoll},
+		{"FT", runFT},
 	}
 
 	ran := 0
@@ -179,6 +183,42 @@ func runVcoll() (*bench.Table, error) {
 		return nil, err
 	}
 	fmt.Println("  (speedups within 20% of committed BENCH_vcoll.json)")
+	return t, nil
+}
+
+// runFT runs the fault-tolerance micro-experiment. The full run records
+// agreement and shrink latency in BENCH_ft.json; the -quick run
+// re-measures the np=4 subset and fails when the latency exceeds three
+// times the committed value — the CI smoke gate for the recovery path.
+func runFT() (*bench.Table, error) {
+	t, res, err := bench.FTSweep(*quick)
+	if err != nil {
+		return nil, err
+	}
+	if !*quick {
+		js, err := bench.MarshalFTResult(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile("BENCH_ft.json", js, 0o644); err != nil {
+			return nil, fmt.Errorf("writing BENCH_ft.json: %w", err)
+		}
+		fmt.Println("  (results recorded in BENCH_ft.json)")
+		return t, nil
+	}
+	raw, err := os.ReadFile("BENCH_ft.json")
+	if err != nil {
+		fmt.Println("  (no committed BENCH_ft.json; skipping regression check)")
+		return t, nil
+	}
+	var baseline bench.FTBenchResult
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing BENCH_ft.json: %w", err)
+	}
+	if err := bench.CompareFTBaseline(res, &baseline, 3.0); err != nil {
+		return nil, err
+	}
+	fmt.Println("  (latencies within 3x of committed BENCH_ft.json)")
 	return t, nil
 }
 

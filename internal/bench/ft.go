@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"mpj/internal/core"
+	"mpj/internal/device"
+	"mpj/internal/fault"
+	"mpj/internal/transport"
+)
+
+// The FT experiment: cost of the fault-tolerance machinery. It measures
+// the all-alive agreement latency (Comm.Agree on a healthy world — the
+// steady-state price of the coordinator-pull consensus) and the shrink
+// latency (from a survivor observing a member's death to holding a
+// working shrunken communicator — the recovery turnaround). Each shrink
+// sample runs a fresh in-process job, because a dead rank stays dead.
+//
+// The recorded table (BENCH_ft.json) documents the recovery cost; the
+// -quick run re-measures a subset and fails when the shrink latency
+// exceeds three times the committed value (with a 10ms grace floor, so a
+// loaded CI runner cannot flake a healthy microsecond-scale result).
+
+// FTBenchRow is one measured configuration, recorded in BENCH_ft.json.
+type FTBenchRow struct {
+	Op      string  `json:"op"` // "agree" | "shrink"
+	NP      int     `json:"np"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// FTBenchResult is the JSON document mpjbench -exp ft writes.
+type FTBenchResult struct {
+	Experiment string       `json:"experiment"`
+	Device     string       `json:"device"`
+	Note       string       `json:"note"`
+	Rows       []FTBenchRow `json:"rows"`
+}
+
+// measureAgree times the healthy-world agreement on an np-rank job.
+func measureAgree(np, iters int) (FTBenchRow, error) {
+	row := FTBenchRow{Op: "agree", NP: np}
+	err := runJob(np, func(w *core.Comm) error {
+		if _, err := w.Agree(^uint64(0)); err != nil { // warmup
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := w.Agree(^uint64(0)); err != nil {
+				return err
+			}
+		}
+		if w.Rank() == 0 {
+			row.NsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+		}
+		return nil
+	})
+	return row, err
+}
+
+// measureShrink averages the detection-to-recovery latency over iters
+// fresh jobs: rank np-1 is killed, and rank 0 times Shrink from the
+// moment it observes the death to holding the new communicator.
+func measureShrink(np, iters int) (FTBenchRow, error) {
+	row := FTBenchRow{Op: "shrink", NP: np}
+	var total time.Duration
+	for it := 0; it < iters; it++ {
+		lat, err := shrinkOnce(np)
+		if err != nil {
+			return row, fmt.Errorf("sample %d: %w", it, err)
+		}
+		total += lat
+	}
+	row.NsPerOp = float64(total.Nanoseconds()) / float64(iters)
+	return row, nil
+}
+
+// shrinkOnce runs one kill-and-shrink job and returns rank 0's observed
+// shrink latency. The job has no finalize barrier on the world (a member
+// is dead by then); the survivors sync on the shrunken communicator and
+// teardown is by abort.
+func shrinkOnce(np int) (time.Duration, error) {
+	victim := np - 1
+	eps := transport.NewChanMesh(np)
+	dom := fault.NewDomain()
+	devs := make([]*device.Device, np)
+	worlds := make([]*core.Comm, np)
+	abortAll := func() {
+		for _, d := range devs {
+			if d != nil {
+				d.Abort()
+			}
+		}
+	}
+	for i := range eps {
+		d, err := device.Open(dom.Wrap(eps[i]))
+		if err != nil {
+			abortAll()
+			return 0, err
+		}
+		devs[i] = d
+		dom.Bind(i, d)
+		if worlds[i], err = core.NewWorld(d); err != nil {
+			abortAll()
+			return 0, err
+		}
+	}
+
+	var lat time.Duration
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for i := 0; i < np; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := worlds[i]
+			if i == victim {
+				dom.Kill(victim)
+				return
+			}
+			for !dom.Killed(victim) {
+				time.Sleep(10 * time.Microsecond)
+			}
+			start := time.Now()
+			nc, err := w.Shrink()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if i == 0 {
+				lat = time.Since(start)
+			}
+			errs[i] = nc.Barrier()
+		}()
+	}
+	wg.Wait()
+	abortAll()
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("rank %d: %w", i, err)
+		}
+	}
+	return lat, nil
+}
+
+// FTSweep runs the fault-tolerance micro-experiment. quick trims the
+// sweep to the subset the CI smoke gate re-measures.
+func FTSweep(quick bool) (*Table, *FTBenchResult, error) {
+	nps := []int{2, 4, 8}
+	agreeIters, shrinkIters := 50, 20
+	if quick {
+		nps = []int{4}
+		agreeIters, shrinkIters = 20, 5
+	}
+	res := &FTBenchResult{
+		Experiment: "ft",
+		Device:     "chan",
+		Note:       "agree: healthy-world consensus latency; shrink: death observed to shrunken communicator ready (fresh job per sample)",
+	}
+	t := &Table{
+		Title:   "FT: fault-tolerant agreement and shrink latency (chan device)",
+		Headers: []string{"op", "np", "latency"},
+	}
+	for _, np := range nps {
+		ag, err := measureAgree(np, agreeIters)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ft agree np=%d: %w", np, err)
+		}
+		sh, err := measureShrink(np, shrinkIters)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ft shrink np=%d: %w", np, err)
+		}
+		res.Rows = append(res.Rows, ag, sh)
+		t.Rows = append(t.Rows,
+			Row{"agree", fmt.Sprintf("%d", np), fmtDur(time.Duration(ag.NsPerOp))},
+			Row{"shrink", fmt.Sprintf("%d", np), fmtDur(time.Duration(sh.NsPerOp))},
+		)
+	}
+	return t, res, nil
+}
+
+// MarshalFTResult renders the result the way BENCH_ft.json stores it.
+func MarshalFTResult(res *FTBenchResult) ([]byte, error) {
+	js, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(js, '\n'), nil
+}
+
+// CompareFTBaseline fails when a measured latency exceeds factor times
+// the committed baseline's, with a 10ms grace floor so microsecond-scale
+// baselines never flake on a loaded runner.
+func CompareFTBaseline(cur, baseline *FTBenchResult, factor float64) error {
+	base := map[string]float64{}
+	for _, r := range baseline.Rows {
+		base[fmt.Sprintf("%s/np%d", r.Op, r.NP)] = r.NsPerOp
+	}
+	const floorNs = 10e6
+	var bad []string
+	checked := 0
+	for _, r := range cur.Rows {
+		key := fmt.Sprintf("%s/np%d", r.Op, r.NP)
+		want, ok := base[key]
+		if !ok {
+			continue
+		}
+		checked++
+		limit := want * factor
+		if limit < floorNs {
+			limit = floorNs
+		}
+		if r.NsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: %s > limit %s (baseline %s x%.1f)",
+				key, fmtDur(time.Duration(r.NsPerOp)), fmtDur(time.Duration(limit)),
+				fmtDur(time.Duration(want)), factor))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("fault-tolerance latency regression vs committed BENCH_ft.json: %v", bad)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no overlapping configurations between run and baseline")
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpj/internal/device"
+	"mpj/internal/fault"
+	"mpj/internal/transport"
+)
+
+// chaosJobSeq hands out process-unique hybrid-mesh job ids for the chaos
+// scenarios, away from the icoll test range.
+var chaosJobSeq atomic.Uint64
+
+// chaosCase is one fault-injection scenario: np ranks run op, the victim
+// is killed as it reaches its round-th schedule round, and the survivors
+// must all observe a typed rank failure (or a fully completed result),
+// shrink, and keep computing.
+type chaosCase struct {
+	np     int
+	victim int
+	round  int
+	op     string
+}
+
+// chaosCases derives n scenarios from a fixed seed — randomized coverage,
+// reproducible runs.
+func chaosCases(n int) []chaosCase {
+	rng := rand.New(rand.NewSource(0x5eed))
+	ops := []string{"barrier", "bcast", "allreduce", "allgather"}
+	cases := make([]chaosCase, n)
+	for i := range cases {
+		np := 2 + rng.Intn(4) // 2..5
+		cases[i] = chaosCase{
+			np:     np,
+			victim: rng.Intn(np),
+			round:  rng.Intn(4),
+			op:     ops[rng.Intn(len(ops))],
+		}
+	}
+	return cases
+}
+
+// TestChaosCollectiveKill is the chaos property over the channel mesh:
+// kill one rank mid-collective and every survivor must get ErrRankFailed
+// naming the victim (or a complete, correct result if its schedule beat
+// the failure) — never a hang, never a partial result marked success —
+// and after Shrink the survivors' communicator must still compute.
+func TestChaosCollectiveKill(t *testing.T) {
+	for _, tc := range chaosCases(10) {
+		tc := tc
+		t.Run(fmt.Sprintf("np%d_%s_kill%d@r%d", tc.np, tc.op, tc.victim, tc.round), func(t *testing.T) {
+			chaosScenario(t, "chan", tc)
+		})
+	}
+}
+
+// TestChaosCollectiveKillHyb is the same property over the hybrid mesh,
+// where the kill also exercises the process-hub abort notification path.
+func TestChaosCollectiveKillHyb(t *testing.T) {
+	for _, tc := range chaosCases(6) {
+		tc := tc
+		t.Run(fmt.Sprintf("np%d_%s_kill%d@r%d", tc.np, tc.op, tc.victim, tc.round), func(t *testing.T) {
+			chaosScenario(t, "hyb", tc)
+		})
+	}
+}
+
+// chaosTransports builds the requested mesh for np ranks.
+func chaosTransports(t *testing.T, mesh string, np int) []transport.Transport {
+	t.Helper()
+	switch mesh {
+	case "chan":
+		eps := transport.NewChanMesh(np)
+		trs := make([]transport.Transport, np)
+		for i := range eps {
+			trs[i] = eps[i]
+		}
+		return trs
+	case "hyb":
+		loc := transport.ProcessLocality()
+		locs := make([]string, np)
+		for i := range locs {
+			locs[i] = loc
+		}
+		jobID := 0xc4a05<<32 | chaosJobSeq.Add(1)
+		trs := make([]transport.Transport, np)
+		for i := range trs {
+			ep, err := transport.NewHybTransport(transport.HybConfig{Rank: i, JobID: jobID, Locs: locs})
+			if err != nil {
+				t.Fatalf("hyb transport rank %d: %v", i, err)
+			}
+			trs[i] = ep
+		}
+		return trs
+	default:
+		t.Fatalf("unknown mesh %q", mesh)
+		return nil
+	}
+}
+
+// chaosScenario runs one fault-injected job. Unlike runRanks it tolerates
+// the victim's own failure, arms the kill trigger before any rank starts,
+// and tears down with Abort (a barrier on the world would hang: a member
+// is dead).
+func chaosScenario(t *testing.T, mesh string, tc chaosCase) {
+	trs := chaosTransports(t, mesh, tc.np)
+	dom := fault.NewDomain()
+	devs := make([]*device.Device, tc.np)
+	worlds := make([]*Comm, tc.np)
+	for i := range trs {
+		d, err := device.Open(dom.Wrap(trs[i]))
+		if err != nil {
+			t.Fatalf("open device %d: %v", i, err)
+		}
+		devs[i] = d
+		dom.Bind(i, d)
+		w, err := NewWorld(d)
+		if err != nil {
+			t.Fatalf("new world %d: %v", i, err)
+		}
+		worlds[i] = w
+	}
+	if err := dom.KillAt(tc.victim, tc.round); err != nil {
+		t.Fatalf("arm kill: %v", err)
+	}
+
+	errs := make([]error, tc.np)
+	var wg sync.WaitGroup
+	for i := 0; i < tc.np; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = chaosRank(i, worlds[i], dom, tc)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job wedged: survivors did not finish within 60s")
+	}
+	for _, d := range devs {
+		d.Abort()
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", i, err)
+		}
+	}
+}
+
+// chaosRank is one rank's program: run the collective under fire, then —
+// survivors only — assert the failure was typed, shrink, and prove the
+// shrunken communicator still computes with a ground-truth-checked
+// Allreduce.
+func chaosRank(rank int, w *Comm, dom *fault.Domain, tc chaosCase) error {
+	verify, err := chaosOp(w, tc.op)
+
+	if rank == tc.victim {
+		// The trigger fires only if this rank reaches schedule round
+		// tc.round; if its schedule was shorter, die now so the survivors'
+		// shrink has a failure to agree on either way.
+		dom.Kill(rank)
+		return nil
+	}
+
+	if err != nil {
+		if !errors.Is(err, ErrRankFailed) {
+			return fmt.Errorf("%s failed with %v, want ErrRankFailed", tc.op, err)
+		}
+		if fr, ok := device.FailedRank(err); !ok || fr != tc.victim {
+			return fmt.Errorf("%s: failed rank %d (ok=%v), want victim %d", tc.op, fr, ok, tc.victim)
+		}
+	} else if verr := verify(); verr != nil {
+		// No error means the schedule fully completed, so the result must
+		// be the complete, correct one — a partial write marked success is
+		// the bug this catches.
+		return fmt.Errorf("%s completed but result is partial/wrong: %w", tc.op, verr)
+	}
+
+	nc, err := w.Shrink()
+	if err != nil {
+		return fmt.Errorf("shrink: %w", err)
+	}
+	if got, want := nc.Size(), tc.np-1; got != want {
+		return fmt.Errorf("shrunken size = %d, want %d", got, want)
+	}
+	if nc.Group().Rank(tc.victim) != Undefined {
+		return fmt.Errorf("victim %d still in shrunken group", tc.victim)
+	}
+
+	// Ground truth on the shrunken communicator: every survivor
+	// contributes its world rank + 1; the sum is known.
+	in := []int64{int64(rank) + 1}
+	out := []int64{0}
+	if err := nc.Allreduce(in, 0, out, 0, 1, Long, SumOp); err != nil {
+		return fmt.Errorf("allreduce on shrunken comm: %w", err)
+	}
+	var want int64
+	for i := 0; i < nc.Size(); i++ {
+		want += int64(nc.Group().WorldRank(i)) + 1
+	}
+	if out[0] != want {
+		return fmt.Errorf("shrunken allreduce = %d, want %d", out[0], want)
+	}
+	return nc.Barrier()
+}
+
+// chaosOp runs the scenario's collective with known data and returns a
+// closure that verifies the complete result (used only when the schedule
+// finished without error).
+func chaosOp(w *Comm, op string) (func() error, error) {
+	np, rank := w.Size(), w.Rank()
+	const count = 32
+	switch op {
+	case "barrier":
+		return func() error { return nil }, w.Barrier()
+	case "bcast":
+		buf := make([]int32, count)
+		if rank == 0 {
+			for i := range buf {
+				buf[i] = int32(3*i + 7)
+			}
+		}
+		err := w.Bcast(buf, 0, count, Int, 0)
+		return func() error {
+			for i, v := range buf {
+				if v != int32(3*i+7) {
+					return fmt.Errorf("bcast[%d] = %d, want %d", i, v, 3*i+7)
+				}
+			}
+			return nil
+		}, err
+	case "allreduce":
+		in := make([]int32, count)
+		for i := range in {
+			in[i] = int32(rank + i)
+		}
+		out := make([]int32, count)
+		err := w.Allreduce(in, 0, out, 0, count, Int, SumOp)
+		return func() error {
+			base := np * (np - 1) / 2
+			for i, v := range out {
+				if want := int32(base + np*i); v != want {
+					return fmt.Errorf("allreduce[%d] = %d, want %d", i, v, want)
+				}
+			}
+			return nil
+		}, err
+	case "allgather":
+		in := make([]int32, count)
+		for i := range in {
+			in[i] = int32(rank*1000 + i)
+		}
+		out := make([]int32, count*np)
+		err := w.Allgather(in, 0, count, Int, out, 0, count, Int)
+		return func() error {
+			for r := 0; r < np; r++ {
+				for i := 0; i < count; i++ {
+					if got, want := out[r*count+i], int32(r*1000+i); got != want {
+						return fmt.Errorf("allgather[%d][%d] = %d, want %d", r, i, got, want)
+					}
+				}
+			}
+			return nil
+		}, err
+	}
+	return nil, fmt.Errorf("unknown chaos op %q", op)
+}

@@ -22,6 +22,11 @@ type procState struct {
 	nextCtx int
 	bsend   *bsendPool
 
+	// comms maps a communicator's point-to-point context id to the Comm,
+	// so an inbound revoke frame (which carries only the context) finds
+	// the communicator to revoke. Guarded by mu.
+	comms map[int]*Comm
+
 	// Process-wide collective tuning defaults, read from MPJ_COLL_ALG /
 	// MPJ_COLL_SEG at NewWorld; per-communicator overrides live on Comm
 	// (see collalg.go).
@@ -65,7 +70,13 @@ type Comm struct {
 	// every communicator of the process.
 	collMu  sync.Mutex
 	collSeq int
+	ftSeq   int // agreement instance counter (Agree/Shrink; see ft.go)
 	freed   bool
+
+	// revoked marks the communicator revoked (see Revoke): pending and
+	// future operations fail with ErrRevoked. Agree and Shrink stay
+	// usable — they are the recovery path.
+	revoked atomic.Bool
 
 	// Collective algorithm overrides (see collalg.go). algSet marks an
 	// explicit SetCollAlg — including SetCollAlg(CollAlgAuto), which must
@@ -88,7 +99,7 @@ func NewWorld(dev *device.Device) (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	proc := &procState{dev: dev, nextCtx: 2, bsend: &bsendPool{}}
+	proc := &procState{dev: dev, nextCtx: 2, bsend: &bsendPool{}, comms: make(map[int]*Comm)}
 	// Collective tuning defaults from the environment; a malformed value
 	// fails loudly here rather than silently changing algorithms.
 	if proc.collAlg, err = ParseCollAlg(os.Getenv("MPJ_COLL_ALG")); err != nil {
@@ -97,14 +108,50 @@ func NewWorld(dev *device.Device) (*Comm, error) {
 	if proc.collSeg, err = ParseCollSegSize(os.Getenv("MPJ_COLL_SEG")); err != nil {
 		return nil, fmt.Errorf("MPJ_COLL_SEG: %w", err)
 	}
-	return &Comm{
+	w := &Comm{
 		dev:   dev,
 		proc:  proc,
 		group: g,
 		rank:  dev.Rank(),
 		pt2pt: 0,
 		coll:  1,
-	}, nil
+	}
+	proc.register(w)
+	// Inbound revoke frames carry only a context id; route them to the
+	// communicator they revoke (unknown ids are stale revokes of freed
+	// communicators and are dropped).
+	dev.SetRevokeHandler(func(ctx int) {
+		if c := proc.lookup(ctx); c != nil {
+			c.revokeLocal()
+		}
+	})
+	return w, nil
+}
+
+// register records c in the process-wide context → communicator map.
+func (p *procState) register(c *Comm) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.comms == nil {
+		p.comms = make(map[int]*Comm)
+	}
+	p.comms[c.pt2pt] = c
+}
+
+// lookup resolves a point-to-point context id to its communicator.
+func (p *procState) lookup(ctx int) *Comm {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.comms[ctx]
+}
+
+// unregister removes c from the context map.
+func (p *procState) unregister(c *Comm) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.comms[c.pt2pt] == c {
+		delete(p.comms, c.pt2pt)
+	}
 }
 
 // Rank returns the calling process's rank in this communicator.
@@ -206,10 +253,12 @@ func (c *Comm) Dup() (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Comm{
+	nc := &Comm{
 		dev: c.dev, proc: c.proc, group: c.group,
 		rank: c.rank, pt2pt: p2p, coll: coll,
-	}, nil
+	}
+	c.proc.register(nc)
+	return nc, nil
 }
 
 // Create builds a communicator over a subgroup of c — MPI_Comm_create.
@@ -228,10 +277,12 @@ func (c *Comm) Create(g *Group) (*Comm, error) {
 	if newRank == Undefined {
 		return nil, nil
 	}
-	return &Comm{
+	nc := &Comm{
 		dev: c.dev, proc: c.proc, group: g,
 		rank: newRank, pt2pt: p2p, coll: coll,
-	}, nil
+	}
+	c.proc.register(nc)
+	return nc, nil
 }
 
 // Split partitions the communicator by color, ordering each new
@@ -279,10 +330,12 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Comm{
+	nc := &Comm{
 		dev: c.dev, proc: c.proc, group: g,
 		rank: newRank, pt2pt: p2p, coll: coll,
-	}, nil
+	}
+	c.proc.register(nc)
+	return nc, nil
 }
 
 // Free releases the communicator — MPJ Comm.Free. Contexts are not
@@ -306,4 +359,6 @@ func (c *Comm) Free() {
 	for _, r := range reqs {
 		r.fail(fmt.Errorf("%w: communicator freed with collective in flight", ErrComm))
 	}
+	c.proc.unregister(c)
+	c.dev.FTForget(c.coll)
 }

@@ -19,7 +19,11 @@
 // the layer stack.
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"mpj/internal/device"
+)
 
 // Error classes, mirroring the MPI error classes relevant to a pure
 // message-passing implementation. They are wrapped with context by the
@@ -55,4 +59,26 @@ var (
 	ErrArg = errors.New("mpj: invalid argument")
 	// ErrOther reports failures that fit no other class.
 	ErrOther = errors.New("mpj: error")
+	// ErrRankFailed reports that a member process of the communicator
+	// failed, as in ULFM's MPI_ERR_PROC_FAILED: the operation did not (and
+	// will not) complete, but the communicator's surviving members remain
+	// usable — Revoke, Shrink and Agree are the recovery surface. The
+	// world rank of the dead process travels in a RankFailedError;
+	// retrieve it with FailedRank.
+	ErrRankFailed = device.ErrRankFailed
+	// ErrRevoked reports an operation on a revoked communicator, as in
+	// ULFM's MPI_ERR_REVOKED: some member called Revoke, so every pending
+	// and future operation on the communicator fails until the survivors
+	// Shrink to a new one.
+	ErrRevoked = errors.New("mpj: communicator revoked")
 )
+
+// RankFailedError is the typed error carried by every ErrRankFailed
+// failure; Rank is the absolute (world) rank of the dead process.
+type RankFailedError = device.RankFailedError
+
+// FailedRank extracts the world rank of the dead process from an
+// ErrRankFailed error chain; ok is false when err carries none.
+func FailedRank(err error) (rank int, ok bool) {
+	return device.FailedRank(err)
+}

@@ -50,10 +50,6 @@ func (c *Comm) igatherv(name string, tag int, sbuf any, soff, scount int, sdt Da
 	if err := checkVSpec(size, rcounts, displs, ext, roff, bufSlots(rbuf), true); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	own, err := packExact(sdt, sbuf, soff, scount)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
 	var rd round
 	for r := 0; r < size; r++ {
 		if r == root || rcounts[r] == 0 {
@@ -68,11 +64,17 @@ func (c *Comm) igatherv(name string, tag int, sbuf any, soff, scount int, sdt Da
 			return err
 		}})
 	}
+	// The root's own block packs at finish time, not build time, so a
+	// reused (persistent) schedule re-reads the live send buffer.
 	finish := func() error {
+		own, err := packExact(sdt, sbuf, soff, scount)
+		if err != nil {
+			return err
+		}
 		if rcounts[root] == 0 {
 			return nil // empty blocks are exempt from their displacements
 		}
-		_, err := rdt.Unpack(own, rbuf, roff+displs[root]*ext, rcounts[root])
+		_, err = rdt.Unpack(own, rbuf, roff+displs[root]*ext, rcounts[root])
 		return err
 	}
 	var rounds []round

@@ -409,6 +409,9 @@ func WaitAll(reqs []*Request) ([]*Status, error) {
 // eager path stays allocation-free. Variable-size datatypes (Object) keep
 // the append path — their packed size is unknown before packing.
 func (c *Comm) sendMode(buf any, off, count int, dt Datatype, dst, tag int, mode device.Mode) (*Request, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	if tag < 0 {
 		return nil, fmt.Errorf("%w: tag %d must be non-negative", ErrTag, tag)
 	}
@@ -530,6 +533,9 @@ func (c *Comm) Irsend(buf any, off, count int, dt Datatype, dst, tag int) (*Requ
 // Ibsend starts a buffered-mode non-blocking send using the buffer
 // attached with BufferAttach — MPI_Ibsend.
 func (c *Comm) Ibsend(buf any, off, count int, dt Datatype, dst, tag int) (*Request, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	if tag < 0 {
 		return nil, fmt.Errorf("%w: tag %d must be non-negative", ErrTag, tag)
 	}
@@ -591,6 +597,9 @@ func (c *Comm) Irecv(buf any, off, count int, dt Datatype, src, tag int) (*Reque
 // not hand the device a window aliasing user memory — a late DATA frame
 // would land in a buffer whose owner already saw the operation fail.
 func (c *Comm) irecvOpt(buf any, off, count int, dt Datatype, src, tag int, window bool) (*Request, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	if tag < 0 && tag != AnyTag {
 		return nil, fmt.Errorf("%w: tag %d", ErrTag, tag)
 	}
@@ -740,6 +749,9 @@ func (c *Comm) SendrecvReplace(
 // Probe blocks until a matching message is ready to be received and
 // returns its envelope — MPI_Probe.
 func (c *Comm) Probe(src, tag int) (*Status, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	w := device.AnySource
 	if src != AnySource {
 		var err error
@@ -761,6 +773,9 @@ func (c *Comm) Probe(src, tag int) (*Status, error) {
 // Iprobe checks without blocking whether a matching message has arrived —
 // MPI_Iprobe.
 func (c *Comm) Iprobe(src, tag int) (*Status, bool, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, false, err
+	}
 	w := device.AnySource
 	if src != AnySource {
 		var err error

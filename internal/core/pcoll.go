@@ -36,40 +36,95 @@ type PcollRequest struct {
 	c    *Comm
 	name string
 	tag  int
+	pure bool // schedule may be cached and reactivated (see Start)
 	make func(tag int) (*CollRequest, error)
 
 	mu     sync.Mutex
 	active *CollRequest
+	skel   *collSkeleton
+}
+
+// collSkeleton is a compiled schedule cached across activations of a
+// persistent collective: the rounds and finish hook of the first
+// activation, reused verbatim by every later Start. Reuse is sound only
+// when the schedule re-reads the user buffers each time it runs — send
+// steps that fill frames at post time, receives landing in user windows
+// or cells that a receive overwrites before anything reads them, finish
+// hooks that pack at finish time. Builders whose schedules capture
+// build-time state (packed accumulators, pooled scratch released at
+// finish) are not cacheable and recompile on every Start.
+type collSkeleton struct {
+	rounds []round
+	finish func() error
+}
+
+// scheduleReusable reports whether a compiled schedule is free of
+// snapshot sends — steps whose payload was packed when the schedule was
+// built (sendStep.snap). A reactivation of such a step would resend the
+// stale bytes instead of re-reading the user buffer.
+func scheduleReusable(rounds []round) bool {
+	for i := range rounds {
+		for j := range rounds[i].sends {
+			if rounds[i].sends[j].snap {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // commitColl reserves a schedule tag and wraps a builder closure into a
-// persistent request. Committing on a freed communicator fails with
-// ErrComm, like starting any other collective.
-func (c *Comm) commitColl(name string, mk func(tag int) (*CollRequest, error)) (*PcollRequest, error) {
+// persistent request. pure marks builders whose compiled schedules hold
+// no build-time data (every payload is produced at post or finish time),
+// making them candidates for skeleton caching. Committing on a freed
+// communicator fails with ErrComm, like starting any other collective.
+func (c *Comm) commitColl(name string, pure bool, mk func(tag int) (*CollRequest, error)) (*PcollRequest, error) {
 	c.collMu.Lock()
 	freed := c.freed
 	c.collMu.Unlock()
 	if freed {
 		return nil, fmt.Errorf("%s: %w: communicator is freed", name, ErrComm)
 	}
-	return &PcollRequest{c: c, name: name, tag: c.nextCollTag(), make: mk}, nil
+	return &PcollRequest{c: c, name: name, tag: c.nextCollTag(), pure: pure, make: mk}, nil
 }
 
-// Start activates the persistent collective: the schedule is compiled
-// against the current buffer contents and its first round posts
-// immediately. The previous activation must have completed (Wait or Test
-// returned done) first. Every member of the communicator must start its
-// matching persistent request; activations of one request complete in
-// Start order.
+// Start activates the persistent collective: the schedule runs against
+// the current buffer contents and its first round posts immediately. The
+// previous activation must have completed (Wait or Test returned done)
+// first. Every member of the communicator must start its matching
+// persistent request; activations of one request complete in Start order.
+//
+// The first Start of a pure schedule (see commitColl) caches the compiled
+// rounds; later Starts reactivate the cached skeleton and redo only the
+// buffer-dependent work, which runs at post and finish time by
+// construction. Impure schedules recompile per activation.
+//
+// Starting over a communicator with a failed member or a revocation fails
+// immediately with ErrRankFailed/ErrRevoked — the schedule could never
+// complete, so no activation is created.
 func (p *PcollRequest) Start() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.active != nil && !p.active.Done() {
 		return fmt.Errorf("%s: %w: persistent collective started while still active", p.name, ErrOther)
 	}
+	if err := p.c.memberFailure(); err != nil {
+		return fmt.Errorf("%s: %w", p.name, err)
+	}
+	if p.skel != nil {
+		r, err := p.c.newCollRequest(p.name, p.tag, p.skel.rounds, p.skel.finish)
+		if err != nil {
+			return err
+		}
+		p.active = r
+		return nil
+	}
 	r, err := p.make(p.tag)
 	if err != nil {
 		return err
+	}
+	if p.pure && scheduleReusable(r.rounds) {
+		p.skel = &collSkeleton{rounds: r.rounds, finish: r.finish}
 	}
 	p.active = r
 	return nil
@@ -126,7 +181,7 @@ func (p *PcollRequest) String() string {
 
 // CommitBarrier creates a persistent barrier — MPI_Barrier_init.
 func (c *Comm) CommitBarrier() (*PcollRequest, error) {
-	return c.commitColl("pbarrier", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pbarrier", true, func(tag int) (*CollRequest, error) {
 		return c.ibarrier("pbarrier", tag)
 	})
 }
@@ -137,7 +192,7 @@ func (c *Comm) CommitBcast(buf any, off, count int, dt Datatype, root int) (*Pco
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
-	return c.commitColl("pbcast", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pbcast", false, func(tag int) (*CollRequest, error) {
 		return c.ibcast("pbcast", tag, buf, off, count, dt, root)
 	})
 }
@@ -148,7 +203,7 @@ func (c *Comm) CommitGather(sbuf any, soff, scount int, sdt Datatype,
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
-	return c.commitColl("pgather", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pgather", false, func(tag int) (*CollRequest, error) {
 		return c.igather("pgather", tag, sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root)
 	})
 }
@@ -159,7 +214,7 @@ func (c *Comm) CommitScatter(sbuf any, soff, scount int, sdt Datatype,
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
-	return c.commitColl("pscatter", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pscatter", false, func(tag int) (*CollRequest, error) {
 		return c.iscatter("pscatter", tag, sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt, root)
 	})
 }
@@ -167,7 +222,7 @@ func (c *Comm) CommitScatter(sbuf any, soff, scount int, sdt Datatype,
 // CommitAllgather creates a persistent allgather — MPI_Allgather_init.
 func (c *Comm) CommitAllgather(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*PcollRequest, error) {
-	return c.commitColl("pallgather", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pallgather", false, func(tag int) (*CollRequest, error) {
 		return c.iallgather("pallgather", tag, sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
 	})
 }
@@ -175,7 +230,7 @@ func (c *Comm) CommitAllgather(sbuf any, soff, scount int, sdt Datatype,
 // CommitAlltoall creates a persistent all-to-all — MPI_Alltoall_init.
 func (c *Comm) CommitAlltoall(sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*PcollRequest, error) {
-	return c.commitColl("palltoall", func(tag int) (*CollRequest, error) {
+	return c.commitColl("palltoall", false, func(tag int) (*CollRequest, error) {
 		return c.ialltoall("palltoall", tag, sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
 	})
 }
@@ -185,7 +240,7 @@ func (c *Comm) CommitReduce(sbuf any, soff int, rbuf any, roff, count int, dt Da
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
-	return c.commitColl("preduce", func(tag int) (*CollRequest, error) {
+	return c.commitColl("preduce", false, func(tag int) (*CollRequest, error) {
 		return c.ireduce("preduce", tag, sbuf, soff, rbuf, roff, count, dt, op, root)
 	})
 }
@@ -194,7 +249,7 @@ func (c *Comm) CommitReduce(sbuf any, soff int, rbuf any, roff, count int, dt Da
 // The algorithm route is resolved once, at Commit time.
 func (c *Comm) CommitAllreduce(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*PcollRequest, error) {
 	alg := c.autoAllreduceAlg(count, dt)
-	return c.commitColl("pallreduce", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pallreduce", false, func(tag int) (*CollRequest, error) {
 		return c.iallreduce("pallreduce", tag, alg, sbuf, soff, rbuf, roff, count, dt, op)
 	})
 }
@@ -202,7 +257,7 @@ func (c *Comm) CommitAllreduce(sbuf any, soff int, rbuf any, roff, count int, dt
 // CommitScan creates a persistent inclusive prefix reduction —
 // MPI_Scan_init.
 func (c *Comm) CommitScan(sbuf any, soff int, rbuf any, roff, count int, dt Datatype, op *Op) (*PcollRequest, error) {
-	return c.commitColl("pscan", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pscan", false, func(tag int) (*CollRequest, error) {
 		return c.iscan("pscan", tag, sbuf, soff, rbuf, roff, count, dt, op)
 	})
 }
@@ -220,7 +275,7 @@ func (c *Comm) CommitGatherv(sbuf any, soff, scount int, sdt Datatype,
 			return nil, fmt.Errorf("pgatherv: %w", err)
 		}
 	}
-	return c.commitColl("pgatherv", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pgatherv", true, func(tag int) (*CollRequest, error) {
 		return c.igatherv("pgatherv", tag, sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt, root)
 	})
 }
@@ -237,7 +292,7 @@ func (c *Comm) CommitScatterv(sbuf any, soff int, scounts, displs []int, sdt Dat
 			return nil, fmt.Errorf("pscatterv: %w", err)
 		}
 	}
-	return c.commitColl("pscatterv", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pscatterv", true, func(tag int) (*CollRequest, error) {
 		return c.iscatterv("pscatterv", tag, sbuf, soff, scounts, displs, sdt, rbuf, roff, rcount, rdt, root)
 	})
 }
@@ -249,7 +304,7 @@ func (c *Comm) CommitAllgatherv(sbuf any, soff, scount int, sdt Datatype,
 	if err := checkVSpec(c.Size(), rcounts, displs, rdt.Extent(), roff, bufSlots(rbuf), true); err != nil {
 		return nil, fmt.Errorf("pallgatherv: %w", err)
 	}
-	return c.commitColl("pallgatherv", func(tag int) (*CollRequest, error) {
+	return c.commitColl("pallgatherv", false, func(tag int) (*CollRequest, error) {
 		return c.iallgatherv("pallgatherv", tag, sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt)
 	})
 }
@@ -264,7 +319,7 @@ func (c *Comm) CommitAlltoallv(sbuf any, soff int, scounts, sdispls []int, sdt D
 	if err := checkVSpec(c.Size(), rcounts, rdispls, rdt.Extent(), roff, bufSlots(rbuf), true); err != nil {
 		return nil, fmt.Errorf("palltoallv: %w", err)
 	}
-	return c.commitColl("palltoallv", func(tag int) (*CollRequest, error) {
+	return c.commitColl("palltoallv", true, func(tag int) (*CollRequest, error) {
 		return c.ialltoallv("palltoallv", tag, sbuf, soff, scounts, sdispls, sdt, rbuf, roff, rcounts, rdispls, rdt)
 	})
 }
@@ -283,7 +338,7 @@ func (c *Comm) CommitReduceScatter(sbuf any, soff int, rbuf any, roff int, rcoun
 	if dt.ByteSize() <= 0 {
 		return nil, fmt.Errorf("preduce_scatter: %w: reduce-scatter requires fixed-size elements, have %s", ErrType, dt.Name())
 	}
-	return c.commitColl("preduce_scatter", func(tag int) (*CollRequest, error) {
+	return c.commitColl("preduce_scatter", false, func(tag int) (*CollRequest, error) {
 		return c.ireduceScatter("preduce_scatter", tag, sbuf, soff, rbuf, roff, rcounts, dt, op)
 	})
 }

@@ -40,6 +40,13 @@ type sendStep struct {
 	data func() []byte
 	n    int                // fill only: exact payload length
 	fill func([]byte) error // fill the frame payload in place
+
+	// snap marks a step whose payload was captured (packed) when the
+	// schedule was built rather than when the step posts. Persistent
+	// collectives refuse to cache schedules containing snapshot steps: a
+	// reactivation would resend stale bytes instead of re-reading the
+	// user buffer (see pcoll.go).
+	snap bool
 }
 
 // recvStep posts one receive when its round starts. With a nil buf the
@@ -95,6 +102,9 @@ func (c *Comm) registerColl(r *CollRequest) error {
 	defer c.collMu.Unlock()
 	if c.freed {
 		return fmt.Errorf("%w: communicator is freed", ErrComm)
+	}
+	if c.revoked.Load() {
+		return ErrRevoked
 	}
 	c.proc.collMu.Lock()
 	if c.proc.inflight == nil {
@@ -171,6 +181,7 @@ type CollRequest struct {
 	posted  bool         // current round's requests are in flight
 	pending []*device.Request
 	actions []func([]byte) error // recv completion actions, parallel to pending
+	ftEpoch uint64               // failure epoch at the last membership check
 	done    bool
 	status  *Status
 	err     error
@@ -193,6 +204,9 @@ func (c *Comm) newCollRequest(name string, tag int, rounds []round, finish func(
 // postLocked starts the current round: receives are posted, then sends.
 // Callers hold r.mu.
 func (r *CollRequest) postLocked() error {
+	// Fault-injection seam: a test harness may kill, drop or delay this
+	// rank right here, at a deterministic round boundary.
+	r.c.dev.CallRoundHook(r.c.coll, r.tag, r.cur)
 	rd := &r.rounds[r.cur]
 	r.pending = make([]*device.Request, 0, len(rd.recvs)+len(rd.sends))
 	r.actions = make([]func([]byte) error, 0, len(rd.recvs))
@@ -250,6 +264,20 @@ func (r *CollRequest) progressLocked() {
 			}
 			r.completeLocked(nil)
 			return
+		}
+		// Membership check, re-run whenever the failure epoch moved: a
+		// member death can doom this schedule without completing any of
+		// its in-flight requests (the dead rank sat upstream of a live
+		// neighbour that will now never forward), so waiting on request
+		// completion alone could hang. Detection is complete — every
+		// rank learns of every death — so failing the whole collective
+		// here guarantees no survivor parks forever.
+		if ep := r.c.dev.FailEpoch(); ep != r.ftEpoch {
+			r.ftEpoch = ep
+			if err := r.c.memberFailure(); err != nil {
+				r.failLocked(err)
+				return
+			}
 		}
 		if !r.posted {
 			if err := r.postLocked(); err != nil {
@@ -466,7 +494,7 @@ func vSendStep(to int, dt Datatype, buf any, off, count int) (sendStep, error) {
 	if err != nil {
 		return sendStep{}, err
 	}
-	return sendStep{to: to, data: func() []byte { return data }}, nil
+	return sendStep{to: to, data: func() []byte { return data }, snap: true}, nil
 }
 
 // ---------------------------------------------------------------------

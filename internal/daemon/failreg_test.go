@@ -1,0 +1,129 @@
+package daemon
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mpj/internal/lease"
+)
+
+// regClock is the hand-advanced clock driving the registry tests: no
+// sweeper goroutine, no sleeps, expiry only on Poll.
+type regClock struct {
+	t time.Time
+}
+
+func newRegClock() *regClock {
+	return &regClock{t: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *regClock) now() time.Time          { return c.t }
+func (c *regClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestFailureRegistryExpiryMarksDead: a tracked rank whose liveness lease
+// lapses is declared dead in the registry and every subscriber hears
+// exactly one verdict for it.
+func TestFailureRegistryExpiryMarksDead(t *testing.T) {
+	clk := newRegClock()
+	fr := NewFailureRegistryWithClock(clk.now)
+	defer fr.Close()
+
+	var deaths []int
+	fr.Subscribe(func(rank int, err error) { deaths = append(deaths, rank) })
+
+	fr.Track(1, 10*time.Second)
+	fr.Track(2, 30*time.Second)
+
+	clk.advance(11 * time.Second)
+	if n := fr.Poll(); n != 1 {
+		t.Fatalf("Poll declared %d ranks dead, want 1", n)
+	}
+	if err, dead := fr.Dead(1); !dead || err == nil {
+		t.Fatalf("rank 1 not marked dead (err=%v, dead=%v)", err, dead)
+	}
+	if _, dead := fr.Dead(2); dead {
+		t.Fatal("rank 2 marked dead while its lease is live")
+	}
+	if fr.Tracked(1) || !fr.Tracked(2) {
+		t.Fatalf("tracking after expiry: rank1=%v rank2=%v, want false/true", fr.Tracked(1), fr.Tracked(2))
+	}
+	if len(deaths) != 1 || deaths[0] != 1 {
+		t.Fatalf("subscriber heard %v, want [1]", deaths)
+	}
+	// Death is once: more polls, no more verdicts.
+	clk.advance(time.Hour)
+	fr.Poll()
+	if len(deaths) != 2 || deaths[1] != 2 {
+		t.Fatalf("subscriber heard %v, want [1 2]", deaths)
+	}
+}
+
+// TestFailureRegistryHeartbeatKeepsAlive: a rank that heartbeats inside
+// its lease interval is never declared dead — renewal races produce no
+// false positives.
+func TestFailureRegistryHeartbeatKeepsAlive(t *testing.T) {
+	clk := newRegClock()
+	fr := NewFailureRegistryWithClock(clk.now)
+	defer fr.Close()
+
+	fired := 0
+	fr.Subscribe(func(rank int, err error) { fired++ })
+
+	fr.Track(4, 10*time.Second)
+	for i := 0; i < 40; i++ {
+		clk.advance(10*time.Second - time.Millisecond)
+		if n := fr.Poll(); n != 0 {
+			t.Fatalf("iteration %d: punctual rank declared dead", i)
+		}
+		if err := fr.Heartbeat(4, 10*time.Second); err != nil {
+			t.Fatalf("iteration %d: heartbeat: %v", i, err)
+		}
+	}
+	if fired != 0 {
+		t.Fatalf("subscriber fired %d times for a punctual rank", fired)
+	}
+	if _, dead := fr.Dead(4); dead {
+		t.Fatal("punctual rank marked dead")
+	}
+}
+
+// TestFailureRegistryDeathIsFinal: once declared dead a rank stays dead —
+// late heartbeats fail, re-tracking is refused, the verdict stands.
+func TestFailureRegistryDeathIsFinal(t *testing.T) {
+	clk := newRegClock()
+	fr := NewFailureRegistryWithClock(clk.now)
+	defer fr.Close()
+
+	fr.Track(9, 5*time.Second)
+	clk.advance(6 * time.Second)
+	if n := fr.Poll(); n != 1 {
+		t.Fatalf("Poll declared %d dead, want 1", n)
+	}
+
+	if err := fr.Heartbeat(9, 5*time.Second); err == nil {
+		t.Fatal("heartbeat from a dead rank succeeded")
+	}
+	fr.Track(9, 5*time.Second) // must be a no-op
+	if fr.Tracked(9) {
+		t.Fatal("dead rank re-tracked")
+	}
+	clk.advance(time.Hour)
+	fr.Poll()
+	if err, dead := fr.Dead(9); !dead || err == nil {
+		t.Fatal("death verdict did not stand")
+	}
+}
+
+// TestFailureRegistryUntrackedHeartbeat: a heartbeat from a rank nobody
+// tracks reports the unknown lease.
+func TestFailureRegistryUntrackedHeartbeat(t *testing.T) {
+	clk := newRegClock()
+	fr := NewFailureRegistryWithClock(clk.now)
+	defer fr.Close()
+
+	err := fr.Heartbeat(3, 5*time.Second)
+	if !errors.Is(err, lease.ErrUnknownLease) {
+		t.Fatalf("untracked heartbeat: %v, want ErrUnknownLease", err)
+	}
+}

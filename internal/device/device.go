@@ -37,6 +37,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -79,10 +80,53 @@ var (
 	ErrTruncate = errors.New("device: message truncated")
 	// ErrClosed reports use of a closed device.
 	ErrClosed = errors.New("device: closed")
-	// ErrPeerFailure reports that a peer process failed; per the paper's
-	// failure model the whole job must now abort.
+	// ErrPeerFailure reports that a peer process failed. Kept as a match
+	// target for errors.Is alongside ErrRankFailed: RankFailedError
+	// matches both, so callers written against the original total-failure
+	// model keep working.
 	ErrPeerFailure = errors.New("device: peer failure")
+	// ErrRankFailed reports that a specific peer rank failed; operations
+	// touching that rank complete with a RankFailedError instead of
+	// hanging, and the rest of the device stays usable (ULFM-style
+	// per-rank failure semantics).
+	ErrRankFailed = errors.New("device: rank failed")
 )
+
+// RankFailedError is the typed error completing every operation that
+// touches a failed rank: Rank is the absolute (world) rank of the dead
+// process and Cause the detection-level error (a broken connection, an
+// expired lease, an injected fault). It matches both ErrRankFailed and the
+// legacy ErrPeerFailure sentinel under errors.Is.
+type RankFailedError struct {
+	Rank  int
+	Cause error
+}
+
+// Error renders the failure.
+func (e *RankFailedError) Error() string {
+	if e.Cause == nil {
+		return fmt.Sprintf("rank %d failed", e.Rank)
+	}
+	return fmt.Sprintf("rank %d failed: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the detection-level cause.
+func (e *RankFailedError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrRankFailed and ErrPeerFailure sentinels.
+func (e *RankFailedError) Is(target error) bool {
+	return target == ErrRankFailed || target == ErrPeerFailure
+}
+
+// FailedRank extracts the world rank carried by a RankFailedError anywhere
+// in err's chain; ok is false when err carries none.
+func FailedRank(err error) (rank int, ok bool) {
+	var rf *RankFailedError
+	if errors.As(err, &rf) {
+		return rf.Rank, true
+	}
+	return 0, false
+}
 
 // Stats counts protocol events; the protocol benchmarks and tests read it.
 type Stats struct {
@@ -137,16 +181,27 @@ type Device struct {
 	closed     bool
 	failure    error
 
+	// Failure registry (see NotifyRankFailed): dead maps a failed peer's
+	// world rank to its RankFailedError; failEpoch increments on every
+	// newly detected failure so parked waiters and the collective schedule
+	// engine can re-check membership without scanning the map.
+	dead      map[int]error
+	failEpoch uint64
+
 	posted []*Request   // posted receives, FIFO
 	unexp  []unexpected // arrived-but-unmatched messages, FIFO
 
 	pendingRTS map[uint64]*Request // sender side: msgID → send awaiting CTS
 	awaitData  map[rdvKey]*Request // receiver side: matched RTS awaiting DATA
 
+	ft map[ftKey]*ftInst // fault-tolerant agreement instances (see ft.go)
+
 	nextMsgID uint64
 	seq       []uint64 // per-destination sequence numbers (diagnostics)
 
 	onFailure func(peer int, err error)
+	onRevoke  func(ctx int)             // communicator revocation handler (see SetRevokeHandler)
+	roundHook func(ctx, tag, round int) // fault-injection seam (see SetRoundHook)
 }
 
 // Option configures a Device at Open time.
@@ -187,8 +242,10 @@ func Open(t transport.Transport, opts ...Option) (*Device, error) {
 		rank:       t.Rank(),
 		size:       t.Size(),
 		eagerLimit: DefaultEagerLimit,
+		dead:       make(map[int]error),
 		pendingRTS: make(map[uint64]*Request),
 		awaitData:  make(map[rdvKey]*Request),
+		ft:         make(map[ftKey]*ftInst),
 		seq:        make([]uint64, t.Size()),
 	}
 	d.cond.L = &d.mu
@@ -231,6 +288,10 @@ func (d *Device) Isend(buf []byte, dst, tag, ctx int, mode Mode) (*Request, erro
 	}
 	d.mu.Lock()
 	if err := d.usable(); err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	if err := d.deadPeerLocked(dst); err != nil {
 		d.mu.Unlock()
 		return nil, err
 	}
@@ -308,6 +369,11 @@ func (d *Device) IsendFill(n int, fill func(payload []byte) error, dst, tag, ctx
 			wire.PutBuf(frame)
 			return nil, err
 		}
+		if err := d.deadPeerLocked(dst); err != nil {
+			d.mu.Unlock()
+			wire.PutBuf(frame)
+			return nil, err
+		}
 		r := &Request{d: d, kind: reqSend, dst: dst, tag: tag, ctx: ctx}
 		h := wire.Header{
 			Kind:    wire.KindEager,
@@ -336,6 +402,12 @@ func (d *Device) IsendFill(n int, fill func(payload []byte) error, dst, tag, ctx
 	d.mu.Lock()
 	if err := d.usable(); err != nil {
 		d.mu.Unlock()
+		wire.PutBuf(payload)
+		return nil, err
+	}
+	if err := d.deadPeerLocked(dst); err != nil {
+		d.mu.Unlock()
+		wire.PutBuf(payload)
 		return nil, err
 	}
 	r := &Request{d: d, kind: reqSend, dst: dst, tag: tag, ctx: ctx}
@@ -395,6 +467,14 @@ func (d *Device) Irecv(buf []byte, src, tag, ctx int) (*Request, error) {
 		d.stats.PostedDirect.Add(1)
 		return r, nil
 	}
+	// Nothing already arrived can satisfy the receive: a dead source can
+	// never send one, so posting would hang forever — fail fast instead.
+	// AnySource receives fail as soon as any peer is dead (the message
+	// could have been coming from it), matching ULFM's pending-wildcard
+	// rule.
+	if err := d.deadSourceLocked(src); err != nil {
+		return nil, err
+	}
 	d.posted = append(d.posted, r)
 	return r, nil
 }
@@ -427,6 +507,9 @@ func (d *Device) Probe(src, tag, ctx int) (Status, error) {
 				return Status{Source: u.src, Tag: u.tag, Count: u.bytes()}, nil
 			}
 		}
+		if err := d.deadSourceLocked(src); err != nil {
+			return Status{}, err
+		}
 		d.cond.Wait()
 	}
 }
@@ -440,6 +523,67 @@ func (d *Device) usable() error {
 		return d.failure
 	}
 	return nil
+}
+
+// deadPeerLocked returns the registered failure of dst, if any. Callers
+// hold d.mu.
+func (d *Device) deadPeerLocked(dst int) error {
+	if err, ok := d.dead[dst]; ok {
+		return err
+	}
+	return nil
+}
+
+// deadSourceLocked is deadPeerLocked generalized to receive matching: an
+// AnySource receive fails on the earliest-failed rank. Callers hold d.mu.
+func (d *Device) deadSourceLocked(src int) error {
+	if src != AnySource {
+		return d.deadPeerLocked(src)
+	}
+	for r := 0; r < d.size; r++ {
+		if err, ok := d.dead[r]; ok {
+			return err
+		}
+	}
+	return nil
+}
+
+// RankFailed reports whether world rank r is registered as failed.
+func (d *Device) RankFailed(r int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.dead[r]
+	return ok
+}
+
+// RankError returns the registered RankFailedError of world rank r, or nil
+// while r is presumed alive.
+func (d *Device) RankError(r int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead[r]
+}
+
+// FailedRanks returns the sorted world ranks currently registered as
+// failed.
+func (d *Device) FailedRanks() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int, 0, len(d.dead))
+	for r := range d.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FailEpoch returns the failure-detection epoch: it increments once per
+// newly detected rank failure, so a cached copy tells a caller whether any
+// new failure arrived since it last looked.
+func (d *Device) FailEpoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failEpoch
 }
 
 // envelopeMatches implements MPI matching: recvSrc/recvTag may be
@@ -523,9 +667,15 @@ func (d *Device) handle(src int, frame []byte) {
 	}
 	payload := wire.Payload(frame)
 	retained := false
+	revokeCtx := -1
 
 	d.mu.Lock()
 	switch h.Kind {
+	case wire.KindRevoke:
+		revokeCtx = int(h.Context)
+
+	case wire.KindFTPull, wire.KindFTReply, wire.KindFTDecide:
+		d.handleFTLocked(src, &h, payload)
 	case wire.KindEager:
 		d.stats.EagerRecv.Add(1)
 		if r := d.matchPostedLocked(src, int(h.Tag), int(h.Context)); r != nil {
@@ -613,9 +763,13 @@ func (d *Device) handle(src int, frame []byte) {
 		// ack on the same FIFO path) or already processed; the send
 		// completes through the normal rendezvous path.
 	}
+	revokeHandler := d.onRevoke
 	d.mu.Unlock()
 	if !retained {
 		wire.PutBuf(frame)
+	}
+	if revokeCtx >= 0 && revokeHandler != nil {
+		revokeHandler(revokeCtx)
 	}
 }
 
@@ -631,34 +785,163 @@ func (d *Device) matchPostedLocked(src, tag, ctx int) *Request {
 	return nil
 }
 
-// peerFailed converts a transport-level connection failure into the
-// paper's total-failure model: every pending operation errors out and the
-// failure handler (if any) is notified so the job can abort cleanly.
+// peerFailed is the transport error handler: connection-level failures
+// feed the per-rank failure registry.
 func (d *Device) peerFailed(peer int, err error) {
+	d.NotifyRankFailed(peer, err)
+}
+
+// NotifyRankFailed registers world rank peer as failed (idempotent per
+// rank). Detection sources converge here: transport connection breaks,
+// lease expiries surfaced by the runtime, and injected faults.
+//
+// Unlike the paper's original total-failure model, the device stays usable:
+// only operations touching the dead rank complete, with a RankFailedError
+// carrying the rank — posted receives matching it (including AnySource
+// wildcards, which the dead rank might have satisfied), rendezvous sends
+// awaiting its CTS, and matched receives awaiting its DATA. The failure
+// epoch increments and every parked waiter wakes, so collective schedules
+// re-examine their membership (see core's schedule engine).
+//
+// A notification for the device's own rank means this process was declared
+// dead (an injected kill, an expired local lease): the device enters total
+// local failure so every pending and future operation errors out and the
+// rank unwinds promptly.
+func (d *Device) NotifyRankFailed(peer int, cause error) {
 	d.mu.Lock()
 	if d.closed || d.failure != nil {
 		d.mu.Unlock()
 		return
 	}
-	d.failure = fmt.Errorf("%w: rank %d: %v", ErrPeerFailure, peer, err)
-	fail := d.failure
-	for _, r := range d.posted {
-		d.completeLocked(r, Status{}, fail)
+	if _, dup := d.dead[peer]; dup {
+		d.mu.Unlock()
+		return
 	}
-	d.posted = nil
-	for id, r := range d.pendingRTS {
-		delete(d.pendingRTS, id)
-		d.completeLocked(r, Status{}, fail)
-	}
-	for key, r := range d.awaitData {
-		delete(d.awaitData, key)
-		d.completeLocked(r, Status{}, fail)
+	fail := &RankFailedError{Rank: peer, Cause: cause}
+	d.dead[peer] = fail
+	d.failEpoch++
+
+	if peer == d.rank {
+		// Self-failure: total local failure, as Abort but with the typed
+		// error so waiters can tell a kill from an orderly shutdown.
+		d.failure = fail
+		for _, r := range d.posted {
+			d.completeLocked(r, Status{}, fail)
+		}
+		d.posted = nil
+		for id, r := range d.pendingRTS {
+			delete(d.pendingRTS, id)
+			d.completeLocked(r, Status{}, fail)
+		}
+		for key, r := range d.awaitData {
+			delete(d.awaitData, key)
+			d.completeLocked(r, Status{}, fail)
+		}
+	} else {
+		kept := d.posted[:0]
+		for _, r := range d.posted {
+			if r.src == peer || r.src == AnySource {
+				d.completeLocked(r, Status{}, fail)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		d.posted = kept
+		for id, r := range d.pendingRTS {
+			if r.dst == peer {
+				delete(d.pendingRTS, id)
+				d.completeLocked(r, Status{}, fail)
+			}
+		}
+		for key, r := range d.awaitData {
+			if key.src == peer {
+				delete(d.awaitData, key)
+				d.completeLocked(r, Status{}, fail)
+			}
+		}
 	}
 	d.cond.Broadcast()
 	h := d.onFailure
 	d.mu.Unlock()
 	if h != nil {
-		h(peer, err)
+		h(peer, cause)
+	}
+}
+
+// FailContext completes every pending operation on device context ctx with
+// cause: posted receives, rendezvous sends awaiting CTS and matched
+// receives awaiting DATA. The communicator layer uses it to implement
+// revocation — a revoked communicator's two contexts are failed so
+// stragglers' pending operations return promptly.
+func (d *Device) FailContext(ctx int, cause error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.failure != nil {
+		return
+	}
+	kept := d.posted[:0]
+	for _, r := range d.posted {
+		if r.ctx == ctx {
+			d.completeLocked(r, Status{}, cause)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	d.posted = kept
+	for id, r := range d.pendingRTS {
+		if r.ctx == ctx {
+			delete(d.pendingRTS, id)
+			d.completeLocked(r, Status{}, cause)
+		}
+	}
+	for key, r := range d.awaitData {
+		if r.ctx == ctx {
+			delete(d.awaitData, key)
+			d.completeLocked(r, Status{}, cause)
+		}
+	}
+	d.cond.Broadcast()
+}
+
+// SetRevokeHandler installs the callback invoked (outside the device lock)
+// when a KindRevoke frame arrives; ctx is the revoked communicator's
+// point-to-point context. The communicator layer maps it back to the Comm
+// and revokes it locally.
+func (d *Device) SetRevokeHandler(f func(ctx int)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onRevoke = f
+}
+
+// SendRevoke propagates a communicator revocation to world rank dst,
+// best-effort: ctx is the communicator's point-to-point context id.
+func (d *Device) SendRevoke(dst, ctx int) error {
+	if dst < 0 || dst >= d.size {
+		return transport.ErrBadRank
+	}
+	h := wire.Header{Kind: wire.KindRevoke, Src: int32(d.rank), Context: int32(ctx)}
+	return d.t.Send(dst, wire.NewFrame(&h, nil))
+}
+
+// SetRoundHook installs the fault-injection seam: f runs synchronously
+// every time the collective schedule engine is about to post a round, with
+// the device context, schedule tag and round index. Test harnesses arm it
+// to kill, drop or delay a rank at a deterministic point mid-collective.
+// A nil f clears the hook.
+func (d *Device) SetRoundHook(f func(ctx, tag, round int)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.roundHook = f
+}
+
+// CallRoundHook invokes the installed round hook, if any. The collective
+// schedule engine calls it before posting each round.
+func (d *Device) CallRoundHook(ctx, tag, round int) {
+	d.mu.Lock()
+	f := d.roundHook
+	d.mu.Unlock()
+	if f != nil {
+		f(ctx, tag, round)
 	}
 }
 

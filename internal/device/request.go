@@ -201,13 +201,18 @@ func (d *Device) TestAny(reqs []*Request) (idx int, st Status, ok bool, err erro
 }
 
 // WaitProgress blocks until at least one of the requests that is
-// incomplete on entry completes; it returns immediately when none are
-// incomplete. Unlike WaitAny it never marks requests consumed — it is the
-// parking primitive of the collective schedule engine, which re-derives
-// what to do from schedule state after every wakeup.
+// incomplete on entry completes, or until a new rank failure is detected;
+// it returns immediately when none are incomplete. Unlike WaitAny it never
+// marks requests consumed — it is the parking primitive of the collective
+// schedule engine, which re-derives what to do from schedule state after
+// every wakeup. The failure wakeup matters for fault tolerance: a rank
+// death may doom a parked schedule without completing any of its watched
+// requests (a round not yet posted against the dead peer), and the waiter
+// must wake to observe it.
 func (d *Device) WaitProgress(reqs []*Request) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	epoch := d.failEpoch
 	var watch []*Request
 	for _, r := range reqs {
 		if r != nil && !r.done {
@@ -218,6 +223,9 @@ func (d *Device) WaitProgress(reqs []*Request) {
 		return
 	}
 	for {
+		if d.failEpoch != epoch || d.closed {
+			return
+		}
 		for _, r := range watch {
 			if r.done {
 				return

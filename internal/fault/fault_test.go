@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseSpec covers the MPJ_FAULT syntax: the accepted directives and
+// the malformed ones.
+func TestParseSpec(t *testing.T) {
+	good := []struct {
+		in   string
+		want Spec
+	}{
+		{"kill:2", Spec{Action: "kill", Rank: 2, Round: -1}},
+		{"kill:0@7", Spec{Action: "kill", Rank: 0, Round: 7}},
+		{"mute:1", Spec{Action: "mute", Rank: 1, Round: -1}},
+		{"delay:3@5ms", Spec{Action: "delay", Rank: 3, Round: -1, Dur: 5 * time.Millisecond}},
+	}
+	for _, tc := range good {
+		sp, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if *sp != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, *sp, tc.want)
+		}
+	}
+
+	if sp, err := ParseSpec(""); sp != nil || err != nil {
+		t.Errorf("ParseSpec(\"\") = %v, %v, want nil, nil", sp, err)
+	}
+
+	bad := []string{
+		"kill",      // no rank
+		"kill:x",    // non-numeric rank
+		"kill:-1",   // negative rank
+		"kill:1@x",  // non-numeric round
+		"kill:1@-2", // negative round
+		"mute:1@3",  // mute takes no argument
+		"delay:1",   // delay needs a duration
+		"delay:1@x", // bad duration
+		"explode:1", // unknown action
+	}
+	for _, in := range bad {
+		if sp, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) = %+v, want error", in, sp)
+		}
+	}
+}

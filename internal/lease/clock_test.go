@@ -1,0 +1,115 @@
+package lease
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic expiry tests: no
+// sweeper, no sleeps — time passes only when the test says so.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestClockPollExpiry: a lease expires exactly when the clock passes its
+// deadline, and Poll delivers the expiry callback synchronously.
+func TestClockPollExpiry(t *testing.T) {
+	clk := newFakeClock()
+	var expired []any
+	tbl := NewTableWithClock(func(id string, payload any) {
+		expired = append(expired, payload)
+	}, clk.now)
+	defer tbl.Close()
+
+	tbl.Grant("slave-3", 10*time.Second)
+
+	clk.advance(9 * time.Second)
+	if n := tbl.Poll(); n != 0 {
+		t.Fatalf("Poll before deadline expired %d leases, want 0", n)
+	}
+	if len(expired) != 0 {
+		t.Fatalf("callback fired before deadline: %v", expired)
+	}
+
+	clk.advance(2 * time.Second)
+	if n := tbl.Poll(); n != 1 {
+		t.Fatalf("Poll past deadline expired %d leases, want 1", n)
+	}
+	if len(expired) != 1 || expired[0] != "slave-3" {
+		t.Fatalf("expired payloads = %v, want [slave-3]", expired)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("table still holds %d leases after expiry", tbl.Len())
+	}
+	// A second poll finds nothing: expiry is once.
+	if n := tbl.Poll(); n != 0 {
+		t.Fatalf("re-Poll expired %d more leases, want 0", n)
+	}
+}
+
+// TestClockRenewalNoFalsePositive: a renewal that lands before the
+// deadline always postpones expiry — the landlord never declares a
+// punctual holder dead, which is the accuracy the failure detector
+// demands of the lease layer.
+func TestClockRenewalNoFalsePositive(t *testing.T) {
+	clk := newFakeClock()
+	fired := 0
+	tbl := NewTableWithClock(func(id string, payload any) { fired++ }, clk.now)
+	defer tbl.Close()
+
+	info := tbl.Grant(7, 10*time.Second)
+
+	// Renew repeatedly just ahead of the deadline; no poll may expire it.
+	for i := 0; i < 50; i++ {
+		clk.advance(10*time.Second - time.Millisecond)
+		if n := tbl.Poll(); n != 0 {
+			t.Fatalf("iteration %d: punctual holder expired (%d leases)", i, n)
+		}
+		if _, err := tbl.Renew(info.ID, 10*time.Second); err != nil {
+			t.Fatalf("iteration %d: renew: %v", i, err)
+		}
+	}
+	if fired != 0 {
+		t.Fatalf("expiry callback fired %d times for a punctual holder", fired)
+	}
+
+	// Stop renewing: one interval later the lease lapses.
+	clk.advance(10*time.Second + time.Millisecond)
+	if n := tbl.Poll(); n != 1 {
+		t.Fatalf("lapsed lease: Poll expired %d, want 1", n)
+	}
+	if fired != 1 {
+		t.Fatalf("expiry callback fired %d times, want 1", fired)
+	}
+
+	// The lease is gone: a late renewal reports the unknown lease instead
+	// of resurrecting it.
+	if _, err := tbl.Renew(info.ID, 10*time.Second); err == nil {
+		t.Fatal("renew after expiry succeeded")
+	}
+}
+
+// TestClockCancelSkipsCallback: a deliberate cancellation never reports
+// an expiry, even after the deadline passes.
+func TestClockCancelSkipsCallback(t *testing.T) {
+	clk := newFakeClock()
+	fired := 0
+	tbl := NewTableWithClock(func(id string, payload any) { fired++ }, clk.now)
+	defer tbl.Close()
+
+	info := tbl.Grant("res", 5*time.Second)
+	if err := tbl.Cancel(info.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	clk.advance(time.Hour)
+	if n := tbl.Poll(); n != 0 || fired != 0 {
+		t.Fatalf("cancelled lease expired (n=%d, fired=%d)", n, fired)
+	}
+}

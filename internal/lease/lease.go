@@ -42,6 +42,7 @@ type grant struct {
 // not trigger the callback.
 type Table struct {
 	onExpire func(id string, payload any)
+	now      func() time.Time
 
 	mu     sync.Mutex
 	leases map[string]*grant
@@ -54,11 +55,58 @@ type Table struct {
 func NewTable(onExpire func(id string, payload any)) *Table {
 	t := &Table{
 		onExpire: onExpire,
+		now:      time.Now,
 		leases:   make(map[string]*grant),
 		wake:     make(chan struct{}, 1),
 	}
 	go t.sweep()
 	return t
+}
+
+// NewTableWithClock creates a lease table driven by an injected clock and
+// no background sweeper: time passes only as the clock function says, and
+// leases expire only when Poll is called. Built for deterministic tests —
+// expiry races can be exercised without a single real sleep.
+func NewTableWithClock(onExpire func(id string, payload any), now func() time.Time) *Table {
+	return &Table{
+		onExpire: onExpire,
+		now:      now,
+		leases:   make(map[string]*grant),
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// Poll expires every lease whose deadline has passed on the table's
+// clock, invoking the expiry callback synchronously, and reports how many
+// expired. The background sweeper of a NewTable table does this on its
+// own; clock-driven tables advance only through Poll.
+func (t *Table) Poll() int {
+	expired, _ := t.expire()
+	cb := t.onExpire
+	if cb != nil {
+		for _, g := range expired {
+			cb(g.id, g.payload)
+		}
+	}
+	return len(expired)
+}
+
+// expire removes every overdue lease and returns them plus the next
+// pending deadline (an hour out when no lease is closer).
+func (t *Table) expire() (expired []*grant, next time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	next = now.Add(time.Hour)
+	for id, g := range t.leases {
+		if !g.expiration.After(now) {
+			expired = append(expired, g)
+			delete(t.leases, id)
+		} else if g.expiration.Before(next) {
+			next = g.expiration
+		}
+	}
+	return expired, next
 }
 
 // Grant issues a new lease on payload for duration d.
@@ -69,7 +117,7 @@ func (t *Table) Grant(payload any, d time.Duration) Info {
 	g := &grant{
 		id:         fmt.Sprintf("lease-%d", t.nextID),
 		payload:    payload,
-		expiration: time.Now().Add(d),
+		expiration: t.now().Add(d),
 	}
 	t.leases[g.id] = g
 	t.kick()
@@ -84,7 +132,7 @@ func (t *Table) Renew(id string, d time.Duration) (Info, error) {
 	if !ok {
 		return Info{}, fmt.Errorf("%w: %s", ErrUnknownLease, id)
 	}
-	g.expiration = time.Now().Add(d)
+	g.expiration = t.now().Add(d)
 	t.kick()
 	return Info{ID: id, Expiration: g.expiration}, nil
 }
@@ -131,25 +179,13 @@ func (t *Table) kick() {
 func (t *Table) sweep() {
 	for {
 		t.mu.Lock()
-		if t.closed {
-			t.mu.Unlock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
 			return
 		}
-		now := time.Now()
-		next := now.Add(time.Hour)
-		var expired []*grant
-		for id, g := range t.leases {
-			if !g.expiration.After(now) {
-				expired = append(expired, g)
-				delete(t.leases, id)
-			} else if g.expiration.Before(next) {
-				next = g.expiration
-			}
-		}
-		cb := t.onExpire
-		t.mu.Unlock()
-
-		if cb != nil {
+		expired, next := t.expire()
+		if cb := t.onExpire; cb != nil {
 			for _, g := range expired {
 				cb(g.id, g.payload)
 			}

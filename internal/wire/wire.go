@@ -46,6 +46,20 @@ const (
 	KindCancelAck
 	// KindGoodbye announces orderly shutdown of the sending peer.
 	KindGoodbye
+	// KindRevoke propagates a communicator revocation: Context carries the
+	// revoked communicator's point-to-point context id. Best-effort — lost
+	// revokes are re-detected through rank-failure errors.
+	KindRevoke
+	// KindFTPull asks a peer for its contribution to a fault-tolerant
+	// agreement instance (Context = collective context, Tag = instance
+	// sequence number). The coordinator of the agreement sends it.
+	KindFTPull
+	// KindFTReply answers a KindFTPull with the sender's contribution as
+	// payload.
+	KindFTReply
+	// KindFTDecide distributes (or forwards) the decided value of an
+	// agreement instance as payload. First decision received wins.
+	KindFTDecide
 )
 
 // String returns the conventional name of the frame kind.
@@ -65,6 +79,14 @@ func (k Kind) String() string {
 		return "CANCELACK"
 	case KindGoodbye:
 		return "GOODBYE"
+	case KindRevoke:
+		return "REVOKE"
+	case KindFTPull:
+		return "FTPULL"
+	case KindFTReply:
+		return "FTREPLY"
+	case KindFTDecide:
+		return "FTDECIDE"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

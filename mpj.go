@@ -172,7 +172,25 @@ var (
 	// class — negative, out-of-range or overlapping displacements in
 	// the varying-count collectives, as in MPI_ERR_ARG.
 	ErrArg = core.ErrArg
+	// ErrRankFailed reports that a member process of the communicator
+	// failed, as in ULFM's MPI_ERR_PROC_FAILED: the operation will not
+	// complete, but surviving members remain usable — recover with
+	// Comm.Revoke, Comm.Shrink and Comm.Agree. The failed process's world
+	// rank travels in the error; retrieve it with FailedRank.
+	ErrRankFailed = core.ErrRankFailed
+	// ErrRevoked reports an operation on a revoked communicator, as in
+	// ULFM's MPI_ERR_REVOKED: after some member calls Revoke, every
+	// pending and future operation fails until the survivors Shrink.
+	ErrRevoked = core.ErrRevoked
 )
+
+// RankFailedError is the typed error behind every ErrRankFailed failure;
+// Rank is the world rank of the dead process.
+type RankFailedError = core.RankFailedError
+
+// FailedRank extracts the world rank of the dead process from an
+// ErrRankFailed error chain; ok is false when err carries none.
+func FailedRank(err error) (rank int, ok bool) { return core.FailedRank(err) }
 
 // Wildcards and special values.
 const (

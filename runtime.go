@@ -12,6 +12,7 @@ import (
 	"mpj/internal/core"
 	"mpj/internal/daemon"
 	"mpj/internal/device"
+	"mpj/internal/fault"
 	"mpj/internal/job"
 	"mpj/internal/transport"
 )
@@ -98,11 +99,29 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 	if np <= 0 {
 		return fmt.Errorf("mpj: np must be positive, got %d", np)
 	}
+	// MPJ_FAULT interposes the fault-injection domain between the mesh and
+	// the devices (see internal/fault): kill/mute/delay one rank to
+	// exercise the fault-tolerance surface without a distributed runtime.
+	spec, err := fault.ParseSpec(os.Getenv("MPJ_FAULT"))
+	if err != nil {
+		return fmt.Errorf("mpj: MPJ_FAULT: %w", err)
+	}
 	eps := transport.NewChanMesh(np)
+	trs := make([]transport.Transport, np)
+	var fd *fault.Domain
+	for i := 0; i < np; i++ {
+		trs[i] = eps[i]
+	}
+	if spec != nil {
+		fd = fault.NewDomain()
+		for i := 0; i < np; i++ {
+			trs[i] = fd.Wrap(eps[i])
+		}
+	}
 	devs := make([]*device.Device, np)
 	worlds := make([]*core.Comm, np)
 	for i := 0; i < np; i++ {
-		dev, err := device.Open(eps[i], opts...)
+		dev, err := device.Open(trs[i], opts...)
 		if err != nil {
 			for _, d := range devs {
 				if d != nil {
@@ -123,10 +142,23 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 		}
 		worlds[i] = world
 	}
+	if fd != nil {
+		for i, d := range devs {
+			fd.Bind(i, d)
+		}
+		if err := fd.Arm(spec); err != nil {
+			for _, d := range devs {
+				d.Abort()
+			}
+			return fmt.Errorf("mpj: MPJ_FAULT: %w", err)
+		}
+	}
 
 	// The local analogue of the paper's failure model: the first rank to
 	// fail aborts every device, unblocking peers that would otherwise
-	// wait forever on the failed rank.
+	// wait forever on the failed rank. Under fault injection the model is
+	// the fault-tolerant one instead — an injected death must NOT take the
+	// job down, that is the point — so only uninjected errors abort.
 	var abortOnce sync.Once
 	abortAll := func() {
 		abortOnce.Do(func() {
@@ -145,13 +177,20 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 			defer wg.Done()
 			if err := app(worlds[i]); err != nil {
 				appErrs[i] = err
-				abortAll()
+				if fd == nil || !fd.Killed(i) {
+					abortAll()
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	for i, err := range appErrs {
 		if err != nil {
+			if fd != nil {
+				for _, d := range devs {
+					d.Abort()
+				}
+			}
 			return fmt.Errorf("mpj: rank %d: %w", i, err)
 		}
 	}
