@@ -13,6 +13,14 @@
 //	mpjbench -exp ft         # fault tolerance: agreement and shrink latency (writes
 //	                         # BENCH_ft.json; with -quick: regression check against
 //	                         # the committed file)
+//	mpjbench -exp prof       # instrumentation overhead: off vs counters vs trace
+//	                         # (writes BENCH_prof.json and per-rank Chrome trace files
+//	                         # under BENCH_prof_trace/; with -quick: fails when the
+//	                         # counters mode costs >10% over off)
+//
+// -hold keeps the process alive for the given duration after the
+// experiments finish, so an expvar endpoint served under MPJ_PROF_ADDR
+// stays curl-able (the CI observability smoke).
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results and their interpretation.
@@ -36,7 +44,8 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL FT (alias: pingpong)")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL FT PROF (alias: pingpong)")
+	hold := flag.Duration("hold", 0, "keep the process alive this long after the experiments (for curling an MPJ_PROF_ADDR endpoint)")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
 		*exp = "PP"
@@ -92,6 +101,7 @@ func main() {
 		{"COLL", runColl},
 		{"VCOLL", runVcoll},
 		{"FT", runFT},
+		{"PROF", runProf},
 	}
 
 	ran := 0
@@ -110,6 +120,10 @@ func main() {
 	}
 	if ran == 0 {
 		log.Fatalf("unknown experiment %q", *exp)
+	}
+	if *hold > 0 {
+		fmt.Printf("holding for %s (MPJ_PROF_ADDR endpoint stays up)\n", *hold)
+		time.Sleep(*hold)
 	}
 }
 
@@ -219,6 +233,31 @@ func runFT() (*bench.Table, error) {
 		return nil, err
 	}
 	fmt.Println("  (latencies within 3x of committed BENCH_ft.json)")
+	return t, nil
+}
+
+// runProf runs the instrumentation overhead matrix. The full run records
+// BENCH_prof.json and keeps the trace mode's per-rank timelines under
+// BENCH_prof_trace/; the -quick run is the CI smoke gate — it fails when
+// the counters mode costs more than 10% over profiling-off on the
+// ping-pong (the ≤10% always-on budget from DESIGN).
+func runProf() (*bench.Table, error) {
+	t, res, err := bench.ProfSweep(*quick)
+	if err != nil {
+		return nil, err
+	}
+	if *quick {
+		fmt.Println("  (counters within the 10% ping-pong overhead budget)")
+		return t, nil
+	}
+	js, err := bench.MarshalProfResult(res)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile("BENCH_prof.json", js, 0o644); err != nil {
+		return nil, fmt.Errorf("writing BENCH_prof.json: %w", err)
+	}
+	fmt.Println("  (results recorded in BENCH_prof.json, traces in BENCH_prof_trace/)")
 	return t, nil
 }
 

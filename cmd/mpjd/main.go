@@ -9,6 +9,13 @@
 // -device sets a host-wide default transport device (chan | tcp | hyb) for
 // the slaves this daemon spawns, exported to them as MPJ_DEVICE; a device
 // chosen by the client (mpjrun -device) still wins.
+//
+// -prof-addr serves an expvar endpoint (GET /debug/vars) publishing the
+// daemon's job/slave/lease state under "mpjd" and — because slaves spawned
+// by this daemon inherit MPJ_PROF_ADDR only if set in its environment —
+// any co-resident in-process instrumentation under "mpj". It defaults to
+// the daemon's MPJ_PROF_ADDR environment variable; see README
+// "Observability".
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"mpj/internal/daemon"
 	"mpj/internal/lookup"
+	"mpj/internal/prof"
 	"mpj/internal/transport"
 )
 
@@ -30,6 +38,7 @@ func main() {
 	port := flag.Int("discovery-port", lookup.DefaultDiscoveryPort, "UDP discovery port when -registrars is empty")
 	leaseDur := flag.Duration("lease", 30*time.Second, "lookup registration lease duration")
 	device := flag.String("device", "", "default transport device for spawned slaves: chan, tcp or hyb (overridden by the client's choice)")
+	profAddr := flag.String("prof-addr", os.Getenv("MPJ_PROF_ADDR"), "serve the expvar endpoint (/debug/vars) on this address (default: $MPJ_PROF_ADDR, then off)")
 	flag.Parse()
 
 	if *device != "" {
@@ -55,6 +64,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer d.Close()
+	if *profAddr != "" {
+		prof.PublishMPJ()
+		prof.Publish("mpjd", d.Vars)
+		bound, err := prof.Serve(*profAddr)
+		if err != nil {
+			log.Fatalf("mpjd: -prof-addr: %v", err)
+		}
+		fmt.Printf("mpjd: expvar endpoint on http://%s/debug/vars\n", bound)
+	}
 	if err := d.Announce(found, *leaseDur); err != nil {
 		log.Fatalf("mpjd: %v", err)
 	}

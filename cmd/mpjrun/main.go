@@ -21,6 +21,13 @@
 // schedules' segment size in bytes; both default to the client's
 // MPJ_COLL_ALG / MPJ_COLL_SEG and travel in the slave spec so all ranks
 // agree, as collective schedules require.
+//
+// -prof enables the instrumentation layer on every slave: "counters" for
+// the per-communicator counters behind Comm.ProfSnapshot, or
+// "trace:<path-prefix>" to additionally write one Chrome trace_event JSON
+// timeline per rank (resolved on each slave's host). It defaults to the
+// client's MPJ_PROF and travels in the slave spec; see README
+// "Observability".
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"mpj"
 	"mpj/internal/core"
 	dev "mpj/internal/device"
+	"mpj/internal/prof"
 	"mpj/internal/transport"
 )
 
@@ -45,6 +53,7 @@ func main() {
 	eagerLimit := flag.Int("eager-limit", 0, "eager/rendezvous protocol threshold in bytes (default: $MPJ_EAGER_LIMIT, then each slave's default)")
 	collAlg := flag.String("coll-alg", os.Getenv("MPJ_COLL_ALG"), "collective algorithm family: auto, classic, segmented or ring (default: $MPJ_COLL_ALG, then auto)")
 	collSeg := flag.Int("coll-seg", 0, "segment size in bytes for pipelined collectives (default: $MPJ_COLL_SEG, then 32768)")
+	profSpec := flag.String("prof", os.Getenv("MPJ_PROF"), "instrumentation on every slave: counters or trace:<path-prefix> (default: $MPJ_PROF, then off)")
 	registrars := flag.String("registrars", "", "comma-separated registrar addresses (unicast discovery)")
 	port := flag.Int("discovery-port", 0, "UDP discovery port when -registrars is empty")
 	leaseDur := flag.Duration("lease", 10*time.Second, "job lease duration")
@@ -84,6 +93,10 @@ func main() {
 		}
 		*collSeg = v
 	}
+	if _, err := prof.ParseSpec(*profSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "mpjrun:", err)
+		os.Exit(2)
+	}
 
 	if *np <= 0 || *app == "" {
 		fmt.Fprintln(os.Stderr, "usage: mpjrun -np N -app NAME [-binary PATH] [args...]")
@@ -102,6 +115,7 @@ func main() {
 		EagerLimit: *eagerLimit,
 		CollAlg:    *collAlg,
 		CollSeg:    *collSeg,
+		Prof:       *profSpec,
 		Locators:   locators,
 		UDPPort:    *port,
 		Binary:     *binary,

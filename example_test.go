@@ -2,6 +2,8 @@ package mpj_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"mpj"
 )
@@ -116,6 +118,55 @@ func ExampleSend() {
 		fmt.Println("error:", err)
 	}
 	// Output: received 3.14 and 2.71
+}
+
+// Per-communicator counters: with MPJ_PROF=counters every rank records
+// message and byte totals, and ProfSnapshot slices them per communicator.
+// Rank 0 of a binomial broadcast on two ranks sends exactly one message
+// carrying the packed payload.
+func ExampleComm_ProfSnapshot() {
+	os.Setenv("MPJ_PROF", "counters")
+	defer os.Unsetenv("MPJ_PROF")
+	err := mpj.RunLocal(2, func(w *mpj.Comm) error {
+		buf := make([]int32, 1024)
+		if err := w.Bcast(buf, 0, 1024, mpj.INT, 0); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			s := w.ProfSnapshot()
+			fmt.Printf("rank 0 sent %d bytes in %d messages\n", s.SentBytes(), s.SentMsgs())
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rank 0 sent 4096 bytes in 1 messages
+}
+
+// Schedule timelines: MPJ_PROF=trace:<prefix> additionally writes one
+// Chrome trace_event JSON file per rank at shutdown — load them in
+// chrome://tracing or Perfetto to see per-collective round spans.
+func ExampleRunLocal_tracing() {
+	dir, err := os.MkdirTemp("", "mpj-trace")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	os.Setenv("MPJ_PROF", "trace:"+dir+"/run")
+	defer os.Unsetenv("MPJ_PROF")
+	err = mpj.RunLocal(2, func(w *mpj.Comm) error {
+		sum := make([]int64, 1)
+		return mpj.Allreduce(w, []int64{int64(w.Rank())}, sum, mpj.Sum[int64]())
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	files, _ := filepath.Glob(dir + "/run.rank*.trace.json")
+	fmt.Printf("%d trace files\n", len(files))
+	// Output: 2 trace files
 }
 
 // Typed Sendrecv: every rank passes a value to its right neighbour and

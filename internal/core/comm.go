@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"mpj/internal/device"
+	"mpj/internal/prof"
 )
 
 // procState is the per-process state shared by all communicators derived
@@ -166,6 +167,21 @@ func (c *Comm) Group() *Group { return c.group }
 // Device exposes the underlying device (used by the runtime and
 // benchmarks; applications should not need it).
 func (c *Comm) Device() *device.Device { return c.dev }
+
+// ProfSnapshot returns this communicator's profiling counters — the
+// traffic on its two device contexts (point-to-point and collective)
+// since profiling began. With profiling off (MPJ_PROF unset) it returns
+// a zero snapshot; see ProfEnabled and README "Observability".
+func (c *Comm) ProfSnapshot() prof.Snapshot {
+	if p := c.dev.Profiler(); p != nil {
+		return p.CtxSnapshot(c.pt2pt, c.coll)
+	}
+	return prof.Snapshot{}
+}
+
+// ProfEnabled reports whether this rank records profiling counters (the
+// MPJ_PROF environment variable, the mpjrun -prof flag).
+func (c *Comm) ProfEnabled() bool { return c.dev.Profiler() != nil }
 
 // SetAbortHandler installs the whole-job abort hook used by Abort. The
 // runtime installs a handler that fans the abort out through the daemon

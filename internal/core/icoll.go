@@ -336,7 +336,7 @@ func (c *Comm) ibcast(name string, tag int, buf any, off, count int, dt Datatype
 			return err
 		}
 	}
-	return c.newCollRequest(name, tag, bcastRounds(c, cl, root), finish)
+	return c.newCollRequestAlg(name, tag, "binomial", 0, bcastRounds(c, cl, root), finish)
 }
 
 // ibcastPipelined compiles the segmented chain broadcast. For raw-layout
@@ -371,8 +371,9 @@ func (c *Comm) ibcastPipelined(name string, tag int, buf any, off, count int, dt
 			}
 		}
 	}
-	rounds := pipeChainRounds(c, asm, root, c.collSegSize())
-	return c.newCollRequest(name, tag, rounds, finish)
+	seg := c.collSegSize()
+	rounds := pipeChainRounds(c, asm, root, seg)
+	return c.newCollRequestAlg(name, tag, "chain-pipelined", segCount(total, seg), rounds, finish)
 }
 
 // Igather starts a non-blocking gather of scount elements from every
@@ -563,7 +564,7 @@ func (c *Comm) iallgather(name string, tag int, sbuf any, soff, scount int, sdt 
 					if err := pi.PackInto(win[c.rank*bs:(c.rank+1)*bs], sbuf, soff, scount); err != nil {
 						return nil, fmt.Errorf("%s: %w", name, err)
 					}
-					return c.newCollRequest(name, tag, ringWindowRounds(c, win, bs), nil)
+					return c.newCollRequestAlg(name, tag, "ring-window", 0, ringWindowRounds(c, win, bs), nil)
 				}
 			}
 		}
@@ -604,7 +605,7 @@ func (c *Comm) iallgather(name string, tag int, sbuf any, soff, scount int, sdt 
 	if err := unpackSlot(c.rank, myData); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	return c.newCollRequest(name, tag, ringRounds(c, myData, unpackSlot), nil)
+	return c.newCollRequestAlg(name, tag, "ring", 0, ringRounds(c, myData, unpackSlot), nil)
 }
 
 // Ireduce starts a non-blocking reduction of count elements with op,
@@ -668,17 +669,20 @@ func (c *Comm) iallreduce(name string, tag int, alg AllreduceAlgorithm, sbuf any
 	}
 	acc := &cell{b: data}
 	var rounds []round
+	var algName string
 	switch alg {
 	case AllreduceRecursiveDoubling:
 		if size&(size-1) != 0 {
 			return nil, fmt.Errorf("%w: recursive doubling requires power-of-two size, have %d", ErrComm, size)
 		}
 		rounds = rdRounds(c, acc, comb)
+		algName = "recursive-doubling"
 	case AllreduceTreeBcast:
 		// Reduce to rank 0, then broadcast: the bcast phase reuses acc —
 		// rank 0 enters it holding the full reduction, every other rank's
 		// acc is overwritten by its tree parent before it forwards.
 		rounds = append(reduceRounds(c, acc, comb, 0), bcastRounds(c, acc, 0)...)
+		algName = "reduce-bcast"
 	default:
 		return nil, fmt.Errorf("%w: unknown allreduce algorithm %d", ErrOther, alg)
 	}
@@ -686,7 +690,7 @@ func (c *Comm) iallreduce(name string, tag int, alg AllreduceAlgorithm, sbuf any
 		_, err := dt.Unpack(acc.b, rbuf, roff, count)
 		return err
 	}
-	return c.newCollRequest(name, tag, rounds, finish)
+	return c.newCollRequestAlg(name, tag, algName, 0, rounds, finish)
 }
 
 // iallreduceRing compiles the ring allreduce. For raw-layout datatypes the
@@ -734,7 +738,7 @@ func (c *Comm) iallreduceRing(name string, tag int, sbuf any, soff int, rbuf any
 		}
 		return nil
 	}
-	return c.newCollRequest(name, tag, rounds, finish)
+	return c.newCollRequestAlg(name, tag, "ring", 0, rounds, finish)
 }
 
 // Ialltoall starts a non-blocking all-to-all personalized exchange: a

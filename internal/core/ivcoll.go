@@ -176,8 +176,8 @@ func (c *Comm) iallgatherv(name string, tag int, sbuf any, soff, scount int, sdt
 			total += n
 		}
 		if total > 0 && c.collLarge(total*sz) {
-			if rounds, ok := c.ringWindowVRounds(sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt); ok {
-				return c.newCollRequest(name, tag, rounds, nil)
+			if rounds, finish, ok := c.ringWindowVRounds(sbuf, soff, scount, sdt, rbuf, roff, rcounts, displs, rdt); ok {
+				return c.newCollRequestAlg(name, tag, "ring-window", 0, rounds, finish)
 			}
 		}
 	}
@@ -208,7 +208,7 @@ func (c *Comm) iallgatherv(name string, tag int, sbuf any, soff, scount int, sdt
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 	}
-	return c.newCollRequest(name, tag, ringRounds(c, myData, unpackSlot), nil)
+	return c.newCollRequestAlg(name, tag, "ring", 0, ringRounds(c, myData, unpackSlot), nil)
 }
 
 // ringWindowVRounds compiles the zero-staging ring allgatherv: block r of
@@ -217,47 +217,99 @@ func (c *Comm) iallgatherv(name string, tag int, sbuf any, soff, scount int, sdt
 // its buffer while block (rank-s-1 mod p) lands straight into its final
 // slot — the varying-count analogue of ringWindowRounds. Empty blocks
 // still flow through the ring as empty messages, keeping every hop's
-// rounds aligned with its neighbours'. ok=false when a non-empty slot
-// refuses a raw window or the local contribution cannot pack in place, in
-// which case the caller falls back to the forwarding ring.
+// rounds aligned with its neighbours'.
+//
+// A single non-empty slot that refuses a raw window (an offset stretching
+// past the slice, say) does not force the whole exchange off the fast
+// path: that one block circulates through a pooled staging buffer —
+// received there, unpacked into its final slot, and forwarded from it the
+// next round, which the engine's in-order round delivery guarantees is
+// after the bytes landed. ok=false only when two or more slots refuse a
+// window or the local contribution cannot pack in place, in which case
+// the caller falls back to the forwarding ring. finish (possibly nil)
+// must run at completion; it returns the staging buffer to the pool.
 func (c *Comm) ringWindowVRounds(sbuf any, soff, scount int, sdt Datatype,
-	rbuf any, roff int, rcounts, displs []int, rdt Datatype) ([]round, bool) {
+	rbuf any, roff int, rcounts, displs []int, rdt Datatype) ([]round, func() error, bool) {
 	size := c.Size()
 	ext := rdt.Extent()
 	slots := make([][]byte, size)
+	staged := -1
 	for r := 0; r < size; r++ {
 		if rcounts[r] == 0 {
 			continue
 		}
-		win := vWindow(rdt, rbuf, roff+displs[r]*ext, rcounts[r])
-		if win == nil {
-			return nil, false
+		if win := vWindow(rdt, rbuf, roff+displs[r]*ext, rcounts[r]); win != nil {
+			slots[r] = win
+			continue
 		}
-		slots[r] = win
+		if staged >= 0 {
+			return nil, nil, false // a second stubborn slot: forwarding ring
+		}
+		staged = r
+	}
+	var stage []byte
+	release := func() {
+		if stage != nil {
+			wire.PutBuf(stage)
+		}
+	}
+	if staged >= 0 {
+		stage = wire.GetBuf(rcounts[staged] * rdt.ByteSize())
+	}
+	own := slots[c.rank]
+	if c.rank == staged {
+		own = stage
 	}
 	pi, ok := sdt.(packerInto)
-	if !ok || sdt.ByteSize() < 0 || scount < 0 || scount*sdt.ByteSize() != len(slots[c.rank]) {
-		return nil, false
+	if !ok || sdt.ByteSize() < 0 || scount < 0 || scount*sdt.ByteSize() != len(own) {
+		release()
+		return nil, nil, false
 	}
 	if scount > 0 {
-		if err := pi.PackInto(slots[c.rank], sbuf, soff, scount); err != nil {
-			return nil, false
+		if err := pi.PackInto(own, sbuf, soff, scount); err != nil {
+			release()
+			return nil, nil, false
+		}
+	}
+	if c.rank == staged {
+		// The staged slot is this rank's own: its bytes ride the ring from
+		// the staging buffer, but the final slot still needs them.
+		if _, err := rdt.Unpack(stage, rbuf, roff+displs[c.rank]*ext, rcounts[c.rank]); err != nil {
+			release()
+			return nil, nil, false
 		}
 	}
 	right := (c.rank + 1) % size
 	left := (c.rank - 1 + size) % size
 	var rs []round
 	for s := 0; s < size-1; s++ {
-		data := slots[(c.rank-s+size)%size]
-		rd := round{sends: []sendStep{{to: right, data: func() []byte { return data }}}}
-		if dst := slots[(c.rank-s-1+2*size)%size]; len(dst) > 0 {
-			rd.recvs = []recvStep{{from: left, buf: dst}}
+		var rd round
+		if src := (c.rank - s + size) % size; src == staged {
+			rd.sends = []sendStep{{to: right, data: func() []byte { return stage }}}
+		} else {
+			data := slots[src]
+			rd.sends = []sendStep{{to: right, data: func() []byte { return data }}}
+		}
+		if dst := (c.rank - s - 1 + 2*size) % size; dst == staged {
+			rd.recvs = []recvStep{{from: left, buf: stage, on: func(got []byte) error {
+				_, err := rdt.Unpack(got, rbuf, roff+displs[staged]*ext, rcounts[staged])
+				return err
+			}}}
+		} else if win := slots[dst]; len(win) > 0 {
+			rd.recvs = []recvStep{{from: left, buf: win}}
 		} else {
 			rd.recvs = []recvStep{{from: left}}
 		}
 		rs = append(rs, rd)
 	}
-	return rs, true
+	var finish func() error
+	if stage != nil {
+		finish = func() error {
+			release()
+			return nil
+		}
+	}
+	return rs, finish, true
 }
 
 // Ialltoallv starts a non-blocking varying-count all-to-all personalized
@@ -464,5 +516,5 @@ func (c *Comm) ireduceScatterRing(name string, tag int, sbuf any, soff int, rbuf
 		_, err := dt.Unpack(chunk(c.rank), rbuf, roff, rcounts[c.rank])
 		return err
 	}
-	return c.newCollRequest(name, tag, rs, finish)
+	return c.newCollRequestAlg(name, tag, "ring", 0, rs, finish)
 }

@@ -25,6 +25,11 @@ import (
 // by its own tag — FIFO matching per (src, dst, tag) keeps successive
 // activations apart, since a new Start is only legal once the previous
 // activation completed locally and sends post in schedule order.
+//
+// Because each Start compiles onto the shared schedule engine, persistent
+// activations need no instrumentation of their own: they appear in the
+// prof counters and trace timelines exactly like their one-shot forms
+// (see internal/prof and sched.go).
 
 // PcollRequest is a persistent collective request — the collective
 // analogue of Prequest. It is created by the Commit* methods, activated

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpj/internal/device"
+	"mpj/internal/prof"
+	"mpj/internal/transport"
+)
+
+// profJobSeq hands out process-unique hybrid job ids for the profiling
+// tests, so they never collide in the hybrid device's process-local hub.
+var profJobSeq atomic.Uint64
+
+// runRanksProf is the runRanks harness with a prof.Recorder attached to
+// every rank's device, over the channel mesh or a co-located hybrid mesh.
+func runRanksProf(t *testing.T, np int, spec prof.Spec, hyb bool, fn func(w *Comm) error) {
+	t.Helper()
+	eps := make([]transport.Transport, np)
+	if hyb {
+		loc := transport.ProcessLocality()
+		locs := make([]string, np)
+		for i := range locs {
+			locs[i] = loc
+		}
+		jobID := 0x9f0f<<32 | profJobSeq.Add(1)
+		for i := range eps {
+			ep, err := transport.NewHybTransport(transport.HybConfig{Rank: i, JobID: jobID, Locs: locs})
+			if err != nil {
+				t.Fatalf("hyb transport rank %d: %v", i, err)
+			}
+			eps[i] = ep
+		}
+	} else {
+		for i, ep := range transport.NewChanMesh(np) {
+			eps[i] = ep
+		}
+	}
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for i := 0; i < np; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var opts []device.Option
+			if rec := prof.New(i, spec); rec != nil {
+				opts = append(opts, device.WithProfiler(rec))
+			}
+			d, err := device.Open(eps[i], opts...)
+			if err != nil {
+				errs[i] = fmt.Errorf("open device: %w", err)
+				return
+			}
+			defer d.Close()
+			w, err := NewWorld(d)
+			if err != nil {
+				errs[i] = fmt.Errorf("new world: %w", err)
+				return
+			}
+			if err := fn(w); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.Barrier()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job wedged: ranks did not finish within 60s")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+// goBarrier is a reusable in-process barrier with no MPJ traffic. The
+// exact-count tests need it: snapshots are taken per rank, and a rank
+// that raced ahead into the next MPJ operation would land frames on
+// slower ranks before they snapshot, inflating their receive counters.
+type goBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newGoBarrier(n int) *goBarrier {
+	b := &goBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *goBarrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// measureOp isolates op's counter movement on w: an MPJ barrier drains
+// in-flight traffic (its own completion implies every inbound frame was
+// counted), then in-process barriers bracket the op so no rank starts it
+// before all have taken their base snapshot, and none proceeds past it
+// before all have taken their post snapshot.
+func measureOp(w *Comm, bar *goBarrier, op func() error) (prof.Snapshot, error) {
+	if err := w.Barrier(); err != nil {
+		return prof.Snapshot{}, err
+	}
+	base := w.ProfSnapshot()
+	bar.await()
+	if err := op(); err != nil {
+		return prof.Snapshot{}, err
+	}
+	diff := snapDiff(base, w.ProfSnapshot())
+	bar.await()
+	return diff, nil
+}
+
+// snapDiff returns the counter movement from base to cur, field by field.
+func snapDiff(base, cur prof.Snapshot) prof.Snapshot {
+	return prof.Snapshot{
+		SendOps:        cur.SendOps - base.SendOps,
+		RecvOps:        cur.RecvOps - base.RecvOps,
+		EagerSent:      cur.EagerSent - base.EagerSent,
+		EagerSentBytes: cur.EagerSentBytes - base.EagerSentBytes,
+		RdvSent:        cur.RdvSent - base.RdvSent,
+		RdvSentBytes:   cur.RdvSentBytes - base.RdvSentBytes,
+		EagerRecv:      cur.EagerRecv - base.EagerRecv,
+		EagerRecvBytes: cur.EagerRecvBytes - base.EagerRecvBytes,
+		RdvRecv:        cur.RdvRecv - base.RdvRecv,
+		RdvRecvBytes:   cur.RdvRecvBytes - base.RdvRecvBytes,
+		CollStarted:    cur.CollStarted - base.CollStarted,
+		CollDone:       cur.CollDone - base.CollDone,
+		CollFailed:     cur.CollFailed - base.CollFailed,
+		CollRounds:     cur.CollRounds - base.CollRounds,
+		WaitNs:         cur.WaitNs - base.WaitNs,
+	}
+}
+
+// sumSnaps totals per-rank snapshots across the job.
+func sumSnaps(ds []prof.Snapshot) prof.Snapshot {
+	var s prof.Snapshot
+	for _, d := range ds {
+		s.SendOps += d.SendOps
+		s.RecvOps += d.RecvOps
+		s.EagerSent += d.EagerSent
+		s.EagerSentBytes += d.EagerSentBytes
+		s.RdvSent += d.RdvSent
+		s.RdvSentBytes += d.RdvSentBytes
+		s.EagerRecv += d.EagerRecv
+		s.EagerRecvBytes += d.EagerRecvBytes
+		s.RdvRecv += d.RdvRecv
+		s.RdvRecvBytes += d.RdvRecvBytes
+		s.CollStarted += d.CollStarted
+		s.CollDone += d.CollDone
+		s.CollFailed += d.CollFailed
+		s.CollRounds += d.CollRounds
+	}
+	return s
+}
+
+// TestProfCountersBcastExact checks the counters against the ground-truth
+// traffic of a classic binomial Bcast on both devices: np-1 block
+// transfers of exactly count*4 bytes, eager below the protocol threshold
+// and rendezvous above it, one collective started and completed per rank.
+func TestProfCountersBcastExact(t *testing.T) {
+	const np = 4
+	cases := []struct {
+		name  string
+		hyb   bool
+		count int  // int32 elements
+		eager bool // expected protocol at the default 16 KiB limit
+	}{
+		{"chan-eager", false, 1024, true},
+		{"chan-rdv", false, 16 << 10, false},
+		{"hyb-eager", true, 1024, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			diffs := make([]prof.Snapshot, np)
+			bar := newGoBarrier(np)
+			runRanksProf(t, np, prof.Spec{Counters: true}, tc.hyb, func(w *Comm) error {
+				w.SetCollAlg(CollAlgClassic)
+				buf := make([]int32, tc.count)
+				if w.Rank() == 0 {
+					for i := range buf {
+						buf[i] = int32(i)
+					}
+				}
+				if !w.ProfEnabled() {
+					return fmt.Errorf("ProfEnabled() = false with counters on")
+				}
+				diff, err := measureOp(w, bar, func() error {
+					return w.Bcast(buf, 0, tc.count, Int, 0)
+				})
+				if err != nil {
+					return err
+				}
+				diffs[w.Rank()] = diff
+				if buf[tc.count-1] != int32(tc.count-1) {
+					return fmt.Errorf("bcast payload corrupted")
+				}
+				return nil
+			})
+			total := sumSnaps(diffs)
+			wantBytes := int64((np - 1) * tc.count * 4)
+			sentMsgs, sentBytes := total.EagerSent, total.EagerSentBytes
+			recvMsgs, recvBytes := total.EagerRecv, total.EagerRecvBytes
+			otherMsgs := total.RdvSent + total.RdvRecv
+			if !tc.eager {
+				sentMsgs, sentBytes = total.RdvSent, total.RdvSentBytes
+				recvMsgs, recvBytes = total.RdvRecv, total.RdvRecvBytes
+				otherMsgs = total.EagerSent + total.EagerRecv
+			}
+			if sentMsgs != np-1 || recvMsgs != np-1 || otherMsgs != 0 {
+				t.Errorf("messages: sent %d recv %d other-protocol %d, want %d/%d/0 (%+v)",
+					sentMsgs, recvMsgs, otherMsgs, np-1, np-1, total)
+			}
+			if sentBytes != wantBytes || recvBytes != wantBytes {
+				t.Errorf("bytes: sent %d recv %d, want %d both", sentBytes, recvBytes, wantBytes)
+			}
+			if total.SendOps != np-1 || total.RecvOps != np-1 {
+				t.Errorf("ops: %d sends %d recvs, want %d both", total.SendOps, total.RecvOps, np-1)
+			}
+			if total.CollStarted != np || total.CollDone != np || total.CollFailed != 0 {
+				t.Errorf("collectives: started %d done %d failed %d, want %d/%d/0",
+					total.CollStarted, total.CollDone, total.CollFailed, np, np)
+			}
+		})
+	}
+}
+
+// TestProfCountersAllreduceExact pins the recursive-doubling Allreduce to
+// its textbook traffic: every rank sends one count*4-byte message in each
+// of log2(np) rounds.
+func TestProfCountersAllreduceExact(t *testing.T) {
+	const np, count = 4, 1024
+	diffs := make([]prof.Snapshot, np)
+	bar := newGoBarrier(np)
+	runRanksProf(t, np, prof.Spec{Counters: true}, false, func(w *Comm) error {
+		sbuf := make([]int32, count)
+		rbuf := make([]int32, count)
+		for i := range sbuf {
+			sbuf[i] = int32(w.Rank() + i)
+		}
+		diff, err := measureOp(w, bar, func() error {
+			return w.AllreduceWith(AllreduceRecursiveDoubling, sbuf, 0, rbuf, 0, count, Int, SumOp)
+		})
+		if err != nil {
+			return err
+		}
+		diffs[w.Rank()] = diff
+		if rbuf[0] != 0+1+2+3 {
+			return fmt.Errorf("allreduce result %d, want 6", rbuf[0])
+		}
+		return nil
+	})
+	total := sumSnaps(diffs)
+	const rounds = 2 // log2(4)
+	wantMsgs := int64(np * rounds)
+	wantBytes := wantMsgs * count * 4
+	if total.EagerSent != wantMsgs || total.EagerRecv != wantMsgs {
+		t.Errorf("messages: sent %d recv %d, want %d both (%+v)", total.EagerSent, total.EagerRecv, wantMsgs, total)
+	}
+	if total.EagerSentBytes != wantBytes || total.EagerRecvBytes != wantBytes {
+		t.Errorf("bytes: sent %d recv %d, want %d both", total.EagerSentBytes, total.EagerRecvBytes, wantBytes)
+	}
+	if total.CollRounds != int64(np*rounds) {
+		t.Errorf("rounds: %d, want %d", total.CollRounds, np*rounds)
+	}
+	if total.CollStarted != np || total.CollDone != np {
+		t.Errorf("collectives: started %d done %d, want %d both", total.CollStarted, total.CollDone, np)
+	}
+	for i, d := range diffs {
+		if d.WaitNs < 0 {
+			t.Errorf("rank %d: negative wait time %d", i, d.WaitNs)
+		}
+	}
+}
+
+// TestProfCountersAlltoallvExact checks the single-round Ialltoallv
+// schedule against its per-pair ground truth: every ordered non-self pair
+// exchanges exactly its scounts block, and nothing else moves.
+func TestProfCountersAlltoallvExact(t *testing.T) {
+	const np = 3
+	scount := func(me, r int) int { return me + r + 1 }
+	diffs := make([]prof.Snapshot, np)
+	bar := newGoBarrier(np)
+	runRanksProf(t, np, prof.Spec{Counters: true}, false, func(w *Comm) error {
+		me := w.Rank()
+		scounts := make([]int, np)
+		sdispls := make([]int, np)
+		rcounts := make([]int, np)
+		rdispls := make([]int, np)
+		stot, rtot := 0, 0
+		for r := 0; r < np; r++ {
+			scounts[r], sdispls[r] = scount(me, r), stot
+			stot += scounts[r]
+			rcounts[r], rdispls[r] = scount(r, me), rtot
+			rtot += rcounts[r]
+		}
+		sbuf := make([]int32, stot)
+		for i := range sbuf {
+			sbuf[i] = int32(me*100 + i)
+		}
+		rbuf := make([]int32, rtot)
+		diff, err := measureOp(w, bar, func() error {
+			return w.Alltoallv(sbuf, 0, scounts, sdispls, Int, rbuf, 0, rcounts, rdispls, Int)
+		})
+		if err != nil {
+			return err
+		}
+		diffs[me] = diff
+		return nil
+	})
+	total := sumSnaps(diffs)
+	wantMsgs, wantBytes := int64(0), int64(0)
+	for me := 0; me < np; me++ {
+		for r := 0; r < np; r++ {
+			if r == me {
+				continue
+			}
+			wantMsgs++
+			wantBytes += int64(scount(me, r) * 4)
+		}
+	}
+	if total.EagerSent != wantMsgs || total.EagerRecv != wantMsgs {
+		t.Errorf("messages: sent %d recv %d, want %d both", total.EagerSent, total.EagerRecv, wantMsgs)
+	}
+	if total.EagerSentBytes != wantBytes || total.EagerRecvBytes != wantBytes {
+		t.Errorf("bytes: sent %d recv %d, want %d both", total.EagerSentBytes, total.EagerRecvBytes, wantBytes)
+	}
+	if total.CollRounds != np {
+		t.Errorf("rounds: %d, want %d (one round per rank)", total.CollRounds, np)
+	}
+}
+
+// TestProfCountersConcurrentComms drives two communicators' collectives
+// concurrently on every rank — the counter paths must be race-free (the
+// -race build is the point of this test) and the per-comm context slices
+// must attribute each comm's schedules to it exactly.
+func TestProfCountersConcurrentComms(t *testing.T) {
+	const np, iters, count = 4, 10, 256
+	runRanksProf(t, np, prof.Spec{Counters: true}, false, func(w *Comm) error {
+		c2, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		c2base := c2.ProfSnapshot()
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for g, comm := range []*Comm{w, c2} {
+			g, comm := g, comm
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sbuf := make([]int32, count)
+				rbuf := make([]int32, count)
+				for i := 0; i < iters; i++ {
+					if err := comm.Allreduce(sbuf, 0, rbuf, 0, count, Int, SumOp); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for g, err := range errs {
+			if err != nil {
+				return fmt.Errorf("goroutine %d: %w", g, err)
+			}
+		}
+		c2diff := snapDiff(c2base, c2.ProfSnapshot())
+		if c2diff.CollDone != iters {
+			return fmt.Errorf("dup comm completed %d collectives, want %d", c2diff.CollDone, iters)
+		}
+		if wdiff := w.ProfSnapshot(); wdiff.CollDone < iters {
+			return fmt.Errorf("world completed %d collectives, want at least %d", wdiff.CollDone, iters)
+		}
+		return nil
+	})
+}
+
+// TestProfTraceSchema runs a traced job and validates every rank's
+// timeline file as Chrome trace_event JSON: parseable, complete ("X")
+// events in non-decreasing ts order, non-negative durations, one pid per
+// file equal to the rank, and lane tids within the fixed set.
+func TestProfTraceSchema(t *testing.T) {
+	const np = 3
+	prefix := t.TempDir() + "/run"
+	runRanksProf(t, np, prof.Spec{Counters: true, TracePrefix: prefix}, false, func(w *Comm) error {
+		const n = 1024
+		buf := make([]int32, n)
+		out := make([]int32, n)
+		if err := w.Bcast(buf, 0, n, Int, 0); err != nil {
+			return err
+		}
+		return w.Allreduce(buf, 0, out, 0, n, Int, SumOp)
+	})
+	for rank := 0; rank < np; rank++ {
+		raw, err := os.ReadFile(prof.TracePath(prefix, rank))
+		if err != nil {
+			t.Fatalf("rank %d trace: %v", rank, err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string  `json:"name"`
+				Ph   string  `json:"ph"`
+				TS   float64 `json:"ts"`
+				Dur  float64 `json:"dur"`
+				PID  int     `json:"pid"`
+				TID  int     `json:"tid"`
+			} `json:"traceEvents"`
+			DisplayTimeUnit string `json:"displayTimeUnit"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("rank %d trace: invalid JSON: %v", rank, err)
+		}
+		lastTS, completes := -1.0, 0
+		for _, ev := range doc.TraceEvents {
+			switch ev.Ph {
+			case "M":
+				continue // metadata carries no timing
+			case "X":
+				completes++
+				if ev.PID != rank {
+					t.Errorf("rank %d trace: event %q has pid %d", rank, ev.Name, ev.PID)
+				}
+				if ev.TID < 1 || ev.TID > 3 {
+					t.Errorf("rank %d trace: event %q on unknown lane %d", rank, ev.Name, ev.TID)
+				}
+				if ev.TS < lastTS {
+					t.Errorf("rank %d trace: event %q ts %v before %v", rank, ev.Name, ev.TS, lastTS)
+				}
+				lastTS = ev.TS
+				if ev.Dur < 0 {
+					t.Errorf("rank %d trace: event %q negative duration", rank, ev.Name)
+				}
+			default:
+				t.Errorf("rank %d trace: unexpected phase %q", rank, ev.Ph)
+			}
+		}
+		// At least the bcast and allreduce schedules must have completed.
+		if completes < 2 {
+			t.Errorf("rank %d trace: %d complete events, want at least 2", rank, completes)
+		}
+	}
+}

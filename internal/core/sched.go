@@ -5,8 +5,10 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"time"
 
 	"mpj/internal/device"
+	"mpj/internal/prof"
 )
 
 // This file implements the collective schedule engine. A collective call
@@ -20,6 +22,12 @@ import (
 // the meantime. Blocking collectives compile the very same schedules and
 // simply Wait immediately, so both families share one algorithm source
 // (see coll.go and icoll.go for the builders).
+//
+// The round loop is the second instrumentation seam: when the device
+// carries a prof.Recorder, every schedule reports its start (operation,
+// chosen algorithm, segment and round counts), each round's posting and
+// completion, its end, and time parked in WaitProgress — the data behind
+// Comm.ProfSnapshot and the MPJ_PROF=trace timelines (see internal/prof).
 
 // cell is a byte-buffer slot shared between schedule steps: a recv action
 // fills it, later sends and the finish hook read it.
@@ -174,6 +182,16 @@ type CollRequest struct {
 	name string // operation name for error wrapping ("ibcast", ...)
 	tag  int
 
+	// Instrumentation (see internal/prof): prof caches the device's
+	// recorder at creation (nil when profiling is off), alg names the
+	// algorithm the selection layer chose for this schedule ("" for the
+	// classic builders) and nseg its pipeline segment count (0 when
+	// unsegmented). Set once before the first round posts, read-only
+	// after, so prof is safe to read without r.mu in Wait.
+	prof *prof.Recorder
+	alg  string
+	nseg int
+
 	mu      sync.Mutex
 	rounds  []round
 	finish  func() error // runs once after the last round
@@ -191,9 +209,21 @@ type CollRequest struct {
 // communicator and posts the first round so communication overlaps
 // whatever the caller does before Wait.
 func (c *Comm) newCollRequest(name string, tag int, rounds []round, finish func() error) (*CollRequest, error) {
-	r := &CollRequest{c: c, name: name, tag: tag, rounds: rounds, finish: finish}
+	return c.newCollRequestAlg(name, tag, "", 0, rounds, finish)
+}
+
+// newCollRequestAlg is newCollRequest carrying algorithm metadata: the
+// large-message builders name the algorithm the selection layer chose
+// (alg) and its pipeline segment count (nseg), so profiles and traces
+// can say which schedule actually ran.
+func (c *Comm) newCollRequestAlg(name string, tag int, alg string, nseg int, rounds []round, finish func() error) (*CollRequest, error) {
+	r := &CollRequest{c: c, name: name, tag: tag, alg: alg, nseg: nseg, rounds: rounds, finish: finish}
 	if err := c.registerColl(r); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if p := c.dev.Profiler(); p != nil {
+		r.prof = p
+		p.CollStart(c.coll, tag, name, alg, nseg, len(rounds))
 	}
 	r.mu.Lock()
 	r.progressLocked()
@@ -207,6 +237,9 @@ func (r *CollRequest) postLocked() error {
 	// Fault-injection seam: a test harness may kill, drop or delay this
 	// rank right here, at a deterministic round boundary.
 	r.c.dev.CallRoundHook(r.c.coll, r.tag, r.cur)
+	if r.prof != nil {
+		r.prof.RoundStart(r.c.coll, r.tag, r.cur)
+	}
 	rd := &r.rounds[r.cur]
 	r.pending = make([]*device.Request, 0, len(rd.recvs)+len(rd.sends))
 	r.actions = make([]func([]byte) error, 0, len(rd.recvs))
@@ -302,6 +335,9 @@ func (r *CollRequest) progressLocked() {
 				return
 			}
 		}
+		if r.prof != nil {
+			r.prof.RoundEnd(r.c.coll, r.tag, r.cur)
+		}
 		r.cur++
 		r.posted = false
 		r.pending, r.actions = nil, nil
@@ -316,6 +352,9 @@ func (r *CollRequest) completeLocked(st *Status) {
 		st = collDone()
 	}
 	r.status = st
+	if r.prof != nil {
+		r.prof.CollEnd(r.c.coll, r.tag, false)
+	}
 	r.c.unregisterColl(r)
 }
 
@@ -327,6 +366,9 @@ func (r *CollRequest) failLocked(err error) {
 	r.status = collDone()
 	for _, dr := range r.pending {
 		_ = dr.Cancel() // best effort: unmatched operations complete as cancelled
+	}
+	if r.prof != nil {
+		r.prof.CollEnd(r.c.coll, r.tag, true)
 	}
 	r.c.unregisterColl(r)
 }
@@ -362,7 +404,13 @@ func (r *CollRequest) Wait() (*Status, error) {
 		// can interrupt) until anything — ours or a sibling's — completes;
 		// errors are re-observed by the next progressLocked pass.
 		pending = append(pending, r.c.progressSiblings(r)...)
-		r.c.dev.WaitProgress(pending)
+		if p := r.prof; p != nil {
+			t0 := time.Now()
+			r.c.dev.WaitProgress(pending)
+			p.WaitSpan(r.c.coll, t0)
+		} else {
+			r.c.dev.WaitProgress(pending)
+		}
 	}
 }
 

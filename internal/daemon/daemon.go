@@ -18,6 +18,8 @@ import (
 	"net"
 	"net/rpc"
 	"os"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -168,6 +170,31 @@ func (d *Daemon) SlaveCount() int {
 		n += len(j.slaves)
 	}
 	return n
+}
+
+// Vars returns a JSON-marshalable snapshot of the daemon's state — jobs,
+// their local ranks, lease count — for the expvar endpoint mpjd serves
+// under -prof-addr (see internal/prof and README "Observability").
+func (d *Daemon) Vars() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	jobs := make(map[string]any, len(d.jobs))
+	for id, job := range d.jobs {
+		ranks := make([]int, 0, len(job.slaves))
+		for _, rec := range job.slaves {
+			ranks = append(ranks, rec.spec.Rank)
+		}
+		sort.Ints(ranks)
+		jobs[strconv.FormatUint(id, 10)] = map[string]any{
+			"ranks":   ranks,
+			"aborted": job.aborted,
+		}
+	}
+	return map[string]any{
+		"addr":   d.ln.Addr().String(),
+		"jobs":   jobs,
+		"leases": d.leases.Len(),
+	}
 }
 
 // Close destroys all slaves and shuts the daemon down.

@@ -2,6 +2,8 @@ package daemon
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -170,6 +172,27 @@ func (fr *FailureRegistry) Tracked(rank int) bool {
 	defer fr.mu.Unlock()
 	_, ok := fr.byRank[rank]
 	return ok
+}
+
+// Vars returns a JSON-marshalable snapshot of the registry — tracked
+// ranks with live leases and declared-dead ranks with their verdicts —
+// for the expvar endpoint (see internal/prof and README "Observability").
+func (fr *FailureRegistry) Vars() any {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	tracked := make([]int, 0, len(fr.byRank))
+	for rank := range fr.byRank {
+		tracked = append(tracked, rank)
+	}
+	sort.Ints(tracked)
+	dead := make(map[string]string, len(fr.dead))
+	for rank, err := range fr.dead {
+		dead[strconv.Itoa(rank)] = err.Error()
+	}
+	return map[string]any{
+		"tracked": tracked,
+		"dead":    dead,
+	}
 }
 
 // Close stops the registry's lease table. No further verdicts fire.

@@ -46,6 +46,11 @@ type SlaveSpec struct {
 	// environment and finally the built-in default.
 	CollSeg int
 
+	// Prof enables the instrumentation layer on the slave ("counters" or
+	// "trace:<path-prefix>"; see internal/prof.ParseSpec). Empty defers
+	// to the slave's MPJ_PROF environment and finally off.
+	Prof string
+
 	MasterAddr string // the client's bootstrap server
 	OutputAddr string // the client's output collector ("" = none)
 	EventAddr  string // the client's event receiver ("" = none)
@@ -80,6 +85,9 @@ func (s SlaveSpec) Env(daemonAddr string) []string {
 	}
 	if s.CollSeg > 0 {
 		env = append(env, "MPJ_COLL_SEG="+strconv.Itoa(s.CollSeg))
+	}
+	if s.Prof != "" {
+		env = append(env, "MPJ_PROF="+s.Prof)
 	}
 	return env
 }
@@ -133,6 +141,7 @@ func ParseSlaveEnv(get func(string) string) (SlaveSpec, string, error) {
 		App:        get("MPJ_APP"),
 		Args:       args,
 		Device:     get("MPJ_DEVICE"),
+		Prof:       get("MPJ_PROF"),
 		MasterAddr: get("MPJ_MASTER"),
 	}
 	limit, err := device.ParseEagerLimit(get("MPJ_EAGER_LIMIT"))

@@ -30,6 +30,12 @@
 // allocate-on-arrival receive, whose payload the caller keeps (see
 // Request.Data), and which are therefore never recycled.
 //
+// The device boundary is one of the two instrumentation seams: an
+// optional prof.Recorder (WithProfiler) observes every send and receive
+// post and every payload arrival, split by wire protocol — see
+// internal/prof and the "Instrumentation seams" section of
+// ARCHITECTURE.md.
+//
 // See ARCHITECTURE.md at the repository root for where this package sits in
 // the layer stack.
 package device
@@ -42,6 +48,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mpj/internal/prof"
 	"mpj/internal/transport"
 	"mpj/internal/wire"
 )
@@ -202,6 +209,11 @@ type Device struct {
 	onFailure func(peer int, err error)
 	onRevoke  func(ctx int)             // communicator revocation handler (see SetRevokeHandler)
 	roundHook func(ctx, tag, round int) // fault-injection seam (see SetRoundHook)
+
+	// prof is the instrumentation sink (see internal/prof), set once at
+	// Open and nil when profiling is off — every hook site below branches
+	// on that nil, which is the whole disabled-mode cost.
+	prof *prof.Recorder
 }
 
 // Option configures a Device at Open time.
@@ -232,6 +244,14 @@ func ParseEagerLimit(raw string) (int, error) {
 // it to trigger the MPJAbort fan-out.
 func WithFailureHandler(f func(peer int, err error)) Option {
 	return func(d *Device) { d.onFailure = f }
+}
+
+// WithProfiler attaches an instrumentation recorder (see internal/prof):
+// the device reports every send, receive post and payload arrival to it,
+// split by protocol, and flushes it at Close/Abort. A nil recorder is
+// profiling-off and costs one predictable branch per hook site.
+func WithProfiler(r *prof.Recorder) Option {
+	return func(d *Device) { d.prof = r }
 }
 
 // Open binds a Device to t and starts the transport. The device owns the
@@ -276,6 +296,11 @@ func (d *Device) Stats() *Stats { return &d.stats }
 // benchmarks use it to observe which device (chan/tcp/hyb) a job selected.
 func (d *Device) Transport() transport.Transport { return d.t }
 
+// Profiler returns the attached instrumentation recorder, or nil when
+// profiling is off. The field is set once at Open and never mutated, so
+// the read is safe from any goroutine.
+func (d *Device) Profiler() *prof.Recorder { return d.prof }
+
 // Isend starts a non-blocking send of buf to absolute rank dst with the
 // given tag and context. The returned request completes once buf is
 // reusable; for ModeSync that also implies a matching receive was posted.
@@ -312,6 +337,9 @@ func (d *Device) Isend(buf []byte, dst, tag, ctx int, mode Mode) (*Request, erro
 		d.completeLocked(r, Status{Source: d.rank, Tag: tag, Count: len(buf)}, nil)
 		d.mu.Unlock()
 		d.stats.EagerSent.Add(1)
+		if p := d.prof; p != nil {
+			p.Send(ctx, len(buf), true)
+		}
 		return r, d.t.Send(dst, frame)
 	}
 
@@ -337,6 +365,9 @@ func (d *Device) Isend(buf []byte, dst, tag, ctx int, mode Mode) (*Request, erro
 	frame := wire.NewFrame(&h, nil)
 	d.mu.Unlock()
 	d.stats.RTSSent.Add(1)
+	if p := d.prof; p != nil {
+		p.Send(ctx, len(buf), false)
+	}
 	return r, d.t.Send(dst, frame)
 }
 
@@ -388,6 +419,9 @@ func (d *Device) IsendFill(n int, fill func(payload []byte) error, dst, tag, ctx
 		d.completeLocked(r, Status{Source: d.rank, Tag: tag, Count: n}, nil)
 		d.mu.Unlock()
 		d.stats.EagerSent.Add(1)
+		if p := d.prof; p != nil {
+			p.Send(ctx, n, true)
+		}
 		return r, d.t.Send(dst, frame)
 	}
 
@@ -429,6 +463,9 @@ func (d *Device) IsendFill(n int, fill func(payload []byte) error, dst, tag, ctx
 	frame := wire.NewFrame(&h, nil)
 	d.mu.Unlock()
 	d.stats.RTSSent.Add(1)
+	if p := d.prof; p != nil {
+		p.Send(ctx, n, false)
+	}
 	return r, d.t.Send(dst, frame)
 }
 
@@ -465,6 +502,9 @@ func (d *Device) Irecv(buf []byte, src, tag, ctx int) (*Request, error) {
 			d.grantRendezvousLocked(r, u.src, u.tag, u.msgID, u.plen)
 		}
 		d.stats.PostedDirect.Add(1)
+		if p := d.prof; p != nil {
+			p.RecvPost(ctx)
+		}
 		return r, nil
 	}
 	// Nothing already arrived can satisfy the receive: a dead source can
@@ -476,6 +516,9 @@ func (d *Device) Irecv(buf []byte, src, tag, ctx int) (*Request, error) {
 		return nil, err
 	}
 	d.posted = append(d.posted, r)
+	if p := d.prof; p != nil {
+		p.RecvPost(ctx)
+	}
 	return r, nil
 }
 
@@ -668,6 +711,18 @@ func (d *Device) handle(src int, frame []byte) {
 	payload := wire.Payload(frame)
 	retained := false
 	revokeCtx := -1
+
+	// Payload arrival accounting happens here, at the frame boundary:
+	// eager and rendezvous-data frames carry their context, so bytes are
+	// attributed per communicator on the receiver too.
+	if p := d.prof; p != nil {
+		switch h.Kind {
+		case wire.KindEager:
+			p.Arrive(int(h.Context), len(payload), true)
+		case wire.KindData:
+			p.Arrive(int(h.Context), len(payload), false)
+		}
+	}
 
 	d.mu.Lock()
 	switch h.Kind {
@@ -974,6 +1029,9 @@ func (d *Device) Abort() {
 	d.cond.Broadcast()
 	d.mu.Unlock()
 	d.t.Abort()
+	if d.prof != nil {
+		_ = d.prof.Close() // flush the trace file even on abrupt teardown
+	}
 }
 
 // Close shuts the device down and closes its transport. Communication must
@@ -1000,5 +1058,11 @@ func (d *Device) Close() error {
 	}
 	d.cond.Broadcast()
 	d.mu.Unlock()
-	return d.t.Close()
+	err := d.t.Close()
+	if d.prof != nil {
+		if ferr := d.prof.Close(); err == nil {
+			err = ferr // surface a failed trace flush
+		}
+	}
+	return err
 }

@@ -46,6 +46,11 @@ type Config struct {
 	// environment and finally the built-in default.
 	CollSeg int
 
+	// Prof enables the instrumentation layer on every slave ("counters"
+	// or "trace:<path-prefix>"). Empty defers to each slave's MPJ_PROF
+	// environment and finally off.
+	Prof string
+
 	// Discovery: explicit registrar addresses (unicast), or group
 	// discovery on UDPPort when empty.
 	Locators []string
@@ -172,6 +177,7 @@ func Run(cfg Config) error {
 			EagerLimit: cfg.EagerLimit,
 			CollAlg:    cfg.CollAlg,
 			CollSeg:    cfg.CollSeg,
+			Prof:       cfg.Prof,
 			MasterAddr: m.addr(),
 			OutputAddr: collector.addr(),
 			EventAddr:  recv.Addr(),

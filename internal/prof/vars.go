@@ -1,0 +1,160 @@
+package prof
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// This file implements the expvar/HTTP surface behind MPJ_PROF_ADDR and
+// mpjd -prof-addr: recorders register in a process-wide registry, the
+// "mpj" expvar block serves their per-rank counters (plus whatever
+// status each recorder exposes — failed ranks, failure epochs), and
+// Serve starts a plain net/http server whose /debug/vars endpoint is the
+// standard expvar handler. Everything is stdlib.
+//
+// Closed recorders leave the per-rank listing but their totals fold into
+// a retired sum, so the endpoint's cumulative block survives job
+// completion — a curl after the run still sees the traffic.
+
+// reg is the process-wide recorder registry.
+var reg struct {
+	mu      sync.Mutex
+	live    []*Recorder
+	retired Snapshot
+	closed  int // recorders folded into retired
+}
+
+// Track registers a recorder with the expvar surface. The runtime calls
+// it for every recorder it creates; Recorder.Close retires it.
+func Track(r *Recorder) {
+	if r == nil {
+		return
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, x := range reg.live {
+		if x == r {
+			return
+		}
+	}
+	reg.live = append(reg.live, r)
+}
+
+// untrack folds a closing recorder's totals into the retired sum.
+func untrack(r *Recorder) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for i, x := range reg.live {
+		if x == r {
+			reg.live = append(reg.live[:i], reg.live[i+1:]...)
+			reg.retired.add(r.Snapshot())
+			reg.closed++
+			return
+		}
+	}
+}
+
+// Vars builds the value of the "mpj" expvar block: per-live-rank counter
+// snapshots and status, plus the cumulative total including retired
+// recorders.
+func Vars() any {
+	reg.mu.Lock()
+	live := append([]*Recorder(nil), reg.live...)
+	total := reg.retired
+	closed := reg.closed
+	reg.mu.Unlock()
+
+	ranks := make(map[string]any, len(live))
+	for _, r := range live {
+		s := r.Snapshot()
+		total.add(s)
+		entry := map[string]any{"counters": s}
+		if st := r.Status(); st != nil {
+			entry["status"] = st
+		}
+		ranks[strconv.Itoa(r.rank)] = entry
+	}
+	return map[string]any{
+		"ranks":  ranks,
+		"total":  total,
+		"closed": closed,
+	}
+}
+
+// pubVar is a replaceable expvar.Var: expvar.Publish panics on duplicate
+// names, but the runtime re-publishes on every job start (benchmarks run
+// many), so Publish swaps the function under an existing name instead.
+type pubVar struct {
+	mu sync.Mutex
+	f  func() any
+}
+
+func (v *pubVar) String() string {
+	v.mu.Lock()
+	f := v.f
+	v.mu.Unlock()
+	js, err := json.Marshal(f())
+	if err != nil {
+		return `"prof: ` + err.Error() + `"`
+	}
+	return string(js)
+}
+
+var pub = struct {
+	mu sync.Mutex
+	m  map[string]*pubVar
+}{m: make(map[string]*pubVar)}
+
+// Publish exposes f's value under name on the expvar endpoint,
+// replacing any function previously published under that name.
+func Publish(name string, f func() any) {
+	pub.mu.Lock()
+	defer pub.mu.Unlock()
+	if v, ok := pub.m[name]; ok {
+		v.mu.Lock()
+		v.f = f
+		v.mu.Unlock()
+		return
+	}
+	v := &pubVar{f: f}
+	pub.m[name] = v
+	expvar.Publish(name, v)
+}
+
+// PublishMPJ publishes the "mpj" counter block (see Vars). Idempotent.
+func PublishMPJ() { Publish("mpj", Vars) }
+
+// servers tracks listeners already serving, keyed by requested address,
+// so repeated Serve calls (one per RunLocal in a benchmark loop) reuse
+// the first listener instead of failing on the occupied port.
+var servers = struct {
+	mu sync.Mutex
+	m  map[string]string // requested addr → bound addr
+}{m: make(map[string]string)}
+
+// Serve starts an HTTP server on addr whose /debug/vars endpoint is the
+// standard expvar handler, and returns the bound address. A second call
+// with the same addr returns the existing server's address. The server
+// runs until the process exits — the endpoint outlives jobs on purpose.
+func Serve(addr string) (string, error) {
+	servers.mu.Lock()
+	defer servers.mu.Unlock()
+	if bound, ok := servers.m[addr]; ok {
+		return bound, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// DefaultServeMux carries expvar's /debug/vars handler.
+		_ = http.Serve(ln, nil)
+	}()
+	bound := ln.Addr().String()
+	servers.m[addr] = bound
+	return bound, nil
+}

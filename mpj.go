@@ -34,6 +34,7 @@ package mpj
 import (
 	"mpj/internal/core"
 	"mpj/internal/device"
+	"mpj/internal/prof"
 )
 
 // Core communication types, re-exported from the implementation.
@@ -82,6 +83,11 @@ type (
 	// the segmented/ring large-message schedules); see Comm.SetCollAlg,
 	// the MPJ_COLL_ALG environment variable and README "Tuning".
 	CollAlg = core.CollAlg
+	// ProfSnapshot is a point-in-time copy of a communicator's profiling
+	// counters, returned by Comm.ProfSnapshot when profiling is enabled
+	// (the MPJ_PROF environment variable, the mpjrun -prof flag); see
+	// README "Observability".
+	ProfSnapshot = prof.Snapshot
 )
 
 // Collective algorithm selectors (see CollAlg and Comm.SetCollAlg).

@@ -14,6 +14,7 @@ import (
 	"mpj/internal/device"
 	"mpj/internal/fault"
 	"mpj/internal/job"
+	"mpj/internal/prof"
 	"mpj/internal/transport"
 )
 
@@ -89,6 +90,38 @@ func eagerLimitFromEnv() (int, error) {
 	return limit, nil
 }
 
+// profFromEnv resolves this process's profiling configuration: raw is
+// the spec string already in hand (a SlaveSpec field; empty falls back
+// to MPJ_PROF), and a set MPJ_PROF_ADDR implies counters even when no
+// spec asks for them — an endpoint with nothing behind it would be
+// useless. The returned addr is empty when no endpoint was requested.
+func profFromEnv(raw string) (prof.Spec, string, error) {
+	if raw == "" {
+		raw = os.Getenv("MPJ_PROF")
+	}
+	spec, err := prof.ParseSpec(raw)
+	if err != nil {
+		return prof.Spec{}, "", fmt.Errorf("mpj: MPJ_PROF: %w", err)
+	}
+	addr := os.Getenv("MPJ_PROF_ADDR")
+	if addr != "" && !spec.Enabled() {
+		spec.Counters = true
+	}
+	return spec, addr, nil
+}
+
+// profStatus builds the status callback served next to a rank's counters
+// on the expvar endpoint: the device's failure-registry view, the PR 6
+// fault-tolerance state an operator wants next to the traffic numbers.
+func profStatus(dev *device.Device) func() any {
+	return func() any {
+		return map[string]any{
+			"failedRanks": dev.FailedRanks(),
+			"failEpoch":   dev.FailEpoch(),
+		}
+	}
+}
+
 // RunLocalEager is RunLocal with an explicit eager/rendezvous threshold,
 // used by protocol experiments.
 func RunLocalEager(np, eagerLimit int, app App) error {
@@ -106,6 +139,19 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 	if err != nil {
 		return fmt.Errorf("mpj: MPJ_FAULT: %w", err)
 	}
+	// MPJ_PROF / MPJ_PROF_ADDR: per-rank instrumentation recorders and the
+	// optional expvar endpoint (see internal/prof and README
+	// "Observability").
+	pspec, profAddr, err := profFromEnv("")
+	if err != nil {
+		return err
+	}
+	if profAddr != "" {
+		prof.PublishMPJ()
+		if _, err := prof.Serve(profAddr); err != nil {
+			return fmt.Errorf("mpj: MPJ_PROF_ADDR: %w", err)
+		}
+	}
 	eps := transport.NewChanMesh(np)
 	trs := make([]transport.Transport, np)
 	var fd *fault.Domain
@@ -121,7 +167,12 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 	devs := make([]*device.Device, np)
 	worlds := make([]*core.Comm, np)
 	for i := 0; i < np; i++ {
-		dev, err := device.Open(trs[i], opts...)
+		devOpts := opts
+		rec := prof.New(i, pspec)
+		if rec != nil {
+			devOpts = append(opts[:len(opts):len(opts)], device.WithProfiler(rec))
+		}
+		dev, err := device.Open(trs[i], devOpts...)
 		if err != nil {
 			for _, d := range devs {
 				if d != nil {
@@ -131,6 +182,10 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 			return fmt.Errorf("mpj: opening device for rank %d: %w", i, err)
 		}
 		devs[i] = dev
+		if rec != nil {
+			rec.SetStatus(profStatus(dev))
+			prof.Track(rec)
+		}
 		world, err := core.NewWorld(dev)
 		if err != nil {
 			for _, d := range devs {
@@ -239,6 +294,13 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 // bytes (zero: each slave's MPJ_COLL_SEG, then the 32 KiB default).
 // Shipping these in the job config keeps the choice identical on every
 // rank, which collective schedules require.
+//
+// Prof enables the instrumentation layer on every slave — "counters" for
+// the atomic per-communicator counters behind Comm.ProfSnapshot, or
+// "trace:<path-prefix>" to additionally write one Chrome trace_event
+// JSON timeline per rank (the prefix is resolved on each slave's host).
+// Empty falls back to each slave's MPJ_PROF environment variable and
+// finally off; see README "Observability".
 type JobConfig struct {
 	NP         int
 	App        string
@@ -247,6 +309,7 @@ type JobConfig struct {
 	EagerLimit int
 	CollAlg    string
 	CollSeg    int
+	Prof       string
 	Locators   []string
 	UDPPort    int
 	Binary     string
@@ -267,6 +330,9 @@ func Run(cfg JobConfig) error {
 	if cfg.CollSeg < 0 {
 		return fmt.Errorf("mpj: JobConfig.CollSeg must be non-negative, got %d", cfg.CollSeg)
 	}
+	if _, err := prof.ParseSpec(cfg.Prof); err != nil {
+		return fmt.Errorf("mpj: JobConfig.Prof: %w", err)
+	}
 	return job.Run(job.Config{
 		NP:         cfg.NP,
 		App:        cfg.App,
@@ -275,6 +341,7 @@ func Run(cfg JobConfig) error {
 		EagerLimit: cfg.EagerLimit,
 		CollAlg:    cfg.CollAlg,
 		CollSeg:    cfg.CollSeg,
+		Prof:       cfg.Prof,
 		Locators:   cfg.Locators,
 		UDPPort:    cfg.UDPPort,
 		Binary:     cfg.Binary,
@@ -348,6 +415,28 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 		meshLn.Close()
 		return err
 	}
+	// Profiling: the spec (mpjrun -prof or JobConfig.Prof) wins, then the
+	// slave's MPJ_PROF environment. MPJ_PROF_ADDR additionally serves the
+	// expvar endpoint; a serve failure is only warned about — several
+	// slaves of one host may inherit the same fixed port, and losing an
+	// endpoint must not kill a rank.
+	pspec, profAddr, err := profFromEnv(spec.Prof)
+	if err != nil {
+		_ = sc.ReportDone(err)
+		meshLn.Close()
+		return err
+	}
+	rec := prof.New(spec.Rank, pspec)
+	if rec != nil {
+		devOpts = append(devOpts, device.WithProfiler(rec))
+		prof.Track(rec)
+	}
+	if profAddr != "" {
+		prof.PublishMPJ()
+		if _, serr := prof.Serve(profAddr); serr != nil {
+			fmt.Fprintf(os.Stderr, "mpj slave: MPJ_PROF_ADDR: %v\n", serr)
+		}
+	}
 	tr, err := openTransport(spec, table, meshLn)
 	if err != nil {
 		_ = sc.ReportDone(err)
@@ -359,6 +448,9 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 	if err != nil {
 		_ = sc.ReportDone(err)
 		return err
+	}
+	if rec != nil {
+		rec.SetStatus(profStatus(dev))
 	}
 	world, err := core.NewWorld(dev)
 	if err != nil {
