@@ -17,6 +17,9 @@
 //	                         # (writes BENCH_prof.json and per-rank Chrome trace files
 //	                         # under BENCH_prof_trace/; with -quick: fails when the
 //	                         # counters mode costs >10% over off)
+//	mpjbench -exp rma        # one-sided Put/Get/Accumulate+Fence vs two-sided
+//	                         # Send/Recv, 4 KiB - 4 MiB (writes BENCH_rma.json; with
+//	                         # -quick: regression check against the committed file)
 //
 // -hold keeps the process alive for the given duration after the
 // experiments finish, so an expvar endpoint served under MPJ_PROF_ADDR
@@ -44,7 +47,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL FT PROF (alias: pingpong)")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL FT PROF RMA (alias: pingpong)")
 	hold := flag.Duration("hold", 0, "keep the process alive this long after the experiments (for curling an MPJ_PROF_ADDR endpoint)")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
@@ -102,6 +105,7 @@ func main() {
 		{"VCOLL", runVcoll},
 		{"FT", runFT},
 		{"PROF", runProf},
+		{"RMA", runRma},
 	}
 
 	ran := 0
@@ -258,6 +262,42 @@ func runProf() (*bench.Table, error) {
 		return nil, fmt.Errorf("writing BENCH_prof.json: %w", err)
 	}
 	fmt.Println("  (results recorded in BENCH_prof.json, traces in BENCH_prof_trace/)")
+	return t, nil
+}
+
+// runRma runs the one-sided vs two-sided sweep. The full run records
+// BENCH_rma.json; the -quick run re-measures the 64 KiB subset and fails
+// when the put-vs-sendrecv ratio regresses more than 20% against the
+// committed file — the CI smoke gate for the window layer.
+func runRma() (*bench.Table, error) {
+	t, res, err := bench.RmaSweep(*quick)
+	if err != nil {
+		return nil, err
+	}
+	if !*quick {
+		js, err := bench.MarshalRmaResult(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile("BENCH_rma.json", js, 0o644); err != nil {
+			return nil, fmt.Errorf("writing BENCH_rma.json: %w", err)
+		}
+		fmt.Println("  (results recorded in BENCH_rma.json)")
+		return t, nil
+	}
+	raw, err := os.ReadFile("BENCH_rma.json")
+	if err != nil {
+		fmt.Println("  (no committed BENCH_rma.json; skipping regression check)")
+		return t, nil
+	}
+	var baseline bench.RmaBenchResult
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing BENCH_rma.json: %w", err)
+	}
+	if err := bench.CompareRmaBaseline(res, &baseline, 0.2); err != nil {
+		return nil, err
+	}
+	fmt.Println("  (one-sided ratios within 20% of committed BENCH_rma.json)")
 	return t, nil
 }
 

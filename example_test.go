@@ -191,3 +191,100 @@ func ExampleSendrecv() {
 	}
 	// Output: rank 0 received 20 from rank 2
 }
+
+// One-sided communication: a window over each rank's slice, and a fence
+// epoch in which rank 0 Puts a value straight into rank 1's window — no
+// receive is posted anywhere.
+func ExampleComm_WinCreate() {
+	err := mpj.RunLocal(2, func(w *mpj.Comm) error {
+		buf := make([]int32, 4)
+		win, err := w.WinCreate(buf, 1) // collective, like communicator creation
+		if err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil { // open the access epoch
+			return err
+		}
+		if w.Rank() == 0 {
+			if err := mpj.PutT(win, []int32{42}, 1, 3); err != nil { // -> rank 1, slot 3
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil { // close: all Puts are now visible
+			return err
+		}
+		if w.Rank() == 1 {
+			fmt.Printf("rank 1 slot 3 = %d\n", buf[3])
+		}
+		return win.Free()
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rank 1 slot 3 = 42
+}
+
+// Passive-target epochs: every rank locks rank 0's window exclusively and
+// accumulates into a shared counter; the lock queue at the target orders
+// the increments, so no update is lost.
+func ExampleWin_Lock() {
+	err := mpj.RunLocal(4, func(w *mpj.Comm) error {
+		counter := make([]int64, 1)
+		win, err := w.WinCreate(counter, 1)
+		if err != nil {
+			return err
+		}
+		if err := win.Lock(mpj.LockExclusive, 0); err != nil {
+			return err
+		}
+		if err := mpj.AccumulateT(win, []int64{1}, 0, 0, mpj.Sum[int64]()); err != nil {
+			return err
+		}
+		if err := win.Unlock(0); err != nil { // applied at rank 0 on return
+			return err
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			fmt.Printf("counter = %d\n", counter[0])
+		}
+		return win.Free()
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: counter = 4
+}
+
+// Fence epochs with Get: each rank publishes its rank in its window and
+// reads its left neighbour's copy — the one-sided shape of a ring
+// exchange.
+func ExampleWin_Fence() {
+	err := mpj.RunLocal(3, func(w *mpj.Comm) error {
+		src := []int32{int32(w.Rank() * 10)}
+		win, err := w.WinCreate(src, 1)
+		if err != nil {
+			return err
+		}
+		left := (w.Rank() + w.Size() - 1) % w.Size()
+		got := make([]int32, 1)
+		if err := win.Fence(); err != nil { // epoch: everyone's src is published
+			return err
+		}
+		if err := mpj.GetT(win, got, left, 0); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil { // gets have landed
+			return err
+		}
+		if w.Rank() == 0 {
+			fmt.Printf("rank 0 read %d from rank %d\n", got[0], left)
+		}
+		return win.Free()
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rank 0 read 20 from rank 2
+}

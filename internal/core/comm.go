@@ -9,6 +9,7 @@ import (
 
 	"mpj/internal/device"
 	"mpj/internal/prof"
+	"mpj/internal/wire"
 )
 
 // procState is the per-process state shared by all communicators derived
@@ -27,6 +28,11 @@ type procState struct {
 	// so an inbound revoke frame (which carries only the context) finds
 	// the communicator to revoke. Guarded by mu.
 	comms map[int]*Comm
+
+	// wins maps a one-sided window's dedicated context id to the Win, so
+	// inbound RMA frames (dispatched by the device's RMA handler) find
+	// their window. Guarded by mu.
+	wins map[int]*Win
 
 	// Process-wide collective tuning defaults, read from MPJ_COLL_ALG /
 	// MPJ_COLL_SEG at NewWorld; per-communicator overrides live on Comm
@@ -86,6 +92,11 @@ type Comm struct {
 	collAlg CollAlg
 	algSet  bool
 	segSize int
+
+	// winCtxs lists the dedicated contexts of windows created over this
+	// communicator, so ProfSnapshot covers one-sided traffic too. Guarded
+	// by proc.mu.
+	winCtxs []int
 }
 
 // NewWorld builds the world communicator over an opened device, taking
@@ -126,6 +137,20 @@ func NewWorld(dev *device.Device) (*Comm, error) {
 			c.revokeLocal()
 		}
 	})
+	// One-sided frames carry the window's dedicated context; route them to
+	// the window (unknown ids are stale frames of freed windows).
+	dev.SetRMAHandler(func(src int, h *wire.Header, payload []byte) {
+		if win := proc.lookupWin(int(h.Context)); win != nil {
+			win.handleFrame(src, h, payload)
+		}
+	})
+	// Newly detected rank failures wake every window's epoch waiters (one
+	// process-wide watcher, not one per window).
+	dev.AddFailureWatcher(func(rank int, err error) {
+		for _, win := range proc.allWins() {
+			win.onRankFailed(rank)
+		}
+	})
 	return w, nil
 }
 
@@ -155,6 +180,43 @@ func (p *procState) unregister(c *Comm) {
 	}
 }
 
+// registerWin records w in the process-wide context → window map.
+func (p *procState) registerWin(w *Win) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wins == nil {
+		p.wins = make(map[int]*Win)
+	}
+	p.wins[w.ctx] = w
+}
+
+// lookupWin resolves a window context id to its window.
+func (p *procState) lookupWin(ctx int) *Win {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wins[ctx]
+}
+
+// unregisterWin removes w from the window map.
+func (p *procState) unregisterWin(w *Win) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wins[w.ctx] == w {
+		delete(p.wins, w.ctx)
+	}
+}
+
+// allWins snapshots the registered windows (for failure fan-out).
+func (p *procState) allWins() []*Win {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Win, 0, len(p.wins))
+	for _, w := range p.wins {
+		out = append(out, w)
+	}
+	return out
+}
+
 // Rank returns the calling process's rank in this communicator.
 func (c *Comm) Rank() int { return c.rank }
 
@@ -174,9 +236,19 @@ func (c *Comm) Device() *device.Device { return c.dev }
 // a zero snapshot; see ProfEnabled and README "Observability".
 func (c *Comm) ProfSnapshot() prof.Snapshot {
 	if p := c.dev.Profiler(); p != nil {
-		return p.CtxSnapshot(c.pt2pt, c.coll)
+		c.proc.mu.Lock()
+		ctxs := append([]int{c.pt2pt, c.coll}, c.winCtxs...)
+		c.proc.mu.Unlock()
+		return p.CtxSnapshot(ctxs...)
 	}
 	return prof.Snapshot{}
+}
+
+// addWinCtx records a window context for ProfSnapshot coverage.
+func (c *Comm) addWinCtx(ctx int) {
+	c.proc.mu.Lock()
+	c.winCtxs = append(c.winCtxs, ctx)
+	c.proc.mu.Unlock()
 }
 
 // ProfEnabled reports whether this rank records profiling counters (the
@@ -239,10 +311,11 @@ func (c *Comm) Compare(other *Comm) int {
 	}
 }
 
-// allocContextPair agrees on a fresh (pt2pt, coll) context pair across all
-// members of c. It is collective: an allreduce(MAX) over the members makes
-// every process pick the same pair even if their local counters diverged.
-func (c *Comm) allocContextPair() (int, int, error) {
+// allocContexts agrees on n fresh consecutive context ids across all
+// members of c, returning the first. It is collective: an allreduce(MAX)
+// over the members makes every process pick the same ids even if their
+// local counters diverged.
+func (c *Comm) allocContexts(n int) (int, error) {
 	c.proc.mu.Lock()
 	local := c.proc.nextCtx
 	c.proc.mu.Unlock()
@@ -250,16 +323,26 @@ func (c *Comm) allocContextPair() (int, int, error) {
 	in := []int{local}
 	out := []int{0}
 	if err := c.Allreduce(in, 0, out, 0, 1, GoInt, MaxOp); err != nil {
-		return 0, 0, err
+		return 0, err
 	}
 	agreed := out[0]
 
 	c.proc.mu.Lock()
-	if agreed+2 > c.proc.nextCtx {
-		c.proc.nextCtx = agreed + 2
+	if agreed+n > c.proc.nextCtx {
+		c.proc.nextCtx = agreed + n
 	}
 	c.proc.mu.Unlock()
-	return agreed, agreed + 1, nil
+	return agreed, nil
+}
+
+// allocContextPair agrees on a fresh (pt2pt, coll) context pair across all
+// members of c.
+func (c *Comm) allocContextPair() (int, int, error) {
+	base, err := c.allocContexts(2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, base + 1, nil
 }
 
 // Dup duplicates the communicator with the same group but fresh contexts,

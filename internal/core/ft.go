@@ -110,6 +110,11 @@ func (c *Comm) revokeLocal() {
 	}
 	c.dev.FailContext(c.pt2pt, ErrRevoked)
 	c.dev.FailContext(c.coll, ErrRevoked)
+	for _, w := range c.proc.allWins() {
+		if w.c == c {
+			w.fail(ErrRevoked)
+		}
+	}
 }
 
 // Agree performs a fault-tolerant agreement on a flag word, the analogue

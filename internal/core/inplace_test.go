@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// inPlaceMeshes: the InPlace remap lives above the transport, but run the
+// tests on both in-process meshes to cover the co-located and the
+// process-boundary device paths.
+var inPlaceMeshes = []string{"chan", "hyb"}
+
+// TestInPlaceAllgatherv checks MPI_IN_PLACE semantics for Allgatherv: the
+// rank's contribution is read from its own slot of the receive buffer and
+// the send triple is ignored, on both the classic forwarding ring and the
+// forced segmented (zero-staging window) path.
+func TestInPlaceAllgatherv(t *testing.T) {
+	for _, mesh := range inPlaceMeshes {
+		for _, alg := range []CollAlg{CollAlgClassic, CollAlgSegmented} {
+			mesh, alg := mesh, alg
+			t.Run(mesh+"/"+collAlgName(alg), func(t *testing.T) {
+				const np = 4
+				runRanksWin(t, mesh, np, func(w *Comm) error {
+					w.SetCollAlg(alg)
+					rcounts := []int{1, 2, 3, 4}
+					displs := []int{0, 1, 3, 6}
+					total := 10
+					buf := make([]int32, total)
+					for i := 0; i < rcounts[w.Rank()]; i++ {
+						buf[displs[w.Rank()]+i] = int32(100*w.Rank() + i)
+					}
+					if err := w.Allgatherv(InPlace, 0, 0, nil, buf, 0, rcounts, displs, Int); err != nil {
+						return err
+					}
+					for r := 0; r < np; r++ {
+						for i := 0; i < rcounts[r]; i++ {
+							if err := expect(buf[displs[r]+i] == int32(100*r+i),
+								"slot %d of rank %d: got %d, want %d", i, r, buf[displs[r]+i], 100*r+i); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+// TestInPlaceIallgatherv checks the non-blocking form accepts InPlace.
+func TestInPlaceIallgatherv(t *testing.T) {
+	for _, mesh := range inPlaceMeshes {
+		mesh := mesh
+		t.Run(mesh, func(t *testing.T) {
+			const np = 3
+			runRanksWin(t, mesh, np, func(w *Comm) error {
+				rcounts := []int{2, 2, 2}
+				displs := []int{0, 2, 4}
+				buf := make([]float64, 6)
+				buf[displs[w.Rank()]] = float64(w.Rank()) + 0.25
+				buf[displs[w.Rank()]+1] = float64(w.Rank()) + 0.75
+				req, err := w.Iallgatherv(InPlace, 0, 0, nil, buf, 0, rcounts, displs, Double)
+				if err != nil {
+					return err
+				}
+				if _, err := req.Wait(); err != nil {
+					return err
+				}
+				for r := 0; r < np; r++ {
+					if err := expect(buf[2*r] == float64(r)+0.25 && buf[2*r+1] == float64(r)+0.75,
+						"block %d: got %v/%v", r, buf[2*r], buf[2*r+1]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestInPlaceReduceScatter checks MPI_IN_PLACE semantics for
+// ReduceScatter: the full input vector is read from the receive buffer
+// and the rank's result chunk overwrites its head, on both the classic
+// reduce+scatter and the forced ring path.
+func TestInPlaceReduceScatter(t *testing.T) {
+	for _, mesh := range inPlaceMeshes {
+		for _, alg := range []CollAlg{CollAlgClassic, CollAlgSegmented} {
+			mesh, alg := mesh, alg
+			t.Run(mesh+"/"+collAlgName(alg), func(t *testing.T) {
+				const np = 4
+				runRanksWin(t, mesh, np, func(w *Comm) error {
+					w.SetCollAlg(alg)
+					rcounts := []int{2, 1, 3, 2}
+					total := 8
+					buf := make([]int64, total)
+					for i := range buf {
+						buf[i] = int64(10*w.Rank() + i)
+					}
+					if err := w.ReduceScatter(InPlace, 0, buf, 0, rcounts, Long, SumOp); err != nil {
+						return err
+					}
+					displ := 0
+					for r := 0; r < w.Rank(); r++ {
+						displ += rcounts[r]
+					}
+					for i := 0; i < rcounts[w.Rank()]; i++ {
+						want := int64(0)
+						for r := 0; r < np; r++ {
+							want += int64(10*r + displ + i)
+						}
+						if err := expect(buf[i] == want,
+							"chunk elem %d: got %d, want %d", i, buf[i], want); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+// TestInPlaceErrors checks that InPlace is rejected where it has no
+// meaning: as the receive buffer of either collective.
+func TestInPlaceErrors(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		rcounts := []int{1, 1}
+		displs := []int{0, 1}
+		src := make([]int32, 1)
+		if err := w.Allgatherv(src, 0, 1, Int, InPlace, 0, rcounts, displs, Int); !errors.Is(err, ErrBuffer) {
+			return expect(false, "allgatherv with InPlace rbuf: got %v, want ErrBuffer", err)
+		}
+		if err := w.ReduceScatter(make([]int32, 2), 0, InPlace, 0, rcounts, Int, SumOp); !errors.Is(err, ErrBuffer) {
+			return expect(false, "reduce_scatter with InPlace rbuf: got %v, want ErrBuffer", err)
+		}
+		return nil
+	})
+}
+
+// collAlgName names an algorithm selector for subtest labels.
+func collAlgName(a CollAlg) string {
+	switch a {
+	case CollAlgClassic:
+		return "classic"
+	case CollAlgSegmented:
+		return "segmented"
+	default:
+		return "auto"
+	}
+}

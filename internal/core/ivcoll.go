@@ -167,8 +167,19 @@ func (c *Comm) iallgatherv(name string, tag int, sbuf any, soff, scount int, sdt
 	rbuf any, roff int, rcounts, displs []int, rdt Datatype) (*CollRequest, error) {
 	size := c.Size()
 	ext := rdt.Extent()
+	if isInPlace(rbuf) {
+		return nil, fmt.Errorf("%s: %w: InPlace is only valid as the send buffer", name, ErrBuffer)
+	}
 	if err := checkVSpec(size, rcounts, displs, ext, roff, bufSlots(rbuf), true); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if isInPlace(sbuf) {
+		// MPI_IN_PLACE: the contribution already sits in this rank's slot
+		// of the receive buffer; the send triple is ignored. The remapped
+		// send is a plain alias, safe in both ring paths because each
+		// either copies it out (packExact) or packs it onto itself
+		// (PackInto over identical memory).
+		sbuf, soff, scount, sdt = rbuf, roff+displs[c.rank]*ext, rcounts[c.rank], rdt
 	}
 	if sz := rdt.ByteSize(); sz > 0 && size > 1 {
 		total := 0
@@ -395,6 +406,16 @@ func (c *Comm) IreduceScatter(sbuf any, soff int, rbuf any, roff int, rcounts []
 func (c *Comm) ireduceScatter(name string, tag int, sbuf any, soff int, rbuf any, roff int,
 	rcounts []int, dt Datatype, op *Op) (*CollRequest, error) {
 	size := c.Size()
+	if isInPlace(rbuf) {
+		return nil, fmt.Errorf("%s: %w: InPlace is only valid as the send buffer", name, ErrBuffer)
+	}
+	if isInPlace(sbuf) {
+		// MPI_IN_PLACE: the full input vector is read from the receive
+		// buffer and the rank's result chunk overwrites its head. Safe to
+		// alias — both algorithms pack the input into a fresh accumulator
+		// before any result lands in rbuf.
+		sbuf, soff = rbuf, roff
+	}
 	if len(rcounts) != size {
 		return nil, fmt.Errorf("%s: %w: need %d rcounts, got %d", name, ErrCount, size, len(rcounts))
 	}

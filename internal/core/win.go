@@ -1,0 +1,1053 @@
+package core
+
+// One-sided communication (RMA): Win objects over registered buffers, with
+// Put/Get/Accumulate data movement and fence / lock-unlock epoch control.
+//
+// A window is created collectively (WinCreate) over a slice the caller
+// keeps owning; afterwards any member can read or modify any member's
+// window without that member posting a receive. Two transport paths move
+// the data:
+//
+//   - co-located peers (same address space: every chan peer, hyb peers in
+//     one process, and always the caller itself) are literal memory copies
+//     into the target's registered slice, serialized on the target
+//     window's mutex — no wire serialization at all (the prof byte
+//     counters record these as "local" bytes);
+//   - remote peers speak the RMA frame family (wire.KindRma*), handled at
+//     the device boundary without user-posted receives; Put and
+//     Accumulate pack straight into pooled wire frames, Get replies land
+//     directly in raw-layout origin buffers.
+//
+// Epoch semantics follow MPI's separation model. Fence is collective and
+// two-phase: a rank first announces epoch entry to every peer (FIFO
+// delivery per path guarantees its data frames arrive first, so a rank
+// holding all entry announcements has applied every inbound operation of
+// the epoch), then announces completion and waits for everyone else's, so
+// no rank can start the next epoch before every window is caught up.
+// Lock/Unlock is passive-target: the target queues waiting origins
+// per-window (FIFO, with shared-reader coalescing) and grants without any
+// action by the target's application code. Completion at Unlock rides the
+// unlock acknowledgement: per-path FIFO means every reply of the epoch
+// precedes it.
+//
+// Failure behavior matches the fault-tolerance surface of ft.go: an
+// operation or epoch close touching a dead rank fails with ErrRankFailed,
+// a revoked communicator fails everything with ErrRevoked, and epoch-close
+// waits carry a deadline (MPJ_RMA_TIMEOUT, default 30s) that feeds the
+// device failure registry — a mute-style fault (frames silently dropped,
+// no connection error) surfaces as a typed failure instead of a hang.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mpj/internal/device"
+	"mpj/internal/prof"
+	"mpj/internal/wire"
+)
+
+// Lock modes for Win.Lock, as in MPI_LOCK_SHARED / MPI_LOCK_EXCLUSIVE.
+const (
+	// LockShared admits any number of concurrent shared holders.
+	LockShared = 1
+	// LockExclusive admits a single holder.
+	LockExclusive = 2
+)
+
+// DefaultEpochTimeout bounds epoch-close waits (Fence, Lock, Unlock) when
+// MPJ_RMA_TIMEOUT does not override it. On expiry the unresponsive peers
+// are reported to the failure registry, so the wait fails with
+// ErrRankFailed instead of hanging.
+const DefaultEpochTimeout = 30 * time.Second
+
+// winRegistry maps co-location tokens to live windows, process-wide. Every
+// rank registers its window under a fresh token before the WinCreate
+// exchange; co-located origins resolve a target's token to the actual *Win
+// and copy memory directly.
+var winRegistry = struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]*Win
+}{m: make(map[uint64]*Win)}
+
+func registerWinToken(w *Win) uint64 {
+	winRegistry.mu.Lock()
+	defer winRegistry.mu.Unlock()
+	winRegistry.next++
+	winRegistry.m[winRegistry.next] = w
+	return winRegistry.next
+}
+
+func lookupWinToken(token uint64) *Win {
+	winRegistry.mu.Lock()
+	defer winRegistry.mu.Unlock()
+	return winRegistry.m[token]
+}
+
+func dropWinToken(token uint64) {
+	winRegistry.mu.Lock()
+	defer winRegistry.mu.Unlock()
+	delete(winRegistry.m, token)
+}
+
+// rmaOps enumerates the predefined reduction operations usable with
+// Accumulate, in wire-id order. User-defined operations are rejected (the
+// MPI rule: the target applies the operation without user code running
+// there, so both sides must agree on it by id).
+var rmaOps = []*Op{MaxOp, MinOp, SumOp, ProdOp, LAndOp, LOrOp, LXorOp, BAndOp, BOrOp, BXorOp}
+
+func rmaOpID(op *Op) int {
+	for i, o := range rmaOps {
+		if o == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// lockWaiter is one queued passive-target lock request at the window
+// owner.
+type lockWaiter struct {
+	origin int // member rank of the requesting origin
+	mode   int // LockShared or LockExclusive
+}
+
+// pendingGet is an outstanding remote Get at the origin, completed by a
+// KindRmaGetReply (or a target failure).
+type pendingGet struct {
+	target int
+	win    []byte // raw landing window, when the origin buffer allows it
+	dt     Datatype
+	buf    any
+	off    int
+	count  int
+}
+
+// ctlFrame is an outbound control frame collected while holding the window
+// mutex and sent after releasing it (a send to a co-located self dispatches
+// synchronously back into the handler, which retakes the mutex).
+type ctlFrame struct {
+	target int
+	kind   wire.Kind
+	tag    int
+	seq    uint64
+}
+
+// Win is a one-sided communication window over a registered buffer — the
+// MPJ analogue of MPI_Win. Created collectively by Comm.WinCreate; all
+// epoch-control calls (Fence) are collective over the same communicator.
+//
+// The registered buffer stays owned by the caller, but between epoch
+// synchronizations it may be modified by remote Put/Accumulate at any
+// time; local reads of the buffer are only well-defined inside the
+// separation the epochs provide (after a Fence, or while holding a lock on
+// the own rank).
+type Win struct {
+	c   *Comm
+	dev *device.Device
+	ctx int // dedicated device context of this window
+
+	dt       Datatype // base element type of the registered slice
+	elemSize int
+	buf      []byte // raw byte window over the registered slice
+	slots    int    // registered length in elements
+
+	token     uint64   // own co-location registry token
+	tokens    []uint64 // per-member registry tokens
+	peerSlots []int    // per-member registered lengths (elements)
+	peerDisp  []int    // per-member displacement units (elements)
+	local     []bool   // member reachable by direct memory copy
+	world     []int    // member rank → world rank
+
+	timeout time.Duration
+
+	mu   sync.Mutex
+	cond sync.Cond
+	err  error // terminal: ErrRevoked (comm revoked) or ErrComm (freed)
+
+	// Target-side passive-lock state.
+	holders map[int]int // origin member rank → lock mode
+	lockQ   []lockWaiter
+
+	// Origin-side epoch state.
+	fenceGen  uint64   // local fence generation (2 per completed fence)
+	fenceRecv []uint64 // highest fence generation received per member
+	nextGet   uint64
+	gets      map[uint64]*pendingGet
+	grants    map[int]bool // target member rank → lock granted
+	unlockAck map[int]bool // target member rank → unlock acknowledged
+	held      map[int]int  // target member rank → mode of lock this rank holds
+	lockStart map[int]time.Time
+
+	epochStart time.Time // previous fence, for trace epoch spans
+}
+
+// winElemOf resolves the base datatype and length of a window buffer. Only
+// raw-layout slices are accepted: the whole point of a window is that
+// remote bytes land in (and leave from) the registered memory directly.
+func winElemOf(buf any) (Datatype, int, error) {
+	var dt Datatype
+	var n int
+	switch s := buf.(type) {
+	case []byte:
+		dt, n = Byte, len(s)
+	case []bool:
+		dt, n = Boolean, len(s)
+	case []int16:
+		dt, n = Short, len(s)
+	case []int32:
+		dt, n = Int, len(s)
+	case []int64:
+		dt, n = Long, len(s)
+	case []int:
+		dt, n = GoInt, len(s)
+	case []float32:
+		dt, n = Float, len(s)
+	case []float64:
+		dt, n = Double, len(s)
+	default:
+		return nil, 0, fmt.Errorf("%w: window buffer must be a primitive slice, got %T", ErrBuffer, buf)
+	}
+	return dt, n, nil
+}
+
+// WinCreate creates a one-sided communication window over buf, the MPJ
+// analogue of MPI_Win_create. Collective: every member calls it with its
+// own buffer (lengths may differ; a member may expose an empty slice) and
+// its own displacement unit, measured in buffer elements — target
+// displacements in Put/Get/Accumulate address element dispUnit*tdisp of
+// the target's slice. The element types must agree across members.
+//
+// The window allocates a dedicated device context, so its traffic (and
+// profiling counters) never mixes with the communicator's two-sided
+// traffic.
+func (c *Comm) WinCreate(buf any, dispUnit int) (*Win, error) {
+	if c.Revoked() {
+		return nil, fmt.Errorf("mpj: win create: %w", ErrRevoked)
+	}
+	if dispUnit <= 0 {
+		return nil, fmt.Errorf("%w: win create: displacement unit %d must be positive", ErrArg, dispUnit)
+	}
+	dt, slots, err := winElemOf(buf)
+	if err != nil {
+		return nil, fmt.Errorf("mpj: win create: %w", err)
+	}
+	var raw []byte
+	if slots > 0 {
+		if raw = vWindow(dt, buf, 0, slots); raw == nil {
+			return nil, fmt.Errorf("%w: win create: %s buffer has no raw layout on this host", ErrType, dt.Name())
+		}
+	}
+	ctx, err := c.allocContexts(1)
+	if err != nil {
+		return nil, fmt.Errorf("mpj: win create: %w", err)
+	}
+
+	size := c.Size()
+	w := &Win{
+		c:         c,
+		dev:       c.dev,
+		ctx:       ctx,
+		dt:        dt,
+		elemSize:  dt.ByteSize(),
+		buf:       raw,
+		slots:     slots,
+		timeout:   epochTimeout(),
+		holders:   make(map[int]int),
+		fenceRecv: make([]uint64, size),
+		gets:      make(map[uint64]*pendingGet),
+		grants:    make(map[int]bool),
+		unlockAck: make(map[int]bool),
+		held:      make(map[int]int),
+		lockStart: make(map[int]time.Time),
+		world:     make([]int, size),
+		local:     make([]bool, size),
+	}
+	w.cond.L = &w.mu
+	for m := 0; m < size; m++ {
+		wr, err := c.worldRank(m)
+		if err != nil {
+			return nil, err
+		}
+		w.world[m] = wr
+		w.local[m] = c.dev.LocalPeer(wr)
+	}
+
+	// Register under a fresh co-location token AND in the process window
+	// map before the exchange: a peer whose WinCreate returns first may
+	// legally issue operations against this rank while this rank is still
+	// inside the allgather below, and those frames (or direct memory
+	// accesses) must find the window.
+	w.token = registerWinToken(w)
+	c.proc.registerWin(w)
+
+	// Exchange (token, length, dispUnit, elemSize); the allgather doubles
+	// as the creation barrier. elemSize is a cross-rank type check: the
+	// wire protocol addresses target memory in elements.
+	mine := []int64{int64(w.token), int64(slots), int64(dispUnit), int64(w.elemSize)}
+	all := make([]int64, 4*size)
+	if err := c.Allgather(mine, 0, 4, Long, all, 0, 4, Long); err != nil {
+		dropWinToken(w.token)
+		c.proc.unregisterWin(w)
+		return nil, fmt.Errorf("mpj: win create: %w", err)
+	}
+	w.tokens = make([]uint64, size)
+	w.peerSlots = make([]int, size)
+	w.peerDisp = make([]int, size)
+	for m := 0; m < size; m++ {
+		w.tokens[m] = uint64(all[4*m])
+		w.peerSlots[m] = int(all[4*m+1])
+		w.peerDisp[m] = int(all[4*m+2])
+		if es := int(all[4*m+3]); es != w.elemSize {
+			dropWinToken(w.token)
+			c.proc.unregisterWin(w)
+			return nil, fmt.Errorf("%w: win create: element size %d at rank %d != local %d",
+				ErrType, es, m, w.elemSize)
+		}
+	}
+
+	c.addWinCtx(ctx)
+	w.epochStart = time.Now()
+	return w, nil
+}
+
+// epochTimeout resolves the epoch-close deadline from MPJ_RMA_TIMEOUT.
+func epochTimeout() time.Duration {
+	if raw := os.Getenv("MPJ_RMA_TIMEOUT"); raw != "" {
+		if d, err := time.ParseDuration(raw); err == nil && d > 0 {
+			return d
+		}
+	}
+	return DefaultEpochTimeout
+}
+
+// SetEpochTimeout overrides the deadline on epoch-close waits (Fence,
+// Lock, Unlock) for this window. Zero or negative restores the default.
+func (w *Win) SetEpochTimeout(d time.Duration) {
+	if d <= 0 {
+		d = epochTimeout()
+	}
+	w.mu.Lock()
+	w.timeout = d
+	w.mu.Unlock()
+}
+
+// Comm returns the communicator the window was created over.
+func (w *Win) Comm() *Comm { return w.c }
+
+// ProfSnapshot returns the profiling counters of this window's dedicated
+// device context — its one-sided traffic only, unlike Comm.ProfSnapshot
+// which sums every context of the communicator. Zero when profiling is
+// off.
+func (w *Win) ProfSnapshot() prof.Snapshot {
+	if p := w.dev.Profiler(); p != nil {
+		return p.CtxSnapshot(w.ctx)
+	}
+	return prof.Snapshot{}
+}
+
+// Size returns the number of members exposing the window.
+func (w *Win) Size() int { return len(w.world) }
+
+// Rank returns the calling process's member rank.
+func (w *Win) Rank() int { return w.c.rank }
+
+// Slots returns the number of elements rank exposes in its window.
+func (w *Win) Slots(rank int) int {
+	if rank < 0 || rank >= len(w.peerSlots) {
+		return 0
+	}
+	return w.peerSlots[rank]
+}
+
+// Free releases the window, the analogue of MPI_Win_free. Collective: it
+// synchronizes the members (no one frees while a peer's operations are
+// still in flight) and then unregisters the window; further operations
+// fail with ErrComm.
+func (w *Win) Free() error {
+	err := w.c.Barrier()
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = fmt.Errorf("%w: window freed", ErrComm)
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	dropWinToken(w.token)
+	w.c.proc.unregisterWin(w)
+	if err != nil {
+		return fmt.Errorf("mpj: win free: %w", err)
+	}
+	return nil
+}
+
+// fail terminally fails the window (communicator revocation, teardown):
+// parked epoch waits wake and return err, future operations fail.
+func (w *Win) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// usable returns the window's terminal error, if any.
+func (w *Win) usable() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// ---------------------------------------------------------------------
+// Data movement: Put, Get, Accumulate.
+
+// opSetup validates one data operation and resolves the target byte
+// offset and payload length. A zero count is a no-op (ok=false).
+func (w *Win) opSetup(name string, dt Datatype, count, target, tdisp int) (boff, nbytes int, ok bool, err error) {
+	fail := func(e error) (int, int, bool, error) {
+		return 0, 0, false, fmt.Errorf("mpj: rma %s: %w", name, e)
+	}
+	if e := w.usable(); e != nil {
+		return fail(e)
+	}
+	if count < 0 {
+		return fail(fmt.Errorf("%w: count %d", ErrCount, count))
+	}
+	if target < 0 || target >= len(w.world) {
+		return fail(fmt.Errorf("%w: target %d of %d-member window", ErrRank, target, len(w.world)))
+	}
+	if dt == nil || dt.Base() != w.dt {
+		return fail(fmt.Errorf("%w: window holds %s elements", ErrType, w.dt.Name()))
+	}
+	sz := dt.ByteSize()
+	if sz < 0 {
+		return fail(fmt.Errorf("%w: %s has no fixed size", ErrType, dt.Name()))
+	}
+	if count == 0 {
+		return 0, 0, false, nil
+	}
+	if e := w.dev.RankError(w.world[target]); e != nil {
+		return fail(e)
+	}
+	if tdisp < 0 {
+		return fail(fmt.Errorf("%w: negative target displacement %d", ErrArg, tdisp))
+	}
+	boff = tdisp * w.peerDisp[target] * w.elemSize
+	nbytes = count * sz
+	if boff+nbytes > w.peerSlots[target]*w.elemSize {
+		return fail(fmt.Errorf("%w: target block [%d:%d) outside rank %d's %d-element window",
+			ErrArg, boff/w.elemSize, (boff+nbytes)/w.elemSize, target, w.peerSlots[target]))
+	}
+	return boff, nbytes, true, nil
+}
+
+// peerWin resolves a co-located target's window object.
+func (w *Win) peerWin(name string, target int) (*Win, error) {
+	tw := lookupWinToken(w.tokens[target])
+	if tw == nil {
+		return nil, fmt.Errorf("mpj: rma %s: %w: rank %d's window is gone", name, ErrComm, target)
+	}
+	return tw, nil
+}
+
+// sendData ships count elements of dt from buf[off:] to the target as one
+// RMA frame, packing directly into the pooled frame when the datatype
+// supports it.
+func (w *Win) sendData(kind wire.Kind, target, tag, boff, nbytes int, dt Datatype, buf any, off, count int) error {
+	if pi, isPI := dt.(packerInto); isPI {
+		return w.dev.RMASendFill(nbytes, func(p []byte) error {
+			return pi.PackInto(p, buf, off, count)
+		}, w.world[target], kind, w.ctx, tag, uint64(boff), 0)
+	}
+	data, err := dt.Pack(nil, buf, off, count)
+	if err != nil {
+		return err
+	}
+	if len(data) != nbytes {
+		return fmt.Errorf("%w: packed %d bytes, expected %d", ErrType, len(data), nbytes)
+	}
+	return w.dev.RMASend(w.world[target], kind, w.ctx, tag, uint64(boff), 0, data)
+}
+
+// Put transfers count elements of dt from buf starting at slot off into
+// target's window at element displacement tdisp (scaled by the target's
+// displacement unit) — MPI_Put. It returns once buf is reusable; the data
+// is guaranteed applied at the target only after the epoch closes (Fence,
+// or Unlock of a lock on target). Co-located targets are a direct memory
+// copy.
+func (w *Win) Put(buf any, off, count int, dt Datatype, target, tdisp int) error {
+	boff, nbytes, ok, err := w.opSetup("put", dt, count, target, tdisp)
+	if !ok {
+		return err
+	}
+	if w.local[target] {
+		tw, err := w.peerWin("put", target)
+		if err != nil {
+			return err
+		}
+		tw.mu.Lock()
+		err = packIntoWindow(tw.buf[boff:boff+nbytes], dt, buf, off, count)
+		tw.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("mpj: rma put: %w", err)
+		}
+	} else {
+		if err := w.sendData(wire.KindRmaPut, target, 0, boff, nbytes, dt, buf, off, count); err != nil {
+			return fmt.Errorf("mpj: rma put: %w", err)
+		}
+	}
+	if p := w.dev.Profiler(); p != nil {
+		p.RmaOp(w.ctx, 'p', nbytes, w.local[target])
+	}
+	return nil
+}
+
+// packIntoWindow packs count elements of dt from buf[off:] into the
+// exactly-sized destination window — a single memmove for raw-layout
+// datatypes.
+func packIntoWindow(dst []byte, dt Datatype, buf any, off, count int) error {
+	if pi, ok := dt.(packerInto); ok {
+		return pi.PackInto(dst, buf, off, count)
+	}
+	data, err := dt.Pack(nil, buf, off, count)
+	if err != nil {
+		return err
+	}
+	if len(data) != len(dst) {
+		return fmt.Errorf("%w: packed %d bytes, expected %d", ErrType, len(data), len(dst))
+	}
+	copy(dst, data)
+	return nil
+}
+
+// Get transfers count elements of dt from target's window at element
+// displacement tdisp into buf starting at slot off — MPI_Get. For
+// co-located targets the copy happens immediately; for remote targets the
+// data is valid only after the epoch closes (Fence, or Unlock of a lock
+// on target).
+func (w *Win) Get(buf any, off, count int, dt Datatype, target, tdisp int) error {
+	boff, nbytes, ok, err := w.opSetup("get", dt, count, target, tdisp)
+	if !ok {
+		return err
+	}
+	if n := bufSlots(buf); n >= 0 && (off < 0 || off+count*dt.Extent() > n) {
+		return fmt.Errorf("mpj: rma get: %w: block [%d:%d) outside %d-slot buffer",
+			ErrBuffer, off, off+count*dt.Extent(), n)
+	}
+	if w.local[target] {
+		tw, err := w.peerWin("get", target)
+		if err != nil {
+			return err
+		}
+		tw.mu.Lock()
+		_, err = dt.Unpack(tw.buf[boff:boff+nbytes], buf, off, count)
+		tw.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("mpj: rma get: %w", err)
+		}
+	} else {
+		w.mu.Lock()
+		w.nextGet++
+		id := w.nextGet
+		g := &pendingGet{target: target, dt: dt, buf: buf, off: off, count: count}
+		g.win = vWindow(dt, buf, off, count)
+		w.gets[id] = g
+		w.mu.Unlock()
+		err := w.dev.RMASend(w.world[target], wire.KindRmaGet, w.ctx, nbytes, uint64(boff), id, nil)
+		if err != nil {
+			w.mu.Lock()
+			delete(w.gets, id)
+			w.mu.Unlock()
+			return fmt.Errorf("mpj: rma get: %w", err)
+		}
+	}
+	if p := w.dev.Profiler(); p != nil {
+		p.RmaOp(w.ctx, 'g', nbytes, w.local[target])
+	}
+	return nil
+}
+
+// Accumulate combines count elements of dt from buf starting at slot off
+// into target's window at element displacement tdisp using the predefined
+// reduction op — MPI_Accumulate. Element-wise: window[i] = op(buf[i],
+// window[i]), applied under the target window's serialization, so
+// concurrent accumulations from different origins with the same
+// commutative op are well-defined. User-defined operations are rejected
+// with ErrOp: the target applies the operation without user code running
+// there.
+func (w *Win) Accumulate(buf any, off, count int, dt Datatype, target, tdisp int, op *Op) error {
+	boff, nbytes, ok, err := w.opSetup("accumulate", dt, count, target, tdisp)
+	if !ok {
+		return err
+	}
+	opID := rmaOpID(op)
+	if opID < 0 {
+		if op == nil {
+			return fmt.Errorf("mpj: rma accumulate: %w: nil op", ErrOp)
+		}
+		return fmt.Errorf("mpj: rma accumulate: %w: %s is not a predefined operation", ErrOp, op.Name())
+	}
+	comb, err := op.combinerFor(w.dt)
+	if err != nil {
+		return fmt.Errorf("mpj: rma accumulate: %w", err)
+	}
+	if w.local[target] {
+		tw, err := w.peerWin("accumulate", target)
+		if err != nil {
+			return err
+		}
+		data, err := packExact(dt, buf, off, count)
+		if err != nil {
+			return fmt.Errorf("mpj: rma accumulate: %w", err)
+		}
+		tw.mu.Lock()
+		err = comb(data, tw.buf[boff:boff+nbytes])
+		tw.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("mpj: rma accumulate: %w", err)
+		}
+	} else {
+		if err := w.sendData(wire.KindRmaAcc, target, opID, boff, nbytes, dt, buf, off, count); err != nil {
+			return fmt.Errorf("mpj: rma accumulate: %w", err)
+		}
+	}
+	if p := w.dev.Profiler(); p != nil {
+		p.RmaOp(w.ctx, 'a', nbytes, w.local[target])
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Epoch control.
+
+// waitEpoch parks on the window condition until pred reports done (or an
+// error), with the epoch deadline armed: on expiry every member stuck()
+// still blames is reported to the device failure registry, which turns
+// the hang into a typed ErrRankFailed through pred's dead-rank checks.
+// Device failure watchers broadcast the condition, so newly detected
+// failures (from any source) re-evaluate pred promptly.
+func (w *Win) waitEpoch(pred func() (bool, error), stuck func() []int) error {
+	expired := false
+	timer := time.AfterFunc(w.epochDeadline(), func() {
+		w.mu.Lock()
+		expired = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.err != nil {
+			return w.err
+		}
+		done, err := pred()
+		if done || err != nil {
+			return err
+		}
+		if expired {
+			expired = false
+			peers := stuck()
+			w.mu.Unlock()
+			for _, m := range peers {
+				w.dev.NotifyRankFailed(w.world[m],
+					fmt.Errorf("mpj: rma epoch deadline (%s) expired", w.timeout))
+			}
+			w.mu.Lock()
+			continue
+		}
+		w.cond.Wait()
+	}
+}
+
+func (w *Win) epochDeadline() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.timeout
+}
+
+// getsDone is the epoch predicate for outstanding Gets: done when none
+// remain; a Get whose target died fails typed (and is dropped, so the
+// window stays usable for recovery).
+func (w *Win) getsDone() (bool, error) {
+	for id, g := range w.gets {
+		if err := w.dev.RankError(w.world[g.target]); err != nil {
+			delete(w.gets, id)
+			return false, err
+		}
+	}
+	return len(w.gets) == 0, nil
+}
+
+func (w *Win) stuckGets() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, g := range w.gets {
+		if !seen[g.target] {
+			seen[g.target] = true
+			out = append(out, g.target)
+		}
+	}
+	return out
+}
+
+// syncPhase announces fence generation gen to every peer and waits until
+// every live peer announced at least gen (dead peers whose announcement is
+// missing fail the fence typed).
+func (w *Win) syncPhase(gen uint64) error {
+	me := w.c.rank
+	for m := range w.world {
+		if m == me {
+			continue
+		}
+		if err := w.dev.RMASend(w.world[m], wire.KindRmaFenceSync, w.ctx, 0, gen, 0, nil); err != nil {
+			if errors.Is(err, ErrRankFailed) {
+				continue // the wait below reports it
+			}
+			return err
+		}
+	}
+	return w.waitEpoch(func() (bool, error) {
+		for m := range w.world {
+			if m == me || w.fenceRecv[m] >= gen {
+				continue
+			}
+			if err := w.dev.RankError(w.world[m]); err != nil {
+				return false, err
+			}
+			return false, nil
+		}
+		return true, nil
+	}, func() []int {
+		var out []int
+		for m := range w.world {
+			if m != me && w.fenceRecv[m] < gen {
+				out = append(out, m)
+			}
+		}
+		return out
+	})
+}
+
+// Fence closes the current access/exposure epoch and opens the next —
+// MPI_Win_fence. Collective over the window's communicator. When Fence
+// returns, every operation of the closing epoch (by any member, any
+// target) has been applied and all local Gets have landed; the buffers
+// are consistent everywhere.
+//
+// The epoch close carries a deadline (SetEpochTimeout / MPJ_RMA_TIMEOUT):
+// members that stay silent past it are reported to the failure registry
+// and the fence fails with ErrRankFailed instead of hanging.
+func (w *Win) Fence() error {
+	if err := w.usable(); err != nil {
+		return fmt.Errorf("mpj: fence: %w", err)
+	}
+	// Outstanding Gets first: their replies are epoch data.
+	if err := w.waitEpoch(w.getsDone, w.stuckGets); err != nil {
+		return fmt.Errorf("mpj: fence: %w", err)
+	}
+	w.mu.Lock()
+	w.fenceGen += 2
+	entry, done := w.fenceGen-1, w.fenceGen
+	w.mu.Unlock()
+	// Phase 1 — entry: a rank holding all entry announcements has applied
+	// every inbound operation of the epoch (per-path FIFO puts data
+	// frames ahead of the announcement).
+	if err := w.syncPhase(entry); err != nil {
+		return fmt.Errorf("mpj: fence: %w", err)
+	}
+	// Phase 2 — completion: no rank leaves the fence before every rank
+	// finished phase 1, so next-epoch operations can never land on a
+	// window that has not absorbed this epoch yet.
+	if err := w.syncPhase(done); err != nil {
+		return fmt.Errorf("mpj: fence: %w", err)
+	}
+	if p := w.dev.Profiler(); p != nil {
+		p.RmaFence(w.ctx)
+		w.mu.Lock()
+		start := w.epochStart
+		w.epochStart = time.Now()
+		w.mu.Unlock()
+		p.RmaEpoch(w.ctx, "fence", start)
+	}
+	return nil
+}
+
+// Lock opens a passive-target access epoch on target's window —
+// MPI_Win_lock. mode is LockShared or LockExclusive; requests queue FIFO
+// at the target (shared requests coalesce) and are granted without any
+// action by the target's application. Operations issued after Lock are
+// guaranteed applied once Unlock returns.
+func (w *Win) Lock(mode, target int) error {
+	if err := w.usable(); err != nil {
+		return fmt.Errorf("mpj: lock: %w", err)
+	}
+	if mode != LockShared && mode != LockExclusive {
+		return fmt.Errorf("%w: lock mode %d", ErrArg, mode)
+	}
+	if target < 0 || target >= len(w.world) {
+		return fmt.Errorf("mpj: lock: %w: target %d", ErrRank, target)
+	}
+	w.mu.Lock()
+	_, dup := w.held[target]
+	w.mu.Unlock()
+	if dup {
+		return fmt.Errorf("mpj: lock: %w: already holding a lock on rank %d", ErrArg, target)
+	}
+	if err := w.dev.RankError(w.world[target]); err != nil {
+		return fmt.Errorf("mpj: lock: %w", err)
+	}
+	start := time.Now()
+	if err := w.sendCtl(target, wire.KindRmaLockReq, mode, 0); err != nil {
+		return fmt.Errorf("mpj: lock: %w", err)
+	}
+	err := w.waitEpoch(func() (bool, error) {
+		if w.grants[target] {
+			delete(w.grants, target)
+			return true, nil
+		}
+		if err := w.dev.RankError(w.world[target]); err != nil {
+			return false, err
+		}
+		return false, nil
+	}, func() []int { return []int{target} })
+	if err != nil {
+		return fmt.Errorf("mpj: lock: %w", err)
+	}
+	w.mu.Lock()
+	w.held[target] = mode
+	w.lockStart[target] = start
+	w.mu.Unlock()
+	if p := w.dev.Profiler(); p != nil {
+		p.RmaLock(w.ctx)
+	}
+	return nil
+}
+
+// Unlock closes the passive-target epoch on target — MPI_Win_unlock. When
+// it returns, every Put/Get/Accumulate this rank issued at target since
+// the matching Lock has been applied (the acknowledgement travels behind
+// every reply on the same FIFO path). A dead target surfaces as
+// ErrRankFailed; an unresponsive one trips the epoch deadline.
+func (w *Win) Unlock(target int) error {
+	if err := w.usable(); err != nil {
+		return fmt.Errorf("mpj: unlock: %w", err)
+	}
+	w.mu.Lock()
+	_, holding := w.held[target]
+	start := w.lockStart[target]
+	w.mu.Unlock()
+	if !holding {
+		return fmt.Errorf("mpj: unlock: %w: no lock held on rank %d", ErrArg, target)
+	}
+	release := func() {
+		w.mu.Lock()
+		delete(w.held, target)
+		delete(w.lockStart, target)
+		w.mu.Unlock()
+	}
+	if err := w.sendCtl(target, wire.KindRmaUnlock, 0, 0); err != nil {
+		release()
+		return fmt.Errorf("mpj: unlock: %w", err)
+	}
+	err := w.waitEpoch(func() (bool, error) {
+		if w.unlockAck[target] {
+			delete(w.unlockAck, target)
+			return true, nil
+		}
+		if err := w.dev.RankError(w.world[target]); err != nil {
+			return false, err
+		}
+		return false, nil
+	}, func() []int { return []int{target} })
+	release()
+	if err != nil {
+		return fmt.Errorf("mpj: unlock: %w", err)
+	}
+	if p := w.dev.Profiler(); p != nil {
+		p.RmaEpoch(w.ctx, fmt.Sprintf("lock:%d", target), start)
+	}
+	return nil
+}
+
+// sendCtl ships one control frame to a member, dispatching synchronously
+// into the local handler when the member is this rank itself (self-frames
+// must not depend on the transport: a TCP mesh has no self-connection).
+// Callers must not hold w.mu.
+func (w *Win) sendCtl(target int, kind wire.Kind, tag int, seq uint64) error {
+	if target == w.c.rank {
+		h := wire.Header{
+			Kind: kind, Src: int32(w.world[target]), Tag: int32(tag),
+			Context: int32(w.ctx), Seq: seq,
+		}
+		w.handleFrame(w.world[target], &h, nil)
+		return nil
+	}
+	return w.dev.RMASend(w.world[target], kind, w.ctx, tag, seq, 0, nil)
+}
+
+// ---------------------------------------------------------------------
+// Inbound frame handling and target-side lock queue.
+
+// handleFrame dispatches one inbound RMA frame. It runs on the transport
+// reader goroutine (or synchronously on the caller for self-frames):
+// state changes happen under w.mu, outbound control frames are collected
+// and sent after releasing it.
+func (w *Win) handleFrame(src int, h *wire.Header, payload []byte) {
+	origin := w.c.groupSource(src)
+	if origin < 0 || origin >= len(w.world) {
+		return // not a member: a stale frame of a freed window's context
+	}
+	var outs []ctlFrame
+	w.mu.Lock()
+	switch h.Kind {
+	case wire.KindRmaPut:
+		off := int(h.Seq)
+		if off >= 0 && off+len(payload) <= len(w.buf) {
+			copy(w.buf[off:], payload)
+		}
+
+	case wire.KindRmaAcc:
+		off, opID := int(h.Seq), int(h.Tag)
+		if off >= 0 && off+len(payload) <= len(w.buf) && opID >= 0 && opID < len(rmaOps) {
+			if comb, err := rmaOps[opID].combinerFor(w.dt); err == nil {
+				_ = comb(payload, w.buf[off:off+len(payload)])
+			}
+		}
+
+	case wire.KindRmaGet:
+		off, n := int(h.Seq), int(h.Tag)
+		if off >= 0 && n >= 0 && off+n <= len(w.buf) {
+			// The reply is built under w.mu (the copy out of the window
+			// must be serialized like any other access) — safe, because
+			// transport sends never block.
+			_ = w.dev.RMASendFill(n, func(p []byte) error {
+				copy(p, w.buf[off:off+n])
+				return nil
+			}, src, wire.KindRmaGetReply, w.ctx, 0, h.Seq, h.MsgID)
+		}
+
+	case wire.KindRmaGetReply:
+		if g, ok := w.gets[h.MsgID]; ok {
+			delete(w.gets, h.MsgID)
+			if g.win != nil {
+				copy(g.win, payload)
+			} else {
+				_, _ = g.dt.Unpack(payload, g.buf, g.off, g.count)
+			}
+			w.cond.Broadcast()
+		}
+
+	case wire.KindRmaFenceSync:
+		if h.Seq > w.fenceRecv[origin] {
+			w.fenceRecv[origin] = h.Seq
+			w.cond.Broadcast()
+		}
+
+	case wire.KindRmaLockReq:
+		outs = w.lockReqLocked(origin, int(h.Tag))
+
+	case wire.KindRmaLockGrant:
+		if h.Tag == 0 {
+			w.grants[origin] = true
+		} else {
+			w.unlockAck[origin] = true
+		}
+		w.cond.Broadcast()
+
+	case wire.KindRmaUnlock:
+		delete(w.holders, origin)
+		outs = append(outs, ctlFrame{target: origin, kind: wire.KindRmaLockGrant, tag: 1})
+		outs = append(outs, w.promoteLocked()...)
+	}
+	w.mu.Unlock()
+	for _, o := range outs {
+		_ = w.sendCtl(o.target, o.kind, o.tag, o.seq)
+	}
+}
+
+// lockReqLocked grants or queues a lock request at this window (the
+// target side). Grant rules: exclusive needs no holders and an empty
+// queue; shared joins current shared holders but queues behind any
+// waiter, so writers are never starved. Callers hold w.mu.
+func (w *Win) lockReqLocked(origin, mode int) []ctlFrame {
+	grant := false
+	if mode == LockExclusive {
+		grant = len(w.holders) == 0 && len(w.lockQ) == 0
+	} else {
+		grant = !w.exclusiveHeldLocked() && len(w.lockQ) == 0
+	}
+	if grant {
+		w.holders[origin] = mode
+		return []ctlFrame{{target: origin, kind: wire.KindRmaLockGrant, tag: 0}}
+	}
+	w.lockQ = append(w.lockQ, lockWaiter{origin: origin, mode: mode})
+	return nil
+}
+
+func (w *Win) exclusiveHeldLocked() bool {
+	for _, m := range w.holders {
+		if m == LockExclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// promoteLocked grants queued lock requests that became admissible, FIFO
+// with shared coalescing. Callers hold w.mu.
+func (w *Win) promoteLocked() []ctlFrame {
+	var outs []ctlFrame
+	for len(w.lockQ) > 0 {
+		head := w.lockQ[0]
+		if head.mode == LockExclusive {
+			if len(w.holders) > 0 {
+				break
+			}
+			w.holders[head.origin] = head.mode
+			outs = append(outs, ctlFrame{target: head.origin, kind: wire.KindRmaLockGrant, tag: 0})
+			w.lockQ = w.lockQ[1:]
+			break
+		}
+		if w.exclusiveHeldLocked() {
+			break
+		}
+		w.holders[head.origin] = head.mode
+		outs = append(outs, ctlFrame{target: head.origin, kind: wire.KindRmaLockGrant, tag: 0})
+		w.lockQ = w.lockQ[1:]
+	}
+	return outs
+}
+
+// onRankFailed reacts to a newly detected rank failure: epoch waiters are
+// woken (their predicates consult the failure registry), and locks held
+// or requested by the dead origin are released at this target so queued
+// peers are granted instead of tripping their deadlines.
+func (w *Win) onRankFailed(worldRank int) {
+	origin := w.c.groupSource(worldRank)
+	if origin < 0 || origin >= len(w.world) {
+		return
+	}
+	var outs []ctlFrame
+	w.mu.Lock()
+	if _, ok := w.holders[origin]; ok {
+		delete(w.holders, origin)
+		outs = w.promoteLocked()
+	}
+	for i := 0; i < len(w.lockQ); {
+		if w.lockQ[i].origin == origin {
+			w.lockQ = append(w.lockQ[:i], w.lockQ[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, o := range outs {
+		_ = w.sendCtl(o.target, o.kind, o.tag, o.seq)
+	}
+}

@@ -210,6 +210,12 @@ type Device struct {
 	onRevoke  func(ctx int)             // communicator revocation handler (see SetRevokeHandler)
 	roundHook func(ctx, tag, round int) // fault-injection seam (see SetRoundHook)
 
+	// One-sided support (see rma.go): onRMA dispatches inbound RMA frames
+	// to the window layer; failWatchers are additional failure listeners
+	// (window epoch waiters) invoked after every newly detected failure.
+	onRMA        func(src int, h *wire.Header, payload []byte)
+	failWatchers []func(rank int, err error)
+
 	// prof is the instrumentation sink (see internal/prof), set once at
 	// Open and nil when profiling is off — every hook site below branches
 	// on that nil, which is the whole disabled-mode cost.
@@ -712,6 +718,21 @@ func (d *Device) handle(src int, frame []byte) {
 	retained := false
 	revokeCtx := -1
 
+	// One-sided frames bypass the matching engine entirely: they are
+	// handled synchronously by the window layer, which serializes on the
+	// window's own mutex. Deliberately no eager/rendezvous accounting —
+	// RMA traffic has its own counters (see internal/prof).
+	if h.Kind.IsRMA() {
+		d.mu.Lock()
+		f := d.onRMA
+		d.mu.Unlock()
+		if f != nil {
+			f(src, &h, payload)
+		}
+		wire.PutBuf(frame)
+		return
+	}
+
 	// Payload arrival accounting happens here, at the frame boundary:
 	// eager and rendezvous-data frames carry their context, so bytes are
 	// attributed per communicator on the receiver too.
@@ -917,9 +938,14 @@ func (d *Device) NotifyRankFailed(peer int, cause error) {
 	}
 	d.cond.Broadcast()
 	h := d.onFailure
+	watchers := make([]func(rank int, err error), len(d.failWatchers))
+	copy(watchers, d.failWatchers)
 	d.mu.Unlock()
 	if h != nil {
 		h(peer, cause)
+	}
+	for _, w := range watchers {
+		w(peer, fail)
 	}
 }
 

@@ -100,6 +100,17 @@ type counters struct {
 	collFailed  atomic.Int64
 	collRounds  atomic.Int64
 	waitNs      atomic.Int64
+
+	rmaPuts       atomic.Int64
+	rmaPutBytes   atomic.Int64
+	rmaGets       atomic.Int64
+	rmaGetBytes   atomic.Int64
+	rmaAccs       atomic.Int64
+	rmaAccBytes   atomic.Int64
+	rmaLocalBytes atomic.Int64
+	rmaWireBytes  atomic.Int64
+	rmaFences     atomic.Int64
+	rmaLocks      atomic.Int64
 }
 
 // addTo folds the current counter values into s.
@@ -119,6 +130,16 @@ func (c *counters) addTo(s *Snapshot) {
 	s.CollFailed += c.collFailed.Load()
 	s.CollRounds += c.collRounds.Load()
 	s.WaitNs += c.waitNs.Load()
+	s.RmaPuts += c.rmaPuts.Load()
+	s.RmaPutBytes += c.rmaPutBytes.Load()
+	s.RmaGets += c.rmaGets.Load()
+	s.RmaGetBytes += c.rmaGetBytes.Load()
+	s.RmaAccs += c.rmaAccs.Load()
+	s.RmaAccBytes += c.rmaAccBytes.Load()
+	s.RmaLocalBytes += c.rmaLocalBytes.Load()
+	s.RmaWireBytes += c.rmaWireBytes.Load()
+	s.RmaFences += c.rmaFences.Load()
+	s.RmaLocks += c.rmaLocks.Load()
 }
 
 // Snapshot is a plain-integer copy of the counters at one instant, the
@@ -151,6 +172,21 @@ type Snapshot struct {
 	CollFailed  int64 `json:"collFailed"`
 	CollRounds  int64 `json:"collRounds"`
 	WaitNs      int64 `json:"waitNs"`
+
+	// One-sided (RMA) events, counted at the origin. The Local/Wire byte
+	// split records how each operation moved: co-located targets are
+	// direct memory copies (no wire serialization), remote targets ride
+	// the RMA frame family.
+	RmaPuts       int64 `json:"rmaPuts"`
+	RmaPutBytes   int64 `json:"rmaPutBytes"`
+	RmaGets       int64 `json:"rmaGets"`
+	RmaGetBytes   int64 `json:"rmaGetBytes"`
+	RmaAccs       int64 `json:"rmaAccs"`
+	RmaAccBytes   int64 `json:"rmaAccBytes"`
+	RmaLocalBytes int64 `json:"rmaLocalBytes"`
+	RmaWireBytes  int64 `json:"rmaWireBytes"`
+	RmaFences     int64 `json:"rmaFences"`
+	RmaLocks      int64 `json:"rmaLocks"`
 }
 
 // SentBytes returns the total payload bytes sent, both protocols.
@@ -182,7 +218,23 @@ func (s *Snapshot) add(o Snapshot) {
 	s.CollFailed += o.CollFailed
 	s.CollRounds += o.CollRounds
 	s.WaitNs += o.WaitNs
+	s.RmaPuts += o.RmaPuts
+	s.RmaPutBytes += o.RmaPutBytes
+	s.RmaGets += o.RmaGets
+	s.RmaGetBytes += o.RmaGetBytes
+	s.RmaAccs += o.RmaAccs
+	s.RmaAccBytes += o.RmaAccBytes
+	s.RmaLocalBytes += o.RmaLocalBytes
+	s.RmaWireBytes += o.RmaWireBytes
+	s.RmaFences += o.RmaFences
+	s.RmaLocks += o.RmaLocks
 }
+
+// RmaOps returns the total one-sided operations recorded, all kinds.
+func (s Snapshot) RmaOps() int64 { return s.RmaPuts + s.RmaGets + s.RmaAccs }
+
+// RmaBytes returns the total one-sided payload bytes, all kinds.
+func (s Snapshot) RmaBytes() int64 { return s.RmaPutBytes + s.RmaGetBytes + s.RmaAccBytes }
 
 // Recorder is one rank's instrumentation sink. The device calls the
 // send/receive hooks, the collective schedule engine the Coll*/Round*
@@ -329,6 +381,60 @@ func (r *Recorder) WaitSpan(ctx int, start time.Time) {
 	r.forCtx(ctx).waitNs.Add(int64(d))
 	if r.tr != nil {
 		r.tr.waitSpan(start, d)
+	}
+}
+
+// RmaOp records one one-sided operation of n payload bytes on the window
+// context ctx, counted at the origin: kind is 'p' (Put), 'g' (Get) or 'a'
+// (Accumulate); local marks a co-located target reached by direct memory
+// copy rather than an RMA frame.
+func (r *Recorder) RmaOp(ctx int, kind byte, n int, local bool) {
+	c := r.forCtx(ctx)
+	switch kind {
+	case 'p':
+		r.global.rmaPuts.Add(1)
+		r.global.rmaPutBytes.Add(int64(n))
+		c.rmaPuts.Add(1)
+		c.rmaPutBytes.Add(int64(n))
+	case 'g':
+		r.global.rmaGets.Add(1)
+		r.global.rmaGetBytes.Add(int64(n))
+		c.rmaGets.Add(1)
+		c.rmaGetBytes.Add(int64(n))
+	case 'a':
+		r.global.rmaAccs.Add(1)
+		r.global.rmaAccBytes.Add(int64(n))
+		c.rmaAccs.Add(1)
+		c.rmaAccBytes.Add(int64(n))
+	}
+	if local {
+		r.global.rmaLocalBytes.Add(int64(n))
+		c.rmaLocalBytes.Add(int64(n))
+	} else {
+		r.global.rmaWireBytes.Add(int64(n))
+		c.rmaWireBytes.Add(int64(n))
+	}
+}
+
+// RmaFence records one completed fence on the window context ctx.
+func (r *Recorder) RmaFence(ctx int) {
+	r.global.rmaFences.Add(1)
+	r.forCtx(ctx).rmaFences.Add(1)
+}
+
+// RmaLock records one completed passive-target lock acquisition on the
+// window context ctx.
+func (r *Recorder) RmaLock(ctx int) {
+	r.global.rmaLocks.Add(1)
+	r.forCtx(ctx).rmaLocks.Add(1)
+}
+
+// RmaEpoch records a closed epoch span [start, now] on the window context
+// ctx in the trace timeline: name is the epoch flavor ("fence" or
+// "lock:<target>"). No-op unless tracing is on.
+func (r *Recorder) RmaEpoch(ctx int, name string, start time.Time) {
+	if r.tr != nil {
+		r.tr.rmaEpoch(ctx, name, start, time.Since(start))
 	}
 }
 

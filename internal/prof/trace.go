@@ -27,6 +27,7 @@ const (
 	laneColl  = 1 // whole-collective spans
 	laneRound = 2 // per-round spans
 	laneWait  = 3 // WaitProgress parks
+	laneRma   = 4 // one-sided epoch spans (fence-to-fence, lock-to-unlock)
 )
 
 // traceEvent is one trace_event entry in Chrome's JSON schema.
@@ -167,6 +168,20 @@ func (tr *tracer) waitSpan(start time.Time, d time.Duration) {
 	tr.mu.Unlock()
 }
 
+func (tr *tracer) rmaEpoch(ctx int, name string, start time.Time, d time.Duration) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, traceEvent{
+		Name: name,
+		Ph:   "X",
+		TS:   tr.ts(start),
+		Dur:  float64(d) / float64(time.Microsecond),
+		PID:  tr.rank,
+		TID:  laneRma,
+		Args: map[string]any{"ctx": ctx},
+	})
+	tr.mu.Unlock()
+}
+
 // flush sorts the buffered events by start time and writes the rank's
 // trace file. Called once, from Recorder.Close.
 func (tr *tracer) flush() error {
@@ -187,6 +202,8 @@ func (tr *tracer) flush() error {
 			Args: map[string]any{"name": "rounds"}},
 		{Name: "thread_name", Ph: "M", PID: tr.rank, TID: laneWait,
 			Args: map[string]any{"name": "waits"}},
+		{Name: "thread_name", Ph: "M", PID: tr.rank, TID: laneRma,
+			Args: map[string]any{"name": "rma epochs"}},
 	}
 	out := traceFile{
 		TraceEvents:     append(meta, events...),

@@ -72,6 +72,12 @@ func (t *ChanTransport) Rank() int { return t.rank }
 // Size returns the number of endpoints in the mesh.
 func (t *ChanTransport) Size() int { return t.size }
 
+// Local reports whether dst shares this process's address space. Every
+// endpoint of a channel mesh lives in one process, so any valid rank is
+// local. The device layer consults this (optional) method to pick the
+// direct-memory path for one-sided operations.
+func (t *ChanTransport) Local(dst int) bool { return dst >= 0 && dst < t.size }
+
 // SetHandler installs the inbound frame handler.
 func (t *ChanTransport) SetHandler(h Handler) { t.handler = h }
 

@@ -60,7 +60,35 @@ const (
 	// KindFTDecide distributes (or forwards) the decided value of an
 	// agreement instance as payload. First decision received wins.
 	KindFTDecide
+	// KindRmaPut carries a one-sided write: Context is the window context,
+	// Seq the target byte offset, the payload the data to store.
+	KindRmaPut
+	// KindRmaGet requests a one-sided read: Seq is the target byte offset,
+	// Tag the byte count, MsgID the origin-local get id echoed by the reply.
+	KindRmaGet
+	// KindRmaGetReply answers a KindRmaGet with the requested bytes as
+	// payload; MsgID echoes the get id.
+	KindRmaGetReply
+	// KindRmaAcc carries a one-sided accumulate: like KindRmaPut, with Tag
+	// holding the predefined-operation id to combine with.
+	KindRmaAcc
+	// KindRmaLockReq asks the target for a passive-target lock on its
+	// window; Tag carries the lock mode (shared or exclusive).
+	KindRmaLockReq
+	// KindRmaLockGrant answers lock traffic from the target: Tag=0 grants a
+	// KindRmaLockReq, Tag=1 acknowledges a KindRmaUnlock.
+	KindRmaLockGrant
+	// KindRmaUnlock releases a passive-target lock at the target.
+	KindRmaUnlock
+	// KindRmaFenceSync announces that the sender entered a fence: Seq
+	// carries the sender's fence generation. FIFO delivery per path orders
+	// it after every RMA data frame of the closing epoch.
+	KindRmaFenceSync
 )
+
+// IsRMA reports whether k belongs to the one-sided (RMA) frame family,
+// which bypasses the device matching engine entirely.
+func (k Kind) IsRMA() bool { return k >= KindRmaPut && k <= KindRmaFenceSync }
 
 // String returns the conventional name of the frame kind.
 func (k Kind) String() string {
@@ -87,6 +115,22 @@ func (k Kind) String() string {
 		return "FTREPLY"
 	case KindFTDecide:
 		return "FTDECIDE"
+	case KindRmaPut:
+		return "RMAPUT"
+	case KindRmaGet:
+		return "RMAGET"
+	case KindRmaGetReply:
+		return "RMAGETREPLY"
+	case KindRmaAcc:
+		return "RMAACC"
+	case KindRmaLockReq:
+		return "RMALOCKREQ"
+	case KindRmaLockGrant:
+		return "RMALOCKGRANT"
+	case KindRmaUnlock:
+		return "RMAUNLOCK"
+	case KindRmaFenceSync:
+		return "RMAFENCESYNC"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

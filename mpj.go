@@ -88,7 +88,25 @@ type (
 	// (the MPJ_PROF environment variable, the mpjrun -prof flag); see
 	// README "Observability".
 	ProfSnapshot = prof.Snapshot
+	// Win is a one-sided communication window created by Comm.WinCreate:
+	// Put/Get/Accumulate move data into any member's registered buffer
+	// without a matching receive, under Fence or Lock/Unlock epochs; see
+	// README "One-sided communication".
+	Win = core.Win
 )
+
+// One-sided lock modes (Win.Lock).
+const (
+	// LockShared admits any number of concurrent shared lock holders.
+	LockShared = core.LockShared
+	// LockExclusive admits a single lock holder.
+	LockExclusive = core.LockExclusive
+)
+
+// InPlace is the MPI_IN_PLACE sentinel: passed as the send buffer of
+// ReduceScatter or Allgatherv, the rank's contribution is taken from (and
+// the result written to) its slice of the receive buffer.
+var InPlace = core.InPlace
 
 // Collective algorithm selectors (see CollAlg and Comm.SetCollAlg).
 const (

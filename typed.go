@@ -299,6 +299,33 @@ func Iscan[T Scalar](c *Comm, sbuf, rbuf []T, op ReduceOp[T]) (*CollRequest, err
 }
 
 // ---------------------------------------------------------------------
+// One-sided communication. The window element type is fixed at WinCreate
+// (from the registered slice); these wrappers transmit whole slices with
+// the matching datatype inferred from T.
+// ---------------------------------------------------------------------
+
+// PutT writes buf into target's window at element displacement tdisp —
+// the typed Win.Put.
+func PutT[T Scalar](w *Win, buf []T, target, tdisp int) error {
+	return w.Put(buf, 0, len(buf), DatatypeOf[T](), target, tdisp)
+}
+
+// GetT reads len(buf) elements from target's window at element
+// displacement tdisp into buf — the typed Win.Get. For remote targets the
+// data is valid after the epoch closes (Fence, or Unlock of a lock on
+// target).
+func GetT[T Scalar](w *Win, buf []T, target, tdisp int) error {
+	return w.Get(buf, 0, len(buf), DatatypeOf[T](), target, tdisp)
+}
+
+// AccumulateT combines buf element-wise into target's window at element
+// displacement tdisp with the predefined reduction op — the typed
+// Win.Accumulate.
+func AccumulateT[T Scalar](w *Win, buf []T, target, tdisp int, op ReduceOp[T]) error {
+	return w.Accumulate(buf, 0, len(buf), DatatypeOf[T](), target, tdisp, op.op)
+}
+
+// ---------------------------------------------------------------------
 // Reduction operations. A ReduceOp[T] carries both the operation and the
 // element type it applies to, so an op/buffer mismatch cannot compile.
 // ---------------------------------------------------------------------
