@@ -20,6 +20,10 @@
 //	mpjbench -exp rma        # one-sided Put/Get/Accumulate+Fence vs two-sided
 //	                         # Send/Recv, 4 KiB - 4 MiB (writes BENCH_rma.json; with
 //	                         # -quick: regression check against the committed file)
+//	mpjbench -exp elastic    # elastic recovery: failure-detection latency and the
+//	                         # Shrink+Spawn+Merge rebuild turnaround (writes
+//	                         # BENCH_elastic.json; with -quick: regression check
+//	                         # against the committed file)
 //
 // -hold keeps the process alive for the given duration after the
 // experiments finish, so an expvar endpoint served under MPJ_PROF_ADDR
@@ -31,11 +35,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"mpj"
@@ -47,7 +53,7 @@ import (
 var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL FT PROF RMA (alias: pingpong)")
+	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL FT PROF RMA ELASTIC (alias: pingpong)")
 	hold := flag.Duration("hold", 0, "keep the process alive this long after the experiments (for curling an MPJ_PROF_ADDR endpoint)")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
@@ -106,6 +112,7 @@ func main() {
 		{"FT", runFT},
 		{"PROF", runProf},
 		{"RMA", runRma},
+		{"ELASTIC", runElastic},
 	}
 
 	ran := 0
@@ -299,6 +306,112 @@ func runRma() (*bench.Table, error) {
 	}
 	fmt.Println("  (one-sided ratios within 20% of committed BENCH_rma.json)")
 	return t, nil
+}
+
+// runElastic runs the elastic-recovery cycle sweep. The full run records
+// detection and rebuild latency in BENCH_elastic.json; the -quick run
+// re-measures the np=4 subset and fails when a latency exceeds three
+// times the committed value — the CI smoke gate for the elastic runtime.
+func runElastic() (*bench.Table, error) {
+	t, res, err := bench.ElasticSweep(*quick, elasticCycle)
+	if err != nil {
+		return nil, err
+	}
+	if !*quick {
+		js, err := bench.MarshalElasticResult(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile("BENCH_elastic.json", js, 0o644); err != nil {
+			return nil, fmt.Errorf("writing BENCH_elastic.json: %w", err)
+		}
+		fmt.Println("  (results recorded in BENCH_elastic.json)")
+		return t, nil
+	}
+	raw, err := os.ReadFile("BENCH_elastic.json")
+	if err != nil {
+		fmt.Println("  (no committed BENCH_elastic.json; skipping regression check)")
+		return t, nil
+	}
+	var baseline bench.ElasticBenchResult
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing BENCH_elastic.json: %w", err)
+	}
+	if err := bench.CompareElasticBaseline(res, &baseline, 3.0); err != nil {
+		return nil, err
+	}
+	fmt.Println("  (latencies within 3x of committed BENCH_elastic.json)")
+	return t, nil
+}
+
+// elasticCycle runs one fresh in-process elastic job: the last rank dies
+// by broadcasting its own obituary mid-collective, and rank 0 times the
+// typed-failure observation (detect) and the Shrink → Spawn → Merge →
+// verify turnaround (rebuild).
+func elasticCycle(np int) (detect, rebuild time.Duration, err error) {
+	victim := np - 1
+	var mu sync.Mutex
+	var killed time.Time
+	app := func(w *mpj.Comm) error {
+		if w.Spawned() {
+			return elasticGround(w)
+		}
+		if w.Rank() == victim {
+			mu.Lock()
+			killed = time.Now()
+			mu.Unlock()
+			w.Device().BroadcastObit(w.Rank(), "bench kill")
+			return nil
+		}
+		out := []int64{0}
+		cerr := w.Allreduce([]int64{1}, 0, out, 0, 1, mpj.LONG, mpj.SUM)
+		if cerr == nil {
+			return fmt.Errorf("allreduce over a dead member succeeded")
+		}
+		if !errors.Is(cerr, mpj.ErrRankFailed) {
+			return fmt.Errorf("want ErrRankFailed, got: %w", cerr)
+		}
+		observed := time.Now()
+		sw, serr := w.Shrink()
+		if serr != nil {
+			return fmt.Errorf("shrink: %w", serr)
+		}
+		ic, serr := sw.Spawn(np - sw.Size())
+		if serr != nil {
+			return fmt.Errorf("spawn: %w", serr)
+		}
+		w2, serr := ic.Merge(false)
+		if serr != nil {
+			return fmt.Errorf("merge: %w", serr)
+		}
+		if verr := elasticGround(w2); verr != nil {
+			return verr
+		}
+		if w.Rank() == 0 {
+			mu.Lock()
+			detect = observed.Sub(killed)
+			mu.Unlock()
+			rebuild = time.Since(observed)
+		}
+		return nil
+	}
+	if rerr := mpj.RunLocal(np, app); rerr != nil {
+		return 0, 0, rerr
+	}
+	return detect, rebuild, nil
+}
+
+// elasticGround verifies a rebuilt world with a closed-form collective.
+func elasticGround(w *mpj.Comm) error {
+	n, r := w.Size(), w.Rank()
+	out := []int64{0}
+	if err := w.Allreduce([]int64{int64(r + 1)}, 0, out, 0, 1, mpj.LONG, mpj.SUM); err != nil {
+		return fmt.Errorf("rebuilt-world allreduce: %w", err)
+	}
+	if want := int64(n) * int64(n+1) / 2; out[0] != want {
+		return fmt.Errorf("rebuilt-world allreduce = %d, want %d", out[0], want)
+	}
+	return w.Barrier()
 }
 
 // slaveBody adapts the public runtime for the in-process slaves the F2/E5

@@ -28,6 +28,13 @@
 // timeline per rank (resolved on each slave's host). It defaults to the
 // client's MPJ_PROF and travels in the slave spec; see README
 // "Observability".
+//
+// -elastic switches the job to the elastic failure model: a dead slave
+// surfaces as a typed ErrRankFailed on survivors (within the -liveness
+// lease) instead of aborting the job, and the application recovers with
+// Shrink/Spawn/Merge — see README "Elastic jobs". -connect-timeout makes
+// daemon dials retry with exponential backoff and jitter until the
+// deadline, tolerating daemons that restart mid-launch.
 package main
 
 import (
@@ -57,6 +64,9 @@ func main() {
 	registrars := flag.String("registrars", "", "comma-separated registrar addresses (unicast discovery)")
 	port := flag.Int("discovery-port", 0, "UDP discovery port when -registrars is empty")
 	leaseDur := flag.Duration("lease", 10*time.Second, "job lease duration")
+	elastic := flag.Bool("elastic", false, "elastic failure model: a dead slave raises ErrRankFailed on survivors instead of aborting the job (recover with Shrink/Spawn/Merge)")
+	liveness := flag.Duration("liveness", 0, "per-rank liveness lease of elastic jobs (default: the daemon default, 10s)")
+	connectTimeout := flag.Duration("connect-timeout", 0, "retry daemon dials with exponential backoff and jitter until this deadline (default: single attempt)")
 	flag.Parse()
 
 	if _, err := transport.ParseDeviceName(*device); err != nil {
@@ -120,6 +130,10 @@ func main() {
 		UDPPort:    *port,
 		Binary:     *binary,
 		LeaseDur:   *leaseDur,
+
+		Elastic:        *elastic,
+		LivenessDur:    *liveness,
+		ConnectTimeout: *connectTimeout,
 	})
 	if err != nil {
 		log.Fatalf("mpjrun: %v", err)

@@ -1,6 +1,7 @@
 package mpj_test
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -255,6 +256,53 @@ func ExampleWin_Lock() {
 		fmt.Println("error:", err)
 	}
 	// Output: counter = 4
+}
+
+// The elastic cycle: one rank dies mid-job, the survivors observe the
+// typed failure, Shrink to the survivor set, Spawn a replacement back to
+// full size and Merge into a rebuilt world that computes again.
+// Replacements re-enter the same application with Spawned() true. Under
+// the distributed runtime (mpjrun -elastic) the death verdict comes from
+// the daemon liveness layer instead of a cooperative obituary.
+func ExampleComm_Spawn() {
+	err := mpj.RunLocal(3, func(w *mpj.Comm) error {
+		if w.Spawned() { // a replacement: join the rebuilt world's work
+			sum := make([]int64, 1)
+			return mpj.Allreduce(w, []int64{int64(w.Rank() + 1)}, sum, mpj.Sum[int64]())
+		}
+		if w.Rank() == 1 { // the victim announces its own death and exits
+			w.Device().BroadcastObit(w.Rank(), "example kill")
+			return nil
+		}
+		sum := make([]int64, 1)
+		err := mpj.Allreduce(w, []int64{1}, sum, mpj.Sum[int64]())
+		if !errors.Is(err, mpj.ErrRankFailed) {
+			return fmt.Errorf("want a rank failure, got %v", err)
+		}
+		sw, err := w.Shrink() // survivors only
+		if err != nil {
+			return err
+		}
+		ic, err := sw.Spawn(1) // intercomm to the replacement
+		if err != nil {
+			return err
+		}
+		w2, err := ic.Merge(false) // rebuilt full-size world
+		if err != nil {
+			return err
+		}
+		if err := mpj.Allreduce(w2, []int64{int64(w2.Rank() + 1)}, sum, mpj.Sum[int64]()); err != nil {
+			return err
+		}
+		if w2.Rank() == 0 {
+			fmt.Printf("rebuilt world: size %d, sum %d\n", w2.Size(), sum[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rebuilt world: size 3, sum 6
 }
 
 // Fence epochs with Get: each rank publishes its rank in its window and

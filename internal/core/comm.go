@@ -42,6 +42,12 @@ type procState struct {
 
 	abort func(code int) // installed by the runtime; see SetAbortHandler
 
+	// Dynamic process creation (see spawn.go): the runtime's respawn
+	// backend and whether this process was itself created by a Spawn.
+	// Guarded by mu.
+	respawner Respawner
+	spawned   bool
+
 	collMu   sync.Mutex
 	inflight map[*CollRequest]struct{}
 

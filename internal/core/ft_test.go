@@ -356,8 +356,8 @@ func TestMixedBatchFailure(t *testing.T) {
 
 // TestPcollSkeletonCache: pure persistent collectives cache their round
 // skeleton at first Start and re-activations re-read the live user
-// buffers; impure ones (build-time packed payloads) rebuild every time
-// and stay correct.
+// buffers; builders with build-time packed payloads cache too, via their
+// reset hooks, and stay correct across buffer mutations.
 func TestPcollSkeletonCache(t *testing.T) {
 	const np = 3
 	runRanks(t, np, func(w *Comm) error {
@@ -414,9 +414,9 @@ func TestPcollSkeletonCache(t *testing.T) {
 			}
 		}
 
-		// An impure persistent collective (allreduce packs contributions at
-		// build time) must NOT cache — and must recompute across buffer
-		// mutations all the same.
+		// Allreduce packs its contribution at build time; the builder's
+		// reset hook re-derives it per reactivation, so it caches too —
+		// and must recompute across buffer mutations all the same.
 		in, out := make([]int32, 4), make([]int32, 4)
 		pa, err := w.CommitAllreduce(in, 0, out, 0, 4, Int, SumOp)
 		if err != nil {
@@ -432,7 +432,7 @@ func TestPcollSkeletonCache(t *testing.T) {
 			if _, err := pa.Wait(); err != nil {
 				return fmt.Errorf("allreduce gen %d wait: %w", gen, err)
 			}
-			if err := expect(pa.skel == nil, "pallreduce unexpectedly cached a skeleton"); err != nil {
+			if err := expect(pa.skel != nil, "pallreduce skeleton not cached"); err != nil {
 				return err
 			}
 			want := gen * int32(np*(np+1)/2)

@@ -154,12 +154,14 @@ func scatterRounds(c *Comm, cl *cell, root int) []round {
 // ringRounds compiles the bandwidth-optimal ring allgather: p-1 rounds, in
 // round s every rank forwards the block of rank (rank-s mod p) to its
 // right neighbour and receives the block of rank (rank-s-1 mod p) from its
-// left, delivering each arrival through onBlock.
-func ringRounds(c *Comm, myData []byte, onBlock func(owner int, got []byte) error) []round {
+// left, delivering each arrival through onBlock. cur carries the block in
+// flight: it enters holding this rank's own contribution and each arrival
+// replaces it — callers that cache the schedule reseed cur (and re-deliver
+// their own block) in their reset hook.
+func ringRounds(c *Comm, cur *cell, onBlock func(owner int, got []byte) error) []round {
 	size := c.Size()
 	right := (c.rank + 1) % size
 	left := (c.rank - 1 + size) % size
-	cur := &cell{b: myData}
 	var rs []round
 	for s := 0; s < size-1; s++ {
 		owner := (c.rank - s - 1 + size*2) % size
@@ -336,7 +338,24 @@ func (c *Comm) ibcast(name string, tag int, buf any, off, count int, dt Datatype
 			return err
 		}
 	}
-	return c.newCollRequestAlg(name, tag, "binomial", 0, bcastRounds(c, cl, root), finish)
+	req, err := c.newCollRequestAlg(name, tag, "binomial", 0, bcastRounds(c, cl, root), finish)
+	if err == nil {
+		// Cacheable: the only build-time state is the root's packed cell,
+		// which reset re-derives; every other rank's cell is overwritten
+		// by its tree parent before anything reads it.
+		req.cacheable = true
+		if c.rank == root {
+			req.reset = func() error {
+				b, err := packExact(dt, buf, off, count)
+				if err != nil {
+					return err
+				}
+				cl.b = b
+				return nil
+			}
+		}
+	}
+	return req, err
 }
 
 // ibcastPipelined compiles the segmented chain broadcast. For raw-layout
@@ -346,7 +365,7 @@ func (c *Comm) ibcast(name string, tag int, buf any, off, count int, dt Datatype
 // through one packed buffer and unpack at the end.
 func (c *Comm) ibcastPipelined(name string, tag int, buf any, off, count int, dt Datatype, total, root int) (*CollRequest, error) {
 	var asm []byte
-	var finish func() error
+	var finish, reset func() error
 	if rw, ok := dt.(rawWindower); ok {
 		if win, ok := rw.window(buf, off, count); ok {
 			asm = win
@@ -362,6 +381,22 @@ func (c *Comm) ibcastPipelined(name string, tag int, buf any, off, count int, dt
 				return nil, fmt.Errorf("%s: %w: packed %d of %d bytes", name, ErrCount, len(packed), total)
 			}
 			asm = packed
+			reset = func() error {
+				// Re-pack into the same assembly buffer: the compiled
+				// sends hold slices of it.
+				if pi, ok := dt.(packerInto); ok {
+					return pi.PackInto(asm, buf, off, count)
+				}
+				b, err := packExact(dt, buf, off, count)
+				if err != nil {
+					return err
+				}
+				if len(b) != len(asm) {
+					return fmt.Errorf("%w: packed %d of %d bytes", ErrCount, len(b), len(asm))
+				}
+				copy(asm, b)
+				return nil
+			}
 		} else {
 			staging := make([]byte, total)
 			asm = staging
@@ -373,7 +408,16 @@ func (c *Comm) ibcastPipelined(name string, tag int, buf any, off, count int, dt
 	}
 	seg := c.collSegSize()
 	rounds := pipeChainRounds(c, asm, root, seg)
-	return c.newCollRequestAlg(name, tag, "chain-pipelined", segCount(total, seg), rounds, finish)
+	req, err := c.newCollRequestAlg(name, tag, "chain-pipelined", segCount(total, seg), rounds, finish)
+	if err == nil {
+		// Cacheable: the chain streams slices of asm, which is either user
+		// memory (raw windows, re-read per activation), non-root staging
+		// (overwritten by the parent each run) or the root's packed buffer,
+		// which reset refreshes in place.
+		req.cacheable = true
+		req.reset = reset
+	}
+	return req, err
 }
 
 // Igather starts a non-blocking gather of scount elements from every
@@ -394,10 +438,22 @@ func (c *Comm) igather(name string, tag int, sbuf any, soff, scount int, sdt Dat
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	if size == 1 {
-		return c.newCollRequest(name, tag, nil, func() error {
+		req, err := c.newCollRequest(name, tag, nil, func() error {
 			_, err := rdt.Unpack(myData, rbuf, roff, rcount)
 			return err
 		})
+		if err == nil {
+			req.cacheable = true
+			req.reset = func() error {
+				b, err := packExact(sdt, sbuf, soff, scount)
+				if err != nil {
+					return err
+				}
+				myData = b
+				return nil
+			}
+		}
+		return req, err
 	}
 
 	if sdt.ByteSize() < 0 {
@@ -441,7 +497,23 @@ func (c *Comm) igather(name string, tag int, sbuf any, soff, scount int, sdt Dat
 			return nil
 		}
 	}
-	return c.newCollRequest(name, tag, gatherRounds(c, acc, bs, root), finish)
+	req, err := c.newCollRequest(name, tag, gatherRounds(c, acc, bs, root), finish)
+	if err == nil {
+		// Cacheable: the accumulator is the only build-time state; reset
+		// restarts it from this rank's freshly packed contribution (the
+		// block size bs is invariant for a fixed-size datatype, so the
+		// compiled tree geometry stays valid).
+		req.cacheable = true
+		req.reset = func() error {
+			b, err := packExact(sdt, sbuf, soff, scount)
+			if err != nil {
+				return err
+			}
+			acc.b = b
+			return nil
+		}
+	}
+	return req, err
 }
 
 // Iscatter starts a non-blocking scatter of scount elements per rank from
@@ -462,10 +534,22 @@ func (c *Comm) iscatter(name string, tag int, sbuf any, soff, scount int, sdt Da
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
-		return c.newCollRequest(name, tag, nil, func() error {
+		req, err := c.newCollRequest(name, tag, nil, func() error {
 			_, err := rdt.Unpack(data, rbuf, roff, rcount)
 			return err
 		})
+		if err == nil {
+			req.cacheable = true
+			req.reset = func() error {
+				b, err := packExact(sdt, sbuf, soff, scount)
+				if err != nil {
+					return err
+				}
+				data = b
+				return nil
+			}
+		}
+		return req, err
 	}
 
 	if sdt.ByteSize() < 0 || rdt.ByteSize() < 0 {
@@ -502,29 +586,40 @@ func (c *Comm) iscatter(name string, tag int, sbuf any, soff, scount int, sdt Da
 		return c.newCollRequest(name, tag, rounds, finish)
 	}
 
-	// Fixed-size blocks: binomial tree, data travelling root-down.
+	// Fixed-size blocks: binomial tree, data travelling root-down. The
+	// root's pack is a closure so a cached reactivation can redo it
+	// against the current buffer contents.
 	vrank := (c.rank - root + size) % size
 	cl := &cell{}
-	if vrank == 0 {
+	packRoot := func() error {
 		if pi, ok := sdt.(packerInto); ok && scount >= 0 && sdt.ByteSize() >= 0 {
 			// One exactly-sized buffer, each block packed in place.
 			bs := scount * sdt.ByteSize()
-			cl.b = make([]byte, size*bs)
+			if len(cl.b) != size*bs {
+				cl.b = make([]byte, size*bs)
+			}
 			for v := 0; v < size; v++ {
 				r := (v + root) % size
 				if err := pi.PackInto(cl.b[v*bs:(v+1)*bs], sbuf, soff+r*scount*sdt.Extent(), scount); err != nil {
-					return nil, fmt.Errorf("%s: %w", name, err)
+					return err
 				}
 			}
-		} else {
-			for v := 0; v < size; v++ {
-				r := (v + root) % size
-				var err error
-				cl.b, err = sdt.Pack(cl.b, sbuf, soff+r*scount*sdt.Extent(), scount)
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", name, err)
-				}
+			return nil
+		}
+		cl.b = cl.b[:0]
+		for v := 0; v < size; v++ {
+			r := (v + root) % size
+			var err error
+			cl.b, err = sdt.Pack(cl.b, sbuf, soff+r*scount*sdt.Extent(), scount)
+			if err != nil {
+				return err
 			}
+		}
+		return nil
+	}
+	if vrank == 0 {
+		if err := packRoot(); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 	}
 	finish := func() error {
@@ -540,7 +635,16 @@ func (c *Comm) iscatter(name string, tag int, sbuf any, soff, scount int, sdt Da
 		_, err := rdt.Unpack(cl.b[:bs], rbuf, roff, rcount)
 		return err
 	}
-	return c.newCollRequest(name, tag, scatterRounds(c, cl, root), finish)
+	req, err := c.newCollRequest(name, tag, scatterRounds(c, cl, root), finish)
+	if err == nil {
+		// Cacheable: the root re-packs its cell per activation; every
+		// other rank's cell is filled by its tree parent each run.
+		req.cacheable = true
+		if vrank == 0 {
+			req.reset = packRoot
+		}
+	}
+	return req, err
 }
 
 // Iallgather starts a non-blocking allgather: every member's block ends up
@@ -564,7 +668,16 @@ func (c *Comm) iallgather(name string, tag int, sbuf any, soff, scount int, sdt 
 					if err := pi.PackInto(win[c.rank*bs:(c.rank+1)*bs], sbuf, soff, scount); err != nil {
 						return nil, fmt.Errorf("%s: %w", name, err)
 					}
-					return c.newCollRequestAlg(name, tag, "ring-window", 0, ringWindowRounds(c, win, bs), nil)
+					req, err := c.newCollRequestAlg(name, tag, "ring-window", 0, ringWindowRounds(c, win, bs), nil)
+					if err == nil {
+						// Cacheable: blocks circulate straight between user
+						// windows; reset re-seeds this rank's own slot.
+						req.cacheable = true
+						req.reset = func() error {
+							return pi.PackInto(win[c.rank*bs:(c.rank+1)*bs], sbuf, soff, scount)
+						}
+					}
+					return req, err
 				}
 			}
 		}
@@ -578,10 +691,22 @@ func (c *Comm) iallgather(name string, tag int, sbuf any, soff, scount int, sdt 
 		return err
 	}
 	if size == 1 {
-		return c.newCollRequest(name, tag, nil, func() error {
+		req, err := c.newCollRequest(name, tag, nil, func() error {
 			_, err := rdt.Unpack(myData, rbuf, roff, rcount)
 			return err
 		})
+		if err == nil {
+			req.cacheable = true
+			req.reset = func() error {
+				b, err := packExact(sdt, sbuf, soff, scount)
+				if err != nil {
+					return err
+				}
+				myData = b
+				return nil
+			}
+		}
+		return req, err
 	}
 
 	if sdt.ByteSize() < 0 {
@@ -605,7 +730,26 @@ func (c *Comm) iallgather(name string, tag int, sbuf any, soff, scount int, sdt 
 	if err := unpackSlot(c.rank, myData); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	return c.newCollRequestAlg(name, tag, "ring", 0, ringRounds(c, myData, unpackSlot), nil)
+	cur := &cell{b: myData}
+	req, err := c.newCollRequestAlg(name, tag, "ring", 0, ringRounds(c, cur, unpackSlot), nil)
+	if err == nil {
+		// Cacheable: reset re-packs this rank's contribution, lands it in
+		// its own receive slot (build-time work in the one-shot path) and
+		// re-seeds the circulating cell with it.
+		req.cacheable = true
+		req.reset = func() error {
+			b, err := packExact(sdt, sbuf, soff, scount)
+			if err != nil {
+				return err
+			}
+			if err := unpackSlot(c.rank, b); err != nil {
+				return err
+			}
+			cur.b = b
+			return nil
+		}
+	}
+	return req, err
 }
 
 // Ireduce starts a non-blocking reduction of count elements with op,
@@ -634,7 +778,21 @@ func (c *Comm) ireduce(name string, tag int, sbuf any, soff int, rbuf any, roff,
 			return err
 		}
 	}
-	return c.newCollRequest(name, tag, reduceRounds(c, acc, comb, root), finish)
+	req, err := c.newCollRequest(name, tag, reduceRounds(c, acc, comb, root), finish)
+	if err == nil {
+		// Cacheable: reset restarts the accumulator from this rank's
+		// freshly packed contribution before child partials fold in.
+		req.cacheable = true
+		req.reset = func() error {
+			b, err := packExact(dt, sbuf, soff, count)
+			if err != nil {
+				return err
+			}
+			acc.b = b
+			return nil
+		}
+	}
+	return req, err
 }
 
 // Iallreduce starts a non-blocking allreduce: the combined result lands on
@@ -690,7 +848,22 @@ func (c *Comm) iallreduce(name string, tag int, alg AllreduceAlgorithm, sbuf any
 		_, err := dt.Unpack(acc.b, rbuf, roff, count)
 		return err
 	}
-	return c.newCollRequestAlg(name, tag, algName, 0, rounds, finish)
+	req, err := c.newCollRequestAlg(name, tag, algName, 0, rounds, finish)
+	if err == nil {
+		// Cacheable (the ring variant is not: its reduce-scatter scratch
+		// comes from the wire pool and is recycled at finish): reset
+		// restarts the accumulator from the current send buffer.
+		req.cacheable = true
+		req.reset = func() error {
+			b, err := packExact(dt, sbuf, soff, count)
+			if err != nil {
+				return err
+			}
+			acc.b = b
+			return nil
+		}
+	}
+	return req, err
 }
 
 // iallreduceRing compiles the ring allreduce. For raw-layout datatypes the
@@ -796,7 +969,23 @@ func (c *Comm) ialltoall(name string, tag int, sbuf any, soff, scount int, sdt D
 	if size > 1 {
 		rounds = []round{rd}
 	}
-	return c.newCollRequest(name, tag, rounds, finish)
+	req, err := c.newCollRequest(name, tag, rounds, finish)
+	if err == nil && (fixed || size == 1) {
+		// Cacheable on the fixed-size route, where every outgoing block
+		// fills its frame at post time; only the rank's own diagonal block
+		// is packed at build, and reset re-derives it. The variable-size
+		// route packs all its payloads at build and recompiles instead.
+		req.cacheable = true
+		req.reset = func() error {
+			b, err := packExact(sdt, sbuf, soff+c.rank*scount*sdt.Extent(), scount)
+			if err != nil {
+				return err
+			}
+			own = b
+			return nil
+		}
+	}
+	return req, err
 }
 
 // Iscan starts a non-blocking inclusive prefix reduction: rank r receives
@@ -845,5 +1034,21 @@ func (c *Comm) iscan(name string, tag int, sbuf any, soff int, rbuf any, roff, c
 		_, err := dt.Unpack(result.b, rbuf, roff, count)
 		return err
 	}
-	return c.newCollRequest(name, tag, rs, finish)
+	req, err := c.newCollRequest(name, tag, rs, finish)
+	if err == nil {
+		// Cacheable: reset restarts both running vectors — two distinct
+		// buffers, as at build time, since the schedule mutates them
+		// independently — from the current send buffer.
+		req.cacheable = true
+		req.reset = func() error {
+			b, err := packExact(dt, sbuf, soff, count)
+			if err != nil {
+				return err
+			}
+			result.b = b
+			partial.b = append([]byte(nil), b...)
+			return nil
+		}
+	}
+	return req, err
 }

@@ -219,7 +219,7 @@ func (c *Comm) iallgatherv(name string, tag int, sbuf any, soff, scount int, sdt
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 	}
-	return c.newCollRequestAlg(name, tag, "ring", 0, ringRounds(c, myData, unpackSlot), nil)
+	return c.newCollRequestAlg(name, tag, "ring", 0, ringRounds(c, &cell{b: myData}, unpackSlot), nil)
 }
 
 // ringWindowVRounds compiles the zero-staging ring allgatherv: block r of

@@ -55,12 +55,16 @@ type PcollRequest struct {
 // when the schedule re-reads the user buffers each time it runs — send
 // steps that fill frames at post time, receives landing in user windows
 // or cells that a receive overwrites before anything reads them, finish
-// hooks that pack at finish time. Builders whose schedules capture
-// build-time state (packed accumulators, pooled scratch released at
-// finish) are not cacheable and recompile on every Start.
+// hooks that pack at finish time. Builders whose schedules do capture
+// build-time state (packed cells, reduction accumulators) may still opt
+// in by supplying a reset hook (CollRequest.cacheable/reset) that
+// re-derives that state from the user buffers; Start runs it before each
+// reactivation. Schedules holding pooled scratch released at finish are
+// never cacheable and recompile on every Start.
 type collSkeleton struct {
 	rounds []round
 	finish func() error
+	reset  func() error
 }
 
 // scheduleReusable reports whether a compiled schedule is free of
@@ -81,7 +85,9 @@ func scheduleReusable(rounds []round) bool {
 // commitColl reserves a schedule tag and wraps a builder closure into a
 // persistent request. pure marks builders whose compiled schedules hold
 // no build-time data (every payload is produced at post or finish time),
-// making them candidates for skeleton caching. Committing on a freed
+// making them candidates for skeleton caching; builders that do hold
+// build-time data instead opt in per compiled schedule by setting
+// CollRequest.cacheable and a reset hook. Committing on a freed
 // communicator fails with ErrComm, like starting any other collective.
 func (c *Comm) commitColl(name string, pure bool, mk func(tag int) (*CollRequest, error)) (*PcollRequest, error) {
 	c.collMu.Lock()
@@ -99,10 +105,12 @@ func (c *Comm) commitColl(name string, pure bool, mk func(tag int) (*CollRequest
 // first. Every member of the communicator must start its matching
 // persistent request; activations of one request complete in Start order.
 //
-// The first Start of a pure schedule (see commitColl) caches the compiled
-// rounds; later Starts reactivate the cached skeleton and redo only the
-// buffer-dependent work, which runs at post and finish time by
-// construction. Impure schedules recompile per activation.
+// The first Start of a cacheable schedule — one that is pure (see
+// commitColl) or whose builder opted in with a reset hook — caches the
+// compiled rounds; later Starts reactivate the cached skeleton, running
+// the reset hook first so packed cells and accumulators are re-derived
+// from the current buffer contents before round 0 posts. Schedules that
+// neither property covers recompile per activation.
 //
 // Starting over a communicator with a failed member or a revocation fails
 // immediately with ErrRankFailed/ErrRevoked — the schedule could never
@@ -117,6 +125,13 @@ func (p *PcollRequest) Start() error {
 		return fmt.Errorf("%s: %w", p.name, err)
 	}
 	if p.skel != nil {
+		// Reset must complete before newCollRequest: round 0 posts inside
+		// it, and round-0 sends may read the very state reset re-derives.
+		if p.skel.reset != nil {
+			if err := p.skel.reset(); err != nil {
+				return fmt.Errorf("%s: %w", p.name, err)
+			}
+		}
 		r, err := p.c.newCollRequest(p.name, p.tag, p.skel.rounds, p.skel.finish)
 		if err != nil {
 			return err
@@ -128,8 +143,8 @@ func (p *PcollRequest) Start() error {
 	if err != nil {
 		return err
 	}
-	if p.pure && scheduleReusable(r.rounds) {
-		p.skel = &collSkeleton{rounds: r.rounds, finish: r.finish}
+	if (p.pure || r.cacheable) && scheduleReusable(r.rounds) {
+		p.skel = &collSkeleton{rounds: r.rounds, finish: r.finish, reset: r.reset}
 	}
 	p.active = r
 	return nil

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPcollResetCache: the builders that pack payloads or accumulators at
+// build time opt into skeleton caching via reset hooks — each reactivation
+// must re-derive that state from the mutated user buffers, so three
+// generations with different contents must all produce the right result
+// while the skeleton stays cached after the first Start.
+func TestPcollResetCache(t *testing.T) {
+	const np = 3
+	const n = 5
+	runRanks(t, np, func(w *Comm) error {
+		rank := w.Rank()
+		gens := func(p *PcollRequest, fill func(gen int32), check func(gen int32) error) error {
+			for gen := int32(1); gen <= 3; gen++ {
+				fill(gen)
+				if err := p.Start(); err != nil {
+					return fmt.Errorf("%s gen %d start: %w", p.name, gen, err)
+				}
+				if _, err := p.Wait(); err != nil {
+					return fmt.Errorf("%s gen %d wait: %w", p.name, gen, err)
+				}
+				if err := check(gen); err != nil {
+					return fmt.Errorf("%s: %w", p.name, err)
+				}
+				if err := expect(p.skel != nil, "%s gen %d: skeleton not cached", p.name, gen); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		// Bcast: the root's packed cell is rebuilt per activation.
+		bbuf := make([]int32, n)
+		pb, err := w.CommitBcast(bbuf, 0, n, Int, 0)
+		if err != nil {
+			return err
+		}
+		if err := gens(pb,
+			func(gen int32) {
+				for i := range bbuf {
+					bbuf[i] = gen*100 + int32(i)
+					if rank != 0 {
+						bbuf[i] = -1
+					}
+				}
+			},
+			func(gen int32) error {
+				for i, v := range bbuf {
+					if want := gen*100 + int32(i); v != want {
+						return fmt.Errorf("gen %d: bbuf[%d] = %d, want %d", gen, i, v, want)
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+
+		// Gather: every rank's accumulator restarts from a fresh pack.
+		gsend := make([]int32, n)
+		grecv := make([]int32, np*n)
+		pg, err := w.CommitGather(gsend, 0, n, Int, grecv, 0, n, Int, 0)
+		if err != nil {
+			return err
+		}
+		if err := gens(pg,
+			func(gen int32) {
+				for i := range gsend {
+					gsend[i] = gen*1000 + int32(rank*100+i)
+				}
+			},
+			func(gen int32) error {
+				if rank != 0 {
+					return nil
+				}
+				for r := 0; r < np; r++ {
+					for i := 0; i < n; i++ {
+						if got, want := grecv[r*n+i], gen*1000+int32(r*100+i); got != want {
+							return fmt.Errorf("gen %d: grecv[%d] = %d, want %d", gen, r*n+i, got, want)
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+
+		// Scatter: the root re-packs its block vector per activation.
+		ssend := make([]int32, np*n)
+		srecv := make([]int32, n)
+		ps, err := w.CommitScatter(ssend, 0, n, Int, srecv, 0, n, Int, 0)
+		if err != nil {
+			return err
+		}
+		if err := gens(ps,
+			func(gen int32) {
+				if rank == 0 {
+					for i := range ssend {
+						ssend[i] = gen*1000 + int32(i)
+					}
+				}
+			},
+			func(gen int32) error {
+				for i, v := range srecv {
+					if want := gen*1000 + int32(rank*n+i); v != want {
+						return fmt.Errorf("gen %d: srecv[%d] = %d, want %d", gen, i, v, want)
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+
+		// Allgather rides the fixed-size ring: the circulating cell is
+		// re-seeded per activation.
+		agsend := make([]int32, n)
+		agrecv := make([]int32, np*n)
+		pag, err := w.CommitAllgather(agsend, 0, n, Int, agrecv, 0, n, Int)
+		if err != nil {
+			return err
+		}
+		if err := gens(pag,
+			func(gen int32) {
+				for i := range agsend {
+					agsend[i] = gen*1000 + int32(rank*100+i)
+				}
+			},
+			func(gen int32) error {
+				for r := 0; r < np; r++ {
+					for i := 0; i < n; i++ {
+						if got, want := agrecv[r*n+i], gen*1000+int32(r*100+i); got != want {
+							return fmt.Errorf("gen %d: agrecv[%d] = %d, want %d", gen, r*n+i, got, want)
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+
+		// Reduce: accumulators restart from fresh contributions.
+		rsend, rrecv := make([]int32, n), make([]int32, n)
+		pr, err := w.CommitReduce(rsend, 0, rrecv, 0, n, Int, SumOp, 0)
+		if err != nil {
+			return err
+		}
+		if err := gens(pr,
+			func(gen int32) {
+				for i := range rsend {
+					rsend[i] = gen * int32(rank+1)
+				}
+			},
+			func(gen int32) error {
+				if rank != 0 {
+					return nil
+				}
+				want := gen * int32(np*(np+1)/2)
+				for i, v := range rrecv {
+					if v != want {
+						return fmt.Errorf("gen %d: rrecv[%d] = %d, want %d", gen, i, v, want)
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+
+		// Alltoall's fixed-size route fills frames at post time; only the
+		// diagonal block is packed at build and reset re-derives it.
+		atsend := make([]int32, np*n)
+		atrecv := make([]int32, np*n)
+		pat, err := w.CommitAlltoall(atsend, 0, n, Int, atrecv, 0, n, Int)
+		if err != nil {
+			return err
+		}
+		if err := gens(pat,
+			func(gen int32) {
+				for r := 0; r < np; r++ {
+					for i := 0; i < n; i++ {
+						atsend[r*n+i] = gen*10000 + int32(rank*1000+r*100+i)
+					}
+				}
+			},
+			func(gen int32) error {
+				for r := 0; r < np; r++ {
+					for i := 0; i < n; i++ {
+						if got, want := atrecv[r*n+i], gen*10000+int32(r*1000+rank*100+i); got != want {
+							return fmt.Errorf("gen %d: atrecv[%d] = %d, want %d", gen, r*n+i, got, want)
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+
+		// Scan: both running vectors restart per activation.
+		scsend, screcv := make([]int32, n), make([]int32, n)
+		psc, err := w.CommitScan(scsend, 0, screcv, 0, n, Int, SumOp)
+		if err != nil {
+			return err
+		}
+		return gens(psc,
+			func(gen int32) {
+				for i := range scsend {
+					scsend[i] = gen * int32(rank+1)
+				}
+			},
+			func(gen int32) error {
+				want := gen * int32((rank+1)*(rank+2)/2)
+				for i, v := range screcv {
+					if v != want {
+						return fmt.Errorf("gen %d: screcv[%d] = %d, want %d", gen, i, v, want)
+					}
+				}
+				return nil
+			})
+	})
+}

@@ -192,6 +192,15 @@ type CollRequest struct {
 	alg  string
 	nseg int
 
+	// Persistent-collective cache opt-in (see pcoll.go). A builder that
+	// compiles a reactivation-safe schedule sets cacheable before
+	// returning; reset, when non-nil, re-derives the schedule's build-time
+	// state (packed cells and accumulators) from the user buffers and runs
+	// before every reactivation of the cached rounds. Both fields are
+	// written once by the builder and read only by PcollRequest.Start.
+	cacheable bool
+	reset     func() error
+
 	mu      sync.Mutex
 	rounds  []round
 	finish  func() error // runs once after the last round

@@ -38,6 +38,7 @@ package core
 // no connection error) surfaces as a typed failure instead of a hang.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -620,6 +621,155 @@ func (w *Win) Accumulate(buf any, off, count int, dt Datatype, target, tdisp int
 	return nil
 }
 
+// atomicSetup validates a single-element read-modify-write operation
+// (FetchAndOp, CompareAndSwap): on top of the usual data-operation checks
+// it requires dt to be exactly one window element (the target applies the
+// update as one atomic unit) and validates the result landing slot.
+func (w *Win) atomicSetup(name string, dt Datatype, result any, roff, target, tdisp int) (boff int, ok bool, err error) {
+	boff, nbytes, ok, err := w.opSetup(name, dt, 1, target, tdisp)
+	if !ok || err != nil {
+		return 0, false, err
+	}
+	if nbytes != w.elemSize {
+		return 0, false, fmt.Errorf("mpj: rma %s: %w: operates on single %s elements, got %d-byte datatype",
+			name, ErrType, w.dt.Name(), nbytes)
+	}
+	if n := bufSlots(result); n >= 0 && (roff < 0 || roff+dt.Extent() > n) {
+		return 0, false, fmt.Errorf("mpj: rma %s: %w: result slot %d outside %d-slot buffer",
+			name, ErrBuffer, roff, n)
+	}
+	return boff, true, nil
+}
+
+// fetchPending registers a pending single-element reply landing in
+// result[roff] and returns its correlation id. The entry lives in the same
+// table as outstanding Gets, so epoch closes (Fence, Unlock) wait for the
+// reply and a dead target fails it typed.
+func (w *Win) fetchPending(dt Datatype, result any, roff, target int) uint64 {
+	w.mu.Lock()
+	w.nextGet++
+	id := w.nextGet
+	g := &pendingGet{target: target, dt: dt, buf: result, off: roff, count: 1}
+	g.win = vWindow(dt, result, roff, 1)
+	w.gets[id] = g
+	w.mu.Unlock()
+	return id
+}
+
+func (w *Win) dropPending(id uint64) {
+	w.mu.Lock()
+	delete(w.gets, id)
+	w.mu.Unlock()
+}
+
+// FetchAndOp atomically combines one element of dt from buf[ooff] into
+// target's window at element displacement tdisp with the predefined
+// reduction op, and fetches the element's prior value into result[roff] —
+// MPI_Fetch_and_op. The read-modify-write is applied as one unit under the
+// target window's serialization, so concurrent FetchAndOp calls from
+// different origins to the same slot are well-defined (the classic
+// one-sided counter/ticket primitive). For co-located targets the prior
+// value is available immediately; for remote targets it is valid only
+// after the epoch closes (Fence, or Unlock of a lock on target).
+func (w *Win) FetchAndOp(buf any, ooff int, result any, roff int, dt Datatype, target, tdisp int, op *Op) error {
+	boff, ok, err := w.atomicSetup("fetch_and_op", dt, result, roff, target, tdisp)
+	if !ok {
+		return err
+	}
+	opID := rmaOpID(op)
+	if opID < 0 {
+		if op == nil {
+			return fmt.Errorf("mpj: rma fetch_and_op: %w: nil op", ErrOp)
+		}
+		return fmt.Errorf("mpj: rma fetch_and_op: %w: %s is not a predefined operation", ErrOp, op.Name())
+	}
+	comb, err := op.combinerFor(w.dt)
+	if err != nil {
+		return fmt.Errorf("mpj: rma fetch_and_op: %w", err)
+	}
+	contrib, err := packExact(dt, buf, ooff, 1)
+	if err != nil {
+		return fmt.Errorf("mpj: rma fetch_and_op: %w", err)
+	}
+	if w.local[target] {
+		tw, err := w.peerWin("fetch_and_op", target)
+		if err != nil {
+			return err
+		}
+		prior := make([]byte, w.elemSize)
+		tw.mu.Lock()
+		copy(prior, tw.buf[boff:boff+w.elemSize])
+		err = comb(contrib, tw.buf[boff:boff+w.elemSize])
+		tw.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("mpj: rma fetch_and_op: %w", err)
+		}
+		if _, err := dt.Unpack(prior, result, roff, 1); err != nil {
+			return fmt.Errorf("mpj: rma fetch_and_op: %w", err)
+		}
+	} else {
+		id := w.fetchPending(dt, result, roff, target)
+		if err := w.dev.RMASend(w.world[target], wire.KindRmaFetchOp, w.ctx, opID, uint64(boff), id, contrib); err != nil {
+			w.dropPending(id)
+			return fmt.Errorf("mpj: rma fetch_and_op: %w", err)
+		}
+	}
+	if p := w.dev.Profiler(); p != nil {
+		p.RmaOp(w.ctx, 'a', w.elemSize, w.local[target])
+	}
+	return nil
+}
+
+// CompareAndSwap atomically compares one element of dt at compare[coff]
+// with target's window element at displacement tdisp, stores buf[ooff]
+// there on a (bytewise) match, and fetches the element's prior value into
+// result[roff] — MPI_Compare_and_swap. Like FetchAndOp the update is one
+// atomic unit at the target, and the fetched value is valid after the
+// epoch closes (immediately for co-located targets). The swap happened iff
+// the fetched prior value equals the compare value.
+func (w *Win) CompareAndSwap(buf any, ooff int, compare any, coff int, result any, roff int, dt Datatype, target, tdisp int) error {
+	boff, ok, err := w.atomicSetup("compare_and_swap", dt, result, roff, target, tdisp)
+	if !ok {
+		return err
+	}
+	cmp, err := packExact(dt, compare, coff, 1)
+	if err != nil {
+		return fmt.Errorf("mpj: rma compare_and_swap: %w", err)
+	}
+	newv, err := packExact(dt, buf, ooff, 1)
+	if err != nil {
+		return fmt.Errorf("mpj: rma compare_and_swap: %w", err)
+	}
+	if w.local[target] {
+		tw, err := w.peerWin("compare_and_swap", target)
+		if err != nil {
+			return err
+		}
+		prior := make([]byte, w.elemSize)
+		tw.mu.Lock()
+		slot := tw.buf[boff : boff+w.elemSize]
+		copy(prior, slot)
+		if bytes.Equal(cmp, prior) {
+			copy(slot, newv)
+		}
+		tw.mu.Unlock()
+		if _, err := dt.Unpack(prior, result, roff, 1); err != nil {
+			return fmt.Errorf("mpj: rma compare_and_swap: %w", err)
+		}
+	} else {
+		id := w.fetchPending(dt, result, roff, target)
+		payload := append(cmp, newv...)
+		if err := w.dev.RMASend(w.world[target], wire.KindRmaCas, w.ctx, 0, uint64(boff), id, payload); err != nil {
+			w.dropPending(id)
+			return fmt.Errorf("mpj: rma compare_and_swap: %w", err)
+		}
+	}
+	if p := w.dev.Profiler(); p != nil {
+		p.RmaOp(w.ctx, 'a', w.elemSize, w.local[target])
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------
 // Epoch control.
 
@@ -931,7 +1081,36 @@ func (w *Win) handleFrame(src int, h *wire.Header, payload []byte) {
 			}, src, wire.KindRmaGetReply, w.ctx, 0, h.Seq, h.MsgID)
 		}
 
-	case wire.KindRmaGetReply:
+	case wire.KindRmaFetchOp:
+		// Atomic fetch-and-op: reply the prior value first (the frame is
+		// filled synchronously, before the combine mutates the slot), then
+		// apply window[slot] = op(origin, window[slot]) under w.mu.
+		off, opID, n := int(h.Seq), int(h.Tag), len(payload)
+		if off >= 0 && n > 0 && off+n <= len(w.buf) && opID >= 0 && opID < len(rmaOps) {
+			_ = w.dev.RMASendFill(n, func(p []byte) error {
+				copy(p, w.buf[off:off+n])
+				return nil
+			}, src, wire.KindRmaFetchReply, w.ctx, 0, h.Seq, h.MsgID)
+			if comb, err := rmaOps[opID].combinerFor(w.dt); err == nil {
+				_ = comb(payload, w.buf[off:off+n])
+			}
+		}
+
+	case wire.KindRmaCas:
+		// Atomic compare-and-swap: payload is compare element + new
+		// element. Reply the prior value, then swap on a bytewise match.
+		off, n := int(h.Seq), len(payload)/2
+		if n > 0 && len(payload) == 2*n && off >= 0 && off+n <= len(w.buf) {
+			_ = w.dev.RMASendFill(n, func(p []byte) error {
+				copy(p, w.buf[off:off+n])
+				return nil
+			}, src, wire.KindRmaFetchReply, w.ctx, 0, h.Seq, h.MsgID)
+			if bytes.Equal(payload[:n], w.buf[off:off+n]) {
+				copy(w.buf[off:off+n], payload[n:])
+			}
+		}
+
+	case wire.KindRmaGetReply, wire.KindRmaFetchReply:
 		if g, ok := w.gets[h.MsgID]; ok {
 			delete(w.gets, h.MsgID)
 			if g.win != nil {

@@ -15,6 +15,7 @@ package daemon
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"os"
@@ -45,6 +46,36 @@ type jobState struct {
 	slaves    map[string]*slaveRec
 	aborted   bool // an abort has been raised or the job destroyed
 	seq       uint64
+
+	// Elastic jobs keep a failure registry per mesh epoch (the original
+	// JobID mesh plus every Comm.Spawn generation): slaves heartbeat
+	// their (epoch, rank) memberships and a lapsed lease or an observed
+	// process exit declares the rank dead. The dead sets are served back
+	// through Heartbeat and RenewJob replies, never through MPJAbort.
+	elastic    bool
+	livenessMs int64
+	regs       map[uint64]*FailureRegistry
+}
+
+// DefaultLivenessMs is the per-rank liveness lease for elastic jobs when
+// the spec does not choose one.
+const DefaultLivenessMs = 10_000
+
+// livenessDur resolves a job's liveness lease duration.
+func livenessDur(ms int64) time.Duration {
+	if ms <= 0 {
+		ms = DefaultLivenessMs
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// epochOf resolves the mesh epoch a slave belongs to: its spawn epoch, or
+// the job id for the original mesh.
+func epochOf(spec SlaveSpec) uint64 {
+	if spec.Epoch != 0 {
+		return spec.Epoch
+	}
+	return spec.JobID
 }
 
 // Daemon is an MPJService instance.
@@ -208,11 +239,16 @@ func (d *Daemon) Close() {
 	regs := d.registrations
 	d.registrations = nil
 	var all []*slaveRec
+	var fregs []*FailureRegistry
 	for _, j := range d.jobs {
 		j.aborted = true
 		for _, rec := range j.slaves {
 			all = append(all, rec)
 		}
+		for _, reg := range j.regs {
+			fregs = append(fregs, reg)
+		}
+		j.regs = nil
 	}
 	d.jobs = make(map[uint64]*jobState)
 	d.mu.Unlock()
@@ -224,6 +260,9 @@ func (d *Daemon) Close() {
 	}
 	for _, rec := range all {
 		rec.slave.Destroy()
+	}
+	for _, reg := range fregs {
+		reg.Close()
 	}
 	d.ln.Close()
 	d.leases.Close()
@@ -239,9 +278,12 @@ func (d *Daemon) createSlave(spec SlaveSpec) (string, error) {
 	job, ok := d.jobs[spec.JobID]
 	if !ok {
 		job = &jobState{
-			id:        spec.JobID,
-			eventAddr: spec.EventAddr,
-			slaves:    make(map[string]*slaveRec),
+			id:         spec.JobID,
+			eventAddr:  spec.EventAddr,
+			slaves:     make(map[string]*slaveRec),
+			elastic:    spec.Elastic,
+			livenessMs: spec.LivenessMs,
+			regs:       make(map[uint64]*FailureRegistry),
 		}
 		if spec.LeaseMs > 0 {
 			info := d.leases.Grant(spec.JobID, time.Duration(spec.LeaseMs)*time.Millisecond)
@@ -268,9 +310,49 @@ func (d *Daemon) createSlave(spec SlaveSpec) (string, error) {
 	return slave.ID(), nil
 }
 
+// regLocked returns the job's failure registry for one mesh epoch,
+// creating it on first use. Callers hold d.mu. The registry's expiry
+// verdicts destroy the local slave they name (a rank whose lease lapsed
+// while its process lives is a false survivor — partitioned or hung — and
+// must die before the job rebuilds around its absence).
+func (d *Daemon) regLocked(job *jobState, epoch uint64) *FailureRegistry {
+	if reg, ok := job.regs[epoch]; ok {
+		return reg
+	}
+	reg := NewFailureRegistry()
+	job.regs[epoch] = reg
+	jobID := job.id
+	reg.Subscribe(func(rank int, err error) {
+		d.logger.Printf("job %d epoch %d: rank %d declared dead: %v", jobID, epoch, rank, err)
+		d.destroySlaveOf(jobID, epoch, rank)
+	})
+	return reg
+}
+
+// destroySlaveOf kills the local slave holding (epoch, rank) of a job, if
+// any. Used when a liveness verdict names a rank whose process still runs.
+func (d *Daemon) destroySlaveOf(jobID uint64, epoch uint64, rank int) {
+	d.mu.Lock()
+	var victim Slave
+	if job, ok := d.jobs[jobID]; ok {
+		for _, rec := range job.slaves {
+			if rec.spec.Rank == rank && epochOf(rec.spec) == epoch {
+				victim = rec.slave
+				break
+			}
+		}
+	}
+	d.mu.Unlock()
+	if victim != nil {
+		victim.Destroy()
+	}
+}
+
 // monitor waits for a slave to exit and applies the paper's §3.3 rule: an
 // unexpected death raises MPJAbort at the client and destroys the job's
-// remaining local slaves.
+// remaining local slaves. Elastic jobs instead record the dead rank in the
+// epoch's failure registry — siblings keep running, and the verdict
+// reaches survivors through Heartbeat and RenewJob replies.
 func (d *Daemon) monitor(jobID uint64, slave Slave) {
 	err := slave.Wait()
 
@@ -280,7 +362,23 @@ func (d *Daemon) monitor(jobID uint64, slave Slave) {
 		d.mu.Unlock()
 		return
 	}
+	rec := job.slaves[slave.ID()]
 	delete(job.slaves, slave.ID())
+	if job.elastic {
+		var reg *FailureRegistry
+		var spec SlaveSpec
+		if rec != nil && err != nil && !job.aborted {
+			spec = rec.spec
+			reg = d.regLocked(job, epochOf(spec))
+		}
+		d.mu.Unlock()
+		if reg != nil {
+			d.logger.Printf("job %d: slave %s (rank %d) died: %v — recording for elastic recovery",
+				jobID, slave.ID(), spec.Rank, err)
+			reg.Kill(spec.Rank, fmt.Errorf("daemon: slave process exited: %v", err))
+		}
+		return
+	}
 	crashed := err != nil && !job.aborted
 	var toDestroy []*slaveRec
 	var eventAddr string
@@ -320,8 +418,12 @@ func (d *Daemon) monitor(jobID uint64, slave Slave) {
 }
 
 // reapJobLocked drops a job with no remaining slaves. Callers hold d.mu.
+// Elastic jobs are never reaped here: their dead sets must stay servable
+// through Heartbeat/RenewJob even when every local slave has died (a
+// daemon whose only rank is the dead one still owes the verdict to the
+// client's renewer). They are dropped by DestroyJob or lease expiry.
 func (d *Daemon) reapJobLocked(job *jobState) {
-	if len(job.slaves) != 0 {
+	if len(job.slaves) != 0 || job.elastic {
 		return
 	}
 	delete(d.jobs, job.id)
@@ -345,7 +447,12 @@ func (d *Daemon) destroyJob(jobID uint64, reason string) {
 		toDestroy = append(toDestroy, rec)
 	}
 	job.slaves = make(map[string]*slaveRec)
-	d.reapJobLocked(job)
+	regs := job.regs
+	job.regs = nil
+	delete(d.jobs, job.id)
+	if job.leaseID != "" {
+		_ = d.leases.Cancel(job.leaseID)
+	}
 	d.mu.Unlock()
 
 	if len(toDestroy) > 0 {
@@ -353,6 +460,9 @@ func (d *Daemon) destroyJob(jobID uint64, reason string) {
 	}
 	for _, rec := range toDestroy {
 		rec.slave.Destroy()
+	}
+	for _, reg := range regs {
+		reg.Close()
 	}
 }
 
@@ -366,20 +476,90 @@ func (d *Daemon) onLeaseExpired(id string, payload any) {
 	d.destroyJob(jobID, "job lease expired")
 }
 
-// renewJob extends a job's lease.
-func (d *Daemon) renewJob(jobID uint64, dur time.Duration) error {
+// renewJob extends a job's lease and returns the job's dead set: the
+// client's renewer doubles as the propagation path for deaths this daemon
+// observed but no surviving local slave can gossip (a daemon whose only
+// rank is the dead one).
+func (d *Daemon) renewJob(jobID uint64, dur time.Duration) ([]DeadRank, error) {
 	d.mu.Lock()
 	job, ok := d.jobs[jobID]
 	var leaseID string
+	var regs map[uint64]*FailureRegistry
 	if ok {
 		leaseID = job.leaseID
+		regs = snapshotRegs(job)
 	}
 	d.mu.Unlock()
 	if !ok || leaseID == "" {
-		return fmt.Errorf("daemon: no leased job %d", jobID)
+		return nil, fmt.Errorf("daemon: no leased job %d", jobID)
 	}
-	_, err := d.leases.Renew(leaseID, dur)
-	return err
+	if _, err := d.leases.Renew(leaseID, dur); err != nil {
+		return nil, err
+	}
+	return collectDead(regs), nil
+}
+
+// snapshotRegs copies a job's epoch→registry map. Callers hold d.mu.
+func snapshotRegs(job *jobState) map[uint64]*FailureRegistry {
+	if len(job.regs) == 0 {
+		return nil
+	}
+	out := make(map[uint64]*FailureRegistry, len(job.regs))
+	for epoch, reg := range job.regs {
+		out[epoch] = reg
+	}
+	return out
+}
+
+// collectDead flattens the per-epoch dead sets into reply rows.
+func collectDead(regs map[uint64]*FailureRegistry) []DeadRank {
+	var dead []DeadRank
+	for epoch, reg := range regs {
+		for rank, err := range reg.DeadSet() {
+			dead = append(dead, DeadRank{Epoch: epoch, Rank: rank, Cause: err.Error()})
+		}
+	}
+	return dead
+}
+
+// heartbeat renews the liveness leases of one slave's memberships and
+// returns every death verdict this daemon holds for the job. The first
+// heartbeat of a membership starts its tracking; dead ranks are never
+// re-tracked (death is final), they simply stay in the reply.
+func (d *Daemon) heartbeat(req HeartbeatReq) (HeartbeatReply, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return HeartbeatReply{}, fmt.Errorf("daemon: closed")
+	}
+	job, ok := d.jobs[req.JobID]
+	if !ok {
+		d.mu.Unlock()
+		return HeartbeatReply{}, fmt.Errorf("daemon: no job %d", req.JobID)
+	}
+	dur := livenessDur(job.livenessMs)
+	type tracked struct {
+		reg  *FailureRegistry
+		rank int
+	}
+	members := make([]tracked, 0, len(req.Memberships))
+	for _, mb := range req.Memberships {
+		members = append(members, tracked{reg: d.regLocked(job, mb.Epoch), rank: mb.Rank})
+	}
+	regs := snapshotRegs(job)
+	d.mu.Unlock()
+
+	for _, m := range members {
+		if m.reg.Tracked(m.rank) {
+			// A renew racing the rank's own expiry loses to the verdict,
+			// which the reply's dead set then carries; the error adds
+			// nothing beyond that.
+			_ = m.reg.Heartbeat(m.rank, dur)
+		} else {
+			m.reg.Track(m.rank, dur)
+		}
+	}
+	return HeartbeatReply{Addr: d.Addr(), Dead: collectDead(regs)}, nil
 }
 
 // RPC surface.
@@ -394,6 +574,41 @@ type JobRef struct {
 type RenewJobReq struct {
 	JobID   uint64
 	LeaseMs int64
+}
+
+// RenewJobReply answers a lease renewal; Dead carries the job's death
+// verdicts so the client can forward them to slaves no local survivor
+// could gossip to.
+type RenewJobReply struct {
+	Dead []DeadRank
+}
+
+// Membership names one liveness lease a slave holds: its rank within one
+// mesh epoch (the original JobID mesh or a Comm.Spawn generation).
+type Membership struct {
+	Epoch uint64
+	Rank  int
+}
+
+// DeadRank is one death verdict of an elastic job.
+type DeadRank struct {
+	Epoch uint64
+	Rank  int
+	Cause string
+}
+
+// HeartbeatReq renews a slave's liveness leases.
+type HeartbeatReq struct {
+	JobID       uint64
+	Memberships []Membership
+}
+
+// HeartbeatReply returns the daemon's death verdicts for the job; the
+// slave fans them into its devices' failure registries (and self-destructs
+// if its own membership is among them).
+type HeartbeatReply struct {
+	Addr string
+	Dead []DeadRank
 }
 
 // SlaveInfo describes a created slave.
@@ -426,9 +641,24 @@ func (s *service) DestroyJob(req JobRef, _ *struct{}) error {
 	return nil
 }
 
-// RenewJob extends the job's lease.
-func (s *service) RenewJob(req RenewJobReq, _ *struct{}) error {
-	return s.d.renewJob(req.JobID, time.Duration(req.LeaseMs)*time.Millisecond)
+// RenewJob extends the job's lease and reports the job's dead set.
+func (s *service) RenewJob(req RenewJobReq, reply *RenewJobReply) error {
+	dead, err := s.d.renewJob(req.JobID, time.Duration(req.LeaseMs)*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	reply.Dead = dead
+	return nil
+}
+
+// Heartbeat renews a slave's liveness leases and reports the dead set.
+func (s *service) Heartbeat(req HeartbeatReq, reply *HeartbeatReply) error {
+	r, err := s.d.heartbeat(req)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
 }
 
 // Ping reports daemon liveness; slaves also use it as their watchdog
@@ -456,6 +686,48 @@ func DialDaemon(addr string) (*Client, error) {
 	return &Client{addr: addr, rpc: rpc.NewClient(conn)}, nil
 }
 
+// DialDaemonRetry dials a daemon with exponential backoff and jitter
+// until it connects or timeout elapses. A daemon restarting, a host
+// briefly partitioned, or a spawn racing the daemon's listener are all
+// transient; retrying with backoff keeps connect storms off a recovering
+// daemon while still bounding the caller's wait. A non-positive timeout
+// degrades to a single DialDaemon attempt.
+func DialDaemonRetry(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		return DialDaemon(addr)
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("daemon: dialing %s: gave up after %s: %w", addr, timeout, lastErr)
+		}
+		dialTO := 5 * time.Second
+		if dialTO > remain {
+			dialTO = remain
+		}
+		conn, err := net.DialTimeout("tcp", addr, dialTO)
+		if err == nil {
+			return &Client{addr: addr, rpc: rpc.NewClient(conn)}, nil
+		}
+		lastErr = err
+		// Full jitter over [backoff/2, backoff): concurrent retriers
+		// (every survivor of a spawn, say) decorrelate instead of
+		// hammering the endpoint in lockstep.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)))
+		if sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
 // Addr returns the daemon address this client talks to.
 func (c *Client) Addr() string { return c.addr }
 
@@ -474,9 +746,20 @@ func (c *Client) DestroyJob(jobID uint64, reason string) error {
 	return c.rpc.Call(ServiceType+".DestroyJob", JobRef{JobID: jobID, Reason: reason}, &struct{}{})
 }
 
-// RenewJob extends the job lease.
-func (c *Client) RenewJob(jobID uint64, dur time.Duration) error {
-	return c.rpc.Call(ServiceType+".RenewJob", RenewJobReq{JobID: jobID, LeaseMs: dur.Milliseconds()}, &struct{}{})
+// RenewJob extends the job lease and returns the daemon's death verdicts
+// for the job (always empty for non-elastic jobs).
+func (c *Client) RenewJob(jobID uint64, dur time.Duration) ([]DeadRank, error) {
+	var reply RenewJobReply
+	err := c.rpc.Call(ServiceType+".RenewJob", RenewJobReq{JobID: jobID, LeaseMs: dur.Milliseconds()}, &reply)
+	return reply.Dead, err
+}
+
+// Heartbeat renews the given liveness memberships and returns the
+// daemon's death verdicts for the job.
+func (c *Client) Heartbeat(jobID uint64, memberships []Membership) (HeartbeatReply, error) {
+	var reply HeartbeatReply
+	err := c.rpc.Call(ServiceType+".Heartbeat", HeartbeatReq{JobID: jobID, Memberships: memberships}, &reply)
+	return reply, err
 }
 
 // Ping probes daemon liveness.

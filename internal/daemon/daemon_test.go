@@ -241,7 +241,7 @@ func TestRenewJobKeepsSlavesAlive(t *testing.T) {
 	}
 	for i := 0; i < 6; i++ {
 		time.Sleep(60 * time.Millisecond)
-		if err := client.RenewJob(12, 150*time.Millisecond); err != nil {
+		if _, err := client.RenewJob(12, 150*time.Millisecond); err != nil {
 			t.Fatalf("renew %d: %v", i, err)
 		}
 	}
@@ -250,7 +250,7 @@ func TestRenewJobKeepsSlavesAlive(t *testing.T) {
 		t.Fatal("renewed job's slave was destroyed")
 	default:
 	}
-	if err := client.RenewJob(999, time.Second); err == nil {
+	if _, err := client.RenewJob(999, time.Second); err == nil {
 		t.Error("renewing unknown job succeeded")
 	}
 }

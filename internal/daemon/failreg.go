@@ -112,6 +112,43 @@ func (fr *FailureRegistry) Heartbeat(rank int, d time.Duration) error {
 	return nil
 }
 
+// Kill declares rank dead immediately, without waiting for its lease to
+// lapse. It is the registry's entry point for deaths the daemon observes
+// directly — a slave process exiting — where the verdict is certain and
+// waiting out the lease would only delay propagation. Killing an
+// already-dead rank is a no-op: the first verdict stands.
+func (fr *FailureRegistry) Kill(rank int, err error) {
+	fr.mu.Lock()
+	if id, ok := fr.byRank[rank]; ok {
+		delete(fr.byRank, rank)
+		_ = fr.table.Cancel(id)
+	}
+	if _, gone := fr.dead[rank]; gone {
+		fr.mu.Unlock()
+		return
+	}
+	if err == nil {
+		err = fmt.Errorf("daemon: rank %d killed", rank)
+	}
+	fr.dead[rank] = err
+	fr.pending = append(fr.pending, deadRank{rank: rank, err: err})
+	fr.mu.Unlock()
+	fr.deliver()
+}
+
+// DeadSet returns a snapshot of every rank declared dead so far with its
+// verdict. Heartbeat and lease-renewal replies carry this set back to the
+// surviving side of the job.
+func (fr *FailureRegistry) DeadSet() map[int]error {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make(map[int]error, len(fr.dead))
+	for rank, err := range fr.dead {
+		out[rank] = err
+	}
+	return out
+}
+
 // Poll expires overdue leases now (clock-driven registries only; real-
 // clock registries sweep in the background) and returns how many ranks
 // were newly declared dead.

@@ -57,6 +57,32 @@ type SlaveSpec struct {
 
 	Binary  string // executable to spawn (process spawner only)
 	LeaseMs int64  // job lease duration granted by this daemon
+
+	// Elastic switches the job to the elastic failure model: a slave
+	// death no longer destroys its local siblings or raises MPJAbort.
+	// Instead the daemon records the dead rank in the job's failure
+	// registry and serves the verdict through Heartbeat and RenewJob
+	// replies, so survivors observe a typed per-rank failure and can
+	// recover with Shrink/Spawn. Off by default: the paper's §3.3
+	// all-or-nothing semantics stay the non-elastic behaviour.
+	Elastic bool
+
+	// LivenessMs is the per-rank liveness lease duration for elastic
+	// jobs: a slave that stops heartbeating for this long is declared
+	// dead. Zero picks the daemon default (10s).
+	LivenessMs int64
+
+	// Epoch is the mesh generation this slave bootstraps into. Zero means
+	// the job's original mesh (JobID doubles as its epoch); a non-zero
+	// epoch marks a replacement slave spawned by Comm.Spawn, which
+	// bootstraps against the scoped spawn master in MasterAddr instead of
+	// the client's.
+	Epoch uint64
+
+	// SpawnBase is the number of surviving ranks in a spawn epoch: ranks
+	// [0, SpawnBase) are survivors, [SpawnBase, Size) are replacements.
+	// Only meaningful when Epoch is non-zero.
+	SpawnBase int
 }
 
 // Env encodes the spec as MPJ_* environment variables for a spawned
@@ -88,6 +114,18 @@ func (s SlaveSpec) Env(daemonAddr string) []string {
 	}
 	if s.Prof != "" {
 		env = append(env, "MPJ_PROF="+s.Prof)
+	}
+	if s.Elastic {
+		env = append(env, "MPJ_ELASTIC=1")
+	}
+	if s.LivenessMs > 0 {
+		env = append(env, "MPJ_LIVENESS_MS="+strconv.FormatInt(s.LivenessMs, 10))
+	}
+	if s.Epoch != 0 {
+		env = append(env,
+			"MPJ_EPOCH="+strconv.FormatUint(s.Epoch, 10),
+			"MPJ_SPAWN_BASE="+strconv.Itoa(s.SpawnBase),
+		)
 	}
 	return env
 }
@@ -149,6 +187,26 @@ func ParseSlaveEnv(get func(string) string) (SlaveSpec, string, error) {
 		return SlaveSpec{}, "", fmt.Errorf("daemon: MPJ_EAGER_LIMIT: %w", err)
 	}
 	spec.EagerLimit = limit
+	spec.Elastic = get("MPJ_ELASTIC") == "1"
+	if raw := get("MPJ_LIVENESS_MS"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return SlaveSpec{}, "", fmt.Errorf("daemon: MPJ_LIVENESS_MS: %w", err)
+		}
+		spec.LivenessMs = ms
+	}
+	if raw := get("MPJ_EPOCH"); raw != "" {
+		epoch, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return SlaveSpec{}, "", fmt.Errorf("daemon: MPJ_EPOCH: %w", err)
+		}
+		spec.Epoch = epoch
+		base, err := strconv.Atoi(get("MPJ_SPAWN_BASE"))
+		if err != nil {
+			return SlaveSpec{}, "", fmt.Errorf("daemon: MPJ_SPAWN_BASE: %w", err)
+		}
+		spec.SpawnBase = base
+	}
 	return spec, get("MPJ_DAEMON"), nil
 }
 

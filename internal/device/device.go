@@ -733,6 +733,24 @@ func (d *Device) handle(src int, frame []byte) {
 		return
 	}
 
+	// Obituaries feed the failure registry directly: an out-of-band death
+	// verdict (lease expiry, observed process exit) gossiped by a peer is
+	// equivalent to a local detection. No re-gossip here — the origin of
+	// the verdict fans out to every peer itself (see BroadcastObit), and
+	// NotifyRankFailed absorbs duplicates.
+	if h.Kind == wire.KindObit {
+		dead, cause := int(h.Tag), string(payload)
+		wire.PutBuf(frame)
+		if dead >= 0 && dead < d.size {
+			// An obit for the device's own rank means the control plane
+			// declared this process dead (a partitioned lease expired):
+			// NotifyRankFailed turns that into total local failure, so the
+			// false survivor unwinds instead of diverging from the verdict.
+			d.NotifyRankFailed(dead, &ObitError{Reporter: src, Cause: cause})
+		}
+		return
+	}
+
 	// Payload arrival accounting happens here, at the frame boundary:
 	// eager and rendezvous-data frames carry their context, so bytes are
 	// attributed per communicator on the receiver too.

@@ -1,0 +1,71 @@
+// Obituary frames: out-of-band death notices at the device boundary.
+//
+// Transport-level breaks (a reset connection) already feed the failure
+// registry through the transport error handler, but a death detected by
+// the control plane — a liveness lease expiring at a daemon, a slave
+// process observed exiting — reaches surviving processes as a KindObit
+// frame instead: Tag carries the dead world rank, the payload a
+// human-readable cause. Receiving an obit is equivalent to a local
+// detection (NotifyRankFailed), and NotifyRankFailed's idempotence makes
+// duplicate obits from several reporters harmless, so the runtime layer
+// may gossip a death it learned from its daemon to every mesh peer
+// without any suppression protocol.
+package device
+
+import (
+	"fmt"
+
+	"mpj/internal/wire"
+)
+
+// ObitError is the detection-level cause recorded for a rank failure
+// learned from an obit frame or a daemon liveness verdict; Reporter is
+// the world rank (or -1 for the control plane) the verdict came from.
+type ObitError struct {
+	Reporter int
+	Cause    string
+}
+
+// Error renders the obituary.
+func (e *ObitError) Error() string {
+	if e.Reporter < 0 {
+		return fmt.Sprintf("liveness verdict: %s", e.Cause)
+	}
+	return fmt.Sprintf("obit from rank %d: %s", e.Reporter, e.Cause)
+}
+
+// SendObit ships one death notice for world rank dead (with a
+// human-readable cause) to world rank dst, best-effort.
+func (d *Device) SendObit(dst, dead int, cause string) error {
+	if dst < 0 || dst >= d.size {
+		return fmt.Errorf("device: obit to rank %d of %d: invalid rank", dst, d.size)
+	}
+	h := wire.Header{
+		Kind: wire.KindObit,
+		Src:  int32(d.rank),
+		Tag:  int32(dead),
+		Len:  int32(len(cause)),
+	}
+	return d.t.Send(dst, wire.NewFrame(&h, []byte(cause)))
+}
+
+// BroadcastObit registers world rank dead as failed locally and gossips
+// the obit, best-effort, to every other rank not already known dead. The
+// runtime calls it when its daemon reports a liveness verdict, so the
+// death spreads across the mesh within one heartbeat interval even when
+// no transport connection to the dead rank ever existed.
+func (d *Device) BroadcastObit(dead int, cause string) {
+	d.NotifyRankFailed(dead, &ObitError{Reporter: -1, Cause: cause})
+	for r := 0; r < d.size; r++ {
+		if r == d.rank || r == dead {
+			continue
+		}
+		d.mu.Lock()
+		_, gone := d.dead[r]
+		d.mu.Unlock()
+		if gone {
+			continue
+		}
+		_ = d.SendObit(r, dead, cause)
+	}
+}

@@ -45,6 +45,23 @@ type (
 	Done struct {
 		Rank int
 		Err  string
+		// Dead marks a self-declared death: the rank's own failure
+		// registry condemned it (it announced its own obituary, or a
+		// daemon verdict reached it) and it unwound instead of crashing.
+		// Elastic jobs excuse such a report once the daemon verdict
+		// confirms it, like a vanished rank; an ordinary Err stays fatal.
+		Dead bool
+	}
+	// Obit is a death notice pushed master→slave down the persistent
+	// bootstrap connection: rank Rank of mesh epoch Epoch is dead. It is
+	// the client-mediated liveness path of elastic jobs, covering deaths
+	// no surviving slave could learn from its own daemon (a daemon whose
+	// only rank is the dead one reports them in lease-renewal replies,
+	// and the client fans them out here).
+	Obit struct {
+		Epoch uint64
+		Rank  int
+		Cause string
 	}
 )
 
@@ -57,10 +74,19 @@ type master struct {
 	np    int
 	ln    net.Listener
 
-	mu    sync.Mutex
-	conns []net.Conn
-	encs  []*gob.Encoder
-	decs  []*gob.Decoder
+	// grace is how long await waits for a vanished rank's death verdict
+	// to arrive through the renewers before calling the silence an error.
+	// Zero keeps the classic semantics: a vanished rank fails the job.
+	grace time.Duration
+
+	mu       sync.Mutex
+	conns    []net.Conn
+	encs     []*gob.Encoder
+	decs     []*gob.Decoder
+	gathered bool           // table sent; obits may use the encoders
+	backlog  []Obit         // obits that arrived before the table went out
+	pushed   map[Obit]bool  // de-dup: each verdict is pushed once
+	dead     map[int]string // original-epoch dead ranks, by rank
 }
 
 // newMaster starts the bootstrap server.
@@ -70,12 +96,14 @@ func newMaster(jobID uint64, np int) (*master, error) {
 		return nil, fmt.Errorf("job: bootstrap listener: %w", err)
 	}
 	return &master{
-		jobID: jobID,
-		np:    np,
-		ln:    ln,
-		conns: make([]net.Conn, np),
-		encs:  make([]*gob.Encoder, np),
-		decs:  make([]*gob.Decoder, np),
+		jobID:  jobID,
+		np:     np,
+		ln:     ln,
+		conns:  make([]net.Conn, np),
+		encs:   make([]*gob.Encoder, np),
+		decs:   make([]*gob.Decoder, np),
+		pushed: make(map[Obit]bool),
+		dead:   make(map[int]string),
 	}, nil
 }
 
@@ -121,13 +149,74 @@ func (m *master) gather() error {
 			return fmt.Errorf("job: sending address table to rank %d: %w", r, err)
 		}
 	}
+	// Obits may now share the encoders with no table send to interleave
+	// with; flush any verdicts that raced the gather.
+	m.mu.Lock()
+	m.gathered = true
+	backlog := m.backlog
+	m.backlog = nil
+	m.mu.Unlock()
+	m.pushObits(backlog)
 	return nil
+}
+
+// pushObits fans death verdicts out to every connected slave (elastic
+// jobs only; the renewers feed it from RenewJob replies). A verdict for
+// the job's original mesh also closes the dead rank's bootstrap
+// connection, so an await blocked on that rank's Done report unblocks.
+func (m *master) pushObits(dead []Obit) {
+	if len(dead) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.gathered {
+		m.backlog = append(m.backlog, dead...)
+		return
+	}
+	for _, ob := range dead {
+		if m.pushed[ob] {
+			continue
+		}
+		m.pushed[ob] = true
+		orig := ob.Epoch == m.jobID
+		for r, enc := range m.encs {
+			if enc == nil || (orig && r == ob.Rank) {
+				continue
+			}
+			// Best effort: a slave that already left (or died) just
+			// misses a verdict its own daemon or mesh sockets deliver.
+			_ = enc.Encode(ob)
+		}
+		if orig && ob.Rank >= 0 && ob.Rank < m.np {
+			m.dead[ob.Rank] = ob.Cause
+			if c := m.conns[ob.Rank]; c != nil {
+				c.Close()
+			}
+		}
+	}
+}
+
+// deadRank reports the recorded verdict for an original-epoch rank.
+func (m *master) deadRank(rank int) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cause, ok := m.dead[rank]
+	return cause, ok
 }
 
 // await collects the Done report of every slave. It returns the first
 // application error, keyed by rank.
+//
+// Elastic jobs (grace > 0) treat a vanished rank differently: its broken
+// connection races the daemon's death verdict, so await waits up to grace
+// for the renewers to confirm the death before calling the silence an
+// error. A confirmed-dead rank's missing report is not a failure — the
+// job's outcome is decided by the ranks that survived it (which, after a
+// successful Shrink/Spawn recovery, all report success).
 func (m *master) await() error {
 	errs := make([]error, m.np)
+	vanished := make([]bool, m.np)
 	var wg sync.WaitGroup
 	for r := 0; r < m.np; r++ {
 		r := r
@@ -136,7 +225,16 @@ func (m *master) await() error {
 			defer wg.Done()
 			var done Done
 			if err := m.decs[r].Decode(&done); err != nil {
+				vanished[r] = true
 				errs[r] = fmt.Errorf("job: rank %d vanished before reporting: %w", r, err)
+				return
+			}
+			if done.Dead {
+				// A self-declared death is excused like a vanish once the
+				// daemon verdict confirms it; without confirmation (or in a
+				// non-elastic job, grace == 0) it stays an error.
+				vanished[r] = true
+				errs[r] = fmt.Errorf("job: rank %d reported itself dead: %s", r, done.Err)
 				return
 			}
 			if done.Err != "" {
@@ -145,6 +243,26 @@ func (m *master) await() error {
 		}()
 	}
 	wg.Wait()
+	if m.grace > 0 {
+		deadline := time.Now().Add(m.grace)
+		for {
+			waiting := false
+			for r := 0; r < m.np; r++ {
+				if !vanished[r] || errs[r] == nil {
+					continue
+				}
+				if _, dead := m.deadRank(r); dead {
+					errs[r] = nil
+				} else {
+					waiting = true
+				}
+			}
+			if !waiting || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -168,9 +286,11 @@ func (m *master) close() {
 // SlaveConn is the slave's side of the bootstrap connection.
 type SlaveConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
 	dec  *gob.Decoder
 	rank int
+
+	mu  sync.Mutex // guards enc (writes share the conn with nothing else)
+	enc *gob.Encoder
 }
 
 // SlaveBootstrap runs a slave's half of the bootstrap: listen for the
@@ -219,6 +339,8 @@ func SlaveBootstrap(masterAddr string, jobID uint64, rank int) (*SlaveConn, Tabl
 
 // ReportDone sends the slave's outcome to the master.
 func (sc *SlaveConn) ReportDone(appErr error) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
 	msg := Done{Rank: sc.rank}
 	if appErr != nil {
 		msg.Err = appErr.Error()
@@ -226,5 +348,76 @@ func (sc *SlaveConn) ReportDone(appErr error) error {
 	return sc.enc.Encode(msg)
 }
 
+// ReportDead reports a self-declared death: this rank's own registry
+// condemned it, so its outcome must not decide the job — the survivors'
+// will, once the daemon verdict confirms the death.
+func (sc *SlaveConn) ReportDead(cause error) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	msg := Done{Rank: sc.rank, Dead: true}
+	if cause != nil {
+		msg.Err = cause.Error()
+	}
+	return sc.enc.Encode(msg)
+}
+
+// ReadObit blocks for the next death notice the master pushes down the
+// bootstrap connection. After the address table, obits are the only
+// master→slave traffic, so a dedicated reader goroutine can loop on this
+// until the connection closes (elastic jobs only; classic masters push
+// nothing and the read simply blocks for the job's life).
+func (sc *SlaveConn) ReadObit() (Obit, error) {
+	var ob Obit
+	err := sc.dec.Decode(&ob)
+	return ob, err
+}
+
 // Close releases the bootstrap connection.
 func (sc *SlaveConn) Close() { sc.conn.Close() }
+
+// SpawnMaster is a scoped bootstrap master for one Comm.Spawn epoch: the
+// leader survivor stands it up inside its own process, replacement slaves
+// and re-joining survivors bootstrap against it exactly like an original
+// job bootstraps against the client's master, and it is torn down once
+// the new mesh is wired. Reusing the Hello/Table exchange keeps spawn
+// re-bootstrap on the same code path — and the same BootstrapTimeout
+// bound — as first bootstrap.
+type SpawnMaster struct {
+	m *master
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewSpawnMaster starts a bootstrap master for np members of mesh epoch
+// epoch and begins gathering in the background.
+func NewSpawnMaster(epoch uint64, np int) (*SpawnMaster, error) {
+	m, err := newMaster(epoch, np)
+	if err != nil {
+		return nil, err
+	}
+	sm := &SpawnMaster{m: m}
+	go func() {
+		err := m.gather()
+		sm.mu.Lock()
+		sm.err = err
+		sm.mu.Unlock()
+	}()
+	return sm, nil
+}
+
+// Addr returns the bootstrap endpoint replacement specs and re-joining
+// survivors dial.
+func (sm *SpawnMaster) Addr() string { return sm.m.addr() }
+
+// Err reports the gather outcome so far (nil while still gathering).
+func (sm *SpawnMaster) Err() error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.err
+}
+
+// Close tears the spawn master down. Safe at any point: members still
+// bootstrapping observe a closed connection and fail within their own
+// timeout instead of hanging.
+func (sm *SpawnMaster) Close() { sm.m.close() }

@@ -64,6 +64,23 @@ type Config struct {
 	// renews it at half-life. Defaults to 10s.
 	LeaseDur time.Duration
 
+	// Elastic switches the job to the elastic failure model: a dead
+	// slave no longer aborts the job. Daemons record per-rank death
+	// verdicts instead, survivors observe them as typed ErrRankFailed
+	// failures, and the application recovers with Shrink/Spawn/Merge.
+	// The job succeeds iff every rank not declared dead reports success.
+	Elastic bool
+
+	// LivenessDur is the per-rank liveness lease of elastic jobs: a
+	// slave that stops heartbeating its daemon for this long is declared
+	// dead. Zero picks the daemon default (10s).
+	LivenessDur time.Duration
+
+	// ConnectTimeout bounds daemon dials with exponential backoff and
+	// jitter (see daemon.DialDaemonRetry). Zero keeps single-attempt
+	// dials.
+	ConnectTimeout time.Duration
+
 	// Output receives the merged stdout/stderr of all slaves; defaults
 	// to os.Stdout.
 	Output io.Writer
@@ -120,6 +137,12 @@ func Run(cfg Config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Elastic {
+		// Grace for a vanished rank's death verdict: the renewers run at
+		// lease half-life, so one full lease covers a push cycle with
+		// margin.
+		m.grace = cfg.LeaseDur
+	}
 	defer m.close()
 
 	collector, err := newCollector(cfg.Output)
@@ -160,7 +183,7 @@ func Run(cfg Config) error {
 		addr := daemons[rank%len(daemons)].Addr
 		client, ok := clients[addr]
 		if !ok {
-			client, err = daemon.DialDaemon(addr)
+			client, err = daemon.DialDaemonRetry(addr, cfg.ConnectTimeout)
 			if err != nil {
 				return err
 			}
@@ -183,6 +206,8 @@ func Run(cfg Config) error {
 			EventAddr:  recv.Addr(),
 			Binary:     cfg.Binary,
 			LeaseMs:    cfg.LeaseDur.Milliseconds(),
+			Elastic:    cfg.Elastic,
+			LivenessMs: cfg.LivenessDur.Milliseconds(),
 		}
 		if _, err := client.CreateSlave(spec); err != nil {
 			return fmt.Errorf("job: creating rank %d on %s: %w", rank, addr, err)
@@ -191,7 +216,22 @@ func Run(cfg Config) error {
 	for _, client := range clients {
 		c := client
 		renewers = append(renewers, lease.NewRenewer(cfg.LeaseDur, func(d time.Duration) error {
-			return c.RenewJob(jobID, d)
+			dead, err := c.RenewJob(jobID, d)
+			if err != nil {
+				return err
+			}
+			// Elastic jobs: the renewal reply carries the daemon's death
+			// verdicts; pushing them down the bootstrap connections closes
+			// the propagation gap for daemons with no surviving local rank
+			// to gossip through.
+			if len(dead) > 0 {
+				obits := make([]Obit, len(dead))
+				for i, dr := range dead {
+					obits[i] = Obit{Epoch: dr.Epoch, Rank: dr.Rank, Cause: dr.Cause}
+				}
+				m.pushObits(obits)
+			}
+			return nil
 		}, nil))
 	}
 

@@ -84,11 +84,35 @@ const (
 	// carries the sender's fence generation. FIFO delivery per path orders
 	// it after every RMA data frame of the closing epoch.
 	KindRmaFenceSync
+	// KindRmaFetchOp carries an atomic fetch-and-op: like KindRmaAcc (Seq
+	// the target byte offset, Tag the predefined-operation id, payload the
+	// single origin element), but the target replies with the element's
+	// prior value in a KindRmaFetchReply; MsgID is the origin-local id
+	// echoed by the reply.
+	KindRmaFetchOp
+	// KindRmaCas carries an atomic compare-and-swap: Seq is the target
+	// byte offset and the payload holds the compare element followed by
+	// the new element. The target swaps only on a bytewise match and
+	// always replies the prior value in a KindRmaFetchReply; MsgID is the
+	// origin-local id echoed by the reply.
+	KindRmaCas
+	// KindRmaFetchReply answers a KindRmaFetchOp or KindRmaCas with the
+	// target element's prior value as payload; MsgID echoes the request id
+	// (the same correlation scheme as KindRmaGetReply).
+	KindRmaFetchReply
 )
+
+// KindObit announces a rank death learned out of band (a daemon liveness
+// lease expired, a slave process exited): Tag carries the dead world rank
+// and the payload a human-readable cause. Obits feed the receiver's
+// failure registry; they ride outside the RMA range and never enter the
+// matching engine. Declared after the RMA family so IsRMA stays a single
+// range test.
+const KindObit Kind = KindRmaFetchReply + 1
 
 // IsRMA reports whether k belongs to the one-sided (RMA) frame family,
 // which bypasses the device matching engine entirely.
-func (k Kind) IsRMA() bool { return k >= KindRmaPut && k <= KindRmaFenceSync }
+func (k Kind) IsRMA() bool { return k >= KindRmaPut && k <= KindRmaFetchReply }
 
 // String returns the conventional name of the frame kind.
 func (k Kind) String() string {
@@ -131,6 +155,14 @@ func (k Kind) String() string {
 		return "RMAUNLOCK"
 	case KindRmaFenceSync:
 		return "RMAFENCESYNC"
+	case KindRmaFetchOp:
+		return "RMAFETCHOP"
+	case KindRmaCas:
+		return "RMACAS"
+	case KindRmaFetchReply:
+		return "RMAFETCHREPLY"
+	case KindObit:
+		return "OBIT"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -206,6 +206,11 @@ var (
 	// ULFM's MPI_ERR_REVOKED: after some member calls Revoke, every
 	// pending and future operation fails until the survivors Shrink.
 	ErrRevoked = core.ErrRevoked
+	// ErrSpawn reports a failed Comm.Spawn: replacements could not be
+	// launched or the rebuilt mesh could not be bootstrapped. Spawn is
+	// bounded in time — it fails with this rather than hanging — and the
+	// survivors' communicator remains usable for a retry.
+	ErrSpawn = core.ErrSpawn
 )
 
 // RankFailedError is the typed error behind every ErrRankFailed failure;

@@ -209,6 +209,14 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 		}
 	}
 
+	// Dynamic process creation: Comm.Spawn on any of these worlds runs
+	// replacements as fresh goroutines of this same process (see
+	// localRespawner in elastic.go).
+	lr := newLocalRespawner(app)
+	for i := 0; i < np; i++ {
+		worlds[i].SetRespawner(lr)
+	}
+
 	// The local analogue of the paper's failure model: the first rank to
 	// fail aborts every device, unblocking peers that would otherwise
 	// wait forever on the failed rank. Under fault injection the model is
@@ -246,15 +254,22 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 					d.Abort()
 				}
 			}
+			lr.abort()
 			return fmt.Errorf("mpj: rank %d: %w", i, err)
 		}
 	}
 
 	// All ranks succeeded: finalize with a world barrier (draining all
-	// in-flight traffic), then close the mesh.
+	// in-flight traffic), then close the mesh. A rank whose device has
+	// recorded failures skips the barrier — its original world can no
+	// longer complete a collective; an elastic application that survived
+	// a death synchronized on the rebuilt world before returning.
 	finErrs := make([]error, np)
 	for i := 0; i < np; i++ {
 		i := i
+		if devs[i].FailEpoch() > 0 {
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -263,7 +278,16 @@ func runLocalOpts(np int, opts []device.Option, app App) error {
 	}
 	wg.Wait()
 	for _, d := range devs {
-		d.Close()
+		if d.FailEpoch() > 0 {
+			d.Abort()
+		} else {
+			d.Close()
+		}
+	}
+	// Wait out replacement ranks spawned during the run (no-op when the
+	// application never called Spawn) and surface their failures.
+	if err := lr.wait(); err != nil {
+		return err
 	}
 	for i, err := range finErrs {
 		if err != nil {
@@ -315,6 +339,25 @@ type JobConfig struct {
 	Binary     string
 	LeaseDur   time.Duration
 	Output     io.Writer // merged slave output (default os.Stdout)
+
+	// Elastic switches the job to the elastic failure model: a dead slave
+	// no longer takes the job down. Daemons record per-rank death
+	// verdicts, survivors observe them as typed ErrRankFailed failures,
+	// and the application recovers with Comm.Shrink / Comm.Spawn /
+	// Intercomm.Merge (see README "Elastic jobs"). The job succeeds iff
+	// every rank not declared dead reports success.
+	Elastic bool
+
+	// LivenessDur is the per-rank liveness lease of elastic jobs: a slave
+	// that stops heartbeating its daemon for this long is declared dead.
+	// Zero picks the daemon default (10s).
+	LivenessDur time.Duration
+
+	// ConnectTimeout bounds daemon dials with exponential backoff and
+	// jitter (see daemon.DialDaemonRetry); a daemon restarting mid-launch
+	// is retried until the deadline instead of failing the job. Zero
+	// keeps single-attempt dials.
+	ConnectTimeout time.Duration
 }
 
 // Run launches a distributed job through MPJ daemons — the programmatic
@@ -334,19 +377,22 @@ func Run(cfg JobConfig) error {
 		return fmt.Errorf("mpj: JobConfig.Prof: %w", err)
 	}
 	return job.Run(job.Config{
-		NP:         cfg.NP,
-		App:        cfg.App,
-		Args:       cfg.Args,
-		Device:     cfg.Device,
-		EagerLimit: cfg.EagerLimit,
-		CollAlg:    cfg.CollAlg,
-		CollSeg:    cfg.CollSeg,
-		Prof:       cfg.Prof,
-		Locators:   cfg.Locators,
-		UDPPort:    cfg.UDPPort,
-		Binary:     cfg.Binary,
-		LeaseDur:   cfg.LeaseDur,
-		Output:     cfg.Output,
+		NP:             cfg.NP,
+		App:            cfg.App,
+		Args:           cfg.Args,
+		Device:         cfg.Device,
+		EagerLimit:     cfg.EagerLimit,
+		CollAlg:        cfg.CollAlg,
+		CollSeg:        cfg.CollSeg,
+		Prof:           cfg.Prof,
+		Locators:       cfg.Locators,
+		UDPPort:        cfg.UDPPort,
+		Binary:         cfg.Binary,
+		LeaseDur:       cfg.LeaseDur,
+		Output:         cfg.Output,
+		Elastic:        cfg.Elastic,
+		LivenessDur:    cfg.LivenessDur,
+		ConnectTimeout: cfg.ConnectTimeout,
 	})
 }
 
@@ -404,6 +450,12 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 	if err != nil {
 		return err
 	}
+	if spec.Epoch != 0 {
+		// A replacement slave created by Comm.Spawn: bootstrap against the
+		// scoped spawn master and enter the application through the merge
+		// choreography instead of the original world.
+		return runSpawnedSlave(spec, daemonAddr, app, stop)
+	}
 	sc, table, meshLn, err := job.SlaveBootstrap(spec.MasterAddr, spec.JobID, spec.Rank)
 	if err != nil {
 		return err
@@ -459,35 +511,58 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 		return err
 	}
 
-	// Watchdog: a slave whose daemon has died must destroy itself.
+	// Elastic jobs: track this slave's mesh memberships, install the
+	// daemon-backed respawner behind Comm.Spawn, and pump death verdicts
+	// the master pushes down the bootstrap connection into the mesh.
+	var live *liveTracker
+	var respawn *distRespawner
+	if spec.Elastic {
+		live = newLiveTracker()
+		live.register(spec.JobID, spec.Rank, dev)
+		respawn = &distRespawner{spec: spec, daemonAddr: daemonAddr, live: live}
+		world.SetRespawner(respawn)
+		go obitReader(sc, live)
+	}
+
+	// Watchdog: a slave whose daemon has died must destroy itself. In
+	// elastic jobs the probe doubles as the liveness heartbeat — it renews
+	// this slave's per-rank leases and fans the reply's death verdicts
+	// into the mesh devices.
 	watchdogStop := make(chan struct{})
 	if daemonAddr != "" && stop == nil {
-		go func() {
-			failures := 0
-			tick := time.NewTicker(watchdogInterval)
-			defer tick.Stop()
-			for {
-				select {
-				case <-watchdogStop:
-					return
-				case <-tick.C:
-					client, err := daemon.DialDaemon(daemonAddr)
-					if err == nil {
-						_, err = client.Ping()
-						client.Close()
-					}
-					if err != nil {
-						failures++
-						if failures >= 3 {
-							fmt.Fprintln(os.Stderr, "mpj slave: daemon unreachable, self-destructing")
-							os.Exit(3)
+		if spec.Elastic {
+			go elasticWatchdog(daemonAddr, spec.JobID, live, watchdogStop, func() {
+				fmt.Fprintln(os.Stderr, "mpj slave: daemon unreachable, self-destructing")
+				os.Exit(3)
+			})
+		} else {
+			go func() {
+				failures := 0
+				tick := time.NewTicker(watchdogInterval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-watchdogStop:
+						return
+					case <-tick.C:
+						client, err := daemon.DialDaemon(daemonAddr)
+						if err == nil {
+							_, err = client.Ping()
+							client.Close()
 						}
-					} else {
-						failures = 0
+						if err != nil {
+							failures++
+							if failures >= 3 {
+								fmt.Fprintln(os.Stderr, "mpj slave: daemon unreachable, self-destructing")
+								os.Exit(3)
+							}
+						} else {
+							failures = 0
+						}
 					}
 				}
-			}
-		}()
+			}()
+		}
 	}
 
 	// Run the application; a stop signal closes the device so pending
@@ -507,20 +582,102 @@ func RunSlave(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) er
 	}
 	close(watchdogStop)
 
-	if appErr == nil {
-		// Finalize: drain in-flight traffic before tearing down.
+	if appErr == nil && dev.FailEpoch() == 0 {
+		// Finalize: drain in-flight traffic before tearing down. A device
+		// with recorded failures skips the barrier — the original world
+		// cannot complete a collective any more; an elastic application
+		// that survived a death synchronized on the rebuilt world before
+		// returning.
 		appErr = world.Barrier()
 	}
 	if appErr != nil {
 		// Abrupt teardown: peers must see a failure (broken mesh
 		// connection), not an orderly goodbye, so the abort cascades.
 		dev.Abort()
+	} else if dev.FailEpoch() > 0 {
+		dev.Abort()
 	} else {
 		dev.Close()
+	}
+	if live != nil {
+		live.closeSpawned(dev)
+		respawn.close()
+	}
+	if appErr == nil && dev.RankFailed(dev.Rank()) {
+		// This rank is condemned in its own registry (it announced its
+		// own obituary, or a verdict reached it) yet unwound cleanly. Its
+		// queued mesh obituaries may have died with its device, so exit
+		// as a death, not a success: the daemon's exit verdict is the
+		// reliable path that reaches every survivor, and the master
+		// excuses the self-declared report once that verdict confirms it.
+		appErr = fmt.Errorf("mpj: rank %d is recorded dead: %w", dev.Rank(), dev.RankError(dev.Rank()))
+		_ = sc.ReportDead(appErr)
+		return appErr
 	}
 	if rerr := sc.ReportDone(appErr); rerr != nil && appErr == nil {
 		appErr = rerr
 	}
+	return appErr
+}
+
+// runSpawnedSlave is the life cycle of a replacement slave: join the
+// spawn generation's mesh against the scoped spawn master, run the
+// child-side merge choreography (core.JoinSpawned), then enter the
+// application afresh on the merged full-size world with Spawned()
+// reporting true.
+func runSpawnedSlave(spec daemon.SlaveSpec, daemonAddr string, app App, stop <-chan struct{}) error {
+	dev, sc, err := joinMesh(spec)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	live := newLiveTracker()
+	live.register(spec.Epoch, spec.Rank, dev)
+	go obitReader(sc, live)
+
+	watchdogStop := make(chan struct{})
+	defer close(watchdogStop)
+	if daemonAddr != "" && stop == nil {
+		go elasticWatchdog(daemonAddr, spec.JobID, live, watchdogStop, func() {
+			fmt.Fprintln(os.Stderr, "mpj slave: daemon unreachable, self-destructing")
+			os.Exit(3)
+		})
+	}
+
+	merged, err := core.JoinSpawned(dev, spec.SpawnBase)
+	if err != nil {
+		dev.Abort()
+		_ = sc.ReportDone(err)
+		return err
+	}
+	respawn := &distRespawner{spec: spec, daemonAddr: daemonAddr, live: live}
+	merged.SetRespawner(respawn)
+
+	// Run the application; a cooperative stop closes the device so
+	// pending operations error out and the app unwinds (in-process slave
+	// simulations; see RunSlave).
+	appDone := make(chan error, 1)
+	go func() { appDone <- app(merged) }()
+	var appErr error
+	if stop != nil {
+		select {
+		case appErr = <-appDone:
+		case <-stop:
+			dev.Close()
+			appErr = <-appDone
+		}
+	} else {
+		appErr = <-appDone
+	}
+
+	if dev.FailEpoch() > 0 {
+		dev.Abort()
+	} else {
+		dev.Close()
+	}
+	live.closeSpawned(dev)
+	respawn.close()
+	_ = sc.ReportDone(appErr)
 	return appErr
 }
 
@@ -586,11 +743,14 @@ func openTransport(spec daemon.SlaveSpec, table job.Table, ln net.Listener) (tra
 }
 
 // NewFuncSpawner adapts RunSlave for in-process (goroutine) slaves: the
-// hermetic slave mode used by tests and single-machine simulations.
+// hermetic slave mode used by tests and single-machine simulations. The
+// daemon address is passed through so elastic jobs can place replacement
+// slaves (Comm.Spawn), but the cooperative stop channel keeps the ping
+// watchdog off — the daemon shares the process, it cannot silently die.
 func NewFuncSpawner() daemon.FuncSpawner {
 	return daemon.FuncSpawner{
 		Run: func(spec daemon.SlaveSpec, daemonAddr string, stop <-chan struct{}) error {
-			return RunSlave(spec, "", stop)
+			return RunSlave(spec, daemonAddr, stop)
 		},
 	}
 }

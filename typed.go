@@ -325,6 +325,31 @@ func AccumulateT[T Scalar](w *Win, buf []T, target, tdisp int, op ReduceOp[T]) e
 	return w.Accumulate(buf, 0, len(buf), DatatypeOf[T](), target, tdisp, op.op)
 }
 
+// FetchAndOpT atomically combines origin into target's window element at
+// displacement tdisp with op and returns the element's prior value — the
+// typed Win.FetchAndOp. For remote targets the returned pointer's value
+// is valid after the epoch closes (Fence, or Unlock of a lock on target).
+func FetchAndOpT[T Scalar](w *Win, origin T, target, tdisp int, op ReduceOp[T]) (*T, error) {
+	result := make([]T, 1)
+	if err := w.FetchAndOp([]T{origin}, 0, result, 0, DatatypeOf[T](), target, tdisp, op.op); err != nil {
+		return nil, err
+	}
+	return &result[0], nil
+}
+
+// CompareAndSwapT atomically compares target's window element at
+// displacement tdisp with compare, stores origin there on a match, and
+// returns the element's prior value — the typed Win.CompareAndSwap. The
+// swap happened iff the returned prior value equals compare; for remote
+// targets the value is valid after the epoch closes.
+func CompareAndSwapT[T Scalar](w *Win, origin, compare T, target, tdisp int) (*T, error) {
+	result := make([]T, 1)
+	if err := w.CompareAndSwap([]T{origin}, 0, []T{compare}, 0, result, 0, DatatypeOf[T](), target, tdisp); err != nil {
+		return nil, err
+	}
+	return &result[0], nil
+}
+
 // ---------------------------------------------------------------------
 // Reduction operations. A ReduceOp[T] carries both the operation and the
 // element type it applies to, so an op/buffer mismatch cannot compile.
