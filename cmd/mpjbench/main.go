@@ -24,10 +24,18 @@
 //	                         # Shrink+Spawn+Merge rebuild turnaround (writes
 //	                         # BENCH_elastic.json; with -quick: regression check
 //	                         # against the committed file)
+//	mpjbench -tune           # measure algorithm crossovers per device and write
+//	                         # the table at MPJ_COLL_TABLE / ~/.mpj/colltab.json
 //
 // -hold keeps the process alive for the given duration after the
 // experiments finish, so an expvar endpoint served under MPJ_PROF_ADDR
 // stays curl-able (the CI observability smoke).
+//
+// -tune runs no experiment: it sweeps payload x np x algorithm per device,
+// derives the measured crossover table, and writes it where MPJ_COLL_TABLE
+// points (default ~/.mpj/colltab.json) so the selection layer in
+// internal/core/collalg.go prefers measured thresholds over its built-in
+// constants. With -quick the sweep shrinks to the CI smoke subset.
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results and their interpretation.
@@ -46,6 +54,7 @@ import (
 
 	"mpj"
 	"mpj/internal/bench"
+	"mpj/internal/core"
 	"mpj/internal/daemon"
 )
 
@@ -55,6 +64,7 @@ var quick = flag.Bool("quick", false, "smaller sweeps for a quick run")
 func main() {
 	exp := flag.String("exp", "", "experiment id (empty = all): F1 F2 E1 E2 E3 E4 E5 E7 A1 A2 BW PP ICOLL TYPED COLL VCOLL FT PROF RMA ELASTIC (alias: pingpong)")
 	hold := flag.Duration("hold", 0, "keep the process alive this long after the experiments (for curling an MPJ_PROF_ADDR endpoint)")
+	tune := flag.Bool("tune", false, "measure algorithm crossovers per device and write the table MPJ_COLL_TABLE points at (default ~/.mpj/colltab.json); -quick trims the sweep to a CI smoke")
 	flag.Parse()
 	if strings.EqualFold(*exp, "pingpong") {
 		*exp = "PP"
@@ -62,6 +72,23 @@ func main() {
 
 	if mpj.Main() {
 		return // never happens: mpjbench spawns no process slaves
+	}
+
+	if *tune {
+		path := os.Getenv(core.CollTableEnv)
+		if path == "" {
+			path = core.DefaultCollTablePath()
+		}
+		if path == "" {
+			log.Fatalf("tune: no output path (no home directory; set %s)", core.CollTableEnv)
+		}
+		t, err := bench.TuneAndWrite(path, *quick)
+		if err != nil {
+			log.Fatalf("tune: %v", err)
+		}
+		t.Print(os.Stdout)
+		fmt.Printf("  (crossover table written to %s and re-loaded ok)\n", path)
+		return
 	}
 
 	sizes := bench.DefaultSizes

@@ -16,8 +16,8 @@
 // eager/rendezvous protocol threshold in bytes (default: the client's
 // MPJ_EAGER_LIMIT environment variable, then each slave's own
 // MPJ_EAGER_LIMIT, then the built-in default). -coll-alg forces the
-// collective algorithm family on every slave (classic | segmented | ring;
-// auto restores size-based selection) and -coll-seg the pipelined
+// collective algorithm family on every slave (classic | segmented | ring
+// | hier; auto restores size-based selection) and -coll-seg the pipelined
 // schedules' segment size in bytes; both default to the client's
 // MPJ_COLL_ALG / MPJ_COLL_SEG and travel in the slave spec so all ranks
 // agree, as collective schedules require.
@@ -58,7 +58,7 @@ func main() {
 	binary := flag.String("binary", "", "slave executable (default: this binary)")
 	device := flag.String("device", os.Getenv("MPJ_DEVICE"), "transport device: chan, tcp or hyb (default: $MPJ_DEVICE, then hyb)")
 	eagerLimit := flag.Int("eager-limit", 0, "eager/rendezvous protocol threshold in bytes (default: $MPJ_EAGER_LIMIT, then each slave's default)")
-	collAlg := flag.String("coll-alg", os.Getenv("MPJ_COLL_ALG"), "collective algorithm family: auto, classic, segmented or ring (default: $MPJ_COLL_ALG, then auto)")
+	collAlg := flag.String("coll-alg", os.Getenv("MPJ_COLL_ALG"), "collective algorithm family: auto, classic, segmented, ring or hier (default: $MPJ_COLL_ALG, then auto)")
 	collSeg := flag.Int("coll-seg", 0, "segment size in bytes for pipelined collectives (default: $MPJ_COLL_SEG, then 32768)")
 	profSpec := flag.String("prof", os.Getenv("MPJ_PROF"), "instrumentation on every slave: counters or trace:<path-prefix> (default: $MPJ_PROF, then off)")
 	registrars := flag.String("registrars", "", "comma-separated registrar addresses (unicast discovery)")

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"mpj/internal/core"
@@ -53,33 +54,37 @@ func collIters(bytes int) int {
 
 // collAlgFor maps the sweep's algorithm column to the forced family: the
 // large-message path is called "segmented" where the pipelined chain runs
-// (bcast) and "ring" where the ring schedules run (allreduce, allgather).
+// (bcast) and "ring" where the ring schedules run (allreduce, allgather);
+// "hier" forces the two-level hierarchical schedules.
 func collAlgFor(name string) core.CollAlg {
 	switch name {
 	case "classic":
 		return core.CollAlgClassic
 	case "segmented":
 		return core.CollAlgSegmented
+	case "hier":
+		return core.CollAlgHier
 	default:
 		return core.CollAlgRing
 	}
 }
 
-// largeAlgName returns the sweep's name for the large-message algorithm of
-// an operation.
-func largeAlgName(op string) string {
-	if op == "bcast" {
-		return "segmented"
-	}
-	return "ring"
-}
+// jobRunner abstracts the mesh a measurement runs on: runJobHyb for the
+// co-located sweeps, a runJobHybGroups closure for the multi-group rows,
+// runJob for the tuner's chan-device sweeps.
+type jobRunner func(np int, fn func(w *core.Comm) error) error
 
-// measureColl times one collective configuration on an np-rank hyb job.
-func measureColl(op string, np, bytes int, algName string) (CollBenchRow, error) {
+// measureColl times one collective configuration on an np-rank job over
+// the given mesh. op may carry a layout suffix ("allreduce@2x4") that
+// labels the row; everything before '@' names the collective.
+func measureColl(run jobRunner, op string, np, bytes int, algName string) (CollBenchRow, error) {
 	row := CollBenchRow{Op: op, Alg: algName, NP: np, Bytes: bytes}
+	if i := strings.IndexByte(op, '@'); i >= 0 {
+		op = op[:i]
+	}
 	elems := bytes / 8
 	iters := collIters(bytes)
-	err := runJobHyb(np, func(w *core.Comm) error {
+	err := run(np, func(w *core.Comm) error {
 		w.SetCollAlg(collAlgFor(algName))
 		var body func() error
 		switch op {
@@ -130,27 +135,37 @@ func measureColl(op string, np, bytes int, algName string) (CollBenchRow, error)
 
 // CollAlgSweep generates the large-message collective algorithm table and
 // its JSON record. The acceptance rows are the 4 MiB Bcast and Allreduce
-// at np>=4: the segmented/ring schedules must run at >=2x the classic
-// trees' throughput.
+// at np>=4 — the segmented/ring schedules must run at >=2x the classic
+// trees' throughput — and the "@2x4" multi-group rows, where the
+// hierarchical family must beat both classic and segmented/ring at
+// >=1 MiB on a cyclic 2-group x 4-rank hybrid layout (intra-group chan,
+// inter-group localhost TCP).
 func CollAlgSweep(quick bool) (*Table, *CollBenchResult, error) {
 	type config struct {
-		op  string
-		nps []int
+		op     string
+		nps    []int
+		groups int      // 0: co-located hyb; >=2: cyclic multi-group hyb
+		algs   []string // non-classic algorithms to compare against classic
 	}
 	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	hierSizes := []int{1 << 20, 4 << 20}
 	configs := []config{
-		{"bcast", []int{4, 5, 8}},
-		{"allreduce", []int{4, 5, 8}},
-		{"allgather", []int{4}},
+		{"bcast", []int{4, 5, 8}, 0, []string{"segmented"}},
+		{"allreduce", []int{4, 5, 8}, 0, []string{"ring"}},
+		{"allgather", []int{4}, 0, []string{"ring"}},
+		{"bcast@2x4", []int{8}, 2, []string{"segmented", "hier"}},
+		{"allreduce@2x4", []int{8}, 2, []string{"ring", "hier"}},
 	}
 	if quick {
 		// The 1 MiB points: large enough that the speedup ratio is stable
 		// across runs (the CI regression gate compares ratios against the
 		// committed full sweep), small enough for a smoke step.
 		sizes = []int{1 << 20}
+		hierSizes = []int{1 << 20}
 		configs = []config{
-			{"bcast", []int{4}},
-			{"allreduce", []int{4}},
+			{"bcast", []int{4}, 0, []string{"segmented"}},
+			{"allreduce", []int{4}, 0, []string{"ring"}},
+			{"allreduce@2x4", []int{8}, 2, []string{"hier"}},
 		}
 	}
 
@@ -160,34 +175,51 @@ func CollAlgSweep(quick bool) (*Table, *CollBenchResult, error) {
 		Note: "float64 payloads, root 0, min of 3 reps. 'bytes' is the payload per rank " +
 			"(the full gathered vector for allgather); MiB/s divides it by ns/op (algorithm " +
 			"bandwidth). classic = binomial tree / recursive doubling or reduce+bcast moving " +
-			"whole payloads per edge; segmented = pipelined chain (32 KiB segments); ring = " +
-			"reduce-scatter+allgather resp. zero-staging block ring. Speedup ratios per " +
-			"(op, np, bytes) are the CI regression baseline for mpjbench -exp coll -quick",
+			"whole payloads per edge; segmented = pipelined chain/binomial (32 KiB segments); " +
+			"ring = segmented reduce-scatter+allgather resp. zero-staging block ring; hier = " +
+			"two-level locality schedule (intra-group phase + leader exchange). '@2x4' rows " +
+			"run a cyclic 2-group x 4-rank hybrid layout where inter-group hops cross real " +
+			"localhost TCP. Speedup ratios per (op, np, bytes, alg) are the CI regression " +
+			"baseline for mpjbench -exp coll -quick",
 	}
 	t := &Table{
-		Title:   "COLL: large-message collective algorithms, classic vs segmented/ring (hyb device)",
-		Headers: []string{"op", "np", "bytes", "classic ns/op", "classic MiB/s", "large alg", "large ns/op", "large MiB/s", "speedup"},
+		Title:   "COLL: large-message collective algorithms, classic vs segmented/ring/hier (hyb device)",
+		Headers: []string{"op", "np", "bytes", "classic ns/op", "classic MiB/s", "alg", "alg ns/op", "alg MiB/s", "speedup"},
 	}
 
 	for _, cfg := range configs {
+		run := runJobHyb
+		if cfg.groups >= 2 {
+			groups := cfg.groups
+			run = func(np int, fn func(w *core.Comm) error) error {
+				return runJobHybGroups(np, groups, fn)
+			}
+		}
+		szs := sizes
+		if cfg.groups >= 2 {
+			szs = hierSizes
+		}
 		for _, np := range cfg.nps {
-			for _, bytes := range sizes {
-				cl, err := measureColl(cfg.op, np, bytes, "classic")
+			for _, bytes := range szs {
+				cl, err := measureColl(run, cfg.op, np, bytes, "classic")
 				if err != nil {
 					return nil, nil, fmt.Errorf("coll %s np=%d bytes=%d classic: %w", cfg.op, np, bytes, err)
 				}
-				lg, err := measureColl(cfg.op, np, bytes, largeAlgName(cfg.op))
-				if err != nil {
-					return nil, nil, fmt.Errorf("coll %s np=%d bytes=%d %s: %w", cfg.op, np, bytes, largeAlgName(cfg.op), err)
+				res.Rows = append(res.Rows, cl)
+				for _, alg := range cfg.algs {
+					lg, err := measureColl(run, cfg.op, np, bytes, alg)
+					if err != nil {
+						return nil, nil, fmt.Errorf("coll %s np=%d bytes=%d %s: %w", cfg.op, np, bytes, alg, err)
+					}
+					res.Rows = append(res.Rows, lg)
+					t.Rows = append(t.Rows, Row{
+						cfg.op, fmt.Sprintf("%d", np), fmtSize(bytes),
+						fmtDur(time.Duration(cl.NsPerOp)), fmt.Sprintf("%.0f", cl.MiBps),
+						lg.Alg,
+						fmtDur(time.Duration(lg.NsPerOp)), fmt.Sprintf("%.0f", lg.MiBps),
+						fmt.Sprintf("%.2fx", cl.NsPerOp/lg.NsPerOp),
+					})
 				}
-				res.Rows = append(res.Rows, cl, lg)
-				t.Rows = append(t.Rows, Row{
-					cfg.op, fmt.Sprintf("%d", np), fmtSize(bytes),
-					fmtDur(time.Duration(cl.NsPerOp)), fmt.Sprintf("%.0f", cl.MiBps),
-					lg.Alg,
-					fmtDur(time.Duration(lg.NsPerOp)), fmt.Sprintf("%.0f", lg.MiBps),
-					fmt.Sprintf("%.2fx", cl.NsPerOp/lg.NsPerOp),
-				})
 			}
 		}
 	}
@@ -203,22 +235,25 @@ func MarshalCollResult(res *CollBenchResult) ([]byte, error) {
 	return append(js, '\n'), nil
 }
 
-// collSpeedups indexes classic-vs-large speedup ratios by configuration.
+// collSpeedups indexes classic-vs-alternative speedup ratios by
+// configuration. The key carries the non-classic algorithm's name, since
+// the multi-group rows compare several algorithms against the same
+// classic measurement.
 func collSpeedups(res *CollBenchResult) map[string]float64 {
 	classic := map[string]float64{}
-	large := map[string]float64{}
 	for _, r := range res.Rows {
-		key := fmt.Sprintf("%s/np%d/%d", r.Op, r.NP, r.Bytes)
 		if r.Alg == "classic" {
-			classic[key] = r.NsPerOp
-		} else {
-			large[key] = r.NsPerOp
+			classic[fmt.Sprintf("%s/np%d/%d", r.Op, r.NP, r.Bytes)] = r.NsPerOp
 		}
 	}
 	out := map[string]float64{}
-	for key, cns := range classic {
-		if lns, ok := large[key]; ok && lns > 0 {
-			out[key] = cns / lns
+	for _, r := range res.Rows {
+		if r.Alg == "classic" || r.NsPerOp <= 0 {
+			continue
+		}
+		key := fmt.Sprintf("%s/np%d/%d", r.Op, r.NP, r.Bytes)
+		if cns, ok := classic[key]; ok {
+			out[key+"/"+r.Alg] = cns / r.NsPerOp
 		}
 	}
 	return out

@@ -27,6 +27,11 @@ const (
 	// rank moves ~2·n bytes regardless of size) and correct for any
 	// communicator size, including non-powers-of-two.
 	AllreduceRing
+	// AllreduceHier reduces inside each locality group, allreduces among
+	// the group leaders and broadcasts back — only one partial and one
+	// result per group cross the expensive inter-group links (hier.go).
+	// Requires a comm spanning ≥2 locality groups.
+	AllreduceHier
 )
 
 // collIsend starts a raw byte send on the collective context. dst is a
@@ -203,11 +208,16 @@ func (c *Comm) Allreduce(sbuf any, soff int, rbuf any, roff, count int, dt Datat
 }
 
 // autoAllreduceAlg is the measured algorithm selection behind
-// Allreduce/Iallreduce: ring for large fixed-size payloads, recursive
-// doubling for small power-of-two communicators, reduce+broadcast
-// otherwise.
+// Allreduce/Iallreduce: the two-level hierarchical schedule on comms
+// spanning locality groups, ring for large fixed-size payloads,
+// recursive doubling for small power-of-two communicators,
+// reduce+broadcast otherwise.
 func (c *Comm) autoAllreduceAlg(count int, dt Datatype) AllreduceAlgorithm {
-	if sz := dt.ByteSize(); sz > 0 && count > 0 && c.collLarge(count*sz) {
+	sz := dt.ByteSize()
+	if sz > 0 && count > 0 && c.Size() > 1 && c.collHier(count*sz) {
+		return AllreduceHier
+	}
+	if sz > 0 && count > 0 && c.collLarge(count*sz) {
 		return AllreduceRing
 	}
 	if size := c.Size(); size&(size-1) == 0 {

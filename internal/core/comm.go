@@ -36,9 +36,12 @@ type procState struct {
 
 	// Process-wide collective tuning defaults, read from MPJ_COLL_ALG /
 	// MPJ_COLL_SEG at NewWorld; per-communicator overrides live on Comm
-	// (see collalg.go).
+	// (see collalg.go). collDev is this device's entry in the measured
+	// crossover table (MPJ_COLL_TABLE / ~/.mpj/colltab.json, resolved once
+	// at NewWorld; nil when absent — built-in constants apply).
 	collAlg CollAlg
 	collSeg int
+	collDev *DeviceCrossovers
 
 	abort func(code int) // installed by the runtime; see SetAbortHandler
 
@@ -103,6 +106,14 @@ type Comm struct {
 	// communicator, so ProfSnapshot covers one-sided traffic too. Guarded
 	// by proc.mu.
 	winCtxs []int
+
+	// Locality layout (see hier.go): locKeys is the synthetic per-member
+	// override installed by SetLocalityTable, locView the cached group
+	// structure computed from it (or from the device's bootstrap table).
+	// Guarded by locMu.
+	locMu   sync.Mutex
+	locKeys []string
+	locView *locView
 }
 
 // NewWorld builds the world communicator over an opened device, taking
@@ -126,6 +137,10 @@ func NewWorld(dev *device.Device) (*Comm, error) {
 	if proc.collSeg, err = ParseCollSegSize(os.Getenv("MPJ_COLL_SEG")); err != nil {
 		return nil, fmt.Errorf("MPJ_COLL_SEG: %w", err)
 	}
+	// The measured crossover table, unlike the env knobs above, never
+	// fails a job: it is a cached tuning artifact, and a missing or
+	// malformed one simply leaves the built-in constants in force.
+	proc.collDev = loadCollTableEnv().deviceCrossovers(dev.Name())
 	w := &Comm{
 		dev:   dev,
 		proc:  proc,

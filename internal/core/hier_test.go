@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"mpj/internal/transport"
+)
+
+// hierJobSeq hands out process-unique hybrid job ids for the hierarchy tests.
+var hierJobSeq atomic.Uint64
+
+func viewGroups(v *locView) string { return fmt.Sprint(v.groups) }
+
+// buildLocView is the pure heart of the hierarchical family: it turns a
+// locality key table into ordered groups and decides whether the layout is
+// worth a two-level schedule.
+func TestBuildLocView(t *testing.T) {
+	cases := []struct {
+		name   string
+		size   int
+		keys   []string
+		groups string
+		multi  bool
+	}{
+		{"nil table is one flat group", 4, nil, "[[0 1 2 3]]", false},
+		{"short table is one flat group", 4, []string{"A", "B"}, "[[0 1 2 3]]", false},
+		{"all distinct keys are singletons", 3, []string{"A", "B", "C"}, "[[0] [1] [2]]", false},
+		{"uniform keys are one group", 3, []string{"A", "A", "A"}, "[[0 1 2]]", false},
+		{"interleaved", 4, []string{"A", "B", "A", "B"}, "[[0 2] [1 3]]", true},
+		{"uneven three groups", 5, []string{"A", "A", "B", "C", "B"}, "[[0 1] [2 4] [3]]", true},
+		{"blocked 2x4", 8, []string{"A", "A", "A", "A", "B", "B", "B", "B"}, "[[0 1 2 3] [4 5 6 7]]", true},
+		{"empty keys are unknown singletons", 4, []string{"A", "", "A", ""}, "[[0 2] [1] [3]]", true},
+		{"all empty keys never co-locate", 3, []string{"", "", ""}, "[[0] [1] [2]]", false},
+	}
+	for _, tc := range cases {
+		v := buildLocView(tc.size, tc.keys)
+		if got := viewGroups(v); got != tc.groups {
+			t.Errorf("%s: groups = %s, want %s", tc.name, got, tc.groups)
+		}
+		if v.multi() != tc.multi {
+			t.Errorf("%s: multi() = %v, want %v", tc.name, v.multi(), tc.multi)
+		}
+		for g, members := range v.groups {
+			for _, r := range members {
+				if v.groupOf[r] != g {
+					t.Errorf("%s: groupOf[%d] = %d, want %d", tc.name, r, v.groupOf[r], g)
+				}
+			}
+		}
+	}
+}
+
+// SetLocalityTable feeds the exposure accessors: LocalityGroup and
+// LocalityLeaders produce Groups that Create turns into working intra- and
+// inter-locality communicators.
+func TestLocalityGroupsAndLeaders(t *testing.T) {
+	runRanks(t, 4, func(w *Comm) error {
+		keys := []string{"A", "B", "A", "B"}
+		w.SetLocalityTable(keys)
+
+		got := w.LocalityTable()
+		for i := range keys {
+			if got[i] != keys[i] {
+				return expect(false, "LocalityTable()[%d] = %q", i, got[i])
+			}
+		}
+
+		lg, err := w.LocalityGroup()
+		if err != nil {
+			return err
+		}
+		wantLocal := [][]int{{0, 2}, {1, 3}, {0, 2}, {1, 3}}[w.Rank()]
+		if fmt.Sprint(lg.Ranks()) != fmt.Sprint(wantLocal) {
+			return expect(false, "LocalityGroup ranks = %v, want %v", lg.Ranks(), wantLocal)
+		}
+
+		local, err := w.Create(lg)
+		if err != nil {
+			return err
+		}
+		if local == nil || local.Size() != 2 {
+			return expect(false, "local comm %v", local)
+		}
+		s := []int32{int32(w.Rank())}
+		r := make([]int32, 1)
+		if err := local.Allreduce(s, 0, r, 0, 1, Int, SumOp); err != nil {
+			return err
+		}
+		if want := int32(w.Rank() + (w.Rank()+2)%4); r[0] != want {
+			return expect(false, "intra-group allreduce = %d, want %d", r[0], want)
+		}
+
+		ldr, err := w.LocalityLeaders()
+		if err != nil {
+			return err
+		}
+		if fmt.Sprint(ldr.Ranks()) != "[0 1]" {
+			return expect(false, "leaders = %v, want [0 1]", ldr.Ranks())
+		}
+		leaders, err := w.Create(ldr)
+		if err != nil {
+			return err
+		}
+		if w.Rank() <= 1 {
+			if leaders == nil || leaders.Size() != 2 {
+				return expect(false, "leader comm %v on rank %d", leaders, w.Rank())
+			}
+		} else if leaders != nil {
+			return expect(false, "rank %d is not a leader but got a comm", w.Rank())
+		}
+
+		w.SetLocalityTable(nil)
+		return nil
+	})
+}
+
+func TestSetLocalityTablePanicsOnLength(t *testing.T) {
+	runRanks(t, 2, func(w *Comm) error {
+		if w.Rank() == 0 {
+			mustPanic(t, "SetLocalityTable(short)", func() { w.SetLocalityTable([]string{"A"}) })
+		}
+		return nil
+	})
+}
+
+// hierLayouts are the synthetic locality tables the correctness sweep runs
+// on: an interleaved pair, an uneven three-group table and a blocked 2x4.
+var hierLayouts = []struct {
+	name string
+	np   int
+	keys []string
+}{
+	{"interleaved-2x2", 4, []string{"A", "B", "A", "B"}},
+	{"uneven-3g", 5, []string{"A", "A", "B", "C", "B"}},
+	{"blocked-2x4", 8, []string{"A", "A", "A", "A", "B", "B", "B", "B"}},
+}
+
+// hierSweep runs every collective the hierarchical family compiles —
+// barrier, rooted and non-rooted, small and pipelined-large payloads,
+// zero and non-zero roots — and checks results against the classic
+// single-level answer computed independently.
+func hierSweep(w *Comm, tag string) error {
+	np := w.Size()
+
+	if err := w.Barrier(); err != nil {
+		return fmt.Errorf("%s barrier: %w", tag, err)
+	}
+
+	for _, n := range []int{64, 24 << 10} { // 512 B and 192 KiB of float64
+		for _, root := range []int{0, np - 1} {
+			buf := make([]float64, n)
+			if w.Rank() == root {
+				for i := range buf {
+					buf[i] = float64(root*1000 + i%613)
+				}
+			}
+			if err := w.Bcast(buf, 0, n, Double, root); err != nil {
+				return fmt.Errorf("%s bcast n=%d root=%d: %w", tag, n, root, err)
+			}
+			for i := 0; i < n; i += 61 {
+				if want := float64(root*1000 + i%613); buf[i] != want {
+					return fmt.Errorf("%s bcast n=%d root=%d: buf[%d] = %v, want %v", tag, n, root, i, buf[i], want)
+				}
+			}
+		}
+	}
+
+	const rn = 2048
+	sbuf := make([]float64, rn)
+	for i := range sbuf {
+		sbuf[i] = float64((w.Rank()+1)*100000 + i)
+	}
+	sum := func(i int) float64 {
+		var s float64
+		for r := 0; r < np; r++ {
+			s += float64((r+1)*100000 + i)
+		}
+		return s
+	}
+
+	for _, root := range []int{0, np / 2} {
+		red := make([]float64, rn)
+		if err := w.Reduce(sbuf, 0, red, 0, rn, Double, SumOp, root); err != nil {
+			return fmt.Errorf("%s reduce root=%d: %w", tag, root, err)
+		}
+		if w.Rank() == root {
+			for i := 0; i < rn; i += 37 {
+				if red[i] != sum(i) {
+					return fmt.Errorf("%s reduce root=%d: red[%d] = %v, want %v", tag, root, i, red[i], sum(i))
+				}
+			}
+		}
+	}
+
+	ar := make([]float64, rn)
+	if err := w.Allreduce(sbuf, 0, ar, 0, rn, Double, SumOp); err != nil {
+		return fmt.Errorf("%s allreduce: %w", tag, err)
+	}
+	for i := 0; i < rn; i += 37 {
+		if ar[i] != sum(i) {
+			return fmt.Errorf("%s allreduce: ar[%d] = %v, want %v", tag, i, ar[i], sum(i))
+		}
+	}
+
+	for _, gc := range []int{16, 8 << 10} { // small and pipelined-large gather blocks
+		gs := make([]float64, gc)
+		for i := range gs {
+			gs[i] = float64(w.Rank()*gc + i)
+		}
+		gr := make([]float64, np*gc)
+		if err := w.Allgather(gs, 0, gc, Double, gr, 0, gc, Double); err != nil {
+			return fmt.Errorf("%s allgather gc=%d: %w", tag, gc, err)
+		}
+		for i := 0; i < np*gc; i += 29 {
+			if gr[i] != float64(i) {
+				return fmt.Errorf("%s allgather gc=%d: gr[%d] = %v, want %v", tag, gc, i, gr[i], float64(i))
+			}
+		}
+	}
+
+	return w.Barrier()
+}
+
+// Forced CollAlgHier on synthetic multi-group layouts must produce the
+// same results as classic, for every collective and layout; the same
+// sweep under auto exercises the auto-dispatch path (collHier) since a
+// spanning layout auto-selects the hierarchical family by default.
+func TestHierCollectivesChan(t *testing.T) {
+	for _, lay := range hierLayouts {
+		lay := lay
+		t.Run(lay.name, func(t *testing.T) {
+			runRanks(t, lay.np, func(w *Comm) error {
+				w.SetLocalityTable(lay.keys)
+				if !w.localityView().multi() {
+					return expect(false, "layout %v not multi", lay.keys)
+				}
+				w.SetCollAlg(CollAlgHier)
+				if err := hierSweep(w, "forced"); err != nil {
+					return err
+				}
+				w.SetCollAlg(CollAlgAuto)
+				return hierSweep(w, "auto")
+			})
+		})
+	}
+}
+
+// Forcing the hierarchical family on a comm that does not span locality
+// groups falls back to classic/auto schedules (force is a family
+// preference); explicitly requesting AllreduceHier there errors instead.
+func TestHierFlatFallback(t *testing.T) {
+	runRanks(t, 3, func(w *Comm) error {
+		w.SetCollAlg(CollAlgHier)
+		s := []int32{int32(w.Rank() + 1)}
+		r := make([]int32, 1)
+		if err := w.Allreduce(s, 0, r, 0, 1, Int, SumOp); err != nil {
+			return err
+		}
+		if r[0] != 6 {
+			return expect(false, "flat forced-hier allreduce = %d", r[0])
+		}
+		w.SetCollAlg(CollAlgAuto)
+		err := w.AllreduceWith(AllreduceHier, s, 0, r, 0, 1, Int, SumOp)
+		if err == nil {
+			return expect(false, "AllreduceWith(AllreduceHier) on flat comm: no error")
+		}
+		return nil
+	})
+}
+
+// Real hybrid mesh spanning two locality groups inside one process: the
+// synthetic keys split the ranks so that intra-group traffic rides the
+// channel mesh and inter-group traffic crosses genuine localhost TCP.
+func TestHierCollectivesHybTCP(t *testing.T) {
+	const np = 4
+	keys := []string{"A", "B", "A", "B"}
+
+	lns := make([]net.Listener, np)
+	addrs := make([]string, np)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		defer ln.Close()
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	jobID := 0x41e6<<32 | hierJobSeq.Add(1)
+
+	runRanksOn(t, np, func(i int) (transport.Transport, error) {
+		return transport.NewHybTransport(transport.HybConfig{
+			Rank: i, JobID: jobID, Locs: keys, Addrs: addrs, Listener: lns[i],
+		})
+	}, func(w *Comm) error {
+		// No SetLocalityTable here: the view must come from the device's
+		// bootstrap table through the transport's LocalityTable().
+		tab := w.LocalityTable()
+		if tab == nil {
+			return expect(false, "hyb device exposed no locality table")
+		}
+		if !w.localityView().multi() {
+			return expect(false, "hyb locality view %v not multi", tab)
+		}
+		w.SetCollAlg(CollAlgHier)
+		if err := hierSweep(w, "hyb-forced"); err != nil {
+			return err
+		}
+		w.SetCollAlg(CollAlgAuto)
+		return hierSweep(w, "hyb-auto")
+	})
+}

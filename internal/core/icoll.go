@@ -245,6 +245,70 @@ func ringAllreduceRounds(c *Comm, acc, scratch []byte, elem int, comb combiner) 
 	return rs
 }
 
+// ringAllreduceSegRounds is ringAllreduceRounds with the chunks pipelined
+// inside every ring step: instead of one whole-chunk store-and-forward
+// per step, each step streams its chunk as seg-byte segments (seg is
+// element-aligned), so a rank starts combining — and its neighbour
+// forwarding — after one segment instead of one chunk. Neighbours run
+// one segment apart rather than one chunk apart, which matters once
+// chunks (≈ len(acc)/p) grow well past the segment size; below that the
+// un-segmented schedule is used (see iallreduceRing). The per-step
+// send/recv segment counts can differ by one when adjacent chunks round
+// differently; rounds carrying only the longer side keep both rings
+// aligned.
+func ringAllreduceSegRounds(c *Comm, acc, scratch []byte, elem int, comb combiner, seg int) []round {
+	size := c.Size()
+	n := len(acc) / elem
+	bound := func(i int) int { return i * n / size * elem }
+	chunk := func(i int) []byte {
+		i = (i%size + size) % size
+		return acc[bound(i):bound(i+1)]
+	}
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	var rs []round
+	// Reduce-scatter: in step s segment k of the partial of chunk rank-s
+	// goes right while segment k of chunk rank-s-1 arrives and folds in.
+	for s := 0; s < size-1; s++ {
+		send := chunk(c.rank - s)
+		dst := chunk(c.rank - s - 1)
+		sendSegs, recvSegs := segCount(len(send), seg), segCount(len(dst), seg)
+		for k := 0; k < max(sendSegs, recvSegs); k++ {
+			var rd round
+			if k < recvSegs {
+				dseg := segOf(dst, k, seg)
+				rd.recvs = []recvStep{{from: left, buf: scratch[:len(dseg)], on: func(got []byte) error {
+					return comb(got, dseg)
+				}}}
+			}
+			if k < sendSegs {
+				sseg := segOf(send, k, seg)
+				rd.sends = []sendStep{{to: right, data: func() []byte { return sseg }}}
+			}
+			rs = append(rs, rd)
+		}
+	}
+	// Allgather: the reduced chunks circulate back, landing segment by
+	// segment straight in their final places.
+	for s := 0; s < size-1; s++ {
+		send := chunk(c.rank + 1 - s)
+		dst := chunk(c.rank - s)
+		sendSegs, recvSegs := segCount(len(send), seg), segCount(len(dst), seg)
+		for k := 0; k < max(sendSegs, recvSegs); k++ {
+			var rd round
+			if k < recvSegs {
+				rd.recvs = []recvStep{{from: left, buf: segOf(dst, k, seg)}}
+			}
+			if k < sendSegs {
+				sseg := segOf(send, k, seg)
+				rd.sends = []sendStep{{to: right, data: func() []byte { return sseg }}}
+			}
+			rs = append(rs, rd)
+		}
+	}
+	return rs
+}
+
 // reduceRounds compiles the binomial-tree reduction toward root: acc
 // starts as this rank's packed contribution; child contributions are
 // folded in with comb round by round, and a non-zero vrank finishes by
@@ -304,6 +368,12 @@ func (c *Comm) Ibarrier() (*CollRequest, error) {
 }
 
 func (c *Comm) ibarrier(name string, tag int) (*CollRequest, error) {
+	// On a comm spanning locality groups the two-level barrier crosses
+	// the expensive links twice per leader instead of every dissemination
+	// round (hier.go).
+	if c.collHier(0) {
+		return c.newCollRequestAlg(name, tag, "hier", 0, c.ihbarrierRounds(), nil)
+	}
 	return c.newCollRequest(name, tag, barrierRounds(c), nil)
 }
 
@@ -318,11 +388,17 @@ func (c *Comm) ibcast(name string, tag int, buf any, off, count int, dt Datatype
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
-	// Large fixed-size payloads stream down a segmented, pipelined chain
-	// (see collalg.go for the selection knobs); everything else rides the
-	// classic binomial tree.
-	if sz := dt.ByteSize(); sz > 0 && count > 0 && c.Size() > 1 && c.collLarge(count*sz) {
-		return c.ibcastPipelined(name, tag, buf, off, count, dt, count*sz, root)
+	// Comms spanning locality groups take the two-level schedule (hier.go);
+	// large fixed-size payloads stream down a segmented pipeline (binomial
+	// in the mid-size band, chain above it — see collalg.go for the
+	// selection knobs); everything else rides the classic binomial tree.
+	if sz := dt.ByteSize(); sz > 0 && count > 0 && c.Size() > 1 {
+		if c.collHier(count * sz) {
+			return c.ihbcast(name, tag, buf, off, count, dt, count*sz, root)
+		}
+		if c.collLarge(count * sz) {
+			return c.ibcastPipelined(name, tag, buf, off, count, dt, count*sz, root)
+		}
 	}
 	cl := &cell{}
 	if c.rank == root {
@@ -358,7 +434,9 @@ func (c *Comm) ibcast(name string, tag int, buf any, off, count int, dt Datatype
 	return req, err
 }
 
-// ibcastPipelined compiles the segmented chain broadcast. For raw-layout
+// ibcastPipelined compiles the segmented broadcast — the pipelined
+// binomial tree in the mid-size band, the pipelined chain above it (see
+// collBinPipe and the bin_pipe_* table knobs). For raw-layout
 // datatypes the user buffer itself is the assembly space — the root streams
 // segments straight out of it and every other rank receives them straight
 // into it, no packing or staging at all; other fixed-size datatypes stage
@@ -407,8 +485,15 @@ func (c *Comm) ibcastPipelined(name string, tag int, buf any, off, count int, dt
 		}
 	}
 	seg := c.collSegSize()
-	rounds := pipeChainRounds(c, asm, root, seg)
-	req, err := c.newCollRequestAlg(name, tag, "chain-pipelined", segCount(total, seg), rounds, finish)
+	var rounds []round
+	algName := "chain-pipelined"
+	if c.collBinPipe(total) {
+		rounds = pipeBinomialRounds(c, asm, root, seg)
+		algName = "binomial-pipelined"
+	} else {
+		rounds = pipeChainRounds(c, asm, root, seg)
+	}
+	req, err := c.newCollRequestAlg(name, tag, algName, segCount(total, seg), rounds, finish)
 	if err == nil {
 		// Cacheable: the chain streams slices of asm, which is either user
 		// memory (raw windows, re-read per activation), non-root staging
@@ -657,6 +742,11 @@ func (c *Comm) Iallgather(sbuf any, soff, scount int, sdt Datatype,
 func (c *Comm) iallgather(name string, tag int, sbuf any, soff, scount int, sdt Datatype,
 	rbuf any, roff, rcount int, rdt Datatype) (*CollRequest, error) {
 	size := c.Size()
+	// Comms spanning locality groups batch blocks through group leaders
+	// so each block crosses the expensive links once (hier.go).
+	if sz := rdt.ByteSize(); sz > 0 && rcount > 0 && size > 1 && c.collHier(size*rcount*sz) {
+		return c.ihallgather(name, tag, sbuf, soff, scount, sdt, rbuf, roff, rcount, rdt)
+	}
 	// Large fixed-size payloads whose receive buffer exposes a raw window
 	// ride the zero-staging ring: blocks circulate straight between user
 	// buffers, no per-hop adopt-and-unpack copies.
@@ -778,7 +868,17 @@ func (c *Comm) ireduce(name string, tag int, sbuf any, soff int, rbuf any, roff,
 			return err
 		}
 	}
-	req, err := c.newCollRequest(name, tag, reduceRounds(c, acc, comb, root), finish)
+	// Comms spanning locality groups reduce inside each group first so
+	// only one partial per group crosses the expensive links (hier.go).
+	var rounds []round
+	algName := "binomial"
+	if c.collHier(len(data)) {
+		rounds = c.ihreduceRounds(acc, comb, root)
+		algName = "hier"
+	} else {
+		rounds = reduceRounds(c, acc, comb, root)
+	}
+	req, err := c.newCollRequestAlg(name, tag, algName, 0, rounds, finish)
 	if err == nil {
 		// Cacheable: reset restarts the accumulator from this rank's
 		// freshly packed contribution before child partials fold in.
@@ -841,6 +941,12 @@ func (c *Comm) iallreduce(name string, tag int, alg AllreduceAlgorithm, sbuf any
 		// acc is overwritten by its tree parent before it forwards.
 		rounds = append(reduceRounds(c, acc, comb, 0), bcastRounds(c, acc, 0)...)
 		algName = "reduce-bcast"
+	case AllreduceHier:
+		if !c.localityView().multi() {
+			return nil, fmt.Errorf("%w: hierarchical allreduce requires a comm spanning locality groups", ErrComm)
+		}
+		rounds = c.ihallreduceRounds(acc, comb)
+		algName = "hier"
 	default:
 		return nil, fmt.Errorf("%w: unknown allreduce algorithm %d", ErrOther, alg)
 	}
@@ -902,8 +1008,25 @@ func (c *Comm) iallreduceRing(name string, tag int, sbuf any, soff int, rbuf any
 	}
 	n := len(acc) / elem
 	size := c.Size()
-	scratch := wire.GetBuf((n + size - 1) / size * elem) // chunk sizes differ by at most one element
-	rounds := ringAllreduceRounds(c, acc, scratch, elem, comb)
+	maxChunk := (n + size - 1) / size * elem // chunk sizes differ by at most one element
+	scratch := wire.GetBuf(maxChunk)
+	// Once chunks outgrow the pipeline segment size, stream them as
+	// segments inside each ring step (ringAllreduceSegRounds): all ranks
+	// compute the same n/size/seg, so the choice agrees everywhere.
+	seg := c.collSegSize()
+	if seg < elem {
+		seg = elem
+	} else {
+		seg -= seg % elem
+	}
+	var rounds []round
+	algName, nseg := "ring", 0
+	if maxChunk >= 2*seg {
+		rounds = ringAllreduceSegRounds(c, acc, scratch, elem, comb, seg)
+		algName, nseg = "ring-segmented", segCount(len(acc), seg)
+	} else {
+		rounds = ringAllreduceRounds(c, acc, scratch, elem, comb)
+	}
 	finish := func() error {
 		wire.PutBuf(scratch)
 		if unpack != nil {
@@ -911,7 +1034,7 @@ func (c *Comm) iallreduceRing(name string, tag int, sbuf any, soff int, rbuf any
 		}
 		return nil
 	}
-	return c.newCollRequestAlg(name, tag, "ring", 0, rounds, finish)
+	return c.newCollRequestAlg(name, tag, algName, nseg, rounds, finish)
 }
 
 // Ialltoall starts a non-blocking all-to-all personalized exchange: a

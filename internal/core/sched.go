@@ -616,3 +616,50 @@ func pipeChainRounds(c *Comm, buf []byte, root, seg int) []round {
 	}
 	return rs
 }
+
+// pipeBinomialRounds compiles the segmented, pipelined *binomial*
+// broadcast: the binomial tree of bcastRounds, but streaming seg-byte
+// segments down every tree edge instead of whole payloads. In round t a
+// non-root rank receives segment t from its tree parent while forwarding
+// segment t-1 to all of its binomial children. The pipeline fills in
+// depth (≈ log2 p) segment times instead of the chain's p-1, which wins
+// the mid-size band (the 64–256 KiB dip in BENCH_coll.json) where fill
+// latency still matters, at the cost of interior nodes sending each
+// segment to several children. buf has pipeChainRounds's contract.
+func pipeBinomialRounds(c *Comm, buf []byte, root, seg int) []round {
+	size := c.Size()
+	nseg := segCount(len(buf), seg)
+	if size == 1 || nseg == 0 {
+		return nil
+	}
+	vrank := (c.rank - root + size) % size
+	lb := pow2ceil(size)
+	parent := -1
+	if vrank != 0 {
+		lb = lowbit(vrank)
+		parent = (vrank - lb + root) % size
+	}
+	var children []int
+	for m := lb >> 1; m > 0; m >>= 1 {
+		if vrank+m < size {
+			children = append(children, (vrank+m+root)%size)
+		}
+	}
+	var rs []round
+	for t := 0; t <= nseg; t++ {
+		var rd round
+		if parent >= 0 && t < nseg {
+			rd.recvs = []recvStep{{from: parent, buf: segOf(buf, t, seg)}}
+		}
+		if len(children) > 0 && t > 0 {
+			data := segOf(buf, t-1, seg)
+			for _, ch := range children {
+				rd.sends = append(rd.sends, sendStep{to: ch, data: func() []byte { return data }})
+			}
+		}
+		if len(rd.recvs)+len(rd.sends) > 0 {
+			rs = append(rs, rd)
+		}
+	}
+	return rs
+}

@@ -41,6 +41,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"time"
@@ -438,6 +439,16 @@ func (w *Win) opSetup(name string, dt Datatype, count, target, tdisp int) (boff,
 	}
 	boff = tdisp * w.peerDisp[target] * w.elemSize
 	nbytes = count * sz
+	// RMA byte counts ride the wire in int32 header fields (KindRmaGet
+	// carries the requested length in Tag, the data kinds carry it in Len),
+	// so a transfer of >= 2 GiB would silently truncate on encode. Reject
+	// it here, before the bounds check, so every entry point — Put, Get,
+	// Accumulate and the FetchAndOp/CompareAndSwap reply sizing — fails
+	// loudly with ErrArg instead.
+	if nbytes > math.MaxInt32 {
+		return fail(fmt.Errorf("%w: %d-byte transfer exceeds the %d-byte RMA wire limit (int32 header fields)",
+			ErrArg, nbytes, math.MaxInt32))
+	}
 	if boff+nbytes > w.peerSlots[target]*w.elemSize {
 		return fail(fmt.Errorf("%w: target block [%d:%d) outside rank %d's %d-element window",
 			ErrArg, boff/w.elemSize, (boff+nbytes)/w.elemSize, target, w.peerSlots[target]))

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// RMA byte counts travel in int32 header fields (KindRmaGet carries the
+// requested length in Tag, the data kinds carry it in Len). opSetup must
+// therefore reject any transfer of >= 2 GiB with ErrArg before a schedule
+// is built, for every entry point: Put, Get, Accumulate, and the
+// FetchAndOp/CompareAndSwap reply sizing.
+func TestWinRejectsOversizedTransfers(t *testing.T) {
+	// (1<<28)+1 longs = 2 GiB + 8 bytes: just over the int32 wire limit.
+	// The guard fires before any buffer bounds check, so a tiny origin
+	// buffer is fine — no 2 GiB allocation happens.
+	const hugeCount = (1 << 28) + 1
+
+	runRanksWin(t, "chan", 2, func(w *Comm) error {
+		buf := make([]int64, 4)
+		win, err := w.WinCreate(buf, 1)
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		if err := win.Fence(); err != nil {
+			return err
+		}
+
+		target := (w.Rank() + 1) % w.Size()
+		small := make([]int64, 4)
+
+		if err := win.Get(small, 0, hugeCount, Long, target, 0); !errors.Is(err, ErrArg) {
+			return expect(false, "Get(huge): err = %v, want ErrArg", err)
+		}
+		if err := win.Put(small, 0, hugeCount, Long, target, 0); !errors.Is(err, ErrArg) {
+			return expect(false, "Put(huge): err = %v, want ErrArg", err)
+		}
+		if err := win.Accumulate(small, 0, hugeCount, Long, target, 0, SumOp); !errors.Is(err, ErrArg) {
+			return expect(false, "Accumulate(huge): err = %v, want ErrArg", err)
+		}
+
+		// Sane transfers still work after the rejections.
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		got := make([]int64, 4)
+		if err := win.Get(got, 0, 4, Long, target, 0); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		return nil
+	})
+}

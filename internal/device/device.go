@@ -302,6 +302,28 @@ func (d *Device) Stats() *Stats { return &d.stats }
 // benchmarks use it to observe which device (chan/tcp/hyb) a job selected.
 func (d *Device) Transport() transport.Transport { return d.t }
 
+// Name identifies the transport flavor ("chan", "tcp", "hyb") when the
+// transport declares one; "" otherwise. Keys the measured collective
+// crossover tables.
+func (d *Device) Name() string {
+	if n, ok := d.t.(interface{ DeviceName() string }); ok {
+		return n.DeviceName()
+	}
+	return ""
+}
+
+// LocalityTable exposes the per-rank locality keys the bootstrap handed
+// the transport, or nil when the transport has no locality knowledge
+// (chan and tcp meshes — one flat group). Entry i is rank i's key; equal
+// non-empty keys mean co-located ranks. The topology-aware hierarchical
+// collectives group ranks by it.
+func (d *Device) LocalityTable() []string {
+	if lt, ok := d.t.(interface{ LocalityTable() []string }); ok {
+		return lt.LocalityTable()
+	}
+	return nil
+}
+
 // Profiler returns the attached instrumentation recorder, or nil when
 // profiling is off. The field is set once at Open and never mutated, so
 // the read is safe from any goroutine.

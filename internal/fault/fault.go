@@ -202,6 +202,26 @@ func (ep *Endpoint) Rank() int { return ep.inner.Rank() }
 // Size returns the inner endpoint's job size.
 func (ep *Endpoint) Size() int { return ep.inner.Size() }
 
+// LocalityTable forwards the inner transport's per-rank locality keys so
+// the topology-aware collectives keep their layout view under fault
+// injection. (Local is deliberately NOT forwarded: advertising co-located
+// peers would route RMA around the injector's frame interception.)
+func (ep *Endpoint) LocalityTable() []string {
+	if lt, ok := ep.inner.(interface{ LocalityTable() []string }); ok {
+		return lt.LocalityTable()
+	}
+	return nil
+}
+
+// DeviceName forwards the inner transport's device name so measured
+// tuning tables still apply under fault injection.
+func (ep *Endpoint) DeviceName() string {
+	if n, ok := ep.inner.(interface{ DeviceName() string }); ok {
+		return n.DeviceName()
+	}
+	return ""
+}
+
 // Send forwards the frame unless the domain says otherwise: frames to or
 // from killed ranks (and from muted ranks) are swallowed — returned to
 // the frame pool, never delivered and never an error, exactly as if they

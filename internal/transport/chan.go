@@ -78,6 +78,9 @@ func (t *ChanTransport) Size() int { return t.size }
 // direct-memory path for one-sided operations.
 func (t *ChanTransport) Local(dst int) bool { return dst >= 0 && dst < t.size }
 
+// DeviceName identifies the transport flavor for measured tuning tables.
+func (t *ChanTransport) DeviceName() string { return "chan" }
+
 // SetHandler installs the inbound frame handler.
 func (t *ChanTransport) SetHandler(h Handler) { t.handler = h }
 

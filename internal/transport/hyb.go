@@ -25,7 +25,8 @@ type HybTransport struct {
 	size  int
 	jobID uint64
 	loc   string
-	local []bool // local[i]: rank i shares this process, route via ch
+	local []bool   // local[i]: rank i shares this process, route via ch
+	locs  []string // per-rank locality keys from the bootstrap (LocalityTable)
 
 	ch  *ChanTransport // shared-process mesh endpoint (always present; carries loopback)
 	tcp *TCPTransport  // nil when every rank is co-located
@@ -105,12 +106,16 @@ func NewHybTransport(cfg HybConfig) (*HybTransport, error) {
 		}
 	}
 
+	locs := make([]string, size)
+	copy(locs, cfg.Locs)
+	locs[cfg.Rank] = loc
 	t := &HybTransport{
 		rank:  cfg.Rank,
 		size:  size,
 		jobID: cfg.JobID,
 		loc:   loc,
 		local: local,
+		locs:  locs,
 	}
 	ch, err := processHub.join(cfg.JobID, size, cfg.Rank, t)
 	if err != nil {
@@ -142,6 +147,19 @@ func (t *HybTransport) Size() int { return t.size }
 func (t *HybTransport) Local(dst int) bool {
 	return dst >= 0 && dst < t.size && t.local[dst]
 }
+
+// LocalityTable returns the per-rank locality keys the bootstrap
+// distributed to this endpoint (a copy; entry i is rank i's key, "" for
+// ranks whose key never reached us). Ranks with equal non-empty keys are
+// co-located; the topology-aware collectives group by it.
+func (t *HybTransport) LocalityTable() []string {
+	out := make([]string, len(t.locs))
+	copy(out, t.locs)
+	return out
+}
+
+// DeviceName identifies the transport flavor for measured tuning tables.
+func (t *HybTransport) DeviceName() string { return "hyb" }
 
 // SetHandler installs the inbound frame handler on both halves; frames
 // arrive with their sender's absolute rank regardless of the path taken.

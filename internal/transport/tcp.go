@@ -209,6 +209,9 @@ func (t *TCPTransport) closeConns() {
 // Rank returns this endpoint's rank.
 func (t *TCPTransport) Rank() int { return t.rank }
 
+// DeviceName identifies the transport flavor for measured tuning tables.
+func (t *TCPTransport) DeviceName() string { return "tcp" }
+
 // Size returns the number of ranks in the mesh.
 func (t *TCPTransport) Size() int { return t.size }
 

@@ -118,6 +118,12 @@ const (
 	CollAlgSegmented = core.CollAlgSegmented
 	// CollAlgRing is CollAlgSegmented under its ring-collective name.
 	CollAlgRing = core.CollAlgRing
+	// CollAlgHier prefers the two-level locality-aware schedules: an
+	// intra-group phase over co-located peers and an inter-group exchange
+	// between per-group leaders (falls back to auto on comms that do not
+	// span locality groups). See Comm.SetLocalityTable and README
+	// "Tuning".
+	CollAlgHier = core.CollAlgHier
 )
 
 // WithCollAlg forces the collective algorithm family on c and returns c,
@@ -245,6 +251,7 @@ const (
 	AllreduceTreeBcast         = core.AllreduceTreeBcast
 	AllreduceRecursiveDoubling = core.AllreduceRecursiveDoubling
 	AllreduceRing              = core.AllreduceRing
+	AllreduceHier              = core.AllreduceHier
 )
 
 // Derived datatype constructors.
